@@ -1,0 +1,53 @@
+"""Shared fixtures for the experiment benchmarks.
+
+Each benchmark regenerates one figure or headline quantity from the paper
+(see DESIGN.md §4 for the experiment index).  Rendered reports are printed
+to the live terminal (past pytest's capture) and archived under
+``benchmarks/results/`` so EXPERIMENTS.md can cite them.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.core.spider import SpiderSystem, build_spider1, build_spider2
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def spider2() -> SpiderSystem:
+    """Spider II as deployed: pre-upgrade controllers, un-culled drives."""
+    return build_spider2(seed=2014)
+
+
+@pytest.fixture(scope="session")
+def spider2_culled() -> SpiderSystem:
+    """Spider II after the §V-A culling campaign (production state)."""
+    from repro.ops.culling import CullingCampaign
+
+    system = build_spider2(seed=2014)
+    CullingCampaign(system).run_full_campaign()
+    return system
+
+
+@pytest.fixture(scope="session")
+def spider1() -> SpiderSystem:
+    return build_spider1(build_clients=False)
+
+
+@pytest.fixture
+def report(request, capsys):
+    """Print an experiment report to the terminal and archive it."""
+
+    def _report(exp_id: str, text: str) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        banner = f"\n===== {exp_id} ====="
+        with capsys.disabled():
+            print(banner)
+            print(text)
+        (RESULTS_DIR / f"{exp_id}.txt").write_text(text + "\n")
+
+    return _report

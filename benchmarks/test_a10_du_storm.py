@@ -1,0 +1,33 @@
+"""A10 — Lesson 19 quantified: what a client `du` does to everyone else.
+
+"du imposes a heavy load on the Lustre MDS when run at this scale.
+Therefore we developed the LustreDU tool."
+
+Queueing replay of the MDS: an interactive user population's metadata
+latency quiet vs during a 500k-file `du` storm — versus the LustreDU
+alternative, whose daily server-side sweep never enters the client RPC
+queue at all (E13 measures its cost directly).
+"""
+
+import pytest
+
+from repro.analysis.mds_latency import measure_du_storm
+from repro.analysis.reporting import render_table
+
+
+def test_a10_du_storm_latency(benchmark, report):
+    result = benchmark.pedantic(lambda: measure_du_storm(seed=3),
+                                rounds=1, iterations=1)
+
+    text = render_table(["metric", "value"], result.rows(),
+                        title="MDS latency under a du storm (Lesson 19)")
+    report("A10_du_storm", text)
+
+    # Quiet interactive metadata is sub-millisecond.
+    assert result.quiet_p99 < 0.005
+    # During the storm, interactive tail latency explodes to seconds —
+    # the pathology that got `du` banned and LustreDU written.
+    assert result.p99_inflation > 100.0
+    assert result.storm_p99 > 0.5
+    # The du itself takes tens of seconds of MDS time for 500k files.
+    assert result.storm_duration > 20.0

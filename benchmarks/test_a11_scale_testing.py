@@ -1,0 +1,54 @@
+"""A11 — Lesson 9 quantified: why candidate releases are tested on Titan.
+
+"These tests identify edge cases and problems that would not manifest
+themselves otherwise."
+
+The same release candidate (identical latent-defect population) is run
+through a vendor-lab campaign (256 clients), a mid-size test system
+(2,048), and a Titan-scale campaign (18,688); the escapes tell the story.
+"""
+
+import pytest
+
+from repro.analysis.reporting import render_table
+from repro.ops.release_testing import CandidateRelease, ScaleTestCampaign
+
+SCALES = (256, 2_048, 18_688)
+
+
+def test_a11_scale_testing(benchmark, report):
+    def run():
+        release = CandidateRelease(seed=2, n_defects=100)
+        return release, {
+            scale: ScaleTestCampaign(scale, n_runs=8, seed=scale).run(release)
+            for scale in SCALES
+        }
+
+    release, outcomes = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = [
+        (f"{scale:,}", o.caught, o.escaped, o.escaped_large_scale,
+         f"{o.catch_rate:.0%}")
+        for scale, o in outcomes.items()
+    ]
+    text = render_table(
+        ["test scale (clients)", "caught", "escaped",
+         "escaped needing larger scale", "catch rate"],
+        rows, title="Release-candidate testing at scale (paper: Lesson 9)")
+    text += (f"\n\nrelease: {release.name}, {release.n_defects} latent "
+             f"defects; {release.defects_above(256)} only manifest above "
+             f"256 clients, {release.defects_above(2_048)} above 2,048")
+    report("A11_scale_testing", text)
+
+    small, mid, titan = (outcomes[s] for s in SCALES)
+    # The defect tail is real: a material fraction needs >256 clients,
+    # and some only manifest above 2,048.
+    assert release.defects_above(256) >= 10
+    assert release.defects_above(2_048) >= 3
+    # Catch rate is monotone in scale; Titan-scale testing catches what
+    # the lab never can.
+    assert small.catch_rate < mid.catch_rate < titan.catch_rate
+    assert titan.escaped_large_scale < mid.escaped_large_scale
+    assert mid.escaped_large_scale < small.escaped_large_scale
+    # Titan-scale escapes are exactly the defects above its client count.
+    assert titan.escaped_large_scale == release.defects_above(18_688)

@@ -1,0 +1,53 @@
+"""A12 — Lesson 2: the peak-sequential procurement trap.
+
+"Peak read/write performance cannot be used as a simple proxy for
+designing a scratch file system ...  Good random performance translates
+to better operational conditions."
+
+Two drive options with identical datasheet sequential ratings — a cheap
+desktop-class drive with sluggish repositioning, and the NL-SAS drive
+Spider II bought — scored both ways: by the naive sequential proxy, and
+under mixes from pure-sequential to pure-random, including the 60/40
+Spider operating point.
+"""
+
+import pytest
+
+from repro.analysis.design_proxy import compare_disk_options, mixed_delivered_bandwidth
+from repro.analysis.reporting import render_series, render_table
+from repro.hardware.disk import DiskSpec
+from repro.units import MB, MiB
+
+NLSAS = DiskSpec(seq_bw=140 * MB, access_time=0.025, name="nl-sas")
+CHEAP = DiskSpec(seq_bw=140 * MB, access_time=0.060, name="desktop-sata")
+
+
+def test_a12_design_proxy(benchmark, report):
+    comparison = benchmark(
+        lambda: compare_disk_options(NLSAS, CHEAP, random_fraction=0.4))
+
+    points = []
+    for p in (0.0, 0.2, 0.4, 0.6, 0.8, 1.0):
+        good = mixed_delivered_bandwidth(NLSAS, p)
+        bad = mixed_delivered_bandwidth(CHEAP, p)
+        points.append((f"{p:.0%} random", 100 * bad / good))
+    series = render_series(
+        "byte mix", "cheap drive delivers (% of NL-SAS)", points,
+        title="Delivered bandwidth ratio vs workload mix", fmt="{:.0f}%")
+
+    text = render_table(["metric", "value"], comparison.rows(),
+                        title="The Lesson 2 procurement trap") + "\n\n" + series
+    report("A12_design_proxy", text)
+
+    # The sequential proxy cannot tell the options apart...
+    assert comparison.seq_ratio == pytest.approx(1.0)
+    # ...but at the Spider operating mix the cheap option delivers far less.
+    assert comparison.mixed_ratio < 0.75
+    assert comparison.proxy_blind
+    # The gap widens monotonically with the random share.
+    ratios = [mixed_delivered_bandwidth(CHEAP, p)
+              / mixed_delivered_bandwidth(NLSAS, p)
+              for p in (0.0, 0.25, 0.5, 0.75, 1.0)]
+    assert all(a >= b - 1e-12 for a, b in zip(ratios, ratios[1:]))
+    # Sanity: both options stay inside the paper's single-disk band.
+    assert 0.20 <= NLSAS.random_efficiency(1 * MiB) <= 0.25

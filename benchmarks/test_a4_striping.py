@@ -1,0 +1,68 @@
+"""A4 — §VII ablation: stripe-count best practices.
+
+"placing small files or directories containing many small files on a
+single OST by setting the striping count to 1 ... improves the stat
+performance since every stat operation must communicate with every OST
+which contains file or directory data.  Other examples include employing
+large and stripe-aligned I/O requests whenever possible."
+
+Sweeps stripe count for (a) metadata-side cost — sustainable stat rate —
+and (b) data-side single-file bandwidth, exposing the small-file /
+large-file crossover behind the guidance.
+"""
+
+import math
+
+import pytest
+
+from repro.analysis.reporting import render_table
+from repro.core.path import PathBuilder, Transfer
+from repro.lustre.mds import MetadataServer, OpMix
+from repro.units import GB
+
+STRIPE_COUNTS = (1, 2, 4, 8, 16)
+
+
+def test_a4_stripe_count_ablation(benchmark, spider2_culled, report):
+    system = spider2_culled
+    mds = MetadataServer()
+
+    def run():
+        out = {}
+        fs = system.filesystems[next(iter(system.filesystems))]
+        ns_osts = [o.index for o in fs.osts]
+        # A large shared file written collectively by 16 clients — the
+        # "large and stripe-aligned I/O" case the guidance targets.
+        writers = system.clients[:16]
+        for sc in STRIPE_COUNTS:
+            stat_rate = mds.sustainable_rate(
+                OpMix(stats=1000, mean_stripe_count=sc))
+            stripes = tuple(ns_osts[i * 37] for i in range(sc))
+            builder = PathBuilder(system)
+            transfers = [
+                Transfer(f"w{i}", c, stripes, demand=math.inf)
+                for i, c in enumerate(writers)
+            ]
+            result = builder.solve(transfers)
+            out[sc] = (stat_rate, result.total)
+        return out
+
+    sweep = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = [
+        (sc, f"{stat:,.0f} stats/s", f"{bw / GB:.1f} GB/s")
+        for sc, (stat, bw) in sweep.items()
+    ]
+    text = render_table(
+        ["stripe count", "sustainable stat rate",
+         "shared-file bandwidth (16 writers)"],
+        rows, title="Stripe-count tradeoff (paper: §VII best practices)")
+    report("A4_striping", text)
+
+    # stat cost grows with stripes: single-OST striping more than doubles
+    # the stat throughput vs 4-wide (the small-file guidance).
+    assert sweep[1][0] > 1.8 * sweep[4][0]
+    # bandwidth grows with stripes — one OST gates the narrow layout, wide
+    # striping recruits more spindles (the large-file guidance).
+    assert sweep[4][1] > 3.0 * sweep[1][1]
+    assert sweep[16][1] > sweep[4][1]

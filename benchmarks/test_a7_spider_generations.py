@@ -1,0 +1,58 @@
+"""A7 — the Spider I → Spider II generational arc (§I, §IV-E, §V).
+
+The paper's narrative spans two procurements; this bench builds both
+systems side by side and checks every stated generational delta:
+capacity (10 → 32 PB), bandwidth (240 GB/s → >1 TB/s), namespaces
+(4 → 2), and the enclosure-geometry fix the 2010 incident forced
+(2 members per shelf → 1).
+"""
+
+import pytest
+
+from repro.analysis.reporting import render_table
+from repro.core.spider import build_spider1, build_spider2
+from repro.units import GB, PB, fmt_bandwidth, fmt_size
+
+
+def test_a7_spider_generations(benchmark, report):
+    def build():
+        return (build_spider1(build_clients=False),
+                build_spider2(build_clients=False))
+
+    s1, s2 = benchmark.pedantic(build, rounds=1, iterations=1)
+
+    def worst_enclosure_loss(system):
+        return max(ssu.enclosures.max_members_lost_per_enclosure()
+                   for ssu in system.ssus)
+
+    rows = [
+        ("couplets / SSUs", s1.spec.n_ssus, s2.spec.n_ssus),
+        ("disks", f"{s1.spec.n_disks:,}", f"{s2.spec.n_disks:,}"),
+        ("disk size", fmt_size(s1.spec.ssu.disk.capacity_bytes),
+         fmt_size(s2.spec.ssu.disk.capacity_bytes)),
+        ("OSTs", s1.spec.n_osts, s2.spec.n_osts),
+        ("capacity", fmt_size(s1.total_capacity_bytes()),
+         fmt_size(s2.total_capacity_bytes())),
+        ("delivered bandwidth",
+         fmt_bandwidth(s1.aggregate_bandwidth(fs_level=True)),
+         fmt_bandwidth(s2.aggregate_bandwidth(fs_level=False))),
+        ("namespaces", s1.spec.n_namespaces, s2.spec.n_namespaces),
+        ("enclosures per couplet", s1.spec.ssu.n_enclosures,
+         s2.spec.ssu.n_enclosures),
+        ("RAID members lost per shelf outage", worst_enclosure_loss(s1),
+         worst_enclosure_loss(s2)),
+    ]
+    text = render_table(["metric", "Spider I (2008)", "Spider II (2013)"],
+                        rows, title="Two generations of Spider (paper: §I, §V)")
+    report("A7_spider_generations", text)
+
+    # Paper-stated generational facts.
+    assert s1.total_capacity_bytes() == pytest.approx(10.75 * PB, rel=0.01)
+    assert s2.total_capacity_bytes() == pytest.approx(32.26 * PB, rel=0.01)
+    assert s1.aggregate_bandwidth(fs_level=True) == pytest.approx(
+        240 * GB, rel=0.05)
+    assert s2.aggregate_bandwidth(fs_level=False) > 1000 * GB
+    assert (s1.spec.n_namespaces, s2.spec.n_namespaces) == (4, 2)
+    # Lesson 11 applied: the member-per-shelf exposure halves.
+    assert worst_enclosure_loss(s1) == 2
+    assert worst_enclosure_loss(s2) == 1

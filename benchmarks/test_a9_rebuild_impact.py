@@ -1,0 +1,69 @@
+"""A9 — rebuild windows as a *performance* event, not only a reliability
+one.
+
+The paper's reliability features (parity declustering, §IV-A) and the
+rebuild arithmetic of the 2010 incident (§IV-E) imply a performance story
+the text states indirectly: a rebuilding RAID group serves degraded
+bandwidth, and with ~500 drive failures a year (2.5% AFR × 20,160) some
+group is almost always rebuilding.  This bench measures the delivered
+aggregate with 0..8 concurrent rebuilds and the expected steady-state
+loss for conventional vs declustered rebuild windows.
+"""
+
+import pytest
+
+from repro.analysis.reporting import render_kv, render_table
+from repro.core.spider import build_spider2
+from repro.ops.reliability import ReliabilitySim
+from repro.units import GB
+
+
+def test_a9_rebuild_performance_impact(benchmark, report):
+    def run():
+        system = build_spider2(seed=11, build_clients=False)
+        baseline = system.aggregate_bandwidth(fs_level=True)
+        points = [(0, baseline)]
+        # Put k groups (spread over SSUs) into rebuild, one member each.
+        for k in (1, 2, 4, 8):
+            sys_k = build_spider2(seed=11, build_clients=False)
+            for i in range(k):
+                group = sys_k.ssus[i % 36].groups[i // 36]
+                group.erase_member(0)
+                group.restore_member(0)  # rebuilding
+            total = sum(ssu.aggregate_bandwidth(fs_level=True)
+                        for ssu in sys_k.ssus)
+            points.append((k, total))
+        return baseline, points
+
+    baseline, points = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = [(k, f"{bw / GB:.1f} GB/s", f"{(baseline - bw) / GB:.2f} GB/s")
+            for k, bw in points]
+    table = render_table(
+        ["concurrent rebuilds", "delivered fs-level aggregate", "loss"],
+        rows, title="Rebuild windows vs delivered bandwidth")
+
+    # Steady-state expectation from the failure process.
+    conv = ReliabilitySim(rebuild_hours=24.0, declustered=False, seed=2).run(10)
+    dec = ReliabilitySim(rebuild_hours=24.0, declustered=True, seed=2).run(10)
+    hours_per_year = 365.0 * 24.0
+    mean_conv = conv.degraded_group_hours / conv.years / hours_per_year
+    mean_dec = dec.degraded_group_hours / dec.years / hours_per_year
+    per_rebuild_loss = (points[0][1] - points[1][1])
+    kv = render_kv([
+        ("mean concurrent rebuilds (conventional)", f"{mean_conv:.2f}"),
+        ("mean concurrent rebuilds (declustered)", f"{mean_dec:.2f}"),
+        ("expected steady bandwidth loss (conventional)",
+         f"{mean_conv * per_rebuild_loss / GB:.2f} GB/s"),
+        ("expected steady bandwidth loss (declustered)",
+         f"{mean_dec * per_rebuild_loss / GB:.2f} GB/s"),
+    ], title="\nSteady-state expectation (2.5% AFR fleet)")
+    report("A9_rebuild_impact", table + "\n" + kv)
+
+    # Each rebuild costs bandwidth, roughly additively at small k.
+    losses = [baseline - bw for _k, bw in points]
+    assert losses[0] == 0.0
+    assert losses[1] > 0.0
+    assert losses[4] == pytest.approx(8 * losses[1], rel=0.25)
+    # Declustering shortens windows → fewer concurrent rebuilds on average.
+    assert mean_dec < 0.5 * mean_conv

@@ -1,0 +1,68 @@
+"""E11 — §VI-B: IOSI extracts application I/O signatures from noisy
+server-side logs.
+
+"IOSI characterizes per-application I/O behavior from the server-side I/O
+throughput logs.  We determined application I/O signatures by observing
+multiple runs and identifying the common I/O pattern across those runs."
+
+A periodic checkpointing application runs three times inside a shared
+server log full of analytics noise; IOSI must recover its period and
+burst volume without client-side tracing.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.reporting import render_kv
+from repro.sim.rng import RngStreams
+from repro.tools.iosi import Iosi
+from repro.units import GB, MiB, fmt_size
+from repro.workloads.analytics import AnalyticsApp, analytics_trace
+from repro.workloads.checkpoint import CheckpointApp, checkpoint_trace
+from repro.workloads.model import merge_traces
+
+
+def _build_shared_log(seed=21, n_runs=3, run_len=3600.0, gap=900.0):
+    rng = RngStreams(seed)
+    app = CheckpointApp(name="gtc", n_procs=1024, bytes_per_proc=96 * MiB,
+                        interval=600.0, aggregate_bandwidth=60 * GB)
+    pieces = []
+    windows = []
+    for run in range(n_runs):
+        t0 = run * (run_len + gap)
+        piece = checkpoint_trace(app, duration=run_len,
+                                 rng=rng.get(f"run{run}"))
+        piece.times += t0
+        pieces.append(piece)
+        windows.append((t0, t0 + run_len))
+    noise = analytics_trace(
+        AnalyticsApp(name="background", request_rate=1200.0),
+        duration=n_runs * (run_len + gap), rng=rng.get("noise"))
+    return app, merge_traces(pieces + [noise], label="server-log"), windows
+
+
+def test_e11_iosi_signature(benchmark, report):
+    app, server_log, windows = _build_shared_log()
+    iosi = Iosi(bin_seconds=5.0)
+    signature = benchmark.pedantic(
+        lambda: iosi.extract(server_log, windows), rounds=1, iterations=1)
+
+    period_err = abs(signature.period - app.interval) / app.interval
+    volume_err = (abs(signature.burst_volume_bytes - app.checkpoint_bytes)
+                  / app.checkpoint_bytes)
+    text = render_kv([
+        ("server log requests", f"{len(server_log):,}"),
+        ("application runs observed", signature.n_runs),
+        ("true burst period", f"{app.interval:.0f} s"),
+        ("extracted period", f"{signature.period:.0f} s "
+                             f"({period_err:+.1%} error)"),
+        ("true burst volume", fmt_size(app.checkpoint_bytes)),
+        ("extracted volume", f"{fmt_size(signature.burst_volume_bytes)} "
+                             f"({volume_err:+.1%} error)"),
+        ("bursts per run", f"{signature.bursts_per_run:.1f}"),
+    ], title="IOSI signature extraction (paper: §VI-B)")
+    report("E11_iosi", text)
+
+    assert signature.matches(period=app.interval,
+                             volume_bytes=app.checkpoint_bytes, rel_tol=0.15)
+    assert signature.n_runs == 3

@@ -1,0 +1,72 @@
+"""E12 — §II / §VII: data-centric vs machine-exclusive economics.
+
+"machine-exclusive file systems can easily exceed 10% of the total
+acquisition cost" / "We typically express a capacity target ... of no
+less than 30x the aggregate system memory of all connected systems.  For
+the current OLCF systems, total memory ... is approximately 770 TB.  With
+more than 30 PB (formatted), the Spider II capacity not only exceeds this
+target, but provides some margin for accommodating new systems with
+minimal cost."
+
+Regenerates the tradeoff table: storage cost, workflow data movement,
+availability under a machine outage, and the marginal cost of adding a
+new resource.
+"""
+
+import pytest
+
+from repro.analysis.reporting import render_table
+from repro.core.center import (
+    ComputeResource,
+    HpcCenter,
+    PfsModel,
+    checkpoint_analysis_workflow,
+)
+from repro.units import PB, TB, fmt_size
+
+
+def test_e12_datacentric_vs_exclusive(benchmark, report):
+    def build():
+        dc = HpcCenter(model=PfsModel.DATA_CENTRIC)
+        ex = HpcCenter(model=PfsModel.MACHINE_EXCLUSIVE)
+        return dc, ex
+
+    dc, ex = benchmark(build)
+    wf = checkpoint_analysis_workflow(checkpoint_bytes=450 * TB,
+                                      reduced_bytes=40 * TB)
+    newbox = ComputeResource("new-analysis", memory_bytes=40 * TB,
+                             acquisition_cost=8.0)
+
+    rows = [
+        ("storage acquisition cost (normalized)",
+         f"{dc.storage_cost():.1f}", f"{ex.storage_cost():.1f}"),
+        ("workflow data moved between file systems",
+         fmt_size(dc.workflow_movement_bytes(wf)),
+         fmt_size(ex.workflow_movement_bytes(wf))),
+        ("data reachable during a Titan outage",
+         f"{dc.data_availability('titan'):.0%}",
+         f"{ex.data_availability('titan'):.0%}"),
+        ("marginal storage cost of a new 40 TB cluster",
+         f"{dc.cost_of_adding_resource(newbox):.2f}",
+         f"{ex.cost_of_adding_resource(newbox):.2f}"),
+        ("30x capacity target (770 TB memory)",
+         fmt_size(dc.capacity_target_bytes()), "n/a"),
+        ("Spider II capacity vs target",
+         f"{fmt_size(dc.pfs_capacity_bytes)} "
+         f"({'meets' if dc.meets_capacity_target() else 'misses'})", "n/a"),
+    ]
+    text = render_table(["metric", "data-centric", "machine-exclusive"],
+                        rows, title="PFS model tradeoffs (paper: §II, §VII)")
+    report("E12_datacentric_tco", text)
+
+    # The §II cost claim and its consequences.
+    assert ex.storage_cost() > dc.storage_cost()
+    assert dc.workflow_movement_bytes(wf) == 0
+    assert ex.workflow_movement_bytes(wf) == 490 * TB
+    assert dc.data_availability("titan") == 1.0
+    assert ex.data_availability("titan") < 0.1
+    # 770 TB x 30 = 23.1 PB < 32 PB, with margin for a new machine.
+    assert dc.capacity_target_bytes() == pytest.approx(23.1 * PB)
+    assert dc.meets_capacity_target()
+    assert dc.cost_of_adding_resource(newbox) == 0.0
+    assert ex.cost_of_adding_resource(newbox) > 0.0

@@ -1,0 +1,81 @@
+"""E13 — §VI-C / Lesson 19: scalable tools vs standard Linux tools.
+
+"du imposes a heavy load on the Lustre MDS when run at this scale ...
+[cp, tar, find] are single threaded commands, designed to run on a single
+file system client" — versus LustreDU and the dcp/dtar/dfind family.
+
+Regenerates two tables: (a) the MDS cost of client-side `du` vs the
+LustreDU server sweep (plus free snapshot queries), and (b) wall-clock
+speedups of the parallel tools over their serial counterparts at several
+worker counts, showing the PFS-bandwidth saturation crossover.
+"""
+
+import pytest
+
+from repro.analysis.reporting import render_kv, render_table
+from repro.lustre.filesystem import LustreFilesystem
+from repro.lustre.ost import Ost, OstSpec
+from repro.tools.lustredu import LustreDu, client_du_cost
+from repro.tools.ptools import ParallelTool, SerialTool
+from repro.units import GB, MiB, TB
+
+
+def _populated_fs(n_files=5000):
+    osts = [Ost(i, OstSpec(capacity_bytes=40 * TB)) for i in range(16)]
+    fs = LustreFilesystem("atlas-model", osts, default_stripe_count=4)
+    fs.mkdir("/proj", now=0.0)
+    for i in range(n_files):
+        fs.create_file(f"/proj/f{i:05d}", now=float(i),
+                       size=(1 + i % 64) * 16 * MiB,
+                       project=f"proj{i % 5}")
+    return fs
+
+
+def test_e13_scalable_tools(benchmark, report):
+    fs = _populated_fs()
+
+    # (a) du vs LustreDU.
+    du = LustreDu(fs)
+    snap = benchmark.pedantic(lambda: du.sweep(now=0.0), rounds=1,
+                              iterations=1)
+    _total, client_cost = client_du_cost(fs)
+    before = fs.mds.busy_seconds
+    du.query(project="proj0")
+    query_cost = fs.mds.busy_seconds - before
+
+    du_table = render_kv([
+        ("files", f"{snap.n_files:,}"),
+        ("client `du` MDS time", f"{client_cost:.3f} s"),
+        ("LustreDU sweep MDS time", f"{snap.sweep_mds_seconds:.4f} s"),
+        ("LustreDU query MDS time", f"{query_cost:.4f} s"),
+        ("sweep advantage", f"{client_cost / snap.sweep_mds_seconds:.0f}x"),
+    ], title="du vs LustreDU (paper: §VI-C)")
+
+    # (b) serial vs parallel tools.
+    serial = SerialTool(fs)
+    rows = []
+    speedups = {}
+    for tool_name, serial_run in (("copy", serial.copy("/proj")),
+                                  ("find", serial.find("/proj"))):
+        for workers in (8, 64, 512):
+            ptool = ParallelTool(fs, workers, pfs_aggregate_bw=240 * GB)
+            run = (ptool.copy if tool_name == "copy" else ptool.find)("/proj")
+            speedup = serial_run.wall_seconds / run.wall_seconds
+            speedups[(tool_name, workers)] = speedup
+            rows.append((run.tool, f"{serial_run.wall_seconds:.0f} s",
+                         f"{run.wall_seconds:.1f} s", f"{speedup:.0f}x"))
+    tool_table = render_table(
+        ["tool", "serial", "parallel", "speedup"], rows,
+        title="Serial vs parallel tools (dcp/dfind, paper: §VI-C)")
+
+    report("E13_scalable_tools", du_table + "\n\n" + tool_table)
+
+    assert client_cost > 50 * snap.sweep_mds_seconds
+    assert query_cost == 0.0
+    assert speedups[("copy", 8)] > 4.0
+    assert speedups[("find", 64)] > 30.0
+    # Saturation: going 64 -> 512 workers helps find (latency-bound) much
+    # more than copy (PFS-bandwidth-bound) — the crossover of Lesson 19.
+    copy_scaling = speedups[("copy", 512)] / speedups[("copy", 64)]
+    find_scaling = speedups[("find", 512)] / speedups[("find", 64)]
+    assert find_scaling > copy_scaling

@@ -1,0 +1,44 @@
+"""E1 — §III-A: the checkpoint design equation.
+
+"Titan has 600 TB of main memory.  One key design principle was to
+checkpoint 75% of Titan's memory in 6 minutes.  This drove the requirement
+for 1 TB/s as the peak sequential I/O bandwidth."
+
+Regenerates the sizing table: the implied requirement (1.25 TB/s, rounded
+by the paper to 1 TB/s), and the checkpoint time the built Spider II
+actually delivers.
+"""
+
+import pytest
+
+from repro.analysis.reporting import render_kv
+from repro.units import GB, MINUTE, TB, fmt_bandwidth, fmt_duration
+from repro.workloads.checkpoint import time_to_checkpoint
+
+TITAN_MEMORY = 600 * TB
+FRACTION = 0.75
+GOAL = 6 * MINUTE
+
+
+def test_e1_checkpoint_design(benchmark, spider2, report):
+    delivered = spider2.aggregate_bandwidth(fs_level=False)
+    t_delivered = benchmark(
+        lambda: time_to_checkpoint(TITAN_MEMORY, FRACTION, delivered))
+    implied = TITAN_MEMORY * FRACTION / GOAL
+    t_at_1tbs = time_to_checkpoint(TITAN_MEMORY, FRACTION, 1000 * GB)
+
+    text = render_kv([
+        ("Titan memory", "600 TB"),
+        ("checkpoint fraction", "75%"),
+        ("goal", "6 min"),
+        ("implied requirement", fmt_bandwidth(implied)),
+        ("paper's stated requirement", "1 TB/s (rounded)"),
+        ("checkpoint time at exactly 1 TB/s", fmt_duration(t_at_1tbs)),
+        ("Spider II delivered (block)", fmt_bandwidth(delivered)),
+        ("checkpoint time on Spider II", fmt_duration(t_delivered)),
+    ], title="Checkpoint design point (§III-A)")
+    report("E1_checkpoint_design", text)
+
+    assert implied == pytest.approx(1.25 * 1000 * GB)
+    assert delivered > 1000 * GB  # the stated requirement is met
+    assert t_delivered < 7.5 * MINUTE  # and the goal approximately so

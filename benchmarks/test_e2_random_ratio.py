@@ -1,0 +1,67 @@
+"""E2 — §III-A: the 20-25% random/sequential disk ratio and the 240 GB/s
+random floor it implies.
+
+"Our earlier tests showed that a single SATA or near line SAS hard disk
+drive can achieve 20-25% of its peak performance under random I/O
+workloads (with 1 MB I/O block sizes).  This drove the requirement for
+random I/O workloads of 240 GB/s at the file system level."
+
+Measured with the fair-lio sweep over a sample of drives.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.reporting import render_kv, render_table
+from repro.hardware.disk import DiskPopulation
+from repro.iobench.fairlio import DiskTarget, FairLioSweep, random_to_sequential_ratio
+from repro.sim.rng import RngStreams
+from repro.units import GB, KiB, MiB
+
+
+def _measure_sample(n_disks=24, seed=2):
+    pop = DiskPopulation(n_disks, rng=RngStreams(seed),
+                         block_slow_fraction=0.0, fs_slow_fraction=0.0)
+    sweep = FairLioSweep(request_sizes=(64 * KiB, 256 * KiB, MiB, 4 * MiB),
+                         queue_depths=(1,), write_fractions=(1.0,),
+                         noise_sigma=0.005)
+    rng = np.random.default_rng(seed)
+    ratios = []
+    for i in range(n_disks):
+        results = sweep.run(DiskTarget(pop.disk(i)), rng)
+        ratios.append(random_to_sequential_ratio(results))
+    return np.array(ratios), sweep, pop
+
+
+def test_e2_random_ratio(benchmark, report):
+    ratios, sweep, pop = benchmark.pedantic(_measure_sample, rounds=1,
+                                            iterations=1)
+    # Size-dependence table for one drive.
+    rng = np.random.default_rng(0)
+    results = sweep.run(DiskTarget(pop.disk(0)), rng)
+    rows = []
+    for size in sweep.request_sizes:
+        seq = next(r for r in results if r.sequential and r.request_size == size)
+        rnd = next(r for r in results
+                   if not r.sequential and r.request_size == size)
+        rows.append((f"{size // KiB} KiB",
+                     f"{seq.bandwidth / 1e6:.0f} MB/s",
+                     f"{rnd.bandwidth / 1e6:.0f} MB/s",
+                     f"{rnd.bandwidth / seq.bandwidth:.2f}"))
+    text = render_table(["request", "sequential", "random", "ratio"], rows,
+                        title="Single NL-SAS drive, fair-lio sweep (qd=1)")
+    text += "\n\n" + render_kv([
+        ("drives sampled", len(ratios)),
+        ("random/seq @1MiB, mean", f"{ratios.mean():.3f}"),
+        ("random/seq @1MiB, range",
+         f"{ratios.min():.3f} .. {ratios.max():.3f}"),
+        ("paper band", "0.20 - 0.25"),
+        ("implied random floor for a 1 TB/s system",
+         f"{ratios.mean() * 1000:.0f} GB/s (paper: 240 GB/s)"),
+    ])
+    report("E2_random_ratio", text)
+
+    assert 0.20 <= ratios.mean() <= 0.25
+    assert (ratios > 0.18).all() and (ratios < 0.27).all()
+    # The implied system-level floor lands near the SOW's 240 GB/s.
+    assert ratios.mean() * 1000 * GB == pytest.approx(240 * GB, rel=0.10)

@@ -1,0 +1,38 @@
+"""E3 — §II: the Spider I workload characterization.
+
+"Our analysis of the I/O workloads on Spider I PFS demonstrated a mix of
+60% write and 40% read I/O requests ...  a majority of I/O requests are
+either small (under 16 KB) or large (multiples of 1 MB), where the
+inter-arrival time and idle time distributions both follow a long-tail
+distribution that can be modeled as a Pareto distribution."
+
+Regenerates the characterization table from the calibrated center-wide
+mixed workload.
+"""
+
+import pytest
+
+from repro.analysis.reporting import render_table
+from repro.analysis.workload_stats import characterize
+from repro.workloads.mixed import spider_mixed_workload
+
+
+def test_e3_workload_mix(benchmark, report):
+    def run():
+        _wl, trace = spider_mixed_workload(duration=4 * 3600.0, seed=14)
+        return characterize(trace)
+
+    rep = benchmark.pedantic(run, rounds=1, iterations=1)
+    text = render_table(["metric", "value"], rep.rows(),
+                        title="Center-wide mixed workload (paper: §II)")
+    report("E3_workload_mix", text)
+
+    # 60/40 request mix.
+    assert rep.write_fraction_requests == pytest.approx(0.60, abs=0.04)
+    # Bimodal sizes: small or MiB-multiple covers (almost) everything.
+    assert rep.bimodal_fraction > 0.95
+    assert rep.small_fraction > 0.05
+    assert rep.mib_multiple_fraction > 0.3
+    # Long-tailed arrival process, Pareto-compatible tail index.
+    assert rep.interarrival_heavy_tailed
+    assert 1.0 < rep.interarrival_alpha < 3.0

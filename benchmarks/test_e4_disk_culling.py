@@ -1,0 +1,58 @@
+"""E4 — §V-A: the slow-disk culling campaign.
+
+"we replaced around 1,500 of 20,160 fully functioning, but slower, disks.
+After deployment, the same process was repeated at the file system level
+and we eliminated approximately another 500 disks ...  the initial
+requirement for 5% variability among RAID groups was determined to be
+prohibitive and was contractually adjusted to 7.5%."
+
+Runs the full multi-round campaign on the 20,160-drive build and checks
+every one of those quantities.
+"""
+
+import pytest
+
+from repro.analysis.reporting import render_kv, render_table
+from repro.core.spider import build_spider2
+from repro.ops.culling import CullingCampaign
+
+
+def test_e4_disk_culling(benchmark, report):
+    def run():
+        system = build_spider2(seed=2014, build_clients=False)
+        campaign = CullingCampaign(system, threshold=0.05)
+        return campaign.run_full_campaign(), system
+
+    result, system = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = [
+        (r.level, r.round_index, r.replaced,
+         f"{r.metrics_before.worst_intra_ssu_spread:.1%}",
+         f"{r.metrics_after.worst_intra_ssu_spread:.1%}",
+         f"{r.metrics_after.global_spread:.1%}")
+        for r in result.rounds
+    ]
+    final = result.final_metrics()
+    text = render_table(
+        ["level", "round", "replaced", "intra-SSU before", "intra-SSU after",
+         "global after"],
+        rows, title="Culling rounds (paper: §V-A)")
+    text += "\n\n" + render_kv([
+        ("block-level replacements", f"{result.replaced_at('block')} "
+                                     f"(paper: ~1,500)"),
+        ("fs-level replacements", f"{result.replaced_at('fs')} "
+                                  f"(paper: ~500)"),
+        ("drives total", system.spec.n_disks),
+        ("final intra-SSU spread", f"{final.worst_intra_ssu_spread:.1%}"),
+        ("final global spread", f"{final.global_spread:.1%}"),
+        ("within 5% target?", final.within(0.05)),
+        ("within 7.5% operational threshold?", final.within(0.075)),
+    ])
+    report("E4_disk_culling", text)
+
+    assert 1200 <= result.replaced_at("block") <= 1800
+    assert 300 <= result.replaced_at("fs") <= 700
+    assert sum(1 for r in result.rounds if r.level == "block") >= 2
+    # The contractual story: 7.5% holds; strict 5% may not be attributable
+    # to drives and is what forced the adjustment.
+    assert final.within(0.075)

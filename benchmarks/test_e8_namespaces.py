@@ -1,0 +1,54 @@
+"""E8 — §IV-C: single vs multiple namespaces and DNE.
+
+"Lustre supports a single metadata server per namespace.  This limitation
+cannot sustain the necessary rate of concurrent file system metadata
+operations for the OLCF user workloads ...  We recommend using both DNE
+and multiple namespaces, concurrently."
+
+Regenerates the metadata-ceiling comparison: one MDS, Spider's 2/4
+namespaces, DNE, and DNE + namespaces, for a center-wide op mix.
+"""
+
+import pytest
+
+from repro.analysis.reporting import render_table
+from repro.lustre.mds import MetadataCluster, OpMix
+
+#: a center-wide metadata mix: heavy creates (checkpoints opening
+#: file-per-process), stats (analysis jobs walking outputs), some cleanup
+CENTER_MIX = OpMix(creates=40_000, stats=45_000, unlinks=10_000,
+                   mkdirs=1_000, readdir_entries=80_000,
+                   mean_stripe_count=4.0)
+
+
+def test_e8_namespace_strategies(benchmark, report):
+    configs = [
+        ("single namespace (1 MDS)", MetadataCluster(1)),
+        ("2 namespaces (Spider II)", MetadataCluster(2, mode="namespaces")),
+        ("4 namespaces (Spider I)", MetadataCluster(4, mode="namespaces")),
+        ("DNE x4, one namespace", MetadataCluster(4, mode="dne")),
+        ("2 namespaces x DNE x2",
+         MetadataCluster(4, mode="dne", dne_overhead=0.10)),
+    ]
+
+    def run():
+        return [(name, cluster.sustainable_rate(CENTER_MIX))
+                for name, cluster in configs]
+
+    rates = benchmark(run)
+    single = rates[0][1]
+    rows = [(name, f"{rate:,.0f} ops/s", f"{rate / single:.2f}x")
+            for name, rate in rates]
+    text = render_table(["configuration", "sustainable metadata rate",
+                         "vs single MDS"], rows,
+                        title="Metadata ceilings (paper: §IV-C)")
+    report("E8_namespaces", text)
+
+    by_name = dict(rates)
+    # The single-MDS ceiling is the binding constraint the paper describes.
+    assert by_name["2 namespaces (Spider II)"] > 1.5 * single
+    assert by_name["4 namespaces (Spider I)"] > 3.0 * single
+    # DNE distributes more evenly than independent namespaces of the same
+    # MDS count, at a small cross-MDT tax.
+    assert by_name["DNE x4, one namespace"] > by_name["4 namespaces (Spider I)"]
+    assert by_name["DNE x4, one namespace"] < 4.0 * single

@@ -1,0 +1,49 @@
+"""F1 — Figure 1: the Spider II architecture inventory and its layered
+bandwidth profile.
+
+Regenerates the component census of the integration diagram (36 SSUs,
+20,160 disks, 2,016 OSTs, 288 OSSes, 440 routers, 36 leaf switches,
+18,688 clients, 32 PB) plus the Lesson 12 bottom-up ceiling table.
+"""
+
+import pytest
+
+from repro.analysis.layers import profile_layers
+from repro.analysis.reporting import render_kv, render_table
+from repro.core.spider import build_spider2
+from repro.units import GB, PB, fmt_bandwidth, fmt_size
+
+
+def test_f1_architecture_inventory(benchmark, report):
+    system = benchmark.pedantic(
+        lambda: build_spider2(seed=2014), rounds=1, iterations=1)
+    inv = system.inventory()
+
+    profile = profile_layers(system, fs_level=True)
+    text = render_kv([
+        ("SSUs", inv["ssus"]),
+        ("disks", inv["disks"]),
+        ("OSTs (RAID-6 8+2)", inv["osts"]),
+        ("OSS nodes", inv["osses"]),
+        ("I/O routers", inv["routers"]),
+        ("IB leaf switches", inv["leaf_switches"]),
+        ("namespaces", inv["namespaces"]),
+        ("Titan clients", inv["clients"]),
+        ("capacity", fmt_size(inv["capacity_bytes"])),
+        ("block-level aggregate", fmt_bandwidth(
+            system.aggregate_bandwidth(fs_level=False))),
+    ], title="Spider II inventory (paper: Fig. 1 / §V)")
+    text += "\n\n" + render_table(
+        ["layer", "ceiling", "loss"], profile.loss_table(),
+        title="Bottom-up layer profile (Lesson 12)")
+    report("F1_architecture", text)
+
+    # Paper-pinned counts.
+    assert inv["ssus"] == 36
+    assert inv["disks"] == 20_160
+    assert inv["osts"] == 2_016
+    assert inv["osses"] == 288
+    assert inv["routers"] == 440
+    assert inv["clients"] == 18_688
+    assert inv["capacity_bytes"] == pytest.approx(32.26 * PB, rel=0.01)
+    assert system.aggregate_bandwidth(fs_level=False) > 1000 * GB

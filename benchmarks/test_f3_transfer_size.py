@@ -1,0 +1,39 @@
+"""F3 — Figure 3: IOR write bandwidth vs per-process transfer size.
+
+"We identified that the best performance for writes can be obtained by
+using a 1 MB transfer size" (§V-C).  Fixed client count, file-per-process,
+one Spider II namespace; the series must peak at 1 MiB.
+"""
+
+import pytest
+
+from repro.analysis.reporting import render_series
+from repro.iobench.ior import transfer_size_sweep
+from repro.units import GB, KiB, MiB
+
+SIZES = (64 * KiB, 256 * KiB, 512 * KiB, 1 * MiB, 2 * MiB, 4 * MiB,
+         8 * MiB, 16 * MiB)
+
+
+def test_f3_transfer_size_sweep(benchmark, spider2, report):
+    results = benchmark.pedantic(
+        lambda: transfer_size_sweep(spider2, sizes=SIZES, n_processes=672),
+        rounds=1, iterations=1)
+
+    points = [
+        (f"{r.transfer_size // KiB} KiB", r.aggregate_bw / GB)
+        for r in results
+    ]
+    text = render_series(
+        "transfer size", "write GB/s", points,
+        title=("IOR file-per-process write, 672 processes, one namespace "
+               "(paper: Fig. 3)"))
+    report("F3_transfer_size", text)
+
+    by_size = {r.transfer_size: r.aggregate_bw for r in results}
+    peak_size = max(by_size, key=by_size.get)
+    # The paper's finding: best write performance at the 1 MB transfer.
+    assert peak_size == 1 * MiB
+    # Rising left shoulder, falling right shoulder.
+    assert by_size[64 * KiB] < by_size[512 * KiB] < by_size[MiB]
+    assert by_size[MiB] > by_size[4 * MiB] > by_size[16 * MiB]

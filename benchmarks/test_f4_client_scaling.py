@@ -1,0 +1,40 @@
+"""F4 — Figure 4: IOR write bandwidth vs number of I/O writer processes.
+
+"a single namespace can scale almost linearly up to 6,000 clients and then
+provide relatively steady performance" (§V-C).  1 MiB transfers,
+scheduler (random) placement, one pre-upgrade namespace: the knee sits
+near 6,000 processes and the plateau near 320 GB/s.
+"""
+
+import pytest
+
+from repro.analysis.reporting import render_series
+from repro.iobench.ior import client_scaling
+from repro.units import GB
+
+COUNTS = (96, 384, 1008, 2016, 4032, 6048, 8064, 12096, 16128)
+
+
+def test_f4_client_scaling(benchmark, spider2, report):
+    results = benchmark.pedantic(
+        lambda: client_scaling(spider2, process_counts=COUNTS, ppn=16),
+        rounds=1, iterations=1)
+
+    points = [(r.n_processes, r.aggregate_bw / GB) for r in results]
+    text = render_series(
+        "processes", "write GB/s", points,
+        title=("IOR file-per-process write vs process count, 1 MiB "
+               "transfers, one namespace (paper: Fig. 4)"))
+    report("F4_client_scaling", text)
+
+    by_n = {r.n_processes: r.aggregate_bw for r in results}
+    # Linear region: constant per-process rate from 96 through 4032.
+    assert by_n[4032] / 4032 == pytest.approx(by_n[96] / 96, rel=0.06)
+    # Knee near 6,000: at 6048 the namespace is >90% of its plateau.
+    plateau = by_n[16128]
+    assert by_n[6048] > 0.90 * plateau
+    assert by_n[4032] < 0.70 * plateau
+    # Plateau at the pre-upgrade namespace budget (~320 GB/s).
+    assert plateau == pytest.approx(320 * GB, rel=0.03)
+    # "relatively steady performance" beyond the knee.
+    assert by_n[12096] == pytest.approx(by_n[16128], rel=0.05)

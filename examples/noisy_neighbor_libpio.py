@@ -1,0 +1,80 @@
+#!/usr/bin/env python
+"""Scenario: S3D shares the file system with a noisy neighbour; libPIO
+steers its output around the congestion (§VI-A).
+
+The data-centric design's cost is contention (Lesson 1); libPIO is the
+paper's answer.  This script loads half of a namespace with background
+writers, then runs an S3D output phase twice — once with Lustre's default
+round-robin allocation, once with libPIO's utilization-aware placement —
+and reports the delivered job bandwidth for each.
+
+Run:  python examples/noisy_neighbor_libpio.py
+"""
+
+import math
+
+from repro.analysis.reporting import render_kv
+from repro.core.path import PathBuilder, Transfer
+from repro.core.spider import build_spider2
+from repro.tools.libpio import LibPio
+from repro.units import GB, MiB, fmt_bandwidth
+from repro.workloads.s3d import S3DApp
+
+
+def main() -> None:
+    print("Building Spider II...")
+    spider = build_spider2()
+    fs_name = "atlas2"
+    fs = spider.filesystems[fs_name]
+
+    # Background: unbounded writers hammering the first 6 SSUs of atlas2.
+    busy_ssus = sorted({o.ssu_index for o in fs.osts})[:6]
+    busy_osts = [o.index for o in fs.osts if o.ssu_index in busy_ssus]
+    noise = [
+        Transfer(f"noise{i}", spider.clients[4000 + i % 2000], (ost,),
+                 demand=math.inf)
+        for i, ost in enumerate(busy_osts * 2)
+    ]
+    print(f"Background: {len(noise)} streams over SSUs {busy_ssus}")
+
+    app = S3DApp(n_ranks=1024, bytes_per_rank=256 * MiB, ranks_per_node=16)
+
+    def run_output_phase(selector, label: str) -> float:
+        transfers = app.output_transfers(
+            spider.clients[:app.n_nodes * 2], selector, n_osts=len(fs.osts))
+        # Map namespace-relative round-robin picks onto atlas2's range.
+        base = fs.osts[0].index
+        transfers = [
+            Transfer(t.name, t.client,
+                     tuple(base + (o % len(fs.osts)) for o in t.ost_indices)
+                     if min(t.ost_indices) < base else t.ost_indices,
+                     demand=t.demand)
+            for t in transfers
+        ]
+        builder = PathBuilder(spider)
+        result = builder.solve(noise + transfers)
+        rates = builder.transfer_rates(result, noise + transfers)
+        job = sum(v for k, v in rates.items() if k.startswith("s3d"))
+        print(f"  {label:24s} {fmt_bandwidth(job)}")
+        return job
+
+    print("\n== S3D output phase, 1,024 ranks ==")
+    default_bw = run_output_phase(S3DApp.round_robin_selector(), "default round robin")
+
+    pio = LibPio(spider, fs_name)
+    pio.observe_external_load({ost: 2.0 for ost in busy_osts})
+    pio_bw = run_output_phase(pio.selector(), "libPIO placement")
+
+    gain = pio_bw / default_bw - 1.0
+    print()
+    print(render_kv([
+        ("default placement", fmt_bandwidth(default_bw)),
+        ("libPIO placement", fmt_bandwidth(pio_bw)),
+        ("improvement", f"{gain:+.0%}"),
+        ("paper reference", "up to 24% for S3D in noisy production; "
+                            ">70% for synthetic congested runs (§VI-A)"),
+    ]))
+
+
+if __name__ == "__main__":
+    main()

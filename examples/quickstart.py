@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""Quickstart: build Spider II, inspect it bottom-up, and run an IOR test.
+
+This walks the three things a new user does first:
+
+1. build the paper-calibrated Spider II system and print its inventory
+   (the Figure 1 component census);
+2. profile the I/O stack layer by layer (Lesson 12's methodology);
+3. run a small IOR-style scaling probe against one namespace.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.analysis.layers import profile_layers
+from repro.analysis.reporting import render_kv, render_series, render_table
+from repro.core.spider import build_spider2
+from repro.iobench.ior import IorRun
+from repro.units import GB, MiB, fmt_bandwidth, fmt_size
+
+
+def main() -> None:
+    print("== Building Spider II (36 SSUs, 20,160 disks, 2,016 OSTs) ==\n")
+    spider = build_spider2()
+
+    inv = spider.inventory()
+    print(render_kv([
+        ("SSUs", inv["ssus"]),
+        ("disks", inv["disks"]),
+        ("OSTs", inv["osts"]),
+        ("OSS nodes", inv["osses"]),
+        ("I/O routers", inv["routers"]),
+        ("namespaces", inv["namespaces"]),
+        ("Titan clients", inv["clients"]),
+        ("capacity", fmt_size(inv["capacity_bytes"])),
+        ("block-level aggregate", fmt_bandwidth(
+            spider.aggregate_bandwidth(fs_level=False))),
+    ], title="Inventory (Figure 1)"))
+
+    print("\n== Bottom-up layer profile (Lesson 12) ==\n")
+    profile = profile_layers(spider)
+    print(render_table(
+        ["layer", "aggregate ceiling", "loss vs layer below"],
+        profile.loss_table(),
+    ))
+
+    print("\n== IOR write probe on one namespace (file-per-process, "
+          "1 MiB transfers) ==\n")
+    points = []
+    for n_processes in (1008, 2016, 4032, 8064):
+        result = IorRun(spider, n_processes=n_processes, ppn=16,
+                        transfer_size=1 * MiB).run()
+        points.append((n_processes, result.aggregate_bw / GB))
+    print(render_series("processes", "GB/s", points,
+                        title="client scaling (cf. Figure 4)"))
+
+    print("\nDone.  See examples/checkpoint_campaign.py and "
+          "examples/noisy_neighbor_libpio.py for domain scenarios.")
+
+
+if __name__ == "__main__":
+    main()

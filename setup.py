@@ -1,0 +1,7 @@
+"""Setup shim: this offline environment lacks the `wheel` package, so
+PEP 660 editable installs fail; `setup.py develop` (or
+`pip install -e . --no-build-isolation` once wheel is present) works.
+All metadata lives in pyproject.toml."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,27 @@
+"""repro — a simulation-based reproduction of the OLCF Spider experience
+paper: Oral et al., "Best Practices and Lessons Learned from Deploying and
+Operating Large-Scale Data-Centric Parallel File Systems", SC 2014.
+
+The package builds the whole stack the paper operates: disk/RAID/controller
+hardware models, the Gemini-like torus and SION-like InfiniBand fabric, a
+functional Lustre model, Spider I/II system builders, the paper\'s workload
+generators and benchmark tools (fair-lio, obdfilter-survey, IOR), the
+operational toolbox (libPIO, IOSI, LustreDU, parallel tools, purging,
+culling, monitoring, procurement), and a benchmark harness regenerating
+every figure and headline quantity in the paper\'s evaluation.
+
+Quick start::
+
+    from repro.core import build_spider2
+    from repro.units import fmt_bandwidth
+
+    spider = build_spider2(build_clients=False)
+    print(spider.inventory())
+    print(fmt_bandwidth(spider.aggregate_bandwidth()))  # ~1 TB/s
+"""
+
+__version__ = "1.0.0"
+
+from repro import units
+
+__all__ = ["units", "__version__"]

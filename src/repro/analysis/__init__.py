@@ -1,0 +1,31 @@
+"""Analyses over simulator output: workload characterization (the Spider I
+study of §II), bottom-up layer profiling (Lesson 12), and the ASCII
+reporting used by the benchmark harness to print paper-shaped tables.
+"""
+
+from repro.analysis.workload_stats import WorkloadReport, characterize, hill_tail_index
+from repro.analysis.layers import LayerProfile, profile_layers
+from repro.analysis.reporting import render_table, render_series
+from repro.analysis.interference import InterferenceReport, measure_interference
+from repro.analysis.congestion import CongestionReport, census_link_loads, route_census_for_policy
+from repro.analysis.mds_latency import DuStormReport, measure_du_storm
+from repro.analysis.design_proxy import compare_disk_options, mixed_delivered_bandwidth
+
+__all__ = [
+    "WorkloadReport",
+    "characterize",
+    "hill_tail_index",
+    "LayerProfile",
+    "profile_layers",
+    "render_table",
+    "render_series",
+    "InterferenceReport",
+    "measure_interference",
+    "CongestionReport",
+    "census_link_loads",
+    "route_census_for_policy",
+    "DuStormReport",
+    "measure_du_storm",
+    "compare_disk_options",
+    "mixed_delivered_bandwidth",
+]

@@ -1,0 +1,100 @@
+"""Torus link-congestion analysis (Lesson 14).
+
+"Network congestion will lead to sub-optimal I/O performance.  Identifying
+hot spots and eliminating them is key to realizing better performance."
+
+Given a set of (client, router) routed pairs, census the dimension-ordered
+routes over the torus links and summarize the hot-spot structure: max/mean
+concentration, tail quantiles, and the per-dimension load split that
+placement engineering manipulates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.network.lnet import RoutingPolicy
+from repro.network.torus import Coord, Torus3D
+
+__all__ = ["CongestionReport", "census_link_loads", "route_census_for_policy"]
+
+
+@dataclass(frozen=True)
+class CongestionReport:
+    """Summary of one link-load census."""
+
+    n_routes: int
+    n_links_used: int
+    total_link_crossings: int
+    max_load: int
+    mean_load: float
+    p99_load: float
+    axis_crossings: tuple[int, int, int]  # X, Y, Z link crossings
+
+    @property
+    def hotspot_ratio(self) -> float:
+        """Max/mean link load — the headline congestion number."""
+        return self.max_load / self.mean_load if self.mean_load else 0.0
+
+    @property
+    def mean_path_length(self) -> float:
+        return self.total_link_crossings / self.n_routes if self.n_routes else 0.0
+
+    def rows(self) -> list[tuple[str, str]]:
+        return [
+            ("routes", str(self.n_routes)),
+            ("links used", str(self.n_links_used)),
+            ("mean path length", f"{self.mean_path_length:.2f} hops"),
+            ("max link load", str(self.max_load)),
+            ("hot-spot ratio (max/mean)", f"{self.hotspot_ratio:.1f}x"),
+            ("p99 link load", f"{self.p99_load:.1f}"),
+            ("X/Y/Z crossings", "/".join(map(str, self.axis_crossings))),
+        ]
+
+
+def census_link_loads(
+    torus: Torus3D,
+    pairs: list[tuple[Coord, Coord]],
+) -> CongestionReport:
+    """Count route crossings per directed link and summarize."""
+    if not pairs:
+        raise ValueError("need at least one routed pair")
+    loads = torus.link_loads(pairs)
+    values = np.array(list(loads.values()))
+    axis = [0, 0, 0]
+    for (_tag, _x, _y, _z, link_axis, _sign), count in loads.items():
+        axis[link_axis] += count
+    return CongestionReport(
+        n_routes=len(pairs),
+        n_links_used=len(loads),
+        total_link_crossings=int(values.sum()),
+        max_load=int(values.max()),
+        mean_load=float(values.mean()),
+        p99_load=float(np.percentile(values, 99)),
+        axis_crossings=(axis[0], axis[1], axis[2]),
+    )
+
+
+def route_census_for_policy(
+    torus: Torus3D,
+    policy: RoutingPolicy,
+    clients: list[Coord],
+    dst_leaves: list[int],
+) -> CongestionReport:
+    """Census the client→router torus traffic a routing policy induces.
+
+    ``dst_leaves[i]`` is the destination leaf of client ``i``'s I/O (the
+    leaf of the OSS serving its target OST).
+    """
+    if len(clients) != len(dst_leaves):
+        raise ValueError("clients and dst_leaves must align")
+    pairs = []
+    for client, leaf in zip(clients, dst_leaves):
+        router = policy.select_router(client, leaf)
+        if router.coord != client:
+            pairs.append((client, router.coord))
+    if not pairs:
+        raise ValueError("no non-trivial routes to census")
+    return census_link_loads(torus, pairs)

@@ -1,0 +1,97 @@
+"""Lesson 2 quantified: peak sequential performance is the wrong proxy.
+
+"Peak read/write performance cannot be used as a simple proxy for
+designing a scratch file system, because it may result in either
+over-provisioning the resources or suboptimal performance due to a mix of
+I/O patterns.  Good random performance translates to better operational
+conditions across a wide variety of application workloads."
+
+The machinery: under a workload whose *byte volume* is ``p`` random and
+``1-p`` sequential, a drive's delivered bandwidth is the harmonic
+composition of its two rates — time adds, bytes don't::
+
+    delivered(p) = 1 / (p / bw_random + (1 - p) / bw_seq)
+
+Two drive options with identical datasheet sequential ratings but
+different random behaviour therefore score identically under a
+peak-sequential RFP and very differently under the real 60/40 mix —
+the procurement trap Lesson 2 warns about and the reason the Spider II
+SOW carried an explicit 240 GB/s random floor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.hardware.disk import DiskSpec
+from repro.units import MiB
+
+__all__ = ["mixed_delivered_bandwidth", "DesignProxyComparison", "compare_disk_options"]
+
+
+def mixed_delivered_bandwidth(
+    spec: DiskSpec,
+    random_fraction: float,
+    request_size: int = 1 * MiB,
+) -> float:
+    """Per-drive delivered bandwidth under a p-random / (1-p)-sequential
+    byte mix (harmonic composition of the two service rates)."""
+    if not (0 <= random_fraction <= 1):
+        raise ValueError("random_fraction must be in [0, 1]")
+    bw_seq = spec.bandwidth(request_size, sequential=True)
+    bw_rnd = spec.bandwidth(request_size, sequential=False)
+    if random_fraction == 0:
+        return bw_seq
+    if random_fraction == 1:
+        return bw_rnd
+    return 1.0 / (random_fraction / bw_rnd + (1 - random_fraction) / bw_seq)
+
+
+@dataclass(frozen=True)
+class DesignProxyComparison:
+    """Two drive options under the sequential proxy vs the real mix."""
+
+    name_a: str
+    name_b: str
+    seq_ratio: float  # B/A under the peak-sequential proxy
+    mixed_ratio: float  # B/A under the operational mix
+    random_fraction: float
+
+    @property
+    def proxy_blind(self) -> bool:
+        """True when the sequential proxy cannot distinguish the options
+        (within 1%) even though the mix can."""
+        return abs(self.seq_ratio - 1.0) < 0.01 and abs(self.mixed_ratio - 1.0) >= 0.05
+
+    def rows(self) -> list[tuple[str, str]]:
+        return [
+            ("options", f"{self.name_a} vs {self.name_b}"),
+            ("sequential proxy says", f"B/A = {self.seq_ratio:.2f}"),
+            (f"{self.random_fraction:.0%}-random mix says",
+             f"B/A = {self.mixed_ratio:.2f}"),
+            ("proxy blind to the difference?", str(self.proxy_blind)),
+        ]
+
+
+def compare_disk_options(
+    option_a: DiskSpec,
+    option_b: DiskSpec,
+    *,
+    random_fraction: float = 0.4,
+    request_size: int = 1 * MiB,
+) -> DesignProxyComparison:
+    """Score two drive options both ways: peak-sequential proxy vs the
+    operational mix (default 40% random bytes, the Spider I read share)."""
+    seq_a = option_a.bandwidth(request_size, sequential=True)
+    seq_b = option_b.bandwidth(request_size, sequential=True)
+    mix_a = mixed_delivered_bandwidth(option_a, random_fraction, request_size)
+    mix_b = mixed_delivered_bandwidth(option_b, random_fraction, request_size)
+    return DesignProxyComparison(
+        name_a=option_a.name,
+        name_b=option_b.name,
+        seq_ratio=seq_b / seq_a,
+        mixed_ratio=mix_b / mix_a,
+        random_fraction=random_fraction,
+    )

@@ -1,0 +1,235 @@
+"""Mixed-workload latency interference: §II's contention claim, measured.
+
+"In some cases, competing workloads can significantly impact application
+runtime of simulations or the responsiveness of interactive analysis
+workloads.  Write and read streams from different computing systems often
+interfere because of the difference in data production/consumption rates."
+
+The experiment: an interactive analytics stream runs against one OST-class
+service station (a) alone on a machine-exclusive scratch, and (b) sharing
+the data-centric file system with a checkpointing application.  Queueing
+replay yields read-latency percentiles for both; the *interference factor*
+is the ratio.  The same harness also measures the checkpoint's cost: how
+much longer a burst takes to drain when analytics competes.
+
+This is the quantitative backbone of Lesson 1's tradeoff ("ease of data
+access" vs "the ability to isolate compute platforms from competing I/O
+workloads").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+from repro.sim.rng import RngStreams
+from repro.units import GB
+from repro.workloads.analytics import AnalyticsApp, analytics_trace
+from repro.workloads.checkpoint import CheckpointApp, checkpoint_trace
+from repro.workloads.model import RequestTrace, merge_traces
+from repro.workloads.replay import ReplayResult, replay_trace
+
+__all__ = ["InterferenceReport", "measure_interference",
+           "PlacementLatencyReport", "measure_placement_latency"]
+
+
+@dataclass(frozen=True)
+class InterferenceReport:
+    """Latency outcomes with and without the competing stream."""
+
+    alone_read_p50: float
+    alone_read_p99: float
+    mixed_read_p50: float
+    mixed_read_p99: float
+    alone_mean_read: float
+    mixed_mean_read: float
+    burst_drain_alone: float  # seconds to drain one checkpoint burst
+    burst_drain_mixed: float
+
+    @property
+    def p99_inflation(self) -> float:
+        return self.mixed_read_p99 / self.alone_read_p99
+
+    @property
+    def mean_inflation(self) -> float:
+        return self.mixed_mean_read / self.alone_mean_read
+
+    @property
+    def checkpoint_slowdown(self) -> float:
+        return self.burst_drain_mixed / self.burst_drain_alone
+
+    def rows(self) -> list[tuple[str, str]]:
+        return [
+            ("analytics read p50, alone", f"{self.alone_read_p50 * 1e3:.1f} ms"),
+            ("analytics read p50, mixed", f"{self.mixed_read_p50 * 1e3:.1f} ms"),
+            ("analytics read p99, alone", f"{self.alone_read_p99 * 1e3:.1f} ms"),
+            ("analytics read p99, mixed", f"{self.mixed_read_p99 * 1e3:.1f} ms"),
+            ("p99 inflation", f"{self.p99_inflation:.1f}x"),
+            ("mean read inflation", f"{self.mean_inflation:.1f}x"),
+            ("checkpoint burst drain, alone", f"{self.burst_drain_alone:.1f} s"),
+            ("checkpoint burst drain, mixed", f"{self.burst_drain_mixed:.1f} s"),
+            ("checkpoint slowdown", f"{self.checkpoint_slowdown:.2f}x"),
+        ]
+
+
+def _burst_drain_time(result: ReplayResult, trace: RequestTrace,
+                      source: int, window: float) -> float:
+    """Wall-clock of the *first* checkpoint burst through the station:
+    last completion minus first arrival among the source's requests that
+    arrive within ``window`` seconds of its first request."""
+    mask = trace.source == source
+    if not mask.any():
+        raise ValueError(f"no requests from source {source}")
+    first = float(trace.times[mask].min())
+    burst = mask & (trace.times < first + window)
+    completions = trace.times[burst] + result.latencies[burst]
+    return float(completions.max() - first)
+
+
+def measure_interference(
+    *,
+    duration: float = 1200.0,
+    station_bandwidth: float = 1.0 * GB,
+    n_servers: int = 4,
+    seed: int = 5,
+    analytics: AnalyticsApp | None = None,
+    checkpoint: CheckpointApp | None = None,
+) -> InterferenceReport:
+    """Run the alone-vs-mixed comparison on one OST-class station.
+
+    Defaults: a 1 GB/s station (one OST's fs-level rate) with 4 service
+    threads; a 250-request/s analytics session; a checkpoint app whose
+    bursts momentarily demand ~3x the station's bandwidth — the "different
+    data production/consumption rates" of §II.
+    """
+    rng = RngStreams(seed)
+    analytics = analytics or AnalyticsApp(request_rate=250.0)
+    checkpoint = checkpoint or CheckpointApp(
+        n_procs=64, bytes_per_proc=48 * 1024 * 1024,
+        interval=300.0, aggregate_bandwidth=3 * station_bandwidth)
+
+    ana = analytics_trace(analytics, duration, rng.get("ana"))
+    ckpt = checkpoint_trace(checkpoint, duration, rng.get("ckpt"),
+                            start_offset=60.0)
+
+    # Alone: each stream has the station to itself (machine-exclusive).
+    ana_alone = replay_trace(ana, bandwidth=station_bandwidth,
+                             n_servers=n_servers)
+    ckpt_alone = replay_trace(ckpt, bandwidth=station_bandwidth,
+                              n_servers=n_servers)
+
+    # Mixed: the streams interleave on the shared station (data-centric).
+    mixed = merge_traces([ana, ckpt], label="mixed")
+    mixed_result = replay_trace(mixed, bandwidth=station_bandwidth,
+                                n_servers=n_servers)
+
+    # Source ids assigned by merge order: 0 = analytics, 1 = checkpoint.
+    return InterferenceReport(
+        alone_read_p50=ana_alone.percentile(50, reads_only=True),
+        alone_read_p99=ana_alone.percentile(99, reads_only=True),
+        mixed_read_p50=mixed_result.percentile(50, reads_only=True, source=0),
+        mixed_read_p99=mixed_result.percentile(99, reads_only=True, source=0),
+        alone_mean_read=ana_alone.mean(reads_only=True),
+        mixed_mean_read=mixed_result.mean(reads_only=True, source=0),
+        burst_drain_alone=_burst_drain_time(
+            ckpt_alone, ckpt, source=0, window=checkpoint.interval / 2),
+        burst_drain_mixed=_burst_drain_time(
+            mixed_result, mixed, source=1, window=checkpoint.interval / 2),
+    )
+
+
+@dataclass(frozen=True)
+class PlacementLatencyReport:
+    """Read-latency percentiles when the same mixed load lands on a
+    namespace concentrated vs spread — the latency side of §VI-A."""
+
+    n_stations: int
+    concentrated_p99: float
+    spread_p99: float
+
+    @property
+    def spread_gain(self) -> float:
+        if self.spread_p99 == 0:
+            return float("inf")
+        return self.concentrated_p99 / self.spread_p99
+
+    def rows(self) -> list[tuple[str, str]]:
+        return [
+            ("OST-class stations", str(self.n_stations)),
+            ("read p99, checkpoint concentrated",
+             f"{self.concentrated_p99 * 1e3:.1f} ms"),
+            ("read p99, checkpoint spread",
+             f"{self.spread_p99 * 1e3:.1f} ms"),
+            ("spread placement gain", f"{self.spread_gain:.1f}x"),
+        ]
+
+
+def measure_placement_latency(
+    *,
+    n_stations: int = 8,
+    duration: float = 900.0,
+    station_bandwidth: float = 1.0 * GB,
+    n_servers: int = 4,
+    seed: int = 9,
+) -> PlacementLatencyReport:
+    """Same analytics + checkpoint mix over ``n_stations`` OST-class
+    stations, two checkpoint placements:
+
+    * **concentrated** — the whole burst lands on one station (a file
+      striped to a single OST, or default allocation under imbalance);
+    * **spread** — the burst round-robins across all stations (wide
+      striping / libPIO-balanced placement).
+
+    Analytics reads are uniform over stations in both cases.  The report
+    compares the analytics read p99 — showing that placement protects
+    *latency*, not only bandwidth.
+    """
+    if n_stations < 2:
+        raise ValueError("need at least two stations")
+    rng = RngStreams(seed)
+    analytics = AnalyticsApp(request_rate=120.0 * n_stations)
+    checkpoint = CheckpointApp(
+        n_procs=64, bytes_per_proc=48 * 1024 * 1024,
+        interval=300.0, aggregate_bandwidth=1.5 * station_bandwidth)
+
+    ana = analytics_trace(analytics, duration, rng.get("ana"))
+    ckpt = checkpoint_trace(checkpoint, duration, rng.get("ckpt"),
+                            start_offset=60.0)
+    gen = rng.get("placement")
+    ana_station = gen.integers(0, n_stations, size=len(ana))
+
+    def run(spread: bool) -> float:
+        if spread:
+            ckpt_station = np.arange(len(ckpt)) % n_stations
+        else:
+            ckpt_station = np.zeros(len(ckpt), dtype=int)
+        p99s = []
+        for s in range(n_stations):
+            pieces = []
+            a_mask = ana_station == s
+            if a_mask.any():
+                pieces.append(RequestTrace(
+                    ana.times[a_mask], ana.sizes[a_mask],
+                    ana.is_write[a_mask], label="ana"))
+            c_mask = ckpt_station == s
+            if c_mask.any():
+                pieces.append(RequestTrace(
+                    ckpt.times[c_mask], ckpt.sizes[c_mask],
+                    ckpt.is_write[c_mask], label="ckpt"))
+            if not pieces:
+                continue
+            merged = merge_traces(pieces, label=f"station{s}")
+            result = replay_trace(merged, bandwidth=station_bandwidth,
+                                  n_servers=n_servers)
+            reads = result.latencies[~result.is_write]
+            if len(reads):
+                p99s.append(float(np.percentile(reads, 99)))
+        return max(p99s)
+
+    return PlacementLatencyReport(
+        n_stations=n_stations,
+        concentrated_p99=run(spread=False),
+        spread_p99=run(spread=True),
+    )

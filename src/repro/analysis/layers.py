@@ -1,0 +1,124 @@
+"""Bottom-up layer profiling: Lesson 12 as an executable analysis.
+
+"Build the performance profile for each layer in the PFS, from the bottom
+up.  Quantify and minimize the lost performance in traversing from one
+layer to the next along the I/O path."
+
+:func:`profile_layers` walks a Spider system from raw disks to client
+stacks, computing each layer's aggregate ceiling and the loss introduced
+relative to the layer below.  The output is the table operators use to see
+*where* the machine loses its bandwidth (min-of-members RAID coupling,
+controller caps, software overhead, router head-room, ...).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.spider import SpiderSystem
+from repro.hardware.raid import group_bandwidths
+from repro.lustre.ost import fill_penalty
+from repro.units import fmt_bandwidth
+
+__all__ = ["LayerProfile", "profile_layers"]
+
+
+@dataclass(frozen=True)
+class Layer:
+    name: str
+    ceiling: float  # aggregate bytes/s achievable up to this layer
+    note: str = ""
+
+
+@dataclass
+class LayerProfile:
+    """The full bottom-up profile of one system."""
+
+    system_name: str
+    layers: list[Layer]
+
+    def loss_table(self) -> list[tuple[str, str, str]]:
+        """(layer, ceiling, loss vs previous layer) rows."""
+        rows = []
+        prev = None
+        for layer in self.layers:
+            if prev is None or prev == 0:
+                loss = "-"
+            else:
+                loss = f"{100 * (1 - layer.ceiling / prev):.1f}%"
+            rows.append((layer.name, fmt_bandwidth(layer.ceiling), loss))
+            prev = layer.ceiling
+        return rows
+
+    def ceiling_of(self, name: str) -> float:
+        for layer in self.layers:
+            if layer.name == name:
+                return layer.ceiling
+        raise KeyError(name)
+
+    @property
+    def end_to_end(self) -> float:
+        return self.layers[-1].ceiling
+
+
+def profile_layers(system: SpiderSystem, *, fs_level: bool = True) -> LayerProfile:
+    """Compute the layered ceilings of ``system``, bottom-up.
+
+    Each layer's ceiling is min(previous ceiling, this layer's aggregate
+    capability) — capacity cannot be created above a bottleneck.
+    """
+    spec = system.spec
+    disk_bw = system.population.bandwidths(fs_level=False)
+    layers: list[Layer] = []
+
+    raw_disks = float(disk_bw.sum())
+    layers.append(Layer("disks (streaming sum)", raw_disks,
+                        f"{spec.n_disks} drives"))
+
+    # RAID: n_data/width parity overhead plus min-of-members coupling.
+    group_bw = np.concatenate([
+        group_bandwidths(ssu.members_matrix, disk_bw, spec.ssu.raid.n_data)
+        for ssu in system.ssus
+    ])
+    raid = min(raw_disks, float(group_bw.sum()))
+    layers.append(Layer("RAID groups (8+2, min-of-members)", raid,
+                        f"{spec.n_osts} groups"))
+
+    couplets = min(raid, float(system.couplet_caps(fs_level=False).sum()))
+    layers.append(Layer("controller couplets (block)", couplets,
+                        f"{spec.n_ssus} couplets"))
+
+    if fs_level:
+        fs_couplets = min(couplets, float(system.couplet_caps(fs_level=True).sum()))
+        layers.append(Layer("controller couplets (fs path)", fs_couplets, ""))
+        eff = np.array([o.spec.obdfilter_efficiency for o in system.osts])
+        fills = np.array([o.fill_fraction for o in system.osts])
+        ost_level = float(np.minimum(
+            group_bw * eff * fill_penalty(fills),
+            np.repeat(system.couplet_caps(fs_level=True) / spec.ssu.n_groups,
+                      spec.ssu.n_groups),
+        ).sum())
+        ost_level = min(fs_couplets, ost_level)
+        layers.append(Layer("OSTs (obdfilter + fill penalty)", ost_level,
+                            "software overhead"))
+        base = ost_level
+    else:
+        base = couplets
+
+    oss_total = min(base, spec.n_osses * spec.oss.node_bw_cap)
+    layers.append(Layer("OSS nodes", oss_total, f"{spec.n_osses} servers"))
+
+    san = min(oss_total,
+              spec.n_osses * min(spec.fabric.port_bw, spec.oss.node_bw_cap))
+    layers.append(Layer("SAN host ports", san, ""))
+
+    routers = min(san, len(system.routers) * spec.router_bw_cap)
+    layers.append(Layer("LNET routers", routers, f"{len(system.routers)} routers"))
+
+    clients = min(routers, spec.n_compute_nodes * spec.client_bw_cap)
+    layers.append(Layer("client stacks", clients,
+                        f"{spec.n_compute_nodes} nodes"))
+
+    return LayerProfile(system_name=spec.name, layers=layers)

@@ -1,0 +1,109 @@
+"""Metadata latency under load: what a `du` storm does to interactive
+users (Lesson 19, quantified).
+
+"du imposes a heavy load on the Lustre MDS when run at this scale."
+
+The model: the MDS is a FIFO service station whose per-op service times
+come from :class:`~repro.lustre.mds.MdsSpec`.  An interactive population
+issues metadata ops at a steady rate; a `du` over N files injects N
+back-to-back stats.  Queueing replay yields the interactive ops' latency
+before/during the storm — the responsiveness loss LustreDU exists to
+avoid (its server-side sweep never enters this queue).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.lustre.mds import MdsSpec
+from repro.workloads.replay import replay_fifo
+
+__all__ = ["DuStormReport", "measure_du_storm"]
+
+
+@dataclass(frozen=True)
+class DuStormReport:
+    """Interactive metadata latency, quiet vs during a du storm."""
+
+    quiet_p50: float
+    quiet_p99: float
+    storm_p50: float
+    storm_p99: float
+    storm_files: int
+    storm_duration: float  # how long the du takes to drain
+
+    @property
+    def p99_inflation(self) -> float:
+        return self.storm_p99 / self.quiet_p99 if self.quiet_p99 else 0.0
+
+    def rows(self) -> list[tuple[str, str]]:
+        return [
+            ("interactive p50, quiet", f"{self.quiet_p50 * 1e3:.2f} ms"),
+            ("interactive p99, quiet", f"{self.quiet_p99 * 1e3:.2f} ms"),
+            ("interactive p50, du storm", f"{self.storm_p50 * 1e3:.2f} ms"),
+            ("interactive p99, du storm", f"{self.storm_p99 * 1e3:.2f} ms"),
+            ("p99 inflation", f"{self.p99_inflation:.0f}x"),
+            ("du files", f"{self.storm_files:,}"),
+            ("du drain time", f"{self.storm_duration:.1f} s"),
+        ]
+
+
+def measure_du_storm(
+    *,
+    spec: MdsSpec | None = None,
+    interactive_rate: float = 2_000.0,  # ops/s from the user population
+    duration: float = 120.0,
+    storm_files: int = 500_000,
+    storm_start: float = 30.0,
+    mean_stripe_count: float = 4.0,
+    seed: int = 0,
+) -> DuStormReport:
+    """Replay interactive metadata ops with and without a du storm."""
+    if interactive_rate <= 0 or duration <= 0 or storm_files <= 0:
+        raise ValueError("rates, duration, and storm size must be positive")
+    spec = spec or MdsSpec()
+    rng = np.random.default_rng(seed)
+
+    stat_service = (1.0 + spec.stat_ost_rpc_cost * mean_stripe_count) / spec.stat_rate
+
+    # Interactive population: Poisson arrivals, stat-class ops.
+    n_interactive = rng.poisson(interactive_rate * duration)
+    t_interactive = np.sort(rng.uniform(0.0, duration, n_interactive))
+
+    def replay(with_storm: bool) -> tuple[np.ndarray, float]:
+        if with_storm:
+            # The du client streams stats as fast as the MDS answers; model
+            # as a closed loop: the storm's ops arrive back-to-back from
+            # storm_start (FIFO order preserves the interleaving).
+            t_storm = storm_start + np.arange(storm_files) * stat_service
+            times = np.concatenate([t_interactive, t_storm])
+            kind = np.concatenate([
+                np.zeros(n_interactive, dtype=bool),
+                np.ones(storm_files, dtype=bool),
+            ])
+            order = np.argsort(times, kind="stable")
+            times, kind = times[order], kind[order]
+        else:
+            times, kind = t_interactive, np.zeros(n_interactive, dtype=bool)
+        services = np.full(len(times), stat_service)
+        _waits, latencies = replay_fifo(times, services, n_servers=1)
+        interactive_lat = latencies[~kind]
+        if with_storm:
+            storm_done = (times[kind] + latencies[kind]).max()
+            drain = float(storm_done - storm_start)
+        else:
+            drain = 0.0
+        return interactive_lat, drain
+
+    quiet, _ = replay(with_storm=False)
+    stormy, drain = replay(with_storm=True)
+    return DuStormReport(
+        quiet_p50=float(np.percentile(quiet, 50)),
+        quiet_p99=float(np.percentile(quiet, 99)),
+        storm_p50=float(np.percentile(stormy, 50)),
+        storm_p99=float(np.percentile(stormy, 99)),
+        storm_files=storm_files,
+        storm_duration=drain,
+    )

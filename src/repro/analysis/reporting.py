@@ -1,0 +1,65 @@
+"""ASCII table/series rendering for the experiment harness.
+
+Every benchmark in ``benchmarks/`` prints its result through these helpers
+so EXPERIMENTS.md and the captured benchmark output share one format.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["render_table", "render_series", "render_kv"]
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    *,
+    title: str = "",
+) -> str:
+    """A monospace table with per-column width fitting."""
+    cells = [[str(h) for h in headers]] + [[str(c) for c in row] for row in rows]
+    widths = [max(len(r[i]) for r in cells) for i in range(len(headers))]
+
+    def fmt(row: Sequence[str]) -> str:
+        return " | ".join(c.ljust(w) for c, w in zip(row, widths))
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(fmt(cells[0]))
+    lines.append("-+-".join("-" * w for w in widths))
+    lines.extend(fmt(r) for r in cells[1:])
+    return "\n".join(lines)
+
+
+def render_series(
+    x_label: str,
+    y_label: str,
+    points: Sequence[tuple[object, float]],
+    *,
+    title: str = "",
+    bar_width: int = 40,
+    fmt: str = "{:.1f}",
+) -> str:
+    """A figure-style series: values plus a proportional ASCII bar."""
+    if not points:
+        return title or "(empty series)"
+    peak = max(abs(v) for _x, v in points) or 1.0
+    x_w = max(len(x_label), max(len(str(x)) for x, _ in points))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"{x_label.ljust(x_w)}  {y_label}")
+    for x, v in points:
+        bar = "#" * max(0, round(bar_width * v / peak))
+        lines.append(f"{str(x).ljust(x_w)}  {fmt.format(v):>12} {bar}")
+    return "\n".join(lines)
+
+
+def render_kv(pairs: Sequence[tuple[str, object]], *, title: str = "") -> str:
+    """Key/value block for headline-number experiments."""
+    width = max(len(k) for k, _v in pairs) if pairs else 0
+    lines = [title] if title else []
+    lines += [f"{k.ljust(width)} : {v}" for k, v in pairs]
+    return "\n".join(lines)

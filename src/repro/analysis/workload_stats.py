@@ -1,0 +1,117 @@
+"""Workload characterization: the Spider I study of §II, as code.
+
+Given a server-side request trace, reproduce the quantities the paper
+reports and used to optimize the Spider metadata servers:
+
+* request mix — "a mix of 60% write and 40% read I/O requests";
+* size bimodality — "a majority of I/O requests are either small (under
+  16 KB) or large (multiples of 1 MB)";
+* tail behaviour — "the inter-arrival time and idle time distributions
+  both follow a long-tail distribution that can be modeled as a Pareto
+  distribution", checked here with a Hill tail-index estimate and a
+  tail-heaviness comparison against an exponential fit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.units import MiB
+from repro.workloads.model import RequestTrace, SMALL_REQUEST_CEILING
+
+__all__ = ["WorkloadReport", "characterize", "hill_tail_index", "tail_heavier_than_exponential"]
+
+
+def hill_tail_index(samples: np.ndarray, tail_fraction: float = 0.05) -> float:
+    """Hill estimator of the Pareto tail index α from the upper tail.
+
+    Uses the largest ``tail_fraction`` of the samples.  For Pareto(α) data
+    the estimate converges to α; for light-tailed (e.g. exponential) data
+    it drifts upward with sample size.
+    """
+    samples = np.asarray(samples, dtype=float)
+    samples = samples[samples > 0]
+    if len(samples) < 20:
+        raise ValueError("need at least 20 positive samples for a tail fit")
+    if not (0 < tail_fraction <= 0.5):
+        raise ValueError("tail_fraction must be in (0, 0.5]")
+    k = max(10, int(len(samples) * tail_fraction))
+    tail = np.sort(samples)[-k:]
+    x_k = tail[0]
+    logs = np.log(tail / x_k)
+    mean_log = logs[1:].mean() if len(logs) > 1 else logs.mean()
+    if mean_log <= 0:
+        return float("inf")
+    return float(1.0 / mean_log)
+
+
+def tail_heavier_than_exponential(samples: np.ndarray, quantile: float = 0.999) -> bool:
+    """True when the empirical upper tail exceeds the exponential fit.
+
+    Compares the empirical ``quantile`` against the same quantile of an
+    exponential with the sample mean — a simple long-tail detector that
+    distinguishes Pareto-like gaps from Poisson arrivals.
+    """
+    samples = np.asarray(samples, dtype=float)
+    samples = samples[samples > 0]
+    if len(samples) < 100:
+        raise ValueError("need at least 100 samples")
+    empirical = float(np.quantile(samples, quantile))
+    exponential = float(-np.mean(samples) * np.log(1 - quantile))
+    return empirical > exponential
+
+
+@dataclass(frozen=True)
+class WorkloadReport:
+    """The §II characterization summary for one trace."""
+
+    n_requests: int
+    duration: float
+    write_fraction_requests: float
+    write_fraction_bytes: float
+    small_fraction: float
+    mib_multiple_fraction: float
+    bimodal_fraction: float  # small OR exact-MiB-multiple
+    interarrival_alpha: float
+    idle_alpha: float
+    interarrival_heavy_tailed: bool
+
+    def rows(self) -> list[tuple[str, str]]:
+        """(metric, value) rows for the E3 report."""
+        return [
+            ("requests", f"{self.n_requests}"),
+            ("duration", f"{self.duration:.0f} s"),
+            ("write fraction (requests)", f"{self.write_fraction_requests:.2f}"),
+            ("write fraction (bytes)", f"{self.write_fraction_bytes:.2f}"),
+            ("small (<16 KB) fraction", f"{self.small_fraction:.2f}"),
+            ("1 MiB-multiple fraction", f"{self.mib_multiple_fraction:.2f}"),
+            ("bimodal coverage", f"{self.bimodal_fraction:.2f}"),
+            ("inter-arrival Hill α", f"{self.interarrival_alpha:.2f}"),
+            ("idle-time Hill α", f"{self.idle_alpha:.2f}"),
+            ("heavier than exponential", str(self.interarrival_heavy_tailed)),
+        ]
+
+
+def characterize(trace: RequestTrace, *, idle_window: float = 0.01) -> WorkloadReport:
+    """Run the full Spider I-style characterization on ``trace``."""
+    if len(trace) < 200:
+        raise ValueError("characterization needs a trace of at least 200 requests")
+    sizes = trace.sizes
+    small = sizes < SMALL_REQUEST_CEILING
+    mib_mult = (sizes % MiB == 0) & (sizes > 0)
+    gaps = trace.interarrival_times()
+    idles = trace.idle_times(idle_window)
+    return WorkloadReport(
+        n_requests=len(trace),
+        duration=trace.duration,
+        write_fraction_requests=trace.write_fraction_requests(),
+        write_fraction_bytes=trace.write_fraction_bytes(),
+        small_fraction=float(small.mean()),
+        mib_multiple_fraction=float(mib_mult.mean()),
+        bimodal_fraction=float((small | mib_mult).mean()),
+        interarrival_alpha=hill_tail_index(gaps),
+        idle_alpha=hill_tail_index(idles) if len(idles) >= 20 else float("nan"),
+        interarrival_heavy_tailed=tail_heavier_than_exponential(gaps),
+    )

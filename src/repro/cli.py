@@ -1,0 +1,287 @@
+"""``spider-repro`` — command-line front end for the reproduction.
+
+Subcommands map one-to-one onto the paper's activities::
+
+    spider-repro inventory              # Figure 1 census + hero numbers
+    spider-repro layers                 # Lesson 12 bottom-up profile
+    spider-repro ior -n 6048 --ppn 16   # a Figure 3/4-style IOR run
+    spider-repro scaling                # the full Figure 4 series
+    spider-repro culling                # the §V-A culling campaign
+    spider-repro incident --enclosures 5
+    spider-repro placement              # the Figure 2 cabinet map
+    spider-repro workload               # the §II characterization
+    spider-repro interference           # the §II latency-contention study
+    spider-repro reliability --years 20 # failure/rebuild exposure
+
+Every subcommand prints the same rendered report its benchmark archives.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.units import GB, KiB, fmt_bandwidth, fmt_size
+
+__all__ = ["main", "build_parser"]
+
+
+def _cmd_inventory(args) -> int:
+    from repro.analysis.reporting import render_kv
+    from repro.core.spider import build_spider1, build_spider2
+
+    build = build_spider1 if args.system == "spider1" else build_spider2
+    system = build(seed=args.seed, build_clients=False)
+    inv = system.inventory()
+    print(render_kv([
+        ("system", inv["system"]),
+        ("SSUs", inv["ssus"]),
+        ("disks", inv["disks"]),
+        ("OSTs", inv["osts"]),
+        ("OSS nodes", inv["osses"]),
+        ("I/O routers", inv["routers"]),
+        ("namespaces", inv["namespaces"]),
+        ("capacity", fmt_size(inv["capacity_bytes"])),
+        ("block-level aggregate",
+         fmt_bandwidth(system.aggregate_bandwidth(fs_level=False))),
+        ("fs-level aggregate",
+         fmt_bandwidth(system.aggregate_bandwidth(fs_level=True))),
+    ], title=f"{inv['system']} inventory"))
+    return 0
+
+
+def _cmd_layers(args) -> int:
+    from repro.analysis.layers import profile_layers
+    from repro.analysis.reporting import render_table
+    from repro.core.spider import build_spider2
+
+    system = build_spider2(seed=args.seed, build_clients=False)
+    profile = profile_layers(system, fs_level=not args.block)
+    print(render_table(["layer", "ceiling", "loss vs below"],
+                       profile.loss_table(),
+                       title="Bottom-up layer profile (Lesson 12)"))
+    return 0
+
+
+def _cmd_ior(args) -> int:
+    from repro.core.spider import build_spider2
+    from repro.iobench.ior import IorRun
+
+    system = build_spider2(seed=args.seed)
+    if args.upgraded:
+        system.upgrade_controllers()
+    run = IorRun(system, n_processes=args.n_processes, ppn=args.ppn,
+                 transfer_size=args.transfer_size * KiB,
+                 placement=args.placement)
+    result = run.run()
+    print(f"IOR write: {result.n_processes} processes, "
+          f"{args.transfer_size} KiB transfers, {result.placement} placement")
+    print(f"  aggregate : {fmt_bandwidth(result.aggregate_bw)}")
+    print(f"  per process: {fmt_bandwidth(result.per_process_bw)}")
+    print(f"  data moved : {fmt_size(result.data_moved_bytes)} "
+          f"in {result.stonewall_seconds:.0f} s (stonewall)")
+    return 0
+
+
+def _cmd_scaling(args) -> int:
+    from repro.analysis.reporting import render_series
+    from repro.core.spider import build_spider2
+    from repro.iobench.ior import client_scaling
+
+    system = build_spider2(seed=args.seed)
+    if args.upgraded:
+        system.upgrade_controllers()
+    results = client_scaling(system, ppn=args.ppn)
+    print(render_series(
+        "processes", "write GB/s",
+        [(r.n_processes, r.aggregate_bw / GB) for r in results],
+        title="IOR client scaling (cf. Figure 4)"))
+    return 0
+
+
+def _cmd_culling(args) -> int:
+    from repro.analysis.reporting import render_table
+    from repro.core.spider import build_spider2
+    from repro.ops.culling import CullingCampaign
+
+    system = build_spider2(seed=args.seed, build_clients=False)
+    campaign = CullingCampaign(system, threshold=args.threshold)
+    result = campaign.run_full_campaign()
+    rows = [
+        (r.level, r.round_index, r.replaced,
+         f"{r.metrics_after.worst_intra_ssu_spread:.1%}",
+         f"{r.metrics_after.global_spread:.1%}")
+        for r in result.rounds
+    ]
+    print(render_table(
+        ["level", "round", "replaced", "intra-SSU after", "global after"],
+        rows, title="Culling campaign (§V-A)"))
+    print(f"\nblock-level: {result.replaced_at('block')} drives; "
+          f"fs-level: {result.replaced_at('fs')} drives "
+          f"(paper: ~1,500 + ~500)")
+    return 0
+
+
+def _cmd_incident(args) -> int:
+    from repro.ops.incidents import replay_2010_incident
+
+    outcome = replay_2010_incident(args.enclosures)
+    print(f"2010 incident replay, {outcome.n_enclosures}-enclosure design:")
+    print(f"  worst effective erasures : {outcome.max_effective_erasures}")
+    if outcome.journal_replay_failed:
+        print(f"  journal replay           : FAILED")
+        print(f"  files lost               : {outcome.files_lost:,}")
+        print(f"  recovered                : {outcome.recovery_rate:.0%} "
+              f"over {outcome.recovery_days:.1f} days")
+    else:
+        print(f"  journal replay           : tolerated, no data loss")
+    return 0
+
+
+def _cmd_placement(args) -> int:
+    from repro.core.placement import evenly_spaced_placement, render_cabinet_map
+
+    print(render_cabinet_map(evenly_spaced_placement()))
+    return 0
+
+
+def _cmd_workload(args) -> int:
+    from repro.analysis.reporting import render_table
+    from repro.analysis.workload_stats import characterize
+    from repro.workloads.mixed import spider_mixed_workload
+
+    _wl, trace = spider_mixed_workload(duration=args.hours * 3600.0,
+                                       seed=args.seed)
+    print(render_table(["metric", "value"], characterize(trace).rows(),
+                       title="Center-wide mixed workload (§II)"))
+    return 0
+
+
+def _cmd_interference(args) -> int:
+    from repro.analysis.interference import measure_interference
+    from repro.analysis.reporting import render_table
+
+    result = measure_interference(seed=args.seed)
+    print(render_table(["metric", "value"], result.rows(),
+                       title="Checkpoint-vs-analytics interference (§II)"))
+    return 0
+
+
+def _cmd_recovery(args) -> int:
+    from repro.analysis.reporting import render_table
+    from repro.lustre.recovery import simulate_recovery, simulate_router_failure
+
+    outcome = simulate_recovery(imperative=args.imperative,
+                                hp_journaling=args.hp_journaling,
+                                seed=args.seed)
+    print(render_table(["metric", "value"], outcome.rows(),
+                       title="OSS failover recovery (§IV-D)"))
+    router = simulate_router_failure(arn=args.imperative, seed=args.seed)
+    print()
+    print(render_table(["metric", "value"], router.rows(),
+                       title="Router failure"))
+    return 0
+
+
+def _cmd_suite(args) -> int:
+    from repro.analysis.reporting import render_table
+    from repro.core.spider import build_spider2
+    from repro.iobench.suite import AcceptanceSuite
+
+    system = build_spider2(seed=args.seed, build_clients=False)
+    report = AcceptanceSuite(system).run_ssu(args.ssu)
+    print(render_table(["metric", "value"], report.rows(),
+                       title=f"Acceptance suite, SSU {args.ssu} (§III-B)"))
+    return 0
+
+
+def _cmd_reliability(args) -> int:
+    from repro.analysis.reporting import render_table
+    from repro.ops.reliability import ReliabilitySim
+
+    sim = ReliabilitySim(declustered=args.declustered, seed=args.seed)
+    report = sim.run(years=args.years)
+    mode = "declustered" if args.declustered else "conventional"
+    print(render_table(["metric", "value"], report.rows(),
+                       title=f"Failure/rebuild exposure ({mode} rebuilds)"))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="spider-repro",
+        description=__doc__.split("\n\n")[0],
+    )
+    parser.add_argument("--seed", type=int, default=2014,
+                        help="simulation seed (default 2014)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("inventory", help="Figure 1 census + hero numbers")
+    p.add_argument("--system", choices=("spider1", "spider2"),
+                   default="spider2")
+    p.set_defaults(fn=_cmd_inventory)
+
+    p = sub.add_parser("layers", help="Lesson 12 bottom-up layer profile")
+    p.add_argument("--block", action="store_true",
+                   help="block-level profile (skip fs layers)")
+    p.set_defaults(fn=_cmd_layers)
+
+    p = sub.add_parser("ior", help="one IOR run")
+    p.add_argument("-n", "--n-processes", type=int, default=1008)
+    p.add_argument("--ppn", type=int, default=16)
+    p.add_argument("--transfer-size", type=int, default=1024,
+                   help="per-process transfer size in KiB (default 1024)")
+    p.add_argument("--placement", choices=("random", "optimal"),
+                   default="random")
+    p.add_argument("--upgraded", action="store_true",
+                   help="apply the 2014 controller upgrade first")
+    p.set_defaults(fn=_cmd_ior)
+
+    p = sub.add_parser("scaling", help="the Figure 4 series")
+    p.add_argument("--ppn", type=int, default=16)
+    p.add_argument("--upgraded", action="store_true")
+    p.set_defaults(fn=_cmd_scaling)
+
+    p = sub.add_parser("culling", help="the §V-A culling campaign")
+    p.add_argument("--threshold", type=float, default=0.05)
+    p.set_defaults(fn=_cmd_culling)
+
+    p = sub.add_parser("incident", help="the 2010 incident replay")
+    p.add_argument("--enclosures", type=int, choices=(5, 10), default=5)
+    p.set_defaults(fn=_cmd_incident)
+
+    p = sub.add_parser("placement", help="the Figure 2 cabinet map")
+    p.set_defaults(fn=_cmd_placement)
+
+    p = sub.add_parser("workload", help="the §II characterization")
+    p.add_argument("--hours", type=float, default=2.0)
+    p.set_defaults(fn=_cmd_workload)
+
+    p = sub.add_parser("interference", help="§II latency contention study")
+    p.set_defaults(fn=_cmd_interference)
+
+    p = sub.add_parser("recovery", help="failover + router-failure recovery")
+    p.add_argument("--imperative", action="store_true",
+                   help="imperative recovery / ARN enabled")
+    p.add_argument("--hp-journaling", action="store_true")
+    p.set_defaults(fn=_cmd_recovery)
+
+    p = sub.add_parser("suite", help="the §III-B acceptance suite on one SSU")
+    p.add_argument("--ssu", type=int, default=0)
+    p.set_defaults(fn=_cmd_suite)
+
+    p = sub.add_parser("reliability", help="failure/rebuild exposure")
+    p.add_argument("--years", type=float, default=10.0)
+    p.add_argument("--declustered", action="store_true")
+    p.set_defaults(fn=_cmd_reliability)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

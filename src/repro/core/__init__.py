@@ -1,0 +1,35 @@
+"""The paper's primary contribution, as code: the data-centric center-wide
+PFS design, its end-to-end I/O path, and the analyses built on them.
+
+* :mod:`repro.core.flow` — max-min fair flow solver over the capacitated
+  component DAG (the engine behind every bandwidth figure).
+* :mod:`repro.core.spider` — the Spider I / Spider II system builders with
+  paper-pinned calibration.
+* :mod:`repro.core.placement` — I/O router placement on the Titan torus
+  (Figure 2).
+* :mod:`repro.core.center` — the HPC-center model comparing data-centric vs
+  machine-exclusive PFS designs.
+"""
+
+from repro.core.flow import FlowNetwork, FlowResult
+from repro.core.spider import (
+    SpiderSystem,
+    build_spider1,
+    build_spider2,
+    SPIDER2,
+    SPIDER1,
+)
+from repro.core.center import HpcCenter, ComputeResource, PfsModel
+
+__all__ = [
+    "FlowNetwork",
+    "FlowResult",
+    "SpiderSystem",
+    "build_spider1",
+    "build_spider2",
+    "SPIDER1",
+    "SPIDER2",
+    "HpcCenter",
+    "ComputeResource",
+    "PfsModel",
+]

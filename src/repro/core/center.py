@@ -1,0 +1,246 @@
+"""The HPC-center model: data-centric vs machine-exclusive PFS designs.
+
+§II and §VII frame the strategic choice this paper defends: a single
+center-wide file system shared by every compute resource (data-centric)
+versus one scratch file system per machine (machine-exclusive).  The
+quantitative criteria in the text:
+
+* a machine-exclusive PFS "can easily exceed 10% of the total acquisition
+  cost" *per machine*, plus data-movement infrastructure;
+* scientific workflows pipeline data between resources, so exclusive
+  designs pay explicit inter-filesystem copies (and user friction);
+* capacity target: "no less than 30x the aggregate system memory of all
+  connected systems" (the CORAL rule) — 770 TB × 30 ≈ 23 PB < 32 PB ✓;
+* availability: a machine outage under the exclusive model takes its data
+  offline with it; under the data-centric model data stays reachable from
+  every other resource.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.units import PB, TB
+
+__all__ = ["PfsModel", "ComputeResource", "WorkflowStage", "Workflow", "HpcCenter"]
+
+
+class PfsModel(enum.Enum):
+    DATA_CENTRIC = "data-centric"
+    MACHINE_EXCLUSIVE = "machine-exclusive"
+
+
+@dataclass(frozen=True)
+class ComputeResource:
+    """One center resource (supercomputer, analysis cluster, viz wall...)."""
+
+    name: str
+    memory_bytes: int
+    acquisition_cost: float  # normalized units
+    kind: str = "simulation"
+    availability: float = 0.97  # fraction of time in service
+
+    def __post_init__(self) -> None:
+        if self.memory_bytes <= 0:
+            raise ValueError("memory must be positive")
+        if self.acquisition_cost < 0:
+            raise ValueError("cost must be non-negative")
+        if not (0 < self.availability <= 1):
+            raise ValueError("availability must be in (0, 1]")
+
+
+#: The OLCF fleet as of the paper: Titan plus analysis/visualization
+#: clusters, ~770 TB aggregate memory (§VII).
+OLCF_RESOURCES = (
+    ComputeResource("titan", memory_bytes=710 * TB, acquisition_cost=100.0,
+                    kind="simulation"),
+    ComputeResource("eos", memory_bytes=30 * TB, acquisition_cost=6.0,
+                    kind="simulation"),
+    ComputeResource("rhea", memory_bytes=20 * TB, acquisition_cost=3.0,
+                    kind="analysis"),
+    ComputeResource("everest", memory_bytes=5 * TB, acquisition_cost=1.5,
+                    kind="visualization"),
+    ComputeResource("dtn", memory_bytes=5 * TB, acquisition_cost=0.5,
+                    kind="transfer"),
+)
+
+
+@dataclass(frozen=True)
+class WorkflowStage:
+    """One stage of a science campaign: runs on a resource, reads its
+    input dataset, emits an output dataset."""
+
+    resource: str
+    input_bytes: int
+    output_bytes: int
+    label: str = ""
+
+
+@dataclass(frozen=True)
+class Workflow:
+    """A pipelined campaign (simulate → analyze → visualize, §I)."""
+
+    name: str
+    stages: tuple[WorkflowStage, ...]
+
+    def __post_init__(self) -> None:
+        if not self.stages:
+            raise ValueError("workflow needs at least one stage")
+
+
+def checkpoint_analysis_workflow(
+    checkpoint_bytes: int = 450 * TB, reduced_bytes: int = 40 * TB
+) -> Workflow:
+    """The canonical OLCF pipeline: a Titan simulation emits checkpoints,
+    an analysis cluster reduces them, a viz system renders the reduction."""
+    return Workflow(
+        name="sim-analyze-viz",
+        stages=(
+            WorkflowStage("titan", 0, checkpoint_bytes, "simulation"),
+            WorkflowStage("rhea", checkpoint_bytes, reduced_bytes, "analysis"),
+            WorkflowStage("everest", reduced_bytes, reduced_bytes // 20, "visualization"),
+        ),
+    )
+
+
+class HpcCenter:
+    """A center with a fleet of resources and a PFS architecture choice."""
+
+    #: fraction of a machine's acquisition cost consumed by its exclusive
+    #: scratch PFS ("can easily exceed 10%", §II)
+    EXCLUSIVE_PFS_COST_FRACTION = 0.10
+    #: extra infrastructure for inter-filesystem data movement (data-mover
+    #: cluster + interconnect), as a fraction of total machine cost
+    DATA_MOVER_COST_FRACTION = 0.015
+
+    def __init__(
+        self,
+        resources: tuple[ComputeResource, ...] = OLCF_RESOURCES,
+        *,
+        model: PfsModel = PfsModel.DATA_CENTRIC,
+        pfs_capacity_bytes: int = 32 * PB,
+        pfs_cost: float = 9.0,
+    ) -> None:
+        if not resources:
+            raise ValueError("a center needs resources")
+        self.resources = {r.name: r for r in resources}
+        if len(self.resources) != len(resources):
+            raise ValueError("duplicate resource names")
+        self.model = model
+        self.pfs_capacity_bytes = pfs_capacity_bytes
+        self.pfs_cost = pfs_cost
+
+    # -- capacity planning --------------------------------------------------------
+
+    @property
+    def aggregate_memory_bytes(self) -> int:
+        return sum(r.memory_bytes for r in self.resources.values())
+
+    def capacity_target_bytes(self, multiple: float = 30.0) -> int:
+        """The 30× aggregate-memory rule (§VII, used in DOE CORAL)."""
+        return int(self.aggregate_memory_bytes * multiple)
+
+    def meets_capacity_target(self, multiple: float = 30.0) -> bool:
+        return self.pfs_capacity_bytes >= self.capacity_target_bytes(multiple)
+
+    def headroom_for_new_resource(self, multiple: float = 30.0) -> int:
+        """Memory (bytes) a *new* machine could bring while the existing PFS
+        still meets the 30× rule — the 'minimal cost of adding a resource'
+        argument of §VII."""
+        spare = self.pfs_capacity_bytes - self.capacity_target_bytes(multiple)
+        return max(0, int(spare // multiple))
+
+    # -- cost ---------------------------------------------------------------------
+
+    def storage_cost(self) -> float:
+        """Total storage acquisition cost under the chosen model."""
+        total_machine_cost = sum(r.acquisition_cost for r in self.resources.values())
+        if self.model is PfsModel.DATA_CENTRIC:
+            return self.pfs_cost
+        exclusive = total_machine_cost * self.EXCLUSIVE_PFS_COST_FRACTION
+        movers = total_machine_cost * self.DATA_MOVER_COST_FRACTION
+        return exclusive + movers
+
+    def cost_of_adding_resource(self, resource: ComputeResource,
+                                multiple: float = 30.0) -> float:
+        """Marginal storage cost of connecting a new machine."""
+        if self.model is PfsModel.MACHINE_EXCLUSIVE:
+            return resource.acquisition_cost * self.EXCLUSIVE_PFS_COST_FRACTION
+        if resource.memory_bytes <= self.headroom_for_new_resource(multiple):
+            return 0.0  # rides on existing capacity margin
+        # Needs a capacity expansion proportional to the shortfall.
+        shortfall = resource.memory_bytes * multiple - (
+            self.pfs_capacity_bytes - self.capacity_target_bytes(multiple)
+        )
+        return self.pfs_cost * shortfall / self.pfs_capacity_bytes
+
+    # -- data movement ---------------------------------------------------------------
+
+    def workflow_movement_bytes(self, workflow: Workflow) -> int:
+        """Bytes copied *between file systems* to run the workflow.
+
+        Data-centric: zero — every stage reads the previous stage's output
+        in place.  Machine-exclusive: every cross-resource handoff copies
+        the dataset from one scratch PFS to the next.
+        """
+        if self.model is PfsModel.DATA_CENTRIC:
+            return 0
+        moved = 0
+        prev_resource: str | None = None
+        for stage in workflow.stages:
+            if stage.resource not in self.resources:
+                raise KeyError(f"unknown resource {stage.resource!r}")
+            if prev_resource is not None and stage.resource != prev_resource:
+                moved += stage.input_bytes
+            prev_resource = stage.resource
+        return moved
+
+    def workflow_staging_seconds(
+        self, workflow: Workflow, *, dtn_bandwidth: float = 10 * 10**9
+    ) -> float:
+        """Wall-clock spent copying between file systems for the workflow.
+
+        ``dtn_bandwidth`` is the data-mover cluster's sustained rate
+        (bytes/s).  Data-centric: zero.  Machine-exclusive: the §II cost —
+        every cross-resource handoff stages its input through the movers
+        before the next stage can start, serializing with the pipeline.
+        """
+        if dtn_bandwidth <= 0:
+            raise ValueError("dtn_bandwidth must be positive")
+        return self.workflow_movement_bytes(workflow) / dtn_bandwidth
+
+    def workflow_makespan(
+        self,
+        workflow: Workflow,
+        *,
+        stage_seconds: dict[str, float] | None = None,
+        default_stage_seconds: float = 3600.0,
+        dtn_bandwidth: float = 10 * 10**9,
+    ) -> float:
+        """End-to-end campaign wall-clock: compute stages plus (for the
+        machine-exclusive model) the staging copies between them."""
+        stage_seconds = stage_seconds or {}
+        compute = sum(
+            stage_seconds.get(s.label or s.resource, default_stage_seconds)
+            for s in workflow.stages
+        )
+        return compute + self.workflow_staging_seconds(
+            workflow, dtn_bandwidth=dtn_bandwidth)
+
+    def data_availability(self, resource_down: str | None = None) -> float:
+        """Fraction of the center's datasets reachable right now.
+
+        Data-centric: the PFS serves all resources; a compute outage does
+        not hide data.  Machine-exclusive: data on a down machine's scratch
+        is unreachable (§II, "Improve data availability and reliability").
+        """
+        if self.model is PfsModel.DATA_CENTRIC:
+            return 1.0
+        if resource_down is None:
+            return 1.0
+        if resource_down not in self.resources:
+            raise KeyError(f"unknown resource {resource_down!r}")
+        mem = self.aggregate_memory_bytes
+        # Datasets distribute roughly with machine scale (memory proxy).
+        return 1.0 - self.resources[resource_down].memory_bytes / mem

@@ -1,0 +1,260 @@
+"""Max-min fair flow allocation over a capacitated component DAG.
+
+Why flow-level, not packet-level
+--------------------------------
+The paper's tuning methodology (Lesson 12) reasons about the I/O path as a
+stack of capacitated layers — disks, RAID groups, controller couplets,
+OSSes, InfiniBand links, LNET routers, Gemini links, client NICs — and asks
+at each layer "what bandwidth should survive to here?".  Steady-state
+bandwidth under that world-view is exactly a *bandwidth-sharing* problem:
+every I/O stream (flow) crosses a sequence of components, each component has
+a capacity shared by the flows crossing it, and TCP-like transports plus
+Lustre's request schedulers drive the share toward (weighted) max-min
+fairness.  Packet-level detail would add runtime, not insight, at the scale
+of 18,688 clients.
+
+Algorithm
+---------
+Progressive filling (the textbook max-min construction), vectorized:
+
+1. every unfrozen flow's rate grows uniformly (scaled by its weight);
+2. the first component to saturate freezes the flows crossing it at their
+   current rate (flows with finite *demand* freeze when they reach it);
+3. repeat on the residual network until all flows are frozen.
+
+The implementation works on a CSR-style incidence structure (component ->
+member flows) so each filling round is O(nnz) in numpy, and the number of
+rounds is bounded by the number of distinct bottlenecks.
+
+Properties (enforced by the property-based tests):
+
+* feasibility: per-component load ≤ capacity (+ float slack);
+* demand-boundedness: rate ≤ demand for every flow;
+* max-min/Pareto: every flow is limited by a *saturated* component on its
+  path or by its own demand — no rate can be raised without lowering a
+  smaller (weighted) rate.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["FlowNetwork", "FlowResult"]
+
+_EPS = 1e-9
+
+
+@dataclass
+class FlowResult:
+    """Outcome of a :meth:`FlowNetwork.solve` call."""
+
+    rates: np.ndarray  # per-flow allocated rate (bytes/s)
+    flow_names: list[str]
+    component_load: dict[str, float]
+    component_capacity: dict[str, float]
+    bottlenecks: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def total(self) -> float:
+        return float(self.rates.sum())
+
+    def rate_of(self, name: str) -> float:
+        return float(self.rates[self.flow_names.index(name)])
+
+    def saturated_components(self, tol: float = 1e-6) -> list[str]:
+        """Components whose load is within ``tol`` (relative) of capacity."""
+        out = []
+        for comp, load in self.component_load.items():
+            cap = self.component_capacity[comp]
+            if cap < math.inf and load >= cap * (1 - tol) - _EPS:
+                out.append(comp)
+        return out
+
+    def utilization(self, component: str) -> float:
+        cap = self.component_capacity[component]
+        if cap == 0:
+            return 1.0 if self.component_load[component] > 0 else 0.0
+        if math.isinf(cap):
+            return 0.0
+        return self.component_load[component] / cap
+
+
+class FlowNetwork:
+    """A set of capacitated components plus flows crossing them.
+
+    >>> net = FlowNetwork()
+    >>> net.add_component("link", 10.0)
+    >>> net.add_flow("a", ["link"])
+    >>> net.add_flow("b", ["link"])
+    >>> res = net.solve()
+    >>> res.rates.tolist()
+    [5.0, 5.0]
+    """
+
+    def __init__(self) -> None:
+        self._capacity: dict[str, float] = {}
+        self._flows: list[tuple[str, list[str], float, float]] = []
+        self._flow_names: set[str] = set()
+
+    # -- construction -----------------------------------------------------------
+
+    def add_component(self, name: str, capacity: float) -> None:
+        """Register a component; re-adding overwrites the capacity (used by
+        what-if analyses such as controller upgrades)."""
+        if capacity < 0:
+            raise ValueError(f"negative capacity for {name!r}")
+        self._capacity[name] = float(capacity)
+
+    def has_component(self, name: str) -> bool:
+        return name in self._capacity
+
+    def capacity_of(self, name: str) -> float:
+        return self._capacity[name]
+
+    def add_flow(
+        self,
+        name: str,
+        path: list[str],
+        demand: float = math.inf,
+        weight: float = 1.0,
+    ) -> None:
+        """Add a flow crossing ``path`` (component names, any order/repeats
+        collapse to unique membership), wanting at most ``demand`` bytes/s.
+        """
+        if name in self._flow_names:
+            raise ValueError(f"duplicate flow name {name!r}")
+        if weight <= 0:
+            raise ValueError("weight must be positive")
+        if demand < 0:
+            raise ValueError("demand must be non-negative")
+        unique_path: list[str] = []
+        seen = set()
+        for comp in path:
+            if comp not in self._capacity:
+                raise KeyError(f"unknown component {comp!r} in flow {name!r}")
+            if comp not in seen:
+                seen.add(comp)
+                unique_path.append(comp)
+        if not unique_path and math.isinf(demand):
+            raise ValueError(
+                f"flow {name!r} has no components and unbounded demand"
+            )
+        self._flow_names.add(name)
+        self._flows.append((name, unique_path, float(demand), float(weight)))
+
+    @property
+    def n_flows(self) -> int:
+        return len(self._flows)
+
+    @property
+    def n_components(self) -> int:
+        return len(self._capacity)
+
+    # -- solving ----------------------------------------------------------------
+
+    def solve(self) -> FlowResult:
+        """Weighted max-min allocation by vectorized progressive filling."""
+        comp_names = list(self._capacity.keys())
+        comp_index = {c: i for i, c in enumerate(comp_names)}
+        n_comp = len(comp_names)
+        n_flows = len(self._flows)
+
+        capacity = np.array([self._capacity[c] for c in comp_names])
+        demand = np.array([f[2] for f in self._flows]) if n_flows else np.empty(0)
+        weight = np.array([f[3] for f in self._flows]) if n_flows else np.empty(0)
+        names = [f[0] for f in self._flows]
+
+        # CSR incidence: flow -> component indices.
+        indptr = np.zeros(n_flows + 1, dtype=np.int64)
+        indices_list: list[int] = []
+        for i, (_n, path, _d, _w) in enumerate(self._flows):
+            indices_list.extend(comp_index[c] for c in path)
+            indptr[i + 1] = len(indices_list)
+        indices = np.array(indices_list, dtype=np.int64)
+        # Per-incidence flow id (for scatter-adds).
+        flow_of_entry = np.repeat(np.arange(n_flows), np.diff(indptr))
+
+        rates = np.zeros(n_flows)
+        frozen = np.zeros(n_flows, dtype=bool)
+        residual = capacity.astype(float).copy()
+        bottleneck_of: dict[str, float] = {}
+
+        # Flows with zero demand (or empty paths and zero demand) freeze at 0.
+        frozen |= demand <= _EPS
+        # Flows with no components are limited only by their demand.
+        empty_path = np.diff(indptr) == 0
+        rates[empty_path & ~frozen] = demand[empty_path & ~frozen]
+        frozen |= empty_path
+
+        max_rounds = n_comp + n_flows + 2
+        for _round in range(max_rounds):
+            if frozen.all():
+                break
+            active_entry = ~frozen[flow_of_entry]
+            # Weighted active flow count per component.
+            comp_weight = np.zeros(n_comp)
+            np.add.at(comp_weight, indices[active_entry],
+                      weight[flow_of_entry[active_entry]])
+            # Fill level at which each component saturates.
+            with np.errstate(divide="ignore", invalid="ignore"):
+                comp_fill = np.where(comp_weight > _EPS, residual / comp_weight, np.inf)
+            comp_fill = np.where(residual <= _EPS, np.where(comp_weight > _EPS, 0.0, np.inf), comp_fill)
+            # Fill level at which each active flow reaches its demand.
+            active = ~frozen
+            with np.errstate(divide="ignore", invalid="ignore"):
+                demand_fill = np.where(active, (demand - rates) / weight, np.inf)
+            min_comp_fill = comp_fill.min() if n_comp else math.inf
+            min_demand_fill = demand_fill.min() if n_flows else math.inf
+            step = min(min_comp_fill, min_demand_fill)
+            if not math.isfinite(step):
+                # Active flows cross only infinite-capacity components and
+                # have infinite demand: leave them unbounded (inf rates).
+                rates[active] = math.inf
+                break
+            step = max(step, 0.0)
+
+            # Advance all active flows by step * weight.
+            delta = step * weight * active
+            rates += delta
+            # Consume residual capacity.
+            np.subtract.at(residual, indices[active_entry],
+                           delta[flow_of_entry[active_entry]])
+            residual = np.maximum(residual, 0.0)
+
+            # Freeze demand-satisfied flows (infinite demand never satisfies).
+            finite_demand = np.isfinite(demand)
+            demand_edge = np.where(
+                finite_demand, demand - _EPS * np.maximum(np.where(finite_demand, demand, 0.0), 1.0), np.inf
+            )
+            frozen |= active & (rates >= demand_edge)
+
+            # Freeze flows crossing saturated components (only components
+            # with finite capacity can saturate).
+            finite_cap = np.isfinite(capacity)
+            saturated = finite_cap & (residual <= _EPS + 1e-12 * np.where(finite_cap, capacity, 0.0))
+            saturated &= comp_weight > _EPS  # only components with active flows
+            if saturated.any():
+                sat_set = np.flatnonzero(saturated)
+                for ci in sat_set:
+                    bottleneck_of.setdefault(comp_names[ci], float(capacity[ci]))
+                sat_entry = np.isin(indices, sat_set) & active_entry
+                frozen_flows = np.unique(flow_of_entry[sat_entry])
+                frozen[frozen_flows] = True
+        else:  # pragma: no cover - defensive
+            raise RuntimeError("progressive filling failed to converge")
+
+        load = np.zeros(n_comp)
+        finite = np.isfinite(rates)
+        fin_entry = finite[flow_of_entry]
+        np.add.at(load, indices[fin_entry], rates[flow_of_entry[fin_entry]])
+
+        return FlowResult(
+            rates=rates,
+            flow_names=names,
+            component_load={c: float(load[i]) for i, c in enumerate(comp_names)},
+            component_capacity={c: float(capacity[i]) for i, c in enumerate(comp_names)},
+            bottlenecks=bottleneck_of,
+        )

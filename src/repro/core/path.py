@@ -1,0 +1,177 @@
+"""End-to-end I/O path construction: turning transfers into flow problems.
+
+This module encodes the layered data path of Figure 1 / Lesson 12:
+
+  client stack → (Gemini links) → I/O router → router IB cable → leaf
+  switch → (core switch) → OSS cable → OSS node → controller couplet →
+  OST (RAID group)
+
+Each layer becomes a component in a :class:`repro.core.flow.FlowNetwork`;
+each transfer (one client writing/reading one OST set) becomes a flow
+crossing its layers.  Torus links are optional — they matter for the
+placement/congestion experiments but add thousands of components the
+whole-system scaling runs don't need.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+from repro.core.flow import FlowNetwork, FlowResult
+from repro.core.spider import SpiderSystem
+from repro.lustre.client import Client
+from repro.network.lnet import FineGrainedRouting, RoutingPolicy
+
+__all__ = ["Transfer", "PathBuilder"]
+
+
+@dataclass(frozen=True)
+class Transfer:
+    """One I/O stream: a client moving data to/from a set of OSTs.
+
+    ``demand`` is the offered load (bytes/s) of this stream — typically the
+    client-stack ceiling discounted by transfer-size efficiency.  A stream
+    striped over several OSTs is split into one flow per OST with the
+    demand divided evenly (Lustre round-robins RPCs over stripes).
+    """
+
+    name: str
+    client: Client
+    ost_indices: tuple[int, ...]
+    demand: float = math.inf
+    write: bool = True
+
+    def __post_init__(self) -> None:
+        if not self.ost_indices:
+            raise ValueError("transfer needs at least one OST")
+        if self.demand <= 0:
+            raise ValueError("demand must be positive")
+
+
+class PathBuilder:
+    """Builds flow networks over a :class:`SpiderSystem`."""
+
+    def __init__(
+        self,
+        system: SpiderSystem,
+        *,
+        policy: RoutingPolicy | None = None,
+        fs_level: bool = True,
+        include_torus: bool = False,
+    ) -> None:
+        self.system = system
+        self.policy = policy or FineGrainedRouting(system.lnet)
+        self.fs_level = fs_level
+        self.include_torus = include_torus
+        self._router_usage: dict[str, int] = {}
+
+    # -- component registration ---------------------------------------------------
+
+    def _register_static_components(self, net: FlowNetwork) -> None:
+        sys = self.system
+        sys.fabric.register_components(net)
+        for r in sys.routers:
+            net.add_component(f"router:{r.name}", sys.spec.router_bw_cap)
+        for oss in sys.osses:
+            net.add_component(oss.component, oss.spec.node_bw_cap)
+        for i, ssu in enumerate(sys.ssus):
+            net.add_component(
+                f"couplet:{i}", ssu.couplet.bw_cap(fs_level=self.fs_level)
+            )
+        ost_caps = sys.ost_flow_capacities(fs_level=self.fs_level)
+        for ost, cap in zip(sys.osts, ost_caps):
+            net.add_component(ost.component, float(cap))
+
+    def _client_components(self, net: FlowNetwork, client: Client) -> list[str]:
+        comps = [client.component]
+        if not net.has_component(client.component):
+            net.add_component(client.component, client.bw_cap)
+        if self.include_torus and client.on_torus:
+            inj = self.system.torus.injection_component(client.coord)
+            if not net.has_component(inj):
+                net.add_component(inj, self.system.spec.torus.injection_bw)
+            comps.append(inj)
+        return comps
+
+    def _torus_components(self, net: FlowNetwork, src, dst) -> list[str]:
+        comps = []
+        for link in self.system.torus.route_links(src, dst):
+            comp = self.system.torus.link_component(link)
+            if not net.has_component(comp):
+                net.add_component(comp, self.system.spec.torus.link_bw)
+            comps.append(comp)
+        return comps
+
+    # -- network assembly ------------------------------------------------------------
+
+    def build(self, transfers: list[Transfer]) -> FlowNetwork:
+        """A flow network with one flow per (transfer, OST) pair."""
+        net = FlowNetwork()
+        self._register_static_components(net)
+        self._router_usage.clear()
+
+        for t in transfers:
+            client_comps = self._client_components(net, t.client)
+            per_ost_demand = t.demand / len(t.ost_indices)
+            for ost_index in t.ost_indices:
+                ost = self.system.osts[ost_index]
+                oss = self.system.oss_of_ost(ost_index)
+                path = list(client_comps)
+                if t.client.on_torus:
+                    router = self.policy.select_router(t.client.coord, oss.leaf)
+                    self._router_usage[router.name] = (
+                        self._router_usage.get(router.name, 0) + 1
+                    )
+                    if self.include_torus:
+                        path += self._torus_components(
+                            net, t.client.coord, router.coord
+                        )
+                    path.append(f"router:{router.name}")
+                    entry_host = router.name
+                else:
+                    entry_host = t.client.name  # off-torus host on the SAN
+                path += self.system.fabric.path_components(entry_host, oss.name)
+                path.append(oss.component)
+                path.append(f"couplet:{ost.ssu_index}")
+                path.append(ost.component)
+                net.add_flow(
+                    f"{t.name}->ost{ost_index}",
+                    path,
+                    demand=per_ost_demand,
+                )
+        return net
+
+    def solve(self, transfers: list[Transfer]) -> FlowResult:
+        return self.build(transfers).solve()
+
+    def router_usage(self) -> dict[str, int]:
+        """Flows per router from the most recent :meth:`build`."""
+        return dict(self._router_usage)
+
+    # -- analysis helpers ---------------------------------------------------------------
+
+    def transfer_rates(
+        self, result: FlowResult, transfers: list[Transfer],
+        *, lockstep: bool = False,
+    ) -> dict[str, float]:
+        """Aggregate per-transfer rate from the per-OST flows.
+
+        ``lockstep=False`` sums the stripes (streams progress
+        independently).  ``lockstep=True`` models Lustre's synchronous
+        striped-write behaviour — the file advances at ``stripe_count ×
+        min(stripe rate)`` because RPCs round-robin the stripes in offset
+        order — which is why one congested OST throttles a whole
+        wide-striped file (the §VI-A placement-gain mechanism).
+        """
+        per_flow: dict[str, list[float]] = {t.name: [] for t in transfers}
+        for name, rate in zip(result.flow_names, result.rates):
+            tname = name.rsplit("->", 1)[0]
+            per_flow[tname].append(float(rate))
+        if not lockstep:
+            return {name: sum(rates) for name, rates in per_flow.items()}
+        return {
+            name: (len(rates) * min(rates) if rates else 0.0)
+            for name, rates in per_flow.items()
+        }

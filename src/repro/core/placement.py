@@ -1,0 +1,192 @@
+"""I/O router placement on Titan's torus (Figure 2, Lesson 14).
+
+Titan's 440 Lustre routers are packaged as 110 I/O modules of four routers;
+the four routers of a module connect to four *different* InfiniBand leaf
+switches.  Modules belong to "router groups"; a group serves a set of four
+leaf switches (roughly SSU-index-aligned), and groups are interleaved
+across the machine so that every client has a topologically close router
+for *every* destination leaf — the geometric precondition for fine-grained
+routing.
+
+Cabinet geometry: Titan's floor is a 25 × 8 cabinet grid (Figure 2's X/Y
+axes).  Cabinet (cx, cy) maps onto torus coordinates x = cx,
+y ∈ {2·cy, 2·cy + 1}, z ∈ [0, 24) — two torus Y-planes per cabinet row.
+
+Two placements are provided:
+
+* :func:`evenly_spaced_placement` — the engineered placement: modules at
+  even intervals through the cabinet grid, groups interleaved (the
+  production approach this module reproduces);
+* :func:`clustered_placement` — the baseline OLCF argued against: all
+  modules packed into a contiguous cabinet block, which concentrates I/O
+  traffic on the links around the block.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.network.lnet import RouterInfo
+from repro.network.torus import Coord, Torus3D
+
+__all__ = [
+    "PlacementSpec",
+    "Placement",
+    "evenly_spaced_placement",
+    "clustered_placement",
+    "render_cabinet_map",
+]
+
+CABINET_COLS = 25
+CABINET_ROWS = 8
+
+
+@dataclass(frozen=True)
+class PlacementSpec:
+    """How many modules/routers to place and how leaves are grouped."""
+
+    n_modules: int = 110
+    routers_per_module: int = 4
+    n_leaves: int = 36
+
+    def __post_init__(self) -> None:
+        if self.n_modules <= 0 or self.routers_per_module <= 0:
+            raise ValueError("module counts must be positive")
+        if self.n_leaves % self.routers_per_module != 0:
+            raise ValueError(
+                "n_leaves must be divisible by routers_per_module so that "
+                "router groups cover whole leaf quads"
+            )
+
+    @property
+    def n_routers(self) -> int:
+        return self.n_modules * self.routers_per_module
+
+    @property
+    def n_groups(self) -> int:
+        """Router groups = leaf quads (each module serves one quad)."""
+        return self.n_leaves // self.routers_per_module
+
+    def leaves_of_group(self, group: int) -> list[int]:
+        base = group * self.routers_per_module
+        return [base + i for i in range(self.routers_per_module)]
+
+
+@dataclass
+class Placement:
+    """A realized placement: module coordinates, groups, and routers."""
+
+    spec: PlacementSpec
+    module_coords: list[Coord]
+    module_group: list[int]
+    routers: list[RouterInfo] = field(default_factory=list)
+
+    def cabinet_of_module(self, m: int) -> tuple[int, int]:
+        x, y, _z = self.module_coords[m]
+        return (x, y // 2)
+
+    def mean_client_distance(self, torus: Torus3D, clients: list[Coord]) -> float:
+        """Mean over clients of (mean over leaves of the distance to the
+        nearest router serving that leaf) — the FGR locality objective."""
+        if not clients:
+            return 0.0
+        by_leaf: dict[int, list[Coord]] = {}
+        for r in self.routers:
+            by_leaf.setdefault(r.leaf, []).append(r.coord)
+        client_arr = np.array(clients, dtype=int)
+        total = 0.0
+        for leaf, coords in sorted(by_leaf.items()):
+            dists = np.stack(
+                [torus.distances_from(c, client_arr) for c in coords]
+            )  # (n_routers_on_leaf, n_clients)
+            total += dists.min(axis=0).mean()
+        return total / len(by_leaf)
+
+
+def _grid_for(dims: tuple[int, int, int]) -> tuple[int, int, int]:
+    """Cabinet grid implied by the torus: X columns, Y/2 rows (two torus
+    Y-planes per cabinet row), Z positions per cabinet."""
+    return dims[0], max(1, dims[1] // 2), dims[2]
+
+
+def _cabinet_to_coord(cab_x: int, cab_y: int, z: int) -> Coord:
+    return (cab_x, 2 * cab_y, z)
+
+
+def _build_routers(
+    spec: PlacementSpec, coords: list[Coord], groups: list[int]
+) -> list[RouterInfo]:
+    routers: list[RouterInfo] = []
+    for m, (coord, group) in enumerate(zip(coords, groups)):
+        for slot, leaf in enumerate(spec.leaves_of_group(group)):
+            routers.append(
+                RouterInfo(name=f"rtr{m:03d}.{slot}", coord=coord, leaf=leaf)
+            )
+    return routers
+
+
+def evenly_spaced_placement(
+    spec: PlacementSpec | None = None,
+    dims: tuple[int, int, int] = (25, 16, 24),
+) -> Placement:
+    """Production-style placement: modules at even cabinet intervals,
+    groups interleaved so every neighbourhood sees every group.
+
+    ``dims`` is the torus geometry the cabinets map onto (Titan default).
+    """
+    spec = spec or PlacementSpec()
+    cols, rows, zs = _grid_for(dims)
+    n_cabinets = cols * rows
+    coords: list[Coord] = []
+    groups: list[int] = []
+    for m in range(spec.n_modules):
+        cab = (m * n_cabinets) // spec.n_modules
+        cab_x, cab_y = divmod(cab, rows)
+        z = (m * 7) % zs  # spread along Z as well
+        coords.append(_cabinet_to_coord(cab_x % cols, cab_y, z))
+        groups.append(m % spec.n_groups)
+    placement = Placement(spec=spec, module_coords=coords, module_group=groups)
+    placement.routers = _build_routers(spec, coords, groups)
+    return placement
+
+
+def clustered_placement(
+    spec: PlacementSpec | None = None,
+    dims: tuple[int, int, int] = (25, 16, 24),
+) -> Placement:
+    """Baseline: all I/O modules packed into one corner of the machine.
+
+    This is the placement a naive integration (shortest cables to the SAN)
+    produces, and what Lesson 14 warns turns the surrounding links into
+    hot-spots.
+    """
+    spec = spec or PlacementSpec()
+    cols, rows, zs = _grid_for(dims)
+    coords: list[Coord] = []
+    groups: list[int] = []
+    for m in range(spec.n_modules):
+        # Two modules per cabinet, packed column by column from the corner.
+        cab_x, cab_y = divmod(m // 2, rows)
+        z = (m * 5) % zs
+        coords.append(_cabinet_to_coord(cab_x % cols, cab_y, z))
+        groups.append(m % spec.n_groups)
+    placement = Placement(spec=spec, module_coords=coords, module_group=groups)
+    placement.routers = _build_routers(spec, coords, groups)
+    return placement
+
+
+def render_cabinet_map(placement: Placement) -> str:
+    """ASCII rendition of Figure 2: the 25×8 cabinet grid, each cabinet
+    showing its router group letter ('.' = no I/O module)."""
+    grid = [["."] * CABINET_COLS for _ in range(CABINET_ROWS)]
+    for m in range(len(placement.module_coords)):
+        cx, cy = placement.cabinet_of_module(m)
+        letter = chr(ord("A") + placement.module_group[m] % 26)
+        grid[cy][cx] = letter
+    lines = ["Y\\X " + "".join(f"{x % 10}" for x in range(CABINET_COLS))]
+    for cy in range(CABINET_ROWS - 1, -1, -1):
+        lines.append(f"  {cy} " + "".join(grid[cy]))
+    lines.append("(letters = router groups; '.' = cabinet without I/O module)")
+    return "\n".join(lines)

@@ -1,0 +1,30 @@
+"""Storage hardware substrate: disks, enclosures, RAID arrays, controller
+couplets, and the Scalable System Unit (SSU) building block.
+
+All performance numbers flow from :class:`repro.hardware.disk.DiskSpec`
+calibration upward, mirroring the paper's bottom-up tuning methodology
+(Lesson 12): every layer's expected performance is derivable from the layer
+below it, and each layer can only lose throughput, never create it.
+"""
+
+from repro.hardware.disk import DiskSpec, Disk, DiskPopulation, DiskState
+from repro.hardware.enclosure import Enclosure, EnclosureGroup
+from repro.hardware.raid import RaidGeometry, RaidGroup, RaidState
+from repro.hardware.controller import ControllerSpec, ControllerCouplet
+from repro.hardware.ssu import SsuSpec, Ssu
+
+__all__ = [
+    "DiskSpec",
+    "Disk",
+    "DiskPopulation",
+    "DiskState",
+    "Enclosure",
+    "EnclosureGroup",
+    "RaidGeometry",
+    "RaidGroup",
+    "RaidState",
+    "ControllerSpec",
+    "ControllerCouplet",
+    "SsuSpec",
+    "Ssu",
+]

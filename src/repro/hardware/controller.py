@@ -1,0 +1,173 @@
+"""Storage controller couplets (DDN S2A/SFA-class in the paper).
+
+A *couplet* is a pair of active-active RAID controllers sharing the same
+drive shelves.  Each controller normally owns half of the couplet's RAID
+groups; on controller failure the partner assumes them all (with its own
+bandwidth cap now shared by twice the groups).
+
+Bandwidth calibration (§V-C)
+----------------------------
+The couplet caps are what pin Spider II's headline numbers:
+
+* At the **block level** the couplet moves ``block_bw_cap`` ≈ 29 GB/s, so
+  36 couplets ≈ 1.04 TB/s — "more than 1 TB/s" at acceptance.
+* At the **file-system level** the original controller CPUs limited the
+  couplet to ≈ 17.8 GB/s (18 couplets per namespace → 320 GB/s).  The 2014
+  CPU/memory upgrade raised the fs-level cap to ≈ 28.3 GB/s (→ 510 GB/s per
+  namespace), which experiment E6 reproduces.
+
+The DDN-tool monitoring poller (`repro.monitoring.ddntool`) reads request
+counters from these objects, mirroring how the real tool polled controller
+APIs into a MySQL database.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.units import GB
+
+__all__ = ["ControllerSpec", "Controller", "ControllerCouplet"]
+
+
+@dataclass(frozen=True)
+class ControllerSpec:
+    """One controller's capability envelope."""
+
+    block_bw_cap: float = 14.5 * GB  # bytes/s through one controller, block level
+    fs_bw_cap: float = 8.9 * GB  # bytes/s at the Lustre/obdfilter level
+    upgraded_fs_bw_cap: float = 14.2 * GB  # after the 2014 CPU/memory upgrade
+    cache_bytes: int = 16 * GB
+    max_iops: float = 400_000.0
+
+    def __post_init__(self) -> None:
+        if min(self.block_bw_cap, self.fs_bw_cap, self.upgraded_fs_bw_cap) <= 0:
+            raise ValueError("bandwidth caps must be positive")
+        if self.fs_bw_cap > self.block_bw_cap:
+            raise ValueError("fs-level cap cannot exceed block-level cap")
+
+
+@dataclass
+class ControllerCounters:
+    """Counters exposed to the monitoring poller (DDN-tool style)."""
+
+    read_bytes: int = 0
+    write_bytes: int = 0
+    read_requests: int = 0
+    write_requests: int = 0
+    request_size_hist: dict[int, int] = field(default_factory=dict)
+
+    def record(self, nbytes: int, *, write: bool, request_size: int) -> None:
+        if write:
+            self.write_bytes += nbytes
+            self.write_requests += max(1, nbytes // max(request_size, 1))
+        else:
+            self.read_bytes += nbytes
+            self.read_requests += max(1, nbytes // max(request_size, 1))
+        self.request_size_hist[request_size] = (
+            self.request_size_hist.get(request_size, 0) + 1
+        )
+
+
+class Controller:
+    """One half of a couplet."""
+
+    def __init__(self, spec: ControllerSpec, name: str) -> None:
+        self.spec = spec
+        self.name = name
+        self.online = True
+        self.upgraded = False
+        self.counters = ControllerCounters()
+
+    def bw_cap(self, *, fs_level: bool) -> float:
+        if not self.online:
+            return 0.0
+        if not fs_level:
+            return self.spec.block_bw_cap
+        return self.spec.upgraded_fs_bw_cap if self.upgraded else self.spec.fs_bw_cap
+
+
+class ControllerCouplet:
+    """An active-active controller pair fronting a set of RAID groups.
+
+    ``group_owner[g]`` gives the controller (0/1) currently serving group
+    ``g``.  Failover reassigns a failed controller's groups to its partner.
+    """
+
+    def __init__(
+        self,
+        spec: ControllerSpec | None = None,
+        n_groups: int = 56,
+        name: str = "couplet",
+    ) -> None:
+        if n_groups <= 0:
+            raise ValueError("n_groups must be positive")
+        self.spec = spec or ControllerSpec()
+        self.name = name
+        self.controllers = (
+            Controller(self.spec, f"{name}.a"),
+            Controller(self.spec, f"{name}.b"),
+        )
+        self.n_groups = n_groups
+        # Even/odd home assignment, the usual active-active split.
+        self.home_owner = np.arange(n_groups) % 2
+        self.group_owner = self.home_owner.copy()
+
+    # -- failover ---------------------------------------------------------------
+
+    def fail_controller(self, which: int) -> None:
+        """Controller ``which`` dies; its partner assumes all its groups."""
+        ctrl = self.controllers[which]
+        ctrl.online = False
+        partner = 1 - which
+        if self.controllers[partner].online:
+            self.group_owner[self.group_owner == which] = partner
+
+    def restore_controller(self, which: int, *, failback: bool = True) -> None:
+        self.controllers[which].online = True
+        if failback:
+            self.group_owner = np.where(
+                np.array([c.online for c in self.controllers])[self.home_owner],
+                self.home_owner,
+                self.group_owner,
+            )
+
+    @property
+    def online(self) -> bool:
+        return any(c.online for c in self.controllers)
+
+    def upgrade(self) -> None:
+        """Apply the 2014 CPU/memory upgrade to both controllers."""
+        for c in self.controllers:
+            c.upgraded = True
+
+    # -- performance --------------------------------------------------------------
+
+    def bw_cap(self, *, fs_level: bool) -> float:
+        """Aggregate couplet cap across online controllers."""
+        return sum(c.bw_cap(fs_level=fs_level) for c in self.controllers)
+
+    def group_share_caps(self, *, fs_level: bool) -> np.ndarray:
+        """Fair-share bandwidth cap available to each RAID group.
+
+        Each online controller's cap is split evenly over the groups it
+        currently owns.  Groups owned by a dead controller with no partner
+        get zero.
+        """
+        caps = np.zeros(self.n_groups)
+        for which, ctrl in enumerate(self.controllers):
+            owned = self.group_owner == which
+            n_owned = int(owned.sum())
+            if n_owned and ctrl.online:
+                caps[owned] = ctrl.bw_cap(fs_level=fs_level) / n_owned
+        return caps
+
+    def record_io(self, nbytes: int, *, write: bool, request_size: int) -> None:
+        """Account I/O against the couplet (both controllers see traffic in
+        proportion to group ownership; we book it to the first online one)."""
+        for ctrl in self.controllers:
+            if ctrl.online:
+                ctrl.counters.record(nbytes, write=write, request_size=request_size)
+                return

@@ -1,0 +1,131 @@
+"""Disk enclosures and the enclosure-to-RAID-group slot mapping.
+
+The 2010 human-error incident (§IV-E, Lesson 11) hinges on this geometry:
+Spider I distributed each 10-disk RAID-6 group evenly across **five** disk
+enclosures (two members per enclosure), so a single enclosure outage removed
+*two* members of every group behind that controller couplet.  Combined with
+one member already rebuilding, that exceeds RAID-6's two-erasure tolerance.
+A **ten**-enclosure layout (one member per enclosure) tolerates the same
+compound failure.  :class:`EnclosureGroup` builds either layout so the
+incident replay (`repro.ops.incidents`) can compare them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["Enclosure", "EnclosureGroup"]
+
+
+@dataclass
+class Enclosure:
+    """A physical drive shelf holding a contiguous set of slots."""
+
+    index: int
+    slots: list[int] = field(default_factory=list)  # global disk indices
+    online: bool = True
+
+    def __len__(self) -> int:
+        return len(self.slots)
+
+
+class EnclosureGroup:
+    """The shelves behind one controller couplet, plus the slot mapping
+    that assigns RAID-group members to enclosures.
+
+    Parameters
+    ----------
+    n_enclosures:
+        Shelves behind the couplet (5 in the Spider I incident design,
+        10 in the design that would have tolerated it).
+    disks_per_enclosure:
+        Slots per shelf.
+    raid_width:
+        Members per RAID group (10 for 8+2).
+
+    The mapping stripes each RAID group across enclosures round-robin, so a
+    group touches ``min(n_enclosures, raid_width)`` distinct shelves and has
+    ``ceil(raid_width / n_enclosures)`` members on each.
+    """
+
+    def __init__(
+        self,
+        n_enclosures: int,
+        disks_per_enclosure: int,
+        raid_width: int = 10,
+        first_disk_index: int = 0,
+    ) -> None:
+        if n_enclosures <= 0 or disks_per_enclosure <= 0:
+            raise ValueError("enclosure geometry must be positive")
+        if raid_width <= 0:
+            raise ValueError("raid_width must be positive")
+        total = n_enclosures * disks_per_enclosure
+        if total % raid_width != 0:
+            raise ValueError(
+                f"{n_enclosures}x{disks_per_enclosure} slots not divisible "
+                f"by raid_width={raid_width}"
+            )
+        self.n_enclosures = n_enclosures
+        self.disks_per_enclosure = disks_per_enclosure
+        self.raid_width = raid_width
+        self.first_disk_index = first_disk_index
+        self.n_groups = total // raid_width
+
+        self.enclosures = [Enclosure(index=i) for i in range(n_enclosures)]
+        # group_members[g][k] -> global disk index of member k of group g
+        self.group_members: list[list[int]] = [[] for _ in range(self.n_groups)]
+        # member_enclosure[g][k] -> enclosure index of that member
+        self.member_enclosure: list[list[int]] = [[] for _ in range(self.n_groups)]
+
+        # Round-robin striping across shelves: member k of group g lives in
+        # enclosure (k mod n_enclosures), in a slot dedicated to (g, k).
+        per_enclosure_cursor = [0] * n_enclosures
+        for g in range(self.n_groups):
+            for k in range(raid_width):
+                e = k % n_enclosures
+                slot_in_enclosure = per_enclosure_cursor[e]
+                if slot_in_enclosure >= disks_per_enclosure:
+                    raise ValueError("enclosure overflow; geometry inconsistent")
+                per_enclosure_cursor[e] += 1
+                disk_index = (
+                    first_disk_index + e * disks_per_enclosure + slot_in_enclosure
+                )
+                self.enclosures[e].slots.append(disk_index)
+                self.group_members[g].append(disk_index)
+                self.member_enclosure[g].append(e)
+
+    def members_per_enclosure(self, group: int) -> dict[int, int]:
+        """How many members of ``group`` sit in each enclosure it touches."""
+        counts: dict[int, int] = {}
+        for e in self.member_enclosure[group]:
+            counts[e] = counts.get(e, 0) + 1
+        return counts
+
+    def unavailable_members(self, group: int) -> list[int]:
+        """Member positions of ``group`` whose enclosure is offline."""
+        return [
+            k
+            for k, e in enumerate(self.member_enclosure[group])
+            if not self.enclosures[e].online
+        ]
+
+    def set_enclosure_online(self, enclosure: int, online: bool) -> None:
+        self.enclosures[enclosure].online = online
+
+    def max_members_lost_per_enclosure(self) -> int:
+        """Worst-case RAID-group members taken out by one enclosure outage.
+
+        This is the design metric of Lesson 11: 2 for the 5-enclosure
+        Spider I layout, 1 for a 10-enclosure layout.
+        """
+        worst = 0
+        for g in range(self.n_groups):
+            worst = max(worst, max(self.members_per_enclosure(g).values()))
+        return worst
+
+    def all_disk_indices(self) -> np.ndarray:
+        return np.array(
+            [d for enc in self.enclosures for d in enc.slots], dtype=int
+        )

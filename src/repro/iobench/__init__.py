@@ -1,0 +1,31 @@
+"""The paper's benchmark tools, reimplemented against the simulator.
+
+* :mod:`repro.iobench.fairlio` — OLCF's block-level libaio sweep tool
+  (request size × queue depth × read/write mix × sequential/random);
+* :mod:`repro.iobench.obdfilter_survey` — the Lustre obdfilter-layer
+  object read/write/rewrite survey;
+* :mod:`repro.iobench.ior` — IOR-style file-system-level benchmarking
+  (file-per-process, stonewalling) used for the scaling studies of §V-C;
+* :mod:`repro.iobench.suite` — the procurement acceptance suite of §III-B
+  combining block- and fs-level runs to measure file-system overhead.
+"""
+
+from repro.iobench.fairlio import FairLioSweep, FairLioResult, LunTarget, DiskTarget
+from repro.iobench.obdfilter_survey import ObdfilterSurvey, SurveyResult
+from repro.iobench.ior import IorRun, IorResult, transfer_size_sweep, client_scaling
+from repro.iobench.suite import AcceptanceSuite, SuiteReport
+
+__all__ = [
+    "FairLioSweep",
+    "FairLioResult",
+    "LunTarget",
+    "DiskTarget",
+    "ObdfilterSurvey",
+    "SurveyResult",
+    "IorRun",
+    "IorResult",
+    "transfer_size_sweep",
+    "client_scaling",
+    "AcceptanceSuite",
+    "SuiteReport",
+]

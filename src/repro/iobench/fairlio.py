@@ -1,0 +1,199 @@
+"""fair-lio: the OLCF block-level benchmark tool (§III-B).
+
+"The block-level benchmark tool, fair-lio, was developed by OLCF and uses
+the Linux AIO library (libaio).  It can generate multiple in-flight I/O
+requests on disks at specific locations, bypassing the file system cache."
+
+The tool here performs the same parameter-space exploration — I/O request
+size, queue depth, read/write mix, duration, and mode (sequential/random)
+— against simulated block targets:
+
+* :class:`DiskTarget` — one drive;
+* :class:`LunTarget` — one RAID-6 LUN (requests stripe over data drives).
+
+Queue-depth model: deeper queues let the drive schedule repositions, so the
+effective random access time shrinks as ``access / qd**0.4`` with a floor
+of 30% of the nominal reposition cost — the empirical elevator-scheduling
+shape (NCQ/TCQ) within the envelope the paper's 20–25% single-disk figure
+implies at qd = 1..4.  Sequential throughput is queue-depth-insensitive
+once qd ≥ 1.  Measurements carry a small seeded noise term so repeated
+runs exhibit realistic run-to-run variance (the performance-binning
+workflows depend on it).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Protocol
+
+import numpy as np
+
+from repro.hardware.disk import Disk
+from repro.hardware.raid import RaidGroup
+from repro.units import KiB, MiB
+
+__all__ = ["DiskTarget", "LunTarget", "FairLioResult", "FairLioSweep"]
+
+_QD_EXPONENT = 0.4
+_QD_FLOOR = 0.30
+
+
+def _effective_access_time(access_time: float, queue_depth: int) -> float:
+    if queue_depth < 1:
+        raise ValueError("queue_depth must be >= 1")
+    return max(access_time * _QD_FLOOR, access_time / queue_depth ** _QD_EXPONENT)
+
+
+class BlockTarget(Protocol):
+    """Anything fair-lio can aim at."""
+
+    name: str
+
+    def bandwidth(self, request_size: int, *, sequential: bool,
+                  queue_depth: int, write: bool) -> float: ...
+
+
+@dataclass
+class DiskTarget:
+    """A single drive as a block device."""
+
+    disk: Disk
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            self.name = self.disk.serial
+
+    def bandwidth(self, request_size: int, *, sequential: bool,
+                  queue_depth: int = 1, write: bool = True) -> float:
+        if request_size <= 0:
+            raise ValueError("request_size must be positive")
+        seq_bw = self.disk.seq_bw
+        if sequential:
+            return seq_bw
+        access = _effective_access_time(self.disk.spec.access_time, queue_depth)
+        return seq_bw * request_size / (request_size + seq_bw * access)
+
+
+@dataclass
+class LunTarget:
+    """A RAID-6 LUN: requests stripe across the data drives.
+
+    A request of ``s`` bytes splits into ``s / n_data`` per member, so
+    random efficiency is evaluated at the *per-disk* chunk — large LUN
+    requests still produce smallish disk accesses, which is why random LUN
+    throughput falls off harder than single-disk numbers suggest.
+    """
+
+    group: RaidGroup
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            self.name = self.group.name
+
+    def bandwidth(self, request_size: int, *, sequential: bool,
+                  queue_depth: int = 1, write: bool = True) -> float:
+        if request_size <= 0:
+            raise ValueError("request_size must be positive")
+        geometry = self.group.geometry
+        member_bw = self.group.population.bandwidths()[self.group.members]
+        slowest = float(member_bw.min())
+        if sequential:
+            return geometry.n_data * slowest
+        per_disk = max(1, request_size // geometry.n_data)
+        spec = self.group.population.spec
+        access = _effective_access_time(spec.access_time, queue_depth)
+        eff = per_disk / (per_disk + slowest * access)
+        return geometry.n_data * slowest * eff
+
+
+@dataclass(frozen=True)
+class FairLioResult:
+    """One sweep point."""
+
+    target: str
+    request_size: int
+    queue_depth: int
+    write_fraction: float
+    sequential: bool
+    duration: float
+    bandwidth: float  # measured bytes/s
+    iops: float
+
+    def row(self) -> tuple:
+        mode = "seq" if self.sequential else "rnd"
+        return (self.target, self.request_size, self.queue_depth,
+                f"{self.write_fraction:.2f}", mode,
+                f"{self.bandwidth / 1e6:.1f} MB/s", f"{self.iops:.0f}")
+
+
+@dataclass
+class FairLioSweep:
+    """The parameter-space exploration: the §III-B variable set."""
+
+    request_sizes: tuple[int, ...] = (4 * KiB, 16 * KiB, 64 * KiB,
+                                      256 * KiB, 1 * MiB, 4 * MiB)
+    queue_depths: tuple[int, ...] = (1, 4, 16)
+    write_fractions: tuple[float, ...] = (0.0, 0.6, 1.0)
+    modes: tuple[bool, ...] = (True, False)  # sequential?
+    duration: float = 30.0
+    noise_sigma: float = 0.01  # run-to-run measurement spread
+
+    def run(self, target: BlockTarget,
+            rng: np.random.Generator | None = None) -> list[FairLioResult]:
+        """Execute the full sweep against ``target``."""
+        rng = rng or np.random.default_rng(0)
+        results = []
+        for sequential in self.modes:
+            for size in self.request_sizes:
+                for qd in self.queue_depths:
+                    for wf in self.write_fractions:
+                        # Reads and writes perform alike at the block layer
+                        # of these arrays; the mix matters at the fs layer.
+                        bw = target.bandwidth(
+                            size, sequential=sequential,
+                            queue_depth=qd, write=wf >= 0.5,
+                        )
+                        measured = bw * float(rng.normal(1.0, self.noise_sigma))
+                        measured = max(0.0, measured)
+                        results.append(FairLioResult(
+                            target=target.name,
+                            request_size=size,
+                            queue_depth=qd,
+                            write_fraction=wf,
+                            sequential=sequential,
+                            duration=self.duration,
+                            bandwidth=measured,
+                            iops=measured / size,
+                        ))
+        return results
+
+    def run_many(self, targets: Iterable[BlockTarget],
+                 rng: np.random.Generator | None = None) -> list[FairLioResult]:
+        rng = rng or np.random.default_rng(0)
+        out: list[FairLioResult] = []
+        for target in targets:
+            out.extend(self.run(target, rng))
+        return out
+
+
+def random_to_sequential_ratio(results: list[FairLioResult],
+                               request_size: int = 1 * MiB,
+                               queue_depth: int = 1) -> float:
+    """The §III-A acceptance metric: random/sequential bandwidth at 1 MB.
+
+    The paper's observation — 20-25% for a single NL-SAS drive — drove the
+    240 GB/s random-workload floor in the Spider II RFP.
+    """
+    seq = [r for r in results
+           if r.sequential and r.request_size == request_size
+           and r.queue_depth == queue_depth]
+    rnd = [r for r in results
+           if not r.sequential and r.request_size == request_size
+           and r.queue_depth == queue_depth]
+    if not seq or not rnd:
+        raise ValueError("sweep lacks the 1 MiB qd points")
+    seq_bw = float(np.mean([r.bandwidth for r in seq]))
+    rnd_bw = float(np.mean([r.bandwidth for r in rnd]))
+    return rnd_bw / seq_bw

@@ -1,0 +1,117 @@
+"""obdfilter-survey: the Lustre file-system-level benchmark (§III-B).
+
+"The file system benchmark tool is based on obdfilter-survey, a
+widely-used Lustre benchmark tool, benchmarking the obdfilter layer in the
+Lustre I/O stack to measure object read, write, and re-write performance.
+By comparing these two benchmark results [block vs fs], we can measure the
+file system overhead."
+
+The survey measures each OST at the obdfilter layer: the RAID group's
+block-level streaming bandwidth, discounted by the obdfilter software
+efficiency and — crucially for the second culling round of §V-A — divided
+by each member drive's *fs-level latency factor*, the pathology invisible
+to block-level streaming.  Re-writes pay an extra journal/allocation cost.
+
+Two concurrency modes mirror how the tool is actually used:
+
+* ``mode="isolated"`` (default) — OSTs measured one at a time per
+  controller, so each sees the whole controller; this is the per-OST
+  qualification run the culling workflow uses and it exposes slow-member
+  variance.
+* ``mode="concurrent"`` — all surveyed OSTs driven together (the hero-run
+  configuration); the controller cap is fair-shared and usually masks
+  drive-level variance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.spider import SpiderSystem
+from repro.hardware.raid import group_bandwidths
+from repro.lustre.ost import OBDFILTER_EFFICIENCY
+
+__all__ = ["SurveyResult", "ObdfilterSurvey"]
+
+REWRITE_EFFICIENCY = 0.93  # rewrite vs write at the obdfilter layer
+
+
+@dataclass(frozen=True)
+class SurveyResult:
+    """Per-OST survey outcome (bytes/s)."""
+
+    ost_index: int
+    write: float
+    rewrite: float
+    read: float
+
+    def row(self) -> tuple:
+        return (self.ost_index, f"{self.write / 1e6:.0f}",
+                f"{self.rewrite / 1e6:.0f}", f"{self.read / 1e6:.0f}")
+
+
+@dataclass
+class ObdfilterSurvey:
+    """Survey a set of OSTs on a built Spider system."""
+
+    system: SpiderSystem
+    mode: str = "isolated"
+    noise_sigma: float = 0.01
+    read_efficiency: float = 1.02  # reads slightly outrun writes (no parity update)
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("isolated", "concurrent"):
+            raise ValueError(f"unknown survey mode {self.mode!r}")
+
+    def run(self, ost_indices: list[int] | None = None,
+            rng: np.random.Generator | None = None) -> list[SurveyResult]:
+        rng = rng or np.random.default_rng(0)
+        sys = self.system
+        if ost_indices is None:
+            ost_indices = list(range(sys.spec.n_osts))
+        # fs-level view: block bandwidth with the latency-tail drag applied.
+        disk_bw = sys.population.bandwidths(fs_level=True)
+        results = []
+        for ssu in sys.ssus:
+            base = ssu.index * sys.spec.ssu.n_groups
+            wanted = [i for i in ost_indices if base <= i < base + sys.spec.ssu.n_groups]
+            if not wanted:
+                continue
+            raw = group_bandwidths(ssu.members_matrix, disk_bw,
+                                   sys.spec.ssu.raid.n_data)
+            if self.mode == "concurrent":
+                caps = ssu.couplet.group_share_caps(fs_level=True)
+            else:
+                # One OST at a time: the whole owning controller is available.
+                controller_caps = np.array([
+                    c.bw_cap(fs_level=True) for c in ssu.couplet.controllers
+                ])
+                caps = controller_caps[ssu.couplet.group_owner]
+            for i in wanted:
+                g = i - base
+                write = min(float(raw[g]), float(caps[g])) * OBDFILTER_EFFICIENCY
+                noise = float(rng.normal(1.0, self.noise_sigma))
+                write = max(0.0, write * noise)
+                results.append(SurveyResult(
+                    ost_index=i,
+                    write=write,
+                    rewrite=write * REWRITE_EFFICIENCY,
+                    read=min(write * self.read_efficiency, float(caps[g])),
+                ))
+        results.sort(key=lambda r: r.ost_index)
+        return results
+
+    def fs_overhead(self, block_bandwidths: np.ndarray,
+                    results: list[SurveyResult]) -> float:
+        """Mean fs-level overhead vs the block-level measurement of the same
+        OSTs — the §III-B block-vs-fs comparison."""
+        fs = np.array([r.write for r in results])
+        block = np.asarray(block_bandwidths, dtype=float)
+        if len(fs) != len(block):
+            raise ValueError("need matching block and fs measurement sets")
+        mask = block > 0
+        if not mask.any():
+            raise ValueError("no positive block measurements")
+        return float(1.0 - (fs[mask] / block[mask]).mean())

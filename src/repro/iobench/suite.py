@@ -1,0 +1,125 @@
+"""The procurement benchmark suite of §III-B.
+
+"OLCF developed and released a benchmark suite ... It includes block-level
+and file system-level benchmark components.  The block-level performance
+represents the raw performance of the storage systems.  The file-system
+performance also accounts for the software overhead ...  By comparing
+these two benchmark results, we can measure the file system overhead."
+
+:class:`AcceptanceSuite` runs fair-lio over an SSU's LUNs and
+obdfilter-survey over its OSTs, derives the fs overhead, evaluates the
+random/sequential ratio, and checks the SOW performance floors — the
+artifact a vendor response is scored against in `repro.ops.procurement`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.spider import SpiderSystem
+from repro.iobench.fairlio import FairLioSweep, LunTarget, random_to_sequential_ratio
+from repro.iobench.obdfilter_survey import ObdfilterSurvey
+from repro.units import GB, MiB
+
+__all__ = ["SuiteReport", "AcceptanceSuite"]
+
+
+@dataclass(frozen=True)
+class SuiteReport:
+    """Aggregate acceptance results for one SSU."""
+
+    ssu_index: int
+    block_seq_bw: float  # aggregate sequential, block level
+    block_random_bw: float  # aggregate random, 1 MiB per-disk chunks, qd1
+    fs_write_bw: float  # aggregate obdfilter write (concurrent)
+    fs_overhead: float  # 1 - fs/block per-OST mean
+    random_ratio: float  # random/sequential at 1 MiB
+
+    def rows(self) -> list[tuple[str, str]]:
+        return [
+            ("block sequential", f"{self.block_seq_bw / GB:.1f} GB/s"),
+            ("block random (1MiB/disk)", f"{self.block_random_bw / GB:.1f} GB/s"),
+            ("fs-level write", f"{self.fs_write_bw / GB:.1f} GB/s"),
+            ("fs overhead", f"{self.fs_overhead:.1%}"),
+            ("random/seq ratio", f"{self.random_ratio:.2f}"),
+        ]
+
+
+@dataclass
+class AcceptanceSuite:
+    """Run the §III-B suite against one SSU of a built system."""
+
+    system: SpiderSystem
+    sweep: FairLioSweep = field(default_factory=lambda: FairLioSweep(
+        request_sizes=(256 * 1024, MiB, 8 * MiB),
+        queue_depths=(1, 4), write_fractions=(0.0, 1.0)))
+    seed: int = 3
+
+    def run_ssu(self, ssu_index: int) -> SuiteReport:
+        sys = self.system
+        ssu = sys.ssus[ssu_index]
+        rng = np.random.default_rng(self.seed)
+
+        luns = [LunTarget(g) for g in ssu.groups]
+        block_results = self.sweep.run_many(luns, rng)
+
+        seq = [r for r in block_results
+               if r.sequential and r.request_size == MiB and r.queue_depth == 1]
+        # Random measured at an 8 MiB LUN request — a 1 MiB chunk per data
+        # disk, the granularity behind the paper's 20-25% figure and the
+        # 240 GB/s SOW floor.
+        rnd = [r for r in block_results
+               if not r.sequential and r.request_size == 8 * MiB
+               and r.queue_depth == 1]
+        # Aggregate over LUNs, capped by the couplet's block path.
+        per_lun_seq = {}
+        for r in seq:
+            per_lun_seq.setdefault(r.target, []).append(r.bandwidth)
+        block_seq = min(
+            sum(float(np.mean(v)) for v in per_lun_seq.values()),
+            ssu.couplet.bw_cap(fs_level=False),
+        )
+        per_lun_rnd = {}
+        for r in rnd:
+            per_lun_rnd.setdefault(r.target, []).append(r.bandwidth)
+        block_rnd = min(
+            sum(float(np.mean(v)) for v in per_lun_rnd.values()),
+            ssu.couplet.bw_cap(fs_level=False),
+        )
+
+        base = ssu_index * sys.spec.ssu.n_groups
+        ost_indices = list(range(base, base + sys.spec.ssu.n_groups))
+        survey_iso = ObdfilterSurvey(sys, mode="isolated").run(ost_indices, rng)
+        survey_conc = ObdfilterSurvey(sys, mode="concurrent").run(ost_indices, rng)
+        fs_write = sum(r.write for r in survey_conc)
+
+        block_per_ost = np.array([float(np.mean(per_lun_seq[g.name]))
+                                  for g in ssu.groups])
+        overhead = ObdfilterSurvey(sys).fs_overhead(block_per_ost, survey_iso)
+
+        return SuiteReport(
+            ssu_index=ssu_index,
+            block_seq_bw=block_seq,
+            block_random_bw=block_rnd,
+            fs_write_bw=fs_write,
+            fs_overhead=overhead,
+            # Random ratio at a per-disk 1 MiB chunk (8 MiB LUN request),
+            # matching the paper's single-disk definition of the metric.
+            random_ratio=random_to_sequential_ratio(
+                block_results, request_size=8 * MiB),
+        )
+
+    def check_sow_targets(
+        self,
+        report: SuiteReport,
+        *,
+        seq_floor: float,
+        random_floor: float,
+    ) -> dict[str, bool]:
+        """Evaluate an SSU report against SOW performance floors."""
+        return {
+            "sequential": report.block_seq_bw >= seq_floor,
+            "random": report.block_random_bw >= random_floor,
+        }

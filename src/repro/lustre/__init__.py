@@ -1,0 +1,35 @@
+"""A functional Lustre-like parallel file system model.
+
+This is not a POSIX implementation; it is the *operational* model of Lustre
+that the paper reasons with: a metadata server with a finite op rate, object
+storage targets backed by RAID groups with fill-dependent performance,
+object storage servers with finite CPU/network capability, striped file
+layouts, and LNET routers bridging the compute interconnect to the SAN.
+"""
+
+from repro.lustre.namespace import Namespace, FileEntry, StripeLayout
+from repro.lustre.mds import MdsSpec, MetadataServer, MetadataCluster
+from repro.lustre.ost import OstSpec, Ost, fill_penalty
+from repro.lustre.oss import OssSpec, Oss
+from repro.lustre.client import Client
+from repro.lustre.filesystem import LustreFilesystem
+from repro.lustre.recovery import RecoverySpec, RecoveryOutcome, simulate_recovery
+
+__all__ = [
+    "Namespace",
+    "FileEntry",
+    "StripeLayout",
+    "MdsSpec",
+    "MetadataServer",
+    "MetadataCluster",
+    "OstSpec",
+    "Ost",
+    "fill_penalty",
+    "OssSpec",
+    "Oss",
+    "Client",
+    "LustreFilesystem",
+    "RecoverySpec",
+    "RecoveryOutcome",
+    "simulate_recovery",
+]

@@ -1,0 +1,41 @@
+"""Lustre clients: Titan compute nodes mounting the center-wide file system.
+
+A client is a (name, torus coordinate) pair with a per-node bandwidth cap
+(the Lustre client stack tops out below the NIC injection rate).  Other
+OLCF resources — analysis clusters, visualization systems, data-transfer
+nodes — mount the same namespaces but enter the fabric through their own
+router sets; they are modelled as clients with ``coord=None`` plus an
+explicit entry leaf.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.network.torus import Coord
+from repro.units import GB
+
+__all__ = ["Client"]
+
+
+@dataclass(frozen=True)
+class Client:
+    """One file-system client."""
+
+    name: str
+    coord: Coord | None = None  # torus position; None for off-torus resources
+    bw_cap: float = 2.2 * GB  # Lustre client stack ceiling, bytes/s
+    resource: str = "titan"  # owning compute resource
+
+    def __post_init__(self) -> None:
+        if self.bw_cap <= 0:
+            raise ValueError("bw_cap must be positive")
+
+    @property
+    def component(self) -> str:
+        """Flow-network component name for the client stack cap."""
+        return f"client:{self.name}"
+
+    @property
+    def on_torus(self) -> bool:
+        return self.coord is not None

@@ -1,0 +1,169 @@
+"""Metadata servers: the single-MDS bottleneck and DNE.
+
+§IV-C is explicit about why Spider is split into multiple namespaces:
+
+  "Lustre supports a single metadata server per namespace.  This limitation
+   cannot sustain the necessary rate of concurrent file system metadata
+   operations for the OLCF user workloads."
+
+The model gives one MDS a finite operation budget with per-op costs, and a
+:class:`MetadataCluster` distributes load over several MDTs, either as
+separate namespaces (Spider's choice) or as DNE (Lustre ≥ 2.4's distributed
+namespace, which the paper recommends using *in addition to* multiple
+namespaces).  The stat-amplification of striped files — every ``stat`` must
+consult every OST holding data — is modelled via ``stat_ost_rpcs``; this is
+the mechanism behind both the `du` pathology (Lesson 19) and the
+single-OST-striping best practice of §VII.
+
+Capacity calibration: a Lustre 2.x-era MDS sustains on the order of 10-40k
+metadata ops/s depending on mix; defaults sit in that band.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+__all__ = ["MdsSpec", "OpMix", "MetadataServer", "MetadataCluster"]
+
+
+@dataclass(frozen=True)
+class MdsSpec:
+    """Service rates of one metadata server (ops/second)."""
+
+    create_rate: float = 15_000.0
+    stat_rate: float = 40_000.0
+    unlink_rate: float = 12_000.0
+    mkdir_rate: float = 10_000.0
+    readdir_entry_rate: float = 200_000.0  # directory entries scanned per sec
+    #: additional per-stat OST RPC cost, as a fraction of one stat, charged
+    #: once per stripe the file spans
+    stat_ost_rpc_cost: float = 0.4
+
+    def __post_init__(self) -> None:
+        rates = (self.create_rate, self.stat_rate, self.unlink_rate,
+                 self.mkdir_rate, self.readdir_entry_rate)
+        if any(r <= 0 for r in rates):
+            raise ValueError("all rates must be positive")
+        if self.stat_ost_rpc_cost < 0:
+            raise ValueError("stat_ost_rpc_cost must be non-negative")
+
+
+@dataclass
+class OpMix:
+    """A metadata workload expressed as operation counts."""
+
+    creates: int = 0
+    stats: int = 0
+    unlinks: int = 0
+    mkdirs: int = 0
+    readdir_entries: int = 0
+    #: mean stripe count of statted files (drives OST RPC amplification)
+    mean_stripe_count: float = 1.0
+
+    def scaled(self, factor: float) -> "OpMix":
+        return OpMix(
+            creates=int(self.creates * factor),
+            stats=int(self.stats * factor),
+            unlinks=int(self.unlinks * factor),
+            mkdirs=int(self.mkdirs * factor),
+            readdir_entries=int(self.readdir_entries * factor),
+            mean_stripe_count=self.mean_stripe_count,
+        )
+
+    @property
+    def total_ops(self) -> int:
+        return (self.creates + self.stats + self.unlinks + self.mkdirs
+                + self.readdir_entries)
+
+
+class MetadataServer:
+    """One MDS/MDT with a finite service budget."""
+
+    def __init__(self, spec: MdsSpec | None = None, name: str = "mds0") -> None:
+        self.spec = spec or MdsSpec()
+        self.name = name
+        self.ops_served = 0
+        self.busy_seconds = 0.0
+
+    def service_time(self, mix: OpMix) -> float:
+        """Seconds of MDS time to serve ``mix`` (an M/D/1-style demand)."""
+        s = self.spec
+        stat_cost = (1.0 + s.stat_ost_rpc_cost * max(0.0, mix.mean_stripe_count)) / s.stat_rate
+        t = (
+            mix.creates / s.create_rate
+            + mix.stats * stat_cost
+            + mix.unlinks / s.unlink_rate
+            + mix.mkdirs / s.mkdir_rate
+            + mix.readdir_entries / s.readdir_entry_rate
+        )
+        self.ops_served += mix.total_ops
+        self.busy_seconds += t
+        return t
+
+    def sustainable_rate(self, mix: OpMix) -> float:
+        """Ops/s ceiling for a workload with the proportions of ``mix``."""
+        total = mix.total_ops
+        if total == 0:
+            return float("inf")
+        # Take a snapshot; service_time mutates counters, so use a probe MDS.
+        probe = MetadataServer(self.spec, name="probe")
+        t = probe.service_time(mix)
+        return total / t if t > 0 else float("inf")
+
+
+class MetadataCluster:
+    """Several MDTs, load-shared either as separate namespaces or via DNE.
+
+    * ``mode="namespaces"`` — files are partitioned by project/namespace;
+      each MDS sees only its own namespace's traffic (Spider's design).
+      Imbalance across namespaces strands capacity, captured by
+      ``balance`` ∈ (0, 1]: the busiest MDS gets ``1/ (n·balance)`` of load.
+    * ``mode="dne"`` — directory-level distribution inside a single
+      namespace; near-perfect balance but a cross-MDT overhead on renames
+      and cross-directory ops (``dne_overhead``).
+    """
+
+    def __init__(
+        self,
+        n_servers: int,
+        spec: MdsSpec | None = None,
+        *,
+        mode: str = "namespaces",
+        balance: float = 0.85,
+        dne_overhead: float = 0.10,
+    ) -> None:
+        if n_servers < 1:
+            raise ValueError("need at least one MDS")
+        if mode not in ("namespaces", "dne"):
+            raise ValueError(f"unknown mode {mode!r}")
+        if not (0 < balance <= 1):
+            raise ValueError("balance must be in (0, 1]")
+        if dne_overhead < 0:
+            raise ValueError("dne_overhead must be non-negative")
+        self.mode = mode
+        self.balance = balance
+        self.dne_overhead = dne_overhead
+        self.servers = [
+            MetadataServer(spec, name=f"mds{i}") for i in range(n_servers)
+        ]
+
+    @property
+    def n_servers(self) -> int:
+        return len(self.servers)
+
+    def sustainable_rate(self, mix: OpMix) -> float:
+        """Aggregate metadata ops/s the cluster can sustain for ``mix``."""
+        single = self.servers[0].sustainable_rate(mix)
+        if self.n_servers == 1:
+            return single
+        if self.mode == "namespaces":
+            # The busiest namespace saturates first; effective aggregate is
+            # n * balance * single.
+            return self.n_servers * self.balance * single
+        # DNE: even distribution, small cross-MDT tax.
+        return self.n_servers * single / (1.0 + self.dne_overhead)
+
+    def speedup_over_single(self, mix: OpMix) -> float:
+        single = self.servers[0].sustainable_rate(mix)
+        return self.sustainable_rate(mix) / single if single else float("inf")

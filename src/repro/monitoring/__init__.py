@@ -1,0 +1,25 @@
+"""The operational monitoring stack of §IV-A (Lesson 8): a Nagios-like
+check scheduler with alerting, the Lustre Health Checker (hardware vs
+software event correlation), the DDN-tool controller poller with its
+metrics database, and the InfiniBand error-counter monitor.
+"""
+
+from repro.monitoring.metricsdb import MetricsDb, MetricPoint
+from repro.monitoring.checks import CheckScheduler, CheckResult, CheckState, Alert
+from repro.monitoring.health import LustreHealthChecker, HealthEvent, EventKind
+from repro.monitoring.ddntool import DdnTool
+from repro.monitoring.ibmon import IbMonitor
+
+__all__ = [
+    "MetricsDb",
+    "MetricPoint",
+    "CheckScheduler",
+    "CheckResult",
+    "CheckState",
+    "Alert",
+    "LustreHealthChecker",
+    "HealthEvent",
+    "EventKind",
+    "DdnTool",
+    "IbMonitor",
+]

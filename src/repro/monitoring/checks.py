@@ -1,0 +1,132 @@
+"""A Nagios-like check scheduler (§IV-A, Lesson 8).
+
+"OLCF has developed mechanisms for providing better reporting about the
+health of the file system through the OLCF's monitoring framework provided
+by Nagios."
+
+Checks are named callables returning a :class:`CheckState`; the scheduler
+runs them periodically on the simulation engine, tracks state transitions,
+and raises/clears alerts.  Flap damping is deliberate: an alert fires only
+after ``confirm_after`` consecutive non-OK results, matching operational
+practice (single bad polls of a 20,000-drive system are noise).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.sim.engine import Engine
+
+__all__ = ["CheckState", "CheckResult", "Alert", "CheckScheduler"]
+
+
+class CheckState(enum.IntEnum):
+    OK = 0
+    WARNING = 1
+    CRITICAL = 2
+    UNKNOWN = 3
+
+
+@dataclass(frozen=True)
+class CheckResult:
+    check: str
+    time: float
+    state: CheckState
+    message: str = ""
+
+
+@dataclass
+class Alert:
+    check: str
+    raised_at: float
+    state: CheckState
+    message: str
+    cleared_at: float | None = None
+
+    @property
+    def active(self) -> bool:
+        return self.cleared_at is None
+
+    @property
+    def duration(self) -> float | None:
+        if self.cleared_at is None:
+            return None
+        return self.cleared_at - self.raised_at
+
+
+@dataclass
+class _CheckEntry:
+    name: str
+    fn: Callable[[], tuple[CheckState, str]]
+    interval: float
+    confirm_after: int
+    consecutive_bad: int = 0
+    last_state: CheckState = CheckState.OK
+    active_alert: Alert | None = None
+
+
+class CheckScheduler:
+    """Periodic checks + alert lifecycle on a simulation engine."""
+
+    def __init__(self, engine: Engine) -> None:
+        self.engine = engine
+        self._checks: dict[str, _CheckEntry] = {}
+        self.results: list[CheckResult] = []
+        self.alerts: list[Alert] = []
+
+    def register(
+        self,
+        name: str,
+        fn: Callable[[], tuple[CheckState, str]],
+        *,
+        interval: float = 60.0,
+        confirm_after: int = 2,
+    ) -> None:
+        """Add a check.  ``fn`` returns (state, message) when polled."""
+        if name in self._checks:
+            raise ValueError(f"duplicate check {name!r}")
+        if interval <= 0 or confirm_after < 1:
+            raise ValueError("interval must be positive, confirm_after >= 1")
+        entry = _CheckEntry(name=name, fn=fn, interval=interval,
+                            confirm_after=confirm_after)
+        self._checks[name] = entry
+        self.engine.every(interval, lambda e=entry: self._poll(e),
+                          name=f"check:{name}")
+
+    def _poll(self, entry: _CheckEntry) -> None:
+        try:
+            state, message = entry.fn()
+        except Exception as exc:  # a crashing check is itself a finding
+            state, message = CheckState.UNKNOWN, f"check error: {exc!r}"
+        now = self.engine.now
+        self.results.append(CheckResult(entry.name, now, state, message))
+        entry.last_state = state
+        if state is CheckState.OK:
+            entry.consecutive_bad = 0
+            if entry.active_alert is not None:
+                entry.active_alert.cleared_at = now
+                entry.active_alert = None
+            return
+        entry.consecutive_bad += 1
+        if entry.consecutive_bad >= entry.confirm_after and entry.active_alert is None:
+            alert = Alert(check=entry.name, raised_at=now, state=state,
+                          message=message)
+            entry.active_alert = alert
+            self.alerts.append(alert)
+
+    # -- queries ---------------------------------------------------------------
+
+    def active_alerts(self) -> list[Alert]:
+        return [a for a in self.alerts if a.active]
+
+    def state_of(self, name: str) -> CheckState:
+        return self._checks[name].last_state
+
+    def detection_latency(self, check: str, fault_time: float) -> float | None:
+        """Seconds from fault injection to the first alert on ``check``."""
+        for alert in self.alerts:
+            if alert.check == check and alert.raised_at >= fault_time:
+                return alert.raised_at - fault_time
+        return None

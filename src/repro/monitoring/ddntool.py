@@ -1,0 +1,68 @@
+"""DDN tool: the controller poller (§IV-A).
+
+Polls every controller couplet of a Spider system at a fixed rate for its
+I/O counters (read/write bytes and request counts, request-size histogram)
+and stores them in the :class:`~repro.monitoring.metricsdb.MetricsDb` —
+the same shape as the real tool's controller-API → MySQL pipeline.
+"""
+
+from __future__ import annotations
+
+
+from repro.core.spider import SpiderSystem
+from repro.monitoring.metricsdb import MetricsDb
+from repro.sim.engine import Engine
+
+__all__ = ["DdnTool"]
+
+
+class DdnTool:
+    """Periodic couplet polling into a metrics database."""
+
+    def __init__(
+        self,
+        system: SpiderSystem,
+        db: MetricsDb,
+        *,
+        poll_interval: float = 60.0,
+    ) -> None:
+        if poll_interval <= 0:
+            raise ValueError("poll_interval must be positive")
+        self.system = system
+        self.db = db
+        self.poll_interval = poll_interval
+        self.polls = 0
+
+    def poll_once(self, now: float) -> None:
+        """One polling round over every couplet."""
+        for ssu in self.system.ssus:
+            name = ssu.couplet.name
+            read_bytes = write_bytes = 0
+            read_reqs = write_reqs = 0
+            for ctrl in ssu.couplet.controllers:
+                read_bytes += ctrl.counters.read_bytes
+                write_bytes += ctrl.counters.write_bytes
+                read_reqs += ctrl.counters.read_requests
+                write_reqs += ctrl.counters.write_requests
+            self.db.insert("ctrl.read_bytes", name, now, read_bytes)
+            self.db.insert("ctrl.write_bytes", name, now, write_bytes)
+            self.db.insert("ctrl.read_requests", name, now, read_reqs)
+            self.db.insert("ctrl.write_requests", name, now, write_reqs)
+            self.db.insert("ctrl.online", name, now,
+                           1.0 if ssu.couplet.online else 0.0)
+        self.polls += 1
+
+    def attach(self, engine: Engine) -> None:
+        """Run on the simulation engine at the polling rate."""
+        engine.every(self.poll_interval, lambda: self.poll_once(engine.now),
+                     name="ddntool")
+
+    # -- reports ----------------------------------------------------------------
+
+    def write_bandwidth(self, couplet: str, t0: float, t1: float) -> float:
+        """Delivered write bandwidth of one couplet over a window (counter
+        difference / time) — the standard admin report."""
+        return self.db.rate("ctrl.write_bytes", couplet, t0, t1)
+
+    def busiest_couplets(self, n: int = 5) -> list[tuple[str, float]]:
+        return self.db.top_sources("ctrl.write_bytes", n)

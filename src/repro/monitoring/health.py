@@ -1,0 +1,131 @@
+"""The Lustre Health Checker (§IV-A).
+
+"OLCF developed a utility called Lustre Health Checker that provided
+visibility into internal Lustre health events, giving system
+administrators a coherent collection of associated errors from a Lustre
+failure condition.  Additional utilities were extended to coalesce
+physical hardware events on the Lustre servers ...  These two features
+allowed system administrators to discriminate between hardware events and
+Lustre software issues."
+
+The checker consumes a stream of raw events (hardware: disk/cable/
+controller/enclosure; software: Lustre RPC timeouts, evictions, journal
+errors) and produces *incidents*: time-windowed groups of correlated
+events classified as hardware-rooted, software-rooted, or mixed.  The
+classification rule mirrors operational triage: a software symptom within
+the correlation window of a hardware event on the same server chain is
+attributed to the hardware root cause.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+__all__ = ["EventKind", "HealthEvent", "Incident", "LustreHealthChecker"]
+
+
+class EventKind(enum.Enum):
+    # hardware
+    DISK_FAILURE = "disk_failure"
+    DISK_LATENCY = "disk_latency"
+    CABLE_ERRORS = "cable_errors"
+    CONTROLLER_FAILOVER = "controller_failover"
+    ENCLOSURE_OFFLINE = "enclosure_offline"
+    # software
+    RPC_TIMEOUT = "rpc_timeout"
+    CLIENT_EVICTION = "client_eviction"
+    JOURNAL_ERROR = "journal_error"
+    LBUG = "lbug"
+
+    @property
+    def is_hardware(self) -> bool:
+        return self in _HARDWARE
+
+
+_HARDWARE = {
+    EventKind.DISK_FAILURE,
+    EventKind.DISK_LATENCY,
+    EventKind.CABLE_ERRORS,
+    EventKind.CONTROLLER_FAILOVER,
+    EventKind.ENCLOSURE_OFFLINE,
+}
+
+
+@dataclass(frozen=True)
+class HealthEvent:
+    """One raw event from a server, controller, or fabric element."""
+
+    time: float
+    kind: EventKind
+    host: str  # server/controller the event surfaced on
+    detail: str = ""
+
+
+@dataclass
+class Incident:
+    """A correlated group of events — what the admin actually triages."""
+
+    events: list[HealthEvent] = field(default_factory=list)
+
+    @property
+    def start(self) -> float:
+        return min(e.time for e in self.events)
+
+    @property
+    def end(self) -> float:
+        return max(e.time for e in self.events)
+
+    @property
+    def hosts(self) -> set[str]:
+        return {e.host for e in self.events}
+
+    @property
+    def classification(self) -> str:
+        """'hardware', 'software', or 'hardware-rooted' (software symptoms
+        correlated with a hardware event)."""
+        hw = any(e.kind.is_hardware for e in self.events)
+        sw = any(not e.kind.is_hardware for e in self.events)
+        if hw and sw:
+            return "hardware-rooted"
+        return "hardware" if hw else "software"
+
+
+class LustreHealthChecker:
+    """Event ingestion + correlation into incidents."""
+
+    def __init__(self, *, window: float = 120.0) -> None:
+        if window <= 0:
+            raise ValueError("window must be positive")
+        self.window = window
+        self.events: list[HealthEvent] = []
+
+    def ingest(self, event: HealthEvent) -> None:
+        if self.events and event.time < self.events[-1].time:
+            raise ValueError("events must arrive in time order")
+        self.events.append(event)
+
+    def incidents(self) -> list[Incident]:
+        """Group events into incidents: events join an incident when they
+        fall within ``window`` seconds of its last event AND share a host
+        chain (same host, or same host prefix before the first '.')."""
+        incidents: list[Incident] = []
+        for event in self.events:
+            placed = False
+            for incident in reversed(incidents):
+                if event.time - incident.end > self.window:
+                    continue
+                chain = {h.split(".")[0] for h in incident.hosts}
+                if event.host.split(".")[0] in chain:
+                    incident.events.append(event)
+                    placed = True
+                    break
+            if not placed:
+                incidents.append(Incident(events=[event]))
+        return incidents
+
+    def classify_counts(self) -> dict[str, int]:
+        counts: dict[str, int] = {"hardware": 0, "software": 0, "hardware-rooted": 0}
+        for incident in self.incidents():
+            counts[incident.classification] += 1
+        return counts

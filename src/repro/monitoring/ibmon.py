@@ -1,0 +1,102 @@
+"""InfiniBand fabric monitoring (§IV-A).
+
+"To monitor the InfiniBand adapter and network, custom checks were written
+around the standard OFED tools for HCA errors and network errors ...
+Single cable failures can cause performance degradation in accessing the
+file system.  OLCF has developed procedures for diagnosing a cable
+in-place."
+
+The monitor samples the fabric's per-cable error counters, alerts on
+symbol-error *rate* (a flapping cable accrues errors while still passing
+traffic — the insidious degradation case), and provides the in-place cable
+diagnosis: compare a cable's delivered bandwidth against its healthy peers
+on the same leaf.
+"""
+
+from __future__ import annotations
+
+
+import numpy as np
+
+from repro.network.infiniband import InfinibandFabric
+from repro.monitoring.checks import CheckScheduler, CheckState
+from repro.monitoring.metricsdb import MetricsDb
+
+__all__ = ["IbMonitor"]
+
+
+class IbMonitor:
+    """Error-counter sampling + degraded-cable diagnosis."""
+
+    def __init__(
+        self,
+        fabric: InfinibandFabric,
+        db: MetricsDb,
+        *,
+        symbol_error_rate_threshold: float = 1.0,  # errors/s sustained
+    ) -> None:
+        self.fabric = fabric
+        self.db = db
+        self.threshold = symbol_error_rate_threshold
+        self._last_sample: dict[str, tuple[float, int]] = {}
+
+    def sample(self, now: float) -> None:
+        """Record every cable's counters."""
+        for host, (symbol_errors, link_downs) in self.fabric.error_counters().items():
+            self.db.insert("ib.symbol_errors", host, now, symbol_errors)
+            self.db.insert("ib.link_downs", host, now, link_downs)
+            self._last_sample[host] = (now, symbol_errors)
+
+    def error_rate(self, host: str, t0: float, t1: float) -> float:
+        try:
+            return self.db.rate("ib.symbol_errors", host, t0, t1)
+        except KeyError:
+            return 0.0
+
+    def attach_sampler(self, engine, *, interval: float = 60.0) -> None:
+        """One fabric-wide counter sweep per interval.  Checks registered
+        with :meth:`register_checks` read the stored rates — sampling once
+        per round instead of once per cable keeps a 700-cable fabric cheap
+        to monitor."""
+        engine.every(interval, lambda: self.sample(engine.now),
+                     name="ibmon-sampler")
+
+    def register_checks(self, scheduler: CheckScheduler, *,
+                        interval: float = 60.0,
+                        hosts: list[str] | None = None) -> None:
+        """Per-cable checks flagging sustained symbol-error rates.
+
+        Requires :meth:`attach_sampler` (or manual :meth:`sample` calls) to
+        feed the metrics DB; the checks themselves only read rates.
+        ``hosts`` restricts the check set (default: every cable).
+        """
+        self.attach_sampler(scheduler.engine, interval=interval)
+        for host in (hosts if hosts is not None else self.fabric.error_counters()):
+            def _check(h: str = host) -> tuple[CheckState, str]:
+                now = scheduler.engine.now
+                rate = self.error_rate(h, now - 5 * interval, now + 1e-9)
+                if rate > 10 * self.threshold:
+                    return CheckState.CRITICAL, f"{h}: {rate:.1f} sym-err/s"
+                if rate > self.threshold:
+                    return CheckState.WARNING, f"{h}: {rate:.1f} sym-err/s"
+                return CheckState.OK, f"{h}: clean"
+            scheduler.register(f"ib:{host}", _check, interval=interval)
+
+    def diagnose_cable(self, host: str) -> dict[str, float | bool]:
+        """In-place diagnosis: compare this cable's effective bandwidth to
+        the healthy-peer median on the same leaf switch."""
+        cable = self.fabric.cable_of(host)
+        peers = [
+            c for c in self.fabric.cables
+            if c.leaf == cable.leaf and c.host != host and c.healthy
+        ]
+        port_bw = self.fabric.spec.port_bw
+        peer_median = float(np.median([c.degradation for c in peers])) if peers else 1.0
+        ratio = cable.degradation / peer_median if peer_median else 0.0
+        return {
+            "host_bw": cable.degradation * port_bw,
+            "peer_median_bw": peer_median * port_bw,
+            "ratio": ratio,
+            "degraded": ratio < 0.9,
+            "symbol_errors": float(cable.symbol_errors),
+        }

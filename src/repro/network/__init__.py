@@ -1,0 +1,19 @@
+"""Interconnect substrate: the Gemini-like 3D torus carrying Titan's
+clients, the SION-like InfiniBand SAN carrying the storage traffic, and the
+LNET routing layer (including fine-grained routing, FGR) that bridges them.
+"""
+
+from repro.network.torus import Torus3D, TorusSpec
+from repro.network.infiniband import InfinibandFabric, FabricSpec
+from repro.network.lnet import LnetConfig, RoutingPolicy, FineGrainedRouting, RoundRobinRouting
+
+__all__ = [
+    "Torus3D",
+    "TorusSpec",
+    "InfinibandFabric",
+    "FabricSpec",
+    "LnetConfig",
+    "RoutingPolicy",
+    "FineGrainedRouting",
+    "RoundRobinRouting",
+]

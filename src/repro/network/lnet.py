@@ -1,0 +1,136 @@
+"""LNET routing between the torus and the InfiniBand fabric.
+
+Lustre's LNET layer sees two networks: the Gemini side (clients, routers)
+and the InfiniBand side (routers, servers).  Each I/O router is a host on
+both.  §V-B describes OLCF's *fine-grained routing* (FGR):
+
+  "Each router has an InfiniBand-side NI that corresponds to the leaf
+   switch it is plugged into.  Clients choose to use a topologically close
+   router that uses the NI of the desired destination.  Clients have a
+   Gemini-side NI that corresponds to a topological 'zone' in the torus.
+   The Lustre servers will choose a router connected to the same InfiniBand
+   leaf switch that is in the destination topological zone."
+
+Policies implemented:
+
+* :class:`FineGrainedRouting` — destination-leaf-matched, topologically
+  nearest router (the paper's FGR);
+* :class:`RoundRobinRouting` — the naive baseline: any router, round robin,
+  ignoring both torus locality and leaf affinity.  Traffic then crosses the
+  torus farther *and* hops through IB core switches, which is what FGR is
+  measured against in experiment E9.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.network.infiniband import InfinibandFabric
+from repro.network.torus import Coord, Torus3D
+
+__all__ = ["RouterInfo", "LnetConfig", "RoutingPolicy", "FineGrainedRouting", "RoundRobinRouting"]
+
+
+@dataclass(frozen=True)
+class RouterInfo:
+    """One Lustre I/O router: a dual-homed LNET node."""
+
+    name: str
+    coord: Coord  # Gemini-side position
+    leaf: int  # InfiniBand-side leaf switch (its IB NI)
+
+
+class LnetConfig:
+    """The routing substrate shared by all policies."""
+
+    def __init__(
+        self,
+        torus: Torus3D,
+        fabric: InfinibandFabric,
+        routers: list[RouterInfo],
+    ) -> None:
+        if not routers:
+            raise ValueError("need at least one router")
+        self.torus = torus
+        self.fabric = fabric
+        self.routers = list(routers)
+        self._coords = np.array([r.coord for r in self.routers], dtype=int)
+        self._by_leaf: dict[int, list[int]] = {}
+        for i, r in enumerate(self.routers):
+            self._by_leaf.setdefault(r.leaf, []).append(i)
+
+    def routers_for_leaf(self, leaf: int) -> list[RouterInfo]:
+        return [self.routers[i] for i in self._by_leaf.get(leaf, [])]
+
+    def router_coords(self) -> np.ndarray:
+        return self._coords.copy()
+
+
+class RoutingPolicy:
+    """Maps (client coordinate, destination leaf) to a router."""
+
+    name = "abstract"
+
+    def __init__(self, config: LnetConfig) -> None:
+        self.config = config
+
+    def select_router(self, client: Coord, dst_leaf: int) -> RouterInfo:
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        return self.name
+
+
+class FineGrainedRouting(RoutingPolicy):
+    """The paper's FGR: leaf-matched, topologically close, load-spread.
+
+    Among the routers whose InfiniBand NI sits on the destination leaf
+    switch, consider those within ``slack`` torus hops of the nearest one
+    (the client's router *zone*), and pick the least-loaded of them —
+    zones in the production FGR configuration are sized so client
+    assignments balance across a leaf's routers rather than piling onto
+    the single geometrically nearest one.  Ties break by distance, then
+    router index, keeping the policy deterministic.
+    """
+
+    name = "fgr"
+
+    def __init__(self, config: LnetConfig, *, slack: int = 4) -> None:
+        super().__init__(config)
+        if slack < 0:
+            raise ValueError("slack must be non-negative")
+        self.slack = slack
+        self._load = np.zeros(len(config.routers), dtype=np.int64)
+
+    def select_router(self, client: Coord, dst_leaf: int) -> RouterInfo:
+        candidates = self.config._by_leaf.get(dst_leaf)
+        if not candidates:
+            raise LookupError(f"no router serves leaf {dst_leaf}")
+        coords = self.config._coords[candidates]
+        dists = self.config.torus.distances_from(client, coords)
+        near_mask = dists <= dists.min() + self.slack
+        near = [(self._load[candidates[i]], int(dists[i]), candidates[i])
+                for i in np.flatnonzero(near_mask)]
+        _load, _dist, pick = min(near)
+        self._load[pick] += 1
+        return self.config.routers[pick]
+
+
+class RoundRobinRouting(RoutingPolicy):
+    """Naive baseline: cycle through all routers, ignoring locality.
+
+    This is what a flat LNET configuration (single network, equal-priority
+    routes) degenerates to, and it is the configuration FGR replaced.
+    """
+
+    name = "round-robin"
+
+    def __init__(self, config: LnetConfig) -> None:
+        super().__init__(config)
+        self._cycle = itertools.cycle(range(len(config.routers)))
+
+    def select_router(self, client: Coord, dst_leaf: int) -> RouterInfo:
+        return self.config.routers[next(self._cycle)]

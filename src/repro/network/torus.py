@@ -1,0 +1,189 @@
+"""A Gemini-like 3D torus interconnect (Titan's network).
+
+Titan is a Cray XK7: 18,688 compute nodes, two nodes per Gemini ASIC, the
+ASICs wired as a 3D torus.  The production machine's torus is 25 × 16 × 24
+in (X, Y, Z); cabinets form a 25 × 8 floor grid (Figure 2's axes), each
+cabinet contributing a column of routers.
+
+The model keeps what the paper's router-placement reasoning needs:
+
+* torus coordinates, with wraparound distance;
+* deterministic dimension-ordered (X then Y then Z) shortest-wrap routing,
+  which is how Gemini routes in practice and what makes *placement* matter
+  (traffic between a client and its router concentrates on predictable
+  links);
+* per-directional-link capacities, so flow solving can expose congestion
+  hot-spots (Lesson 14);
+* per-node injection caps.
+
+Link identity: ``("gl", x, y, z, axis, sign)`` — the directed link leaving
+node ``(x, y, z)`` along ``axis`` (0/1/2) in direction ``sign`` (+1/-1).
+These tuples feed straight into :class:`repro.core.flow.FlowNetwork`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+from repro.units import GB
+
+__all__ = ["TorusSpec", "Torus3D", "TITAN_TORUS"]
+
+Coord = tuple[int, int, int]
+LinkId = tuple[str, int, int, int, int, int]
+
+
+@dataclass(frozen=True)
+class TorusSpec:
+    """Geometry and per-link capability of the torus."""
+
+    dims: tuple[int, int, int] = (25, 16, 24)
+    link_bw: float = 4.7 * GB  # bytes/s per directed link (Gemini-class)
+    injection_bw: float = 6.0 * GB  # bytes/s a node can inject
+    nodes_per_router: int = 2  # compute nodes per Gemini ASIC
+
+    def __post_init__(self) -> None:
+        if any(d <= 0 for d in self.dims):
+            raise ValueError("torus dimensions must be positive")
+        if self.link_bw <= 0 or self.injection_bw <= 0:
+            raise ValueError("bandwidths must be positive")
+
+    @property
+    def n_routers(self) -> int:
+        x, y, z = self.dims
+        return x * y * z
+
+    @property
+    def n_nodes(self) -> int:
+        return self.n_routers * self.nodes_per_router
+
+
+#: Titan's production torus geometry.
+TITAN_TORUS = TorusSpec()
+
+
+class Torus3D:
+    """Dimension-ordered-routed 3D torus with wraparound."""
+
+    def __init__(self, spec: TorusSpec | None = None) -> None:
+        self.spec = spec or TITAN_TORUS
+        self.dims = self.spec.dims
+
+    # -- coordinates ----------------------------------------------------------
+
+    def contains(self, coord: Coord) -> bool:
+        return all(0 <= c < d for c, d in zip(coord, self.dims))
+
+    def _check(self, coord: Coord) -> None:
+        if not self.contains(coord):
+            raise ValueError(f"coordinate {coord} outside torus {self.dims}")
+
+    def node_index(self, coord: Coord) -> int:
+        """Linearized router index (row-major X, Y, Z)."""
+        self._check(coord)
+        x, y, z = coord
+        _dx, dy, dz = self.dims
+        return (x * dy + y) * dz + z
+
+    def coord_of(self, index: int) -> Coord:
+        dx, dy, dz = self.dims
+        if not 0 <= index < dx * dy * dz:
+            raise ValueError(f"node index {index} out of range")
+        x, rem = divmod(index, dy * dz)
+        y, z = divmod(rem, dz)
+        return (x, y, z)
+
+    def all_coords(self) -> Iterator[Coord]:
+        dx, dy, dz = self.dims
+        for x in range(dx):
+            for y in range(dy):
+                for z in range(dz):
+                    yield (x, y, z)
+
+    # -- distance ---------------------------------------------------------------
+
+    def axis_delta(self, a: int, b: int, axis: int) -> int:
+        """Signed shortest-wrap displacement from ``a`` to ``b`` on ``axis``.
+
+        Ties (exactly half way around an even ring) break toward +1, keeping
+        routing deterministic.
+        """
+        d = self.dims[axis]
+        forward = (b - a) % d
+        backward = forward - d  # negative
+        if forward <= -backward:
+            return forward
+        return backward
+
+    def distance(self, src: Coord, dst: Coord) -> int:
+        """Hop count under shortest-wrap per-dimension routing."""
+        self._check(src)
+        self._check(dst)
+        return sum(abs(self.axis_delta(src[a], dst[a], a)) for a in range(3))
+
+    def distances_from(self, src: Coord, dsts: np.ndarray) -> np.ndarray:
+        """Vectorized hop counts from ``src`` to an ``(n, 3)`` coord array."""
+        self._check(src)
+        dsts = np.asarray(dsts, dtype=int)
+        total = np.zeros(len(dsts), dtype=int)
+        for a in range(3):
+            d = self.dims[a]
+            forward = (dsts[:, a] - src[a]) % d
+            total += np.minimum(forward, d - forward)
+        return total
+
+    # -- routing ---------------------------------------------------------------
+
+    def route(self, src: Coord, dst: Coord) -> list[Coord]:
+        """Node sequence of the dimension-ordered (X, then Y, then Z) path."""
+        self._check(src)
+        self._check(dst)
+        path = [src]
+        cur = list(src)
+        for axis in range(3):
+            delta = self.axis_delta(cur[axis], dst[axis], axis)
+            step = 1 if delta > 0 else -1
+            for _ in range(abs(delta)):
+                cur[axis] = (cur[axis] + step) % self.dims[axis]
+                path.append((cur[0], cur[1], cur[2]))
+        return path
+
+    def route_links(self, src: Coord, dst: Coord) -> list[LinkId]:
+        """Directed link ids traversed by the dimension-ordered route."""
+        links: list[LinkId] = []
+        cur = list(src)
+        self._check(src)
+        self._check(dst)
+        for axis in range(3):
+            delta = self.axis_delta(cur[axis], dst[axis], axis)
+            step = 1 if delta > 0 else -1
+            for _ in range(abs(delta)):
+                links.append(("gl", cur[0], cur[1], cur[2], axis, step))
+                cur[axis] = (cur[axis] + step) % self.dims[axis]
+        return links
+
+    def link_loads(self, pairs: list[tuple[Coord, Coord]]) -> dict[LinkId, int]:
+        """Count how many (src, dst) routes cross each directed link.
+
+        The paper's congestion reasoning (Lesson 14) is exactly this link
+        census: hot-spots are links whose count is far above the mean.
+        """
+        loads: dict[LinkId, int] = {}
+        for src, dst in pairs:
+            for link in self.route_links(src, dst):
+                loads[link] = loads.get(link, 0) + 1
+        return loads
+
+    def injection_component(self, coord: Coord) -> str:
+        """Flow-network component name for a node's injection bandwidth."""
+        self._check(coord)
+        return f"inj:{coord[0]},{coord[1]},{coord[2]}"
+
+    @staticmethod
+    def link_component(link: LinkId) -> str:
+        """Flow-network component name for a directed link."""
+        _tag, x, y, z, axis, sign = link
+        return f"gl:{x},{y},{z}:{axis}{'+' if sign > 0 else '-'}"

@@ -1,0 +1,38 @@
+"""Operational workflows: each module is one of the paper's lessons as
+executable procedure — slow-disk culling (L13), performance QA with thin
+file systems (L16), capacity planning and namespace balancing (L10),
+procurement evaluation (L3/L5), diskless provisioning (L7), and the 2010
+human-error incident replay (L11).
+"""
+
+from repro.ops.culling import CullingCampaign, CullingReport, envelope_metrics
+from repro.ops.qa import ThinFilesystem, PerformanceQa
+from repro.ops.capacity import Project, NamespacePlanner
+from repro.ops.procurement import Rfp, VendorProposal, ProcurementEvaluation
+from repro.ops.provisioning import GediCluster, NodeState
+from repro.ops.incidents import IncidentOutcome, replay_2010_incident
+from repro.ops.reliability import ReliabilitySim, ReliabilityReport, analytic_mttdl_years
+from repro.ops.release_testing import CandidateRelease, ScaleTestCampaign, CampaignOutcome
+
+__all__ = [
+    "CullingCampaign",
+    "CullingReport",
+    "envelope_metrics",
+    "ThinFilesystem",
+    "PerformanceQa",
+    "Project",
+    "NamespacePlanner",
+    "Rfp",
+    "VendorProposal",
+    "ProcurementEvaluation",
+    "GediCluster",
+    "NodeState",
+    "IncidentOutcome",
+    "replay_2010_incident",
+    "ReliabilitySim",
+    "ReliabilityReport",
+    "analytic_mttdl_years",
+    "CandidateRelease",
+    "ScaleTestCampaign",
+    "CampaignOutcome",
+]

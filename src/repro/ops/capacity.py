@@ -1,0 +1,148 @@
+"""Capacity planning and namespace balancing (Lesson 10, §IV-C).
+
+"OLCF developed a model that classifies projects based on their capacity
+and bandwidth requirements.  The projects were then distributed among the
+namespaces.  This model allowed the OLCF to manage the capacity and
+bandwidth more evenly across the namespaces."
+
+:class:`NamespacePlanner` implements that model: projects are classified
+into demand tiers on both axes and assigned to namespaces by a greedy
+two-dimensional balance heuristic (largest demand first, onto the
+least-loaded namespace, where load is the max of the normalized capacity
+and bandwidth fill).  The planner also evaluates Lesson 10's headroom rule
+— keep expected fill below the 70% degradation knee, which implies
+"capacity targets 30% or more above aggregate user workload estimates".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+from repro.units import GB, TB
+
+__all__ = ["Project", "NamespaceLoad", "PlanReport", "NamespacePlanner"]
+
+
+@dataclass(frozen=True)
+class Project:
+    """One allocated science project's storage demands."""
+
+    name: str
+    capacity_bytes: int
+    bandwidth: float  # sustained bytes/s during campaigns
+
+    def __post_init__(self) -> None:
+        if self.capacity_bytes < 0 or self.bandwidth < 0:
+            raise ValueError("demands must be non-negative")
+
+    def tier(self, capacity_edges: tuple[int, ...] = (100 * TB, 1000 * TB),
+             bw_edges: tuple[float, ...] = (10 * GB, 50 * GB)) -> str:
+        """The classification of §IV-C: S/M/L on each axis."""
+        cap = sum(self.capacity_bytes >= e for e in capacity_edges)
+        bw = sum(self.bandwidth >= e for e in bw_edges)
+        return f"cap{'SML'[cap]}-bw{'SML'[bw]}"
+
+
+@dataclass
+class NamespaceLoad:
+    """Running totals for one namespace during planning."""
+
+    name: str
+    capacity_limit: int
+    bandwidth_limit: float
+    capacity_used: int = 0
+    bandwidth_used: float = 0.0
+    projects: list[str] = field(default_factory=list)
+
+    @property
+    def capacity_fill(self) -> float:
+        return self.capacity_used / self.capacity_limit
+
+    @property
+    def bandwidth_fill(self) -> float:
+        return self.bandwidth_used / self.bandwidth_limit
+
+    @property
+    def load(self) -> float:
+        """The balance objective: the tighter of the two fills."""
+        return max(self.capacity_fill, self.bandwidth_fill)
+
+
+@dataclass(frozen=True)
+class PlanReport:
+    namespaces: tuple[NamespaceLoad, ...]
+
+    @property
+    def capacity_imbalance(self) -> float:
+        fills = [ns.capacity_fill for ns in self.namespaces]
+        return max(fills) - min(fills)
+
+    @property
+    def bandwidth_imbalance(self) -> float:
+        fills = [ns.bandwidth_fill for ns in self.namespaces]
+        return max(fills) - min(fills)
+
+    @property
+    def max_capacity_fill(self) -> float:
+        return max(ns.capacity_fill for ns in self.namespaces)
+
+    def namespace_of(self, project: str) -> str:
+        for ns in self.namespaces:
+            if project in ns.projects:
+                return ns.name
+        raise KeyError(project)
+
+
+class NamespacePlanner:
+    """Distribute projects across namespaces, two-axis balanced."""
+
+    #: the fill level past which Lustre degrades severely (§IV-C)
+    DEGRADATION_KNEE = 0.70
+
+    def __init__(self, namespaces: dict[str, tuple[int, float]]) -> None:
+        """``namespaces`` maps name -> (capacity_bytes, bandwidth)."""
+        if not namespaces:
+            raise ValueError("need at least one namespace")
+        self._defs = dict(namespaces)
+
+    def plan(self, projects: list[Project]) -> PlanReport:
+        """Greedy largest-first assignment, two-axis balanced.
+
+        Each project goes to the namespace minimizing the sum of squared
+        fills *after* the assignment — the convex objective balances both
+        the capacity and bandwidth axes instead of only the binding one.
+        """
+        loads = [
+            NamespaceLoad(name=n, capacity_limit=cap, bandwidth_limit=bw)
+            for n, (cap, bw) in self._defs.items()
+        ]
+        # Normalize each project's dominant demand for the ordering.
+        def dominant(p: Project) -> float:
+            cap_frac = max(p.capacity_bytes / ns.capacity_limit for ns in loads)
+            bw_frac = max(p.bandwidth / ns.bandwidth_limit for ns in loads)
+            return max(cap_frac, bw_frac)
+
+        def cost_after(ns: NamespaceLoad, p: Project) -> float:
+            cap_fill = (ns.capacity_used + p.capacity_bytes) / ns.capacity_limit
+            bw_fill = (ns.bandwidth_used + p.bandwidth) / ns.bandwidth_limit
+            return cap_fill ** 2 + bw_fill ** 2
+
+        for project in sorted(projects, key=dominant, reverse=True):
+            target = min(loads, key=lambda ns: cost_after(ns, project))
+            target.capacity_used += project.capacity_bytes
+            target.bandwidth_used += project.bandwidth
+            target.projects.append(project.name)
+        return PlanReport(namespaces=tuple(loads))
+
+    def required_capacity(self, projects: list[Project],
+                          *, headroom: float = 0.30) -> int:
+        """Lesson 10's acquisition rule: total demand plus ≥30% headroom so
+        operations stay left of the degradation knee."""
+        if headroom < 0:
+            raise ValueError("headroom must be non-negative")
+        demand = sum(p.capacity_bytes for p in projects)
+        return int(demand * (1.0 + headroom))
+
+    def stays_below_knee(self, report: PlanReport) -> bool:
+        return report.max_capacity_fill <= self.DEGRADATION_KNEE

@@ -1,0 +1,154 @@
+"""The 2010 human-error incident replay (§IV-E, Lesson 11).
+
+Timeline from the paper:
+
+1. a disk is replaced in a storage enclosure; its RAID group starts
+   rebuilding;
+2. during the rebuild, the controller↔enclosure connection fails; the
+   couplet fails over to the partner controller *as designed* and the unit
+   returns to production — still rebuilding;
+3. eighteen hours later the affected storage array is taken offline — the
+   human error — while still in rebuild mode;
+4. in the Spider I geometry (each RAID group striped two-per-enclosure
+   across five shelves), the enclosure outage had removed **two** members
+   of every group; with the rebuilding member that exceeds RAID-6's
+   tolerance, so the couplet's journal replay fails: "losing journal data
+   for more than a million files managed by that controller pair";
+5. "Recovery of the lost files took more than two weeks, with 95%
+   successful recovery rate."
+
+"A design using 10 enclosures per storage controller pair would have
+tolerated this failure scenario" — one member per shelf keeps every group
+at two effective erasures, within tolerance.
+
+:func:`replay_2010_incident` executes the timeline against either geometry
+on the event engine and reports the outcome, including the recovery
+campaign.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+from repro.hardware.disk import DiskPopulation, DiskSpec
+from repro.hardware.ssu import Ssu, SsuSpec
+from repro.sim.engine import Engine
+from repro.sim.rng import RngStreams
+from repro.units import HOUR, MB, TB
+
+__all__ = ["IncidentOutcome", "replay_2010_incident"]
+
+
+@dataclass(frozen=True)
+class IncidentOutcome:
+    """What the scenario did to one geometry."""
+
+    n_enclosures: int
+    max_effective_erasures: int
+    journal_replay_failed: bool
+    files_lost: int
+    files_recovered: int
+    recovery_days: float
+
+    @property
+    def recovery_rate(self) -> float:
+        if self.files_lost == 0:
+            return 1.0
+        return self.files_recovered / self.files_lost
+
+    @property
+    def tolerated(self) -> bool:
+        return not self.journal_replay_failed
+
+
+def _build_ssu(n_enclosures: int, *, seed: int) -> Ssu:
+    """A Spider I-era couplet: 280 × 1 TB drives behind one controller
+    pair, striped across ``n_enclosures`` shelves."""
+    spec = SsuSpec(
+        n_enclosures=n_enclosures,
+        disks_per_enclosure=280 // n_enclosures,
+        disk=DiskSpec(capacity_bytes=1 * TB, seq_bw=100 * MB, name="sata-1tb"),
+    )
+    population = DiskPopulation(spec.n_disks, spec.disk, rng=RngStreams(seed))
+    return Ssu(spec, population, 0, index=0, name=f"incident-{n_enclosures}enc")
+
+
+def replay_2010_incident(
+    n_enclosures: int = 5,
+    *,
+    dirty_files_per_group: int = 37_500,
+    rebuild_rate_under_load: float = 12 * MB,  # production I/O competes
+    offline_after: float = 18 * HOUR,
+    recovery_rate_files_per_day: float = 72_000.0,
+    recovery_success: float = 0.95,
+    seed: int = 2010,
+) -> IncidentOutcome:
+    """Run the §IV-E timeline against a couplet with ``n_enclosures``.
+
+    ``dirty_files_per_group`` calibrates the write-back journal population;
+    28 groups × 37,500 ≈ 1.05 M files — "more than a million".
+    """
+    if n_enclosures not in (5, 10):
+        raise ValueError("the comparison is between the 5- and 10-shelf designs")
+    engine = Engine()
+    ssu = _build_ssu(n_enclosures, seed=seed)
+    for group in ssu.groups:
+        group.journal.stage(dirty_files_per_group)
+
+    rebuild_seconds = ssu.spec.disk.capacity_bytes / rebuild_rate_under_load
+    # The shelf whose controller link fails (and is later taken offline),
+    # and the group whose replaced disk is rebuilding in a *different*
+    # shelf — the compounding the design comparison hinges on.
+    failed_enclosure = 1
+    rebuild_group = ssu.groups[0]
+    rebuild_pos = next(
+        pos for pos, enc in enumerate(ssu.enclosures.member_enclosure[0])
+        if enc != failed_enclosure
+    )
+
+    state = {"max_erasures": 0, "replay_failed": False, "files_lost": 0}
+
+    def timeline():
+        # t=0: a disk is replaced; its group starts rebuilding.
+        rebuild_group.erase_member(rebuild_pos)
+        rebuild_group.restore_member(rebuild_pos)  # fresh drive, rebuilding
+        yield 600.0
+        # t=10 min: the controller↔shelf link fails; the couplet fails over
+        # to the partner controller as designed — transparent to the RAID
+        # groups — and the unit returns to production, still rebuilding.
+        ssu.couplet.fail_controller(0)
+        # t=+18 h: to repair the link, the shelf is taken offline while the
+        # rebuild is still running — the human error.
+        yield offline_after
+        if engine.now >= rebuild_seconds:  # pragma: no cover - long rebuild
+            rebuild_group.finish_rebuild(rebuild_pos)
+        ssu.apply_enclosure_outage(failed_enclosure)
+        # Effective erasures now: the shelf's members of every group
+        # (two in the 5-shelf design, one in the 10-shelf design) plus the
+        # rebuilding member of group 0.
+        worst = max(g.effective_erasures for g in ssu.groups)
+        state["max_erasures"] = worst
+        if worst > ssu.spec.raid.fault_tolerance:
+            # Journal replay for the pair aborts: every dirty entry on the
+            # couplet is lost (erase_member already dropped the failed
+            # group's journal; lose() the rest, then total via lost_files).
+            state["replay_failed"] = True
+            for g in ssu.groups:
+                g.journal.lose()
+            state["files_lost"] = sum(g.journal.lost_files for g in ssu.groups)
+
+    engine.process(timeline(), name="incident")
+    engine.run()
+
+    files_lost = state["files_lost"]
+    recovered = int(files_lost * recovery_success)
+    recovery_days = recovered / recovery_rate_files_per_day if recovered else 0.0
+    return IncidentOutcome(
+        n_enclosures=n_enclosures,
+        max_effective_erasures=state["max_erasures"],
+        journal_replay_failed=state["replay_failed"],
+        files_lost=files_lost,
+        files_recovered=recovered,
+        recovery_days=recovery_days,
+    )

@@ -1,0 +1,181 @@
+"""Procurement: the RFP, vendor proposals, and weighted evaluation
+(§III, Lessons 3 & 5).
+
+The model captures the structure of the Spider II acquisition:
+
+* an :class:`Rfp` with performance floors (1 TB/s sequential, 240 GB/s
+  random), a capacity floor, a budget range, and the SSU as the unit of
+  configuration/pricing/benchmarking;
+* :class:`VendorProposal` — either the **block storage** model (OLCF
+  integrates; cheaper, design flexibility, integration risk on OLCF) or
+  the **appliance** model (vendor integrates; pricier, risk on vendor);
+* :class:`ProcurementEvaluation` — the Lesson 5 weighted scoring across
+  technical merit, performance, schedule, TCO, past performance, and risk,
+  with benchmark-suite validation of the performance claims.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.hardware.ssu import SsuSpec
+from repro.units import GB, PB
+
+__all__ = ["ResponseModel", "Rfp", "VendorProposal", "ScoreCard", "ProcurementEvaluation"]
+
+
+class ResponseModel(enum.Enum):
+    BLOCK_STORAGE = "block"  # OLCF integrates servers + network + Lustre
+    APPLIANCE = "appliance"  # vendor-integrated turnkey
+
+
+@dataclass(frozen=True)
+class Rfp:
+    """The Statement of Work's quantitative floors."""
+
+    sequential_floor: float = 1000 * GB  # 1 TB/s (75% of 600 TB in 6 min)
+    random_floor: float = 240 * GB  # from the 20-25% single-disk ratio
+    capacity_floor: int = 20 * PB
+    budget_min: float = 25.0  # normalized money units
+    budget_max: float = 42.0
+    delivery_months_max: int = 14
+
+    def __post_init__(self) -> None:
+        if self.sequential_floor <= 0 or self.random_floor <= 0:
+            raise ValueError("performance floors must be positive")
+        if self.budget_min > self.budget_max:
+            raise ValueError("budget_min cannot exceed budget_max")
+
+
+@dataclass(frozen=True)
+class VendorProposal:
+    """One response: an SSU configuration priced at scale."""
+
+    vendor: str
+    model: ResponseModel
+    ssu: SsuSpec
+    n_ssus: int
+    price_per_ssu: float
+    integration_cost: float  # OLCF's own effort (block) or vendor fee (appliance)
+    annual_service_cost: float
+    delivery_months: int
+    past_performance: float = 0.7  # [0, 1] history score
+    claimed_seq_bw_per_ssu: float | None = None  # None -> use nominal
+
+    @property
+    def seq_bw_per_ssu(self) -> float:
+        if self.claimed_seq_bw_per_ssu is not None:
+            return self.claimed_seq_bw_per_ssu
+        return self.ssu.nominal_block_bandwidth()
+
+    @property
+    def total_seq_bw(self) -> float:
+        return self.n_ssus * self.seq_bw_per_ssu
+
+    @property
+    def total_random_bw(self) -> float:
+        # the 20-25% disk-level ratio propagates through the array
+        ratio = self.ssu.disk.random_efficiency(1 << 20)
+        return self.total_seq_bw * ratio
+
+    @property
+    def total_capacity(self) -> int:
+        return self.n_ssus * self.ssu.usable_capacity
+
+    def tco(self, lifetime_years: int = 5) -> float:
+        """Total cost of ownership over the system lifetime."""
+        capital = self.n_ssus * self.price_per_ssu + self.integration_cost
+        return capital + lifetime_years * self.annual_service_cost
+
+    def integration_risk(self) -> float:
+        """Residual risk score in [0, 1]: the block model shifts
+        integration/performance risk onto the buyer (§III-C)."""
+        return 0.45 if self.model is ResponseModel.BLOCK_STORAGE else 0.2
+
+
+@dataclass(frozen=True)
+class ScoreCard:
+    """Weighted evaluation of one proposal."""
+
+    vendor: str
+    compliant: bool
+    scores: dict[str, float]
+    weighted_total: float
+
+    def row(self) -> tuple:
+        return (self.vendor, "yes" if self.compliant else "NO",
+                *(f"{self.scores[k]:.2f}" for k in sorted(self.scores)),
+                f"{self.weighted_total:.3f}")
+
+
+class ProcurementEvaluation:
+    """Lesson 5: weighted, every-element scoring of all responses."""
+
+    DEFAULT_WEIGHTS = {
+        "performance": 0.30,
+        "capacity": 0.15,
+        "tco": 0.25,
+        "schedule": 0.10,
+        "past_performance": 0.10,
+        "risk": 0.10,
+    }
+
+    def __init__(self, rfp: Rfp, *, weights: dict[str, float] | None = None,
+                 buyer_integration_expertise: float = 0.8) -> None:
+        self.rfp = rfp
+        self.weights = dict(weights or self.DEFAULT_WEIGHTS)
+        if abs(sum(self.weights.values()) - 1.0) > 1e-9:
+            raise ValueError("weights must sum to 1")
+        if not (0 <= buyer_integration_expertise <= 1):
+            raise ValueError("expertise must be in [0, 1]")
+        #: a buyer that has run large PFS deployments can *accept* the block
+        #: model's risk (this is what let OLCF take the cheaper path, §III-C)
+        self.buyer_integration_expertise = buyer_integration_expertise
+
+    def compliant(self, p: VendorProposal) -> bool:
+        return (
+            p.total_seq_bw >= self.rfp.sequential_floor
+            and p.total_random_bw >= self.rfp.random_floor
+            and p.total_capacity >= self.rfp.capacity_floor
+            and p.tco() <= self.rfp.budget_max
+            and p.delivery_months <= self.rfp.delivery_months_max
+        )
+
+    def score(self, p: VendorProposal) -> ScoreCard:
+        rfp = self.rfp
+        perf = min(1.0, 0.5 * p.total_seq_bw / rfp.sequential_floor
+                   + 0.5 * p.total_random_bw / rfp.random_floor) \
+            if rfp.sequential_floor else 0.0
+        capacity = min(1.0, p.total_capacity / (1.5 * rfp.capacity_floor))
+        tco = max(0.0, 1.0 - (p.tco() - rfp.budget_min)
+                  / max(rfp.budget_max - rfp.budget_min, 1e-9))
+        tco = min(1.0, tco)
+        schedule = max(0.0, 1.0 - p.delivery_months / rfp.delivery_months_max)
+        # Risk score: residual risk mitigated by buyer expertise for the
+        # block model (the buyer absorbs integration risk it can handle).
+        residual = p.integration_risk()
+        if p.model is ResponseModel.BLOCK_STORAGE:
+            residual *= (1.0 - self.buyer_integration_expertise)
+        risk = 1.0 - residual
+        scores = {
+            "performance": perf,
+            "capacity": capacity,
+            "tco": tco,
+            "schedule": schedule,
+            "past_performance": p.past_performance,
+            "risk": risk,
+        }
+        total = sum(self.weights[k] * v for k, v in scores.items())
+        return ScoreCard(vendor=p.vendor, compliant=self.compliant(p),
+                         scores=scores, weighted_total=total)
+
+    def select(self, proposals: list[VendorProposal]) -> tuple[ScoreCard, list[ScoreCard]]:
+        """Score all proposals; the winner is the highest-scoring compliant
+        response.  Raises if nothing complies (a failed procurement)."""
+        cards = [self.score(p) for p in proposals]
+        compliant = [c for c in cards if c.compliant]
+        if not compliant:
+            raise RuntimeError("no compliant proposals — RFP must be revised")
+        winner = max(compliant, key=lambda c: c.weighted_total)
+        return winner, cards

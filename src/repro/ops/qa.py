@@ -1,0 +1,137 @@
+"""Performance quality assurance with thin file systems (Lesson 16).
+
+"the Spider file systems were provisioned with a small part of each RAID
+volume reserved for long-term testing ...  This 'thin' file system, which
+contains no user data, can be used to run destructive benchmarks even
+after Spider has been put into production.  It also allows for performance
+comparisons between full file systems and those that are freshly
+formatted."
+
+:class:`ThinFilesystem` reserves a slice of every OST; destructive
+benchmarks format and re-test it at will.  :class:`PerformanceQa` records
+the deployment-time baseline and periodically re-measures, flagging
+components whose delivered performance regressed beyond a tolerance — the
+"performance QA" discipline §V-D prescribes for the lifetime of the PFS.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.spider import SpiderSystem
+from repro.iobench.obdfilter_survey import ObdfilterSurvey
+from repro.lustre.filesystem import LustreFilesystem
+from repro.lustre.mds import MdsSpec, MetadataServer
+from repro.lustre.ost import Ost, OstSpec
+
+__all__ = ["ThinFilesystem", "QaBaseline", "QaFinding", "PerformanceQa"]
+
+
+class ThinFilesystem:
+    """A destructive-test file system over reserved OST slices."""
+
+    def __init__(self, system: SpiderSystem, *, reserve_fraction: float = 0.01,
+                 name: str = "thin") -> None:
+        if not (0 < reserve_fraction < 0.5):
+            raise ValueError("reserve_fraction must be in (0, 0.5)")
+        self.system = system
+        self.reserve_fraction = reserve_fraction
+        self.name = name
+        self.formats = 0
+        self.fs = self._format()
+
+    def _format(self) -> LustreFilesystem:
+        slice_bytes = int(
+            self.system.osts[0].spec.capacity_bytes * self.reserve_fraction
+        )
+        thin_osts = [
+            Ost(o.index, OstSpec(capacity_bytes=slice_bytes),
+                ssu_index=o.ssu_index, group_index=o.group_index,
+                oss_name=o.oss_name)
+            for o in self.system.osts
+        ]
+        self.formats += 1
+        return LustreFilesystem(
+            f"{self.name}{self.formats}", thin_osts,
+            MetadataServer(MdsSpec(), name=f"{self.name}-mds"),
+        )
+
+    def reformat(self) -> LustreFilesystem:
+        """Tear down and rebuild — the destructive-test cycle.  User data
+        is untouched because the slice never holds any."""
+        self.fs = self._format()
+        return self.fs
+
+    @property
+    def capacity_bytes(self) -> int:
+        return self.fs.capacity_bytes
+
+    def capacity_overhead(self) -> float:
+        """Fraction of total system capacity the reservation consumes —
+        Lesson 16's acquisition-planning line item."""
+        return self.capacity_bytes / self.system.total_capacity_bytes()
+
+
+@dataclass(frozen=True)
+class QaBaseline:
+    """The deployment-time per-OST performance record."""
+
+    taken_at: float
+    write_bw: np.ndarray  # per OST, bytes/s
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "write_bw", np.asarray(self.write_bw, dtype=float))
+
+
+@dataclass(frozen=True)
+class QaFinding:
+    ost_index: int
+    baseline_bw: float
+    current_bw: float
+
+    @property
+    def regression(self) -> float:
+        if self.baseline_bw <= 0:
+            return 0.0
+        return 1.0 - self.current_bw / self.baseline_bw
+
+
+class PerformanceQa:
+    """Baseline + periodic re-measurement over the thin file system."""
+
+    def __init__(self, system: SpiderSystem, *, tolerance: float = 0.10,
+                 seed: int = 5) -> None:
+        if not (0 < tolerance < 1):
+            raise ValueError("tolerance must be in (0, 1)")
+        self.system = system
+        self.tolerance = tolerance
+        self._rng = np.random.default_rng(seed)
+        self.baseline: QaBaseline | None = None
+        self.findings_history: list[list[QaFinding]] = []
+
+    def _measure(self) -> np.ndarray:
+        survey = ObdfilterSurvey(self.system, mode="isolated",
+                                 noise_sigma=0.005)
+        results = survey.run(rng=self._rng)
+        return np.array([r.write for r in results])
+
+    def record_baseline(self, now: float = 0.0) -> QaBaseline:
+        self.baseline = QaBaseline(taken_at=now, write_bw=self._measure())
+        return self.baseline
+
+    def run_qa_cycle(self, now: float = 0.0) -> list[QaFinding]:
+        """Re-measure and return the OSTs regressed beyond tolerance."""
+        if self.baseline is None:
+            raise RuntimeError("record_baseline must run first")
+        current = self._measure()
+        base = self.baseline.write_bw
+        regressed = np.flatnonzero(current < base * (1.0 - self.tolerance))
+        findings = [
+            QaFinding(ost_index=int(i), baseline_bw=float(base[i]),
+                      current_bw=float(current[i]))
+            for i in regressed
+        ]
+        self.findings_history.append(findings)
+        return findings

@@ -1,0 +1,134 @@
+"""Scale testing of candidate Lustre releases (Lesson 9, §IV-B).
+
+"Titan is a unique resource that supports testing at extreme scale ...
+the OLCF allocates the Titan and the Spider PFS for full scale tests of
+candidate Lustre releases.  These tests identify edge cases and problems
+that would not manifest themselves otherwise."
+
+The model behind the lesson: a candidate release carries latent defects
+whose *trigger scale* — the client count at which they first manifest —
+is heavy-tail distributed (races, resource exhaustion, and recovery edge
+cases need thousands of clients to line up).  A test campaign at scale
+``S`` exposes exactly the defects with trigger ≤ S (given enough test
+time); everything above S escapes into production, where it costs an
+outage per defect.  Comparing a vendor-lab campaign against a Titan-scale
+campaign reproduces why full-scale testing exists.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+from repro.sim.rng import RngStreams, bounded_pareto
+
+__all__ = ["LatentDefect", "CandidateRelease", "ScaleTestCampaign", "CampaignOutcome"]
+
+
+@dataclass(frozen=True)
+class LatentDefect:
+    """One latent defect in a candidate release."""
+
+    defect_id: int
+    trigger_scale: int  # clients needed for it to manifest
+    detect_probability: float  # per test run at/above trigger scale
+
+    def __post_init__(self) -> None:
+        if self.trigger_scale < 1:
+            raise ValueError("trigger_scale must be >= 1")
+        if not (0 < self.detect_probability <= 1):
+            raise ValueError("detect_probability must be in (0, 1]")
+
+
+@dataclass
+class CandidateRelease:
+    """A Lustre release candidate with seeded latent defects.
+
+    Trigger scales follow a bounded Pareto: most defects show up with a
+    handful of clients, a material tail only at thousands — the "would not
+    manifest themselves otherwise" population.
+    """
+
+    name: str = "lustre-2.x-rc"
+    n_defects: int = 40
+    alpha: float = 0.3  # heavy tail: a material large-scale-only population
+    min_scale: int = 2
+    max_scale: int = 20_000
+    seed: int = 0
+    defects: list[LatentDefect] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.n_defects < 0:
+            raise ValueError("n_defects must be non-negative")
+        if self.defects:
+            return
+        rng = RngStreams(self.seed).get(f"release:{self.name}")
+        scales = bounded_pareto(rng, self.alpha, float(self.min_scale),
+                                float(self.max_scale), size=self.n_defects)
+        probs = rng.uniform(0.5, 0.95, size=self.n_defects)
+        self.defects = [
+            LatentDefect(i, int(round(s)), float(p))
+            for i, (s, p) in enumerate(zip(scales, probs))
+        ]
+
+    def defects_above(self, scale: int) -> int:
+        return sum(1 for d in self.defects if d.trigger_scale > scale)
+
+
+@dataclass(frozen=True)
+class CampaignOutcome:
+    """Result of one test campaign."""
+
+    test_scale: int
+    n_runs: int
+    caught: int
+    escaped: int
+    escaped_large_scale: int  # escapes that needed > test_scale clients
+
+    @property
+    def catch_rate(self) -> float:
+        total = self.caught + self.escaped
+        return self.caught / total if total else 1.0
+
+    def rows(self) -> list[tuple[str, str]]:
+        return [
+            ("test scale", f"{self.test_scale:,} clients"),
+            ("test runs", str(self.n_runs)),
+            ("defects caught", str(self.caught)),
+            ("defects escaped to production", str(self.escaped)),
+            ("  of which needed larger scale", str(self.escaped_large_scale)),
+            ("catch rate", f"{self.catch_rate:.0%}"),
+        ]
+
+
+class ScaleTestCampaign:
+    """Run a release candidate through ``n_runs`` tests at ``test_scale``."""
+
+    def __init__(self, test_scale: int, n_runs: int = 8, *, seed: int = 1) -> None:
+        if test_scale < 1 or n_runs < 1:
+            raise ValueError("test_scale and n_runs must be >= 1")
+        self.test_scale = test_scale
+        self.n_runs = n_runs
+        self._rng = RngStreams(seed).get("campaign")
+
+    def run(self, release: CandidateRelease) -> CampaignOutcome:
+        caught = 0
+        escaped = 0
+        escaped_large = 0
+        for defect in release.defects:
+            if defect.trigger_scale <= self.test_scale:
+                p_miss = (1.0 - defect.detect_probability) ** self.n_runs
+                if self._rng.random() >= p_miss:
+                    caught += 1
+                else:
+                    escaped += 1
+            else:
+                escaped += 1
+                escaped_large += 1
+        return CampaignOutcome(
+            test_scale=self.test_scale,
+            n_runs=self.n_runs,
+            caught=caught,
+            escaped=escaped,
+            escaped_large_scale=escaped_large,
+        )

@@ -1,0 +1,18 @@
+"""Discrete-event simulation substrate.
+
+The control-plane experiments (failures, monitoring, purging, the 2010
+incident replay) run on a small deterministic event engine; the data-plane
+experiments use the flow solver in :mod:`repro.core.flow` instead.
+"""
+
+from repro.sim.engine import Engine, Event, Process
+from repro.sim.rng import RngStreams, bounded_pareto, pareto_interarrivals
+
+__all__ = [
+    "Engine",
+    "Event",
+    "Process",
+    "RngStreams",
+    "bounded_pareto",
+    "pareto_interarrivals",
+]

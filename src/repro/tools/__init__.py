@@ -1,0 +1,23 @@
+"""The higher-level services of §VI: the balanced-placement runtime
+(libPIO), the I/O Signature Identifier (IOSI), server-side disk usage
+(LustreDU), the scalable parallel tools (dcp/dtar/dfind), and the
+automatic purge engine.
+"""
+
+from repro.tools.libpio import LibPio
+from repro.tools.iosi import Iosi, IoSignature
+from repro.tools.lustredu import LustreDu
+from repro.tools.ptools import SerialTool, ParallelTool, ToolComparison
+from repro.tools.purger import Purger, PurgeReport
+
+__all__ = [
+    "LibPio",
+    "Iosi",
+    "IoSignature",
+    "LustreDu",
+    "SerialTool",
+    "ParallelTool",
+    "ToolComparison",
+    "Purger",
+    "PurgeReport",
+]

@@ -1,0 +1,167 @@
+"""Scalable parallel file tools: dcp / dtar / dfind vs cp / tar / find.
+
+§VI-C: "There are other Linux tools inefficient at scale, such as copy
+(cp), archive (tar), and query (find).  These are single threaded
+commands, designed to run on a single file system client."  The
+OLCF/LLNL/LANL/DDN collaboration produced parallel replacements (dcp,
+dtar, dfind).
+
+The models compute wall-clock over the simulated namespace:
+
+* serial tools: one client walks the tree and processes files one at a
+  time — per-file latency plus single-stream transfer time;
+* parallel tools: ``n_workers`` clients drain a shared work queue
+  (dynamic scheduling, which is what libcircle does in the real tools);
+  data-moving tools are additionally capped by the file system's aggregate
+  bandwidth, so speedup saturates once the workers out-run the PFS.
+
+Experiment E13 reports the crossover: near-linear speedup for small worker
+counts, PFS-bandwidth-bound beyond.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+
+from repro.lustre.filesystem import LustreFilesystem
+from repro.lustre.namespace import FileEntry
+from repro.units import GB
+
+__all__ = ["SerialTool", "ParallelTool", "ToolComparison"]
+
+
+@dataclass(frozen=True)
+class ToolCosts:
+    """Per-operation client-side costs."""
+
+    per_file_latency: float = 0.004  # open/stat/close round trips, seconds
+    stream_bw: float = 0.8 * GB  # single-stream client bandwidth
+    walk_rate: float = 20_000.0  # directory entries walked per second
+
+
+@dataclass(frozen=True)
+class ToolRun:
+    """Outcome of one tool invocation."""
+
+    tool: str
+    n_files: int
+    total_bytes: int
+    wall_seconds: float
+
+    @property
+    def throughput(self) -> float:
+        return self.total_bytes / self.wall_seconds if self.wall_seconds else 0.0
+
+
+class SerialTool:
+    """cp/tar/find-style single-client behaviour."""
+
+    def __init__(self, fs: LustreFilesystem, costs: ToolCosts | None = None) -> None:
+        self.fs = fs
+        self.costs = costs or ToolCosts()
+
+    def _files(self, top: str) -> list[FileEntry]:
+        return list(self.fs.namespace.files(top))
+
+    def copy(self, top: str = "/") -> ToolRun:
+        """`cp -r`: walk + per-file open/transfer, one stream."""
+        files = self._files(top)
+        total = sum(f.size for f in files)
+        wall = (
+            len(files) / self.costs.walk_rate
+            + len(files) * self.costs.per_file_latency
+            + total / self.costs.stream_bw
+        )
+        return ToolRun("cp", len(files), total, wall)
+
+    def archive(self, top: str = "/") -> ToolRun:
+        """`tar`: like copy but a single output stream (same model class)."""
+        run = self.copy(top)
+        return ToolRun("tar", run.n_files, run.total_bytes, run.wall_seconds * 1.05)
+
+    def find(self, top: str = "/") -> ToolRun:
+        """`find`: pure walk + per-entry stat latency, no data movement."""
+        files = self._files(top)
+        wall = len(files) / self.costs.walk_rate + len(files) * self.costs.per_file_latency
+        return ToolRun("find", len(files), 0, wall)
+
+
+class ParallelTool:
+    """dcp/dtar/dfind-style: N workers draining a dynamic work queue."""
+
+    def __init__(
+        self,
+        fs: LustreFilesystem,
+        n_workers: int,
+        *,
+        costs: ToolCosts | None = None,
+        pfs_aggregate_bw: float = 240 * GB,
+    ) -> None:
+        if n_workers < 1:
+            raise ValueError("need at least one worker")
+        self.fs = fs
+        self.n_workers = n_workers
+        self.costs = costs or ToolCosts()
+        self.pfs_aggregate_bw = pfs_aggregate_bw
+
+    def _makespan(self, tasks: list[float]) -> float:
+        """Dynamic (greedy list) scheduling of per-file task times over the
+        workers — the libcircle work-stealing behaviour to first order."""
+        if not tasks:
+            return 0.0
+        heap = [0.0] * min(self.n_workers, len(tasks))
+        heapq.heapify(heap)
+        for t in sorted(tasks, reverse=True):
+            earliest = heapq.heappop(heap)
+            heapq.heappush(heap, earliest + t)
+        return max(heap)
+
+    def copy(self, top: str = "/") -> ToolRun:
+        files = list(self.fs.namespace.files(top))
+        total = sum(f.size for f in files)
+        # Effective per-worker stream bandwidth: the PFS aggregate caps the
+        # sum of worker streams.
+        per_worker_bw = min(self.costs.stream_bw,
+                            self.pfs_aggregate_bw / self.n_workers)
+        tasks = [
+            self.costs.per_file_latency + f.size / per_worker_bw for f in files
+        ]
+        walk = len(files) / (self.costs.walk_rate * min(self.n_workers, 8))
+        return ToolRun(f"dcp[{self.n_workers}]", len(files), total,
+                       walk + self._makespan(tasks))
+
+    def archive(self, top: str = "/") -> ToolRun:
+        run = self.copy(top)
+        return ToolRun(f"dtar[{self.n_workers}]", run.n_files, run.total_bytes,
+                       run.wall_seconds * 1.05)
+
+    def find(self, top: str = "/") -> ToolRun:
+        files = list(self.fs.namespace.files(top))
+        tasks = [self.costs.per_file_latency] * len(files)
+        walk = len(files) / (self.costs.walk_rate * min(self.n_workers, 8))
+        return ToolRun(f"dfind[{self.n_workers}]", len(files), 0,
+                       walk + self._makespan(tasks))
+
+
+@dataclass(frozen=True)
+class ToolComparison:
+    """Serial vs parallel speedups for one namespace subtree."""
+
+    serial: ToolRun
+    parallel: ToolRun
+
+    @property
+    def speedup(self) -> float:
+        if self.parallel.wall_seconds == 0:
+            return float("inf")
+        return self.serial.wall_seconds / self.parallel.wall_seconds
+
+    def row(self) -> tuple:
+        return (
+            self.parallel.tool,
+            self.serial.n_files,
+            f"{self.serial.wall_seconds:.1f}s",
+            f"{self.parallel.wall_seconds:.1f}s",
+            f"{self.speedup:.1f}x",
+        )

@@ -1,0 +1,104 @@
+"""The automatic purge engine (§IV-C, Lesson 10).
+
+"The Spider file systems are scratch.  To maintain these volumes, the OLCF
+employs an automatic purging mechanism.  Files that are not created,
+modified, or accessed within a contiguous 14 day range are deleted by an
+automated process.  This mechanism allows for automatic capacity trimming."
+
+The purger sweeps a file system, deletes entries whose *most recent* of
+atime/mtime/ctime is older than the eligibility window, and records what
+it did.  Exemptions (system paths, pinned projects) are first-class: a
+purge policy that cannot express exceptions gets disabled by operators the
+first time it bites a login environment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.lustre.filesystem import LustreFilesystem
+from repro.lustre.namespace import FileEntry
+from repro.units import DAY
+
+__all__ = ["PurgeReport", "Purger"]
+
+
+@dataclass(frozen=True)
+class PurgeReport:
+    """Outcome of one purge sweep."""
+
+    swept_at: float
+    files_examined: int
+    files_purged: int
+    bytes_purged: int
+    fill_before: float
+    fill_after: float
+    dry_run: bool
+
+    def row(self) -> tuple:
+        return (
+            f"{self.swept_at / DAY:.0f}d",
+            self.files_examined,
+            self.files_purged,
+            f"{self.bytes_purged / 1e12:.2f} TB",
+            f"{self.fill_before:.1%}",
+            f"{self.fill_after:.1%}",
+        )
+
+
+class Purger:
+    """The 14-day scratch purge policy over one file system."""
+
+    def __init__(
+        self,
+        fs: LustreFilesystem,
+        *,
+        age_limit: float = 14 * DAY,
+        exempt: Callable[[FileEntry], bool] | None = None,
+    ) -> None:
+        if age_limit <= 0:
+            raise ValueError("age_limit must be positive")
+        self.fs = fs
+        self.age_limit = age_limit
+        self.exempt = exempt or (lambda entry: False)
+        self.reports: list[PurgeReport] = []
+
+    def eligible(self, entry: FileEntry, now: float) -> bool:
+        """Purge-eligible: last create/modify/access older than the limit,
+        and not exempt."""
+        if entry.is_dir:
+            return False
+        if self.exempt(entry):
+            return False
+        return (now - entry.last_touched()) > self.age_limit
+
+    def sweep(self, now: float, *, dry_run: bool = False) -> PurgeReport:
+        """One purge pass.  Collects victims first, then deletes, so the
+        walk never mutates the tree it is iterating."""
+        fill_before = self.fs.fill_fraction
+        victims: list[str] = []
+        examined = 0
+        purged_bytes = 0
+        for entry in self.fs.namespace.files():
+            examined += 1
+            if self.eligible(entry, now):
+                victims.append(entry.path)
+                purged_bytes += entry.size
+        if not dry_run:
+            for path in victims:
+                self.fs.unlink(path)
+        report = PurgeReport(
+            swept_at=now,
+            files_examined=examined,
+            files_purged=len(victims),
+            bytes_purged=purged_bytes,
+            fill_before=fill_before,
+            fill_after=self.fs.fill_fraction,
+            dry_run=dry_run,
+        )
+        self.reports.append(report)
+        return report
+
+    def total_purged_bytes(self) -> int:
+        return sum(r.bytes_purged for r in self.reports if not r.dry_run)

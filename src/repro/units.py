@@ -1,0 +1,137 @@
+"""Units and quantity helpers used across the Spider reproduction.
+
+The paper mixes decimal storage-vendor units (GB/s, TB, PB) with binary
+request-size units (KB meaning KiB for 16 KB requests, 1 MB I/O transfer
+sizes meaning 1 MiB in IOR).  To avoid unit bugs — the classic source of
+"our 1 TB/s is actually 0.93 TB/s" disputes — every module in this package
+works in **bytes** and **seconds** internally and converts only at the
+reporting boundary, using the constants and helpers defined here.
+
+Conventions
+-----------
+* ``KB``/``MB``/``GB``/``TB``/``PB`` are decimal (powers of 1000), matching
+  vendor bandwidth and capacity figures in the paper.
+* ``KiB``/``MiB``/``GiB``/``TiB`` are binary (powers of 1024), matching I/O
+  request sizes ("16 KB requests", "1 MB transfer size").
+* Bandwidths are bytes/second, durations are seconds, capacities are bytes.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+
+__all__ = [
+    "KB", "MB", "GB", "TB", "PB",
+    "KiB", "MiB", "GiB", "TiB",
+    "MINUTE", "HOUR", "DAY",
+    "parse_size", "fmt_size", "fmt_bandwidth", "fmt_duration",
+    "transfer_time",
+]
+
+KB = 1_000
+MB = 1_000_000
+GB = 1_000_000_000
+TB = 1_000_000_000_000
+PB = 1_000_000_000_000_000
+
+KiB = 1 << 10
+MiB = 1 << 20
+GiB = 1 << 30
+TiB = 1 << 40
+
+MINUTE = 60.0
+HOUR = 3600.0
+DAY = 86400.0
+
+_DECIMAL_SUFFIXES = {
+    "B": 1, "KB": KB, "MB": MB, "GB": GB, "TB": TB, "PB": PB,
+}
+_BINARY_SUFFIXES = {
+    "KIB": KiB, "MIB": MiB, "GIB": GiB, "TIB": TiB,
+}
+
+_SIZE_RE = re.compile(
+    r"^\s*(?P<num>[0-9]+(?:\.[0-9]+)?)\s*(?P<suffix>[A-Za-z]+)?\s*$"
+)
+
+
+def parse_size(text: str | int | float) -> int:
+    """Parse a human-readable size (``"16KiB"``, ``"1.5 TB"``) into bytes.
+
+    Integers and floats pass through (floats are rounded).  Bare numbers are
+    taken as bytes.  Decimal suffixes (KB/MB/...) are powers of 1000; binary
+    suffixes (KiB/MiB/...) are powers of 1024, case-insensitive.
+
+    >>> parse_size("16KiB")
+    16384
+    >>> parse_size("1 MB")
+    1000000
+    """
+    if isinstance(text, (int, float)):
+        return int(round(text))
+    m = _SIZE_RE.match(text)
+    if not m:
+        raise ValueError(f"unparseable size: {text!r}")
+    value = float(m.group("num"))
+    suffix = (m.group("suffix") or "B").upper()
+    if suffix in _DECIMAL_SUFFIXES:
+        return int(round(value * _DECIMAL_SUFFIXES[suffix]))
+    if suffix in _BINARY_SUFFIXES:
+        return int(round(value * _BINARY_SUFFIXES[suffix]))
+    raise ValueError(f"unknown size suffix {suffix!r} in {text!r}")
+
+
+def _fmt_scaled(value: float, unit: str, scales: list[tuple[float, str]]) -> str:
+    for factor, name in scales:
+        if abs(value) >= factor:
+            return f"{value / factor:.2f} {name}{unit}"
+    return f"{value:.0f} {unit}"
+
+
+def fmt_size(nbytes: float) -> str:
+    """Format bytes with a decimal prefix, as the paper reports capacities."""
+    return _fmt_scaled(
+        float(nbytes), "B",
+        [(PB, "P"), (TB, "T"), (GB, "G"), (MB, "M"), (KB, "K")],
+    )
+
+
+def fmt_bandwidth(bytes_per_sec: float) -> str:
+    """Format a bandwidth in the paper's GB/s-style decimal units."""
+    return _fmt_scaled(
+        float(bytes_per_sec), "B/s",
+        [(TB, "T"), (GB, "G"), (MB, "M"), (KB, "K")],
+    )
+
+
+def fmt_duration(seconds: float) -> str:
+    """Format a duration compactly (``"6.0 min"``, ``"2.1 d"``)."""
+    if seconds != seconds or math.isinf(seconds):  # NaN / inf
+        return str(seconds)
+    if seconds >= DAY:
+        return f"{seconds / DAY:.1f} d"
+    if seconds >= HOUR:
+        return f"{seconds / HOUR:.1f} h"
+    if seconds >= MINUTE:
+        return f"{seconds / MINUTE:.1f} min"
+    if seconds >= 1:
+        return f"{seconds:.2f} s"
+    return f"{seconds * 1e3:.2f} ms"
+
+
+def transfer_time(nbytes: float, bandwidth: float, latency: float = 0.0) -> float:
+    """Time to move ``nbytes`` at ``bandwidth`` bytes/s plus a fixed latency.
+
+    Zero bandwidth yields ``inf`` (a stalled path), matching how the flow
+    solver reports fully congested components.
+    """
+    if nbytes < 0:
+        raise ValueError("nbytes must be non-negative")
+    if bandwidth < 0 or latency < 0:
+        raise ValueError("bandwidth and latency must be non-negative")
+    if nbytes == 0:
+        return latency
+    if bandwidth == 0:
+        return math.inf
+    return latency + nbytes / bandwidth

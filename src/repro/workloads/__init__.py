@@ -1,0 +1,29 @@
+"""Workload generators calibrated to the paper's Spider I characterization
+study (§II): 60% write / 40% read request mix, bimodal request sizes
+(either under 16 KB or multiples of 1 MB), and Pareto-tailed inter-arrival
+and idle times; plus the application-level generators (checkpoint/restart,
+analytics, S3D) the center-wide mixed workload is composed from.
+"""
+
+from repro.workloads.model import RequestTrace, merge_traces
+from repro.workloads.checkpoint import CheckpointApp, checkpoint_trace, restart_trace
+from repro.workloads.analytics import AnalyticsApp, analytics_trace
+from repro.workloads.mixed import MixedWorkload, spider_mixed_workload
+from repro.workloads.s3d import S3DApp
+from repro.workloads.replay import ReplayResult, replay_trace, replay_fifo
+
+__all__ = [
+    "RequestTrace",
+    "merge_traces",
+    "CheckpointApp",
+    "checkpoint_trace",
+    "restart_trace",
+    "AnalyticsApp",
+    "analytics_trace",
+    "MixedWorkload",
+    "spider_mixed_workload",
+    "S3DApp",
+    "ReplayResult",
+    "replay_trace",
+    "replay_fifo",
+]

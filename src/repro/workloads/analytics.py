@@ -1,0 +1,88 @@
+"""Data-analytics / visualization workloads: the latency-bound, read-heavy
+counterpart of the checkpoint stream (§II).
+
+"the data analytics I/O workloads, such as visualization and analysis, are
+latency constrained and read-heavy."
+
+The generator emits reads with Pareto-tailed inter-arrivals (interactive
+sessions go quiet, then burst) and the bimodal size mixture: small index /
+attribute reads under 16 KB and bulk reads in 1 MiB multiples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.sim.rng import bounded_pareto
+from repro.units import MiB
+
+__all__ = ["AnalyticsApp", "analytics_trace"]
+
+from repro.workloads.model import RequestTrace
+
+
+@dataclass(frozen=True)
+class AnalyticsApp:
+    """An interactive analysis/visualization session mix."""
+
+    name: str = "analytics"
+    request_rate: float = 400.0  # mean requests/second over the session
+    small_fraction: float = 0.62  # fraction of requests under 16 KB
+    read_fraction: float = 0.92  # analytics is read-heavy but not pure-read
+    pareto_alpha: float = 1.4  # inter-arrival tail index (paper: long tail)
+    max_large_mib: int = 8  # bulk reads are 1..max_large_mib MiB
+
+    def __post_init__(self) -> None:
+        if self.request_rate <= 0:
+            raise ValueError("request_rate must be positive")
+        for frac in (self.small_fraction, self.read_fraction):
+            if not (0 <= frac <= 1):
+                raise ValueError("fractions must be in [0, 1]")
+        if self.pareto_alpha <= 1.0:
+            raise ValueError("pareto_alpha must exceed 1 for a finite mean rate")
+        if self.max_large_mib < 1:
+            raise ValueError("max_large_mib must be >= 1")
+
+
+def analytics_trace(
+    app: AnalyticsApp,
+    duration: float,
+    rng: np.random.Generator,
+    *,
+    start_offset: float = 0.0,
+) -> RequestTrace:
+    """Generate the session's server-side request trace.
+
+    Inter-arrivals are bounded Pareto scaled so the *mean* arrival rate is
+    ``app.request_rate``; the heavy tail produces the long idle periods the
+    Spider I study observed.
+    """
+    if duration <= 0:
+        return RequestTrace(np.empty(0), np.empty(0, dtype=np.int64),
+                            np.empty(0, dtype=bool), label=app.name)
+    n_expected = int(duration * app.request_rate * 1.3) + 16
+    # Bounded Pareto on [L, H]: choose L so the mean matches 1/rate.
+    alpha = app.pareto_alpha
+    upper = 30.0  # cap idle gaps at 30 s
+    target_mean = 1.0 / app.request_rate
+    # mean of bounded Pareto ≈ alpha/(alpha-1) * L for L << H; solve for L.
+    lower = target_mean * (alpha - 1) / alpha
+    gaps = np.asarray(bounded_pareto(rng, alpha, lower, upper, size=n_expected))
+    times = start_offset + np.cumsum(gaps)
+    times = times[times < start_offset + duration]
+    n = len(times)
+
+    small = rng.random(n) < app.small_fraction
+    sizes = np.empty(n, dtype=np.int64)
+    # Small mode: 512 B .. 8 KiB (strictly under the paper's 16 KB line),
+    # log-uniform-ish over powers of two.
+    exponents = rng.integers(9, 14, size=int(small.sum()))  # 2^9 .. 2^13
+    sizes[small] = (1 << exponents).astype(np.int64)
+    # Large mode: exact MiB multiples.
+    multiples = rng.integers(1, app.max_large_mib + 1, size=int((~small).sum()))
+    sizes[~small] = multiples.astype(np.int64) * MiB
+
+    is_write = rng.random(n) >= app.read_fraction
+    return RequestTrace(times, sizes, is_write, label=app.name)

@@ -1,0 +1,153 @@
+"""Checkpoint/restart workloads: the bandwidth-bound write bursts of §II.
+
+"These write-heavy checkpoint/restart workloads can create tens or even
+hundreds of thousands of files and generate many terabytes of data in a
+single checkpoint."
+
+The generator models an application of ``n_procs`` ranks checkpointing a
+fixed fraction of its memory footprint every ``interval`` seconds in
+file-per-process mode: each burst emits one file per rank, written as
+1 MiB-multiple requests (the large mode of the bimodal size distribution),
+plus a sprinkle of small metadata/header writes (the small mode).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.units import GB, KiB, MiB
+
+__all__ = ["CheckpointApp", "checkpoint_trace", "restart_trace", "time_to_restart", "time_to_checkpoint"]
+
+from repro.workloads.model import RequestTrace
+
+
+@dataclass(frozen=True)
+class CheckpointApp:
+    """A periodically checkpointing simulation."""
+
+    name: str = "ckpt-app"
+    n_procs: int = 8192
+    bytes_per_proc: int = 2 * GB  # state written per rank per checkpoint
+    interval: float = 3600.0  # seconds between checkpoint starts
+    write_request_size: int = 1 * MiB
+    header_bytes: int = 8 * KiB  # small header/metadata write per file
+    aggregate_bandwidth: float = 200 * GB  # delivered during the burst
+
+    def __post_init__(self) -> None:
+        if self.n_procs <= 0 or self.bytes_per_proc <= 0:
+            raise ValueError("app dimensions must be positive")
+        if self.interval <= 0 or self.aggregate_bandwidth <= 0:
+            raise ValueError("interval and bandwidth must be positive")
+        if self.write_request_size % MiB != 0:
+            raise ValueError("checkpoint writes are 1 MiB multiples (paper workload study)")
+
+    @property
+    def checkpoint_bytes(self) -> int:
+        return self.n_procs * self.bytes_per_proc
+
+    @property
+    def burst_duration(self) -> float:
+        return self.checkpoint_bytes / self.aggregate_bandwidth
+
+
+def checkpoint_trace(
+    app: CheckpointApp,
+    duration: float,
+    rng: np.random.Generator,
+    *,
+    start_offset: float = 0.0,
+    max_requests_per_burst: int = 200_000,
+) -> RequestTrace:
+    """Server-side request trace of ``app`` over ``duration`` seconds.
+
+    Requests within a burst arrive uniformly over the burst window (the
+    servers see the aggregate stream, already interleaved across ranks),
+    with sizes at the app's request size; each rank also contributes one
+    small header write per burst.  If a burst would exceed
+    ``max_requests_per_burst`` data requests, request sizes are coarsened
+    (multiple MiB per request) to keep traces tractable — preserving byte
+    volume and the MiB-multiple property.
+    """
+    times_parts: list[np.ndarray] = []
+    sizes_parts: list[np.ndarray] = []
+    t = start_offset % app.interval
+    while t < duration:
+        burst_len = min(app.burst_duration, max(duration - t, 1e-3))
+        n_data = app.checkpoint_bytes // app.write_request_size
+        req_size = app.write_request_size
+        if n_data > max_requests_per_burst:
+            factor = int(np.ceil(n_data / max_requests_per_burst))
+            req_size = app.write_request_size * factor
+            n_data = max(1, app.checkpoint_bytes // req_size)
+        data_times = t + rng.random(int(n_data)) * burst_len
+        header_times = t + rng.random(app.n_procs) * min(burst_len, 2.0)
+        times_parts.append(np.concatenate([data_times, header_times]))
+        sizes_parts.append(np.concatenate([
+            np.full(int(n_data), req_size, dtype=np.int64),
+            np.full(app.n_procs, app.header_bytes, dtype=np.int64),
+        ]))
+        t += app.interval
+    if not times_parts:
+        return RequestTrace(np.empty(0), np.empty(0, dtype=np.int64),
+                            np.empty(0, dtype=bool), label=app.name)
+    times = np.concatenate(times_parts)
+    sizes = np.concatenate(sizes_parts)
+    return RequestTrace(times, sizes, np.ones(len(times), dtype=bool),
+                        label=app.name)
+
+
+def restart_trace(
+    app: CheckpointApp,
+    rng: np.random.Generator,
+    *,
+    start: float = 0.0,
+    max_requests: int = 200_000,
+) -> RequestTrace:
+    """The read half of checkpoint/restart: after an application failure,
+    every rank reads its last checkpoint back at full parallelism.
+
+    The servers see one dense *read* burst of the full checkpoint volume —
+    the "data production/consumption rate" mismatch of §II from the other
+    direction.  Requests are 1 MiB multiples plus the per-rank header read.
+    """
+    read_duration = app.checkpoint_bytes / app.aggregate_bandwidth
+    n_data = app.checkpoint_bytes // app.write_request_size
+    req_size = app.write_request_size
+    if n_data > max_requests:
+        factor = int(np.ceil(n_data / max_requests))
+        req_size = app.write_request_size * factor
+        n_data = max(1, app.checkpoint_bytes // req_size)
+    data_times = start + rng.random(int(n_data)) * read_duration
+    header_times = start + rng.random(app.n_procs) * min(read_duration, 2.0)
+    times = np.concatenate([data_times, header_times])
+    sizes = np.concatenate([
+        np.full(int(n_data), req_size, dtype=np.int64),
+        np.full(app.n_procs, app.header_bytes, dtype=np.int64),
+    ])
+    return RequestTrace(times, sizes, np.zeros(len(times), dtype=bool),
+                        label=f"{app.name}-restart")
+
+
+def time_to_restart(app: CheckpointApp, delivered_read_bandwidth: float) -> float:
+    """Wall-clock to read one full checkpoint back at the delivered rate."""
+    if delivered_read_bandwidth <= 0:
+        raise ValueError("delivered_read_bandwidth must be positive")
+    return app.checkpoint_bytes / delivered_read_bandwidth
+
+
+def time_to_checkpoint(
+    memory_bytes: int,
+    fraction: float,
+    delivered_bandwidth: float,
+) -> float:
+    """Seconds to checkpoint ``fraction`` of ``memory_bytes`` at the
+    delivered file-system bandwidth — the §III-A design equation
+    ("checkpoint 75% of Titan's memory in 6 minutes" ⇒ 1 TB/s)."""
+    if not (0 < fraction <= 1):
+        raise ValueError("fraction must be in (0, 1]")
+    if memory_bytes <= 0 or delivered_bandwidth <= 0:
+        raise ValueError("memory and bandwidth must be positive")
+    return memory_bytes * fraction / delivered_bandwidth

@@ -1,0 +1,103 @@
+"""The center-wide mixed workload.
+
+§II's central design point: the shared file system never sees the clean
+per-machine streams — it sees their interleaving.  "Our analysis of the I/O
+workloads on Spider I PFS demonstrated a mix of 60% write and 40% read I/O
+requests", sizes bimodal (<16 KB or 1 MB multiples), Pareto-tailed
+inter-arrival and idle times.
+
+:class:`MixedWorkload` composes application streams into one server-side
+trace; :func:`spider_mixed_workload` calibrates the composition so the
+aggregate reproduces the published 60/40 mix — the calibration target of
+experiment E3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+from repro.sim.rng import RngStreams
+from repro.units import GB, MiB
+from repro.workloads.analytics import AnalyticsApp, analytics_trace
+from repro.workloads.checkpoint import CheckpointApp, checkpoint_trace
+from repro.workloads.model import RequestTrace, merge_traces
+
+__all__ = ["MixedWorkload", "spider_mixed_workload"]
+
+
+@dataclass
+class MixedWorkload:
+    """A composition of checkpoint and analytics applications."""
+
+    checkpoint_apps: list[CheckpointApp] = field(default_factory=list)
+    analytics_apps: list[AnalyticsApp] = field(default_factory=list)
+    label: str = "mixed"
+
+    def generate(self, duration: float, rng: RngStreams) -> RequestTrace:
+        """The merged server-side trace over ``duration`` seconds."""
+        traces: list[RequestTrace] = []
+        for i, app in enumerate(self.checkpoint_apps):
+            gen = rng.get(f"ckpt:{app.name}:{i}")
+            # Stagger checkpoint phases so bursts do not align artificially.
+            offset = float(gen.random() * app.interval)
+            traces.append(checkpoint_trace(app, duration, gen, start_offset=offset))
+        for i, app in enumerate(self.analytics_apps):
+            gen = rng.get(f"ana:{app.name}:{i}")
+            traces.append(analytics_trace(app, duration, gen))
+        return merge_traces(traces, label=self.label)
+
+
+def spider_mixed_workload(
+    duration: float = 4 * 3600.0,
+    *,
+    seed: int = 14,
+    target_write_fraction: float = 0.60,
+) -> tuple[MixedWorkload, RequestTrace]:
+    """The calibrated Spider I-like mix: returns (workload, trace).
+
+    Two passes: generate the checkpoint side, count its requests, then size
+    the analytics request rate so the aggregate request mix hits the target
+    write fraction (checkpoints are ~pure writes; analytics carries a small
+    write minority ``wa``), using  A = C·(1-w)/(w-wa).
+    """
+    if not (0 < target_write_fraction < 1):
+        raise ValueError("target_write_fraction must be in (0, 1)")
+    rng = RngStreams(seed)
+    ckpt_apps = [
+        CheckpointApp(name="gyro", n_procs=4096, bytes_per_proc=1 * GB,
+                      interval=3600.0, aggregate_bandwidth=150 * GB),
+        CheckpointApp(name="s3d", n_procs=8192, bytes_per_proc=512 * MiB,
+                      interval=1800.0, aggregate_bandwidth=180 * GB),
+        CheckpointApp(name="chimera", n_procs=2048, bytes_per_proc=2 * GB,
+                      interval=5400.0, aggregate_bandwidth=120 * GB),
+    ]
+    # Generate the checkpoint side once and keep the traces, so the
+    # analytics calibration below is exact for the returned trace.
+    ckpt_traces: list[RequestTrace] = []
+    for i, app in enumerate(ckpt_apps):
+        gen = rng.get(f"ckpt:{app.name}:{i}")
+        offset = float(gen.random() * app.interval)
+        ckpt_traces.append(checkpoint_trace(app, duration, gen, start_offset=offset))
+    n_ckpt = sum(len(t) for t in ckpt_traces)
+
+    wa = 0.08  # analytics write minority
+    w = target_write_fraction
+    n_analytics = int(n_ckpt * (1 - w) / (w - wa))
+    base = AnalyticsApp()
+    n_apps = 4
+    rate = max(1e-3, n_analytics / duration / n_apps)
+    ana_apps = [
+        AnalyticsApp(name=f"viz{i}", request_rate=rate,
+                     read_fraction=1 - wa,
+                     small_fraction=base.small_fraction)
+        for i in range(n_apps)
+    ]
+    ana_traces = [
+        analytics_trace(app, duration, rng.get(f"ana:{app.name}:{i}"))
+        for i, app in enumerate(ana_apps)
+    ]
+    workload = MixedWorkload(checkpoint_apps=ckpt_apps,
+                             analytics_apps=ana_apps, label="spider-mix")
+    trace = merge_traces(ckpt_traces + ana_traces, label="spider-mix")
+    return workload, trace

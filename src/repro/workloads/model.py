@@ -1,0 +1,152 @@
+"""Request traces: the common currency of the workload layer.
+
+A :class:`RequestTrace` is a struct-of-arrays record of I/O requests as the
+*servers* see them — the same vantage point as the paper's Spider I study
+[14] and the IOSI tool (§VI-B), both of which work from server-side logs.
+
+Arrays (all equal length, sorted by time):
+
+* ``times`` — arrival timestamps, seconds;
+* ``sizes`` — request sizes, bytes;
+* ``is_write`` — boolean;
+* ``source`` — small-int id of the generating application/resource.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.units import KiB, MiB
+
+__all__ = ["RequestTrace", "merge_traces", "SMALL_REQUEST_CEILING"]
+
+#: the paper's "small" request threshold: under 16 KB
+SMALL_REQUEST_CEILING = 16 * KiB
+
+
+@dataclass
+class RequestTrace:
+    """A server-side I/O request log."""
+
+    times: np.ndarray
+    sizes: np.ndarray
+    is_write: np.ndarray
+    source: np.ndarray | None = None
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        self.times = np.asarray(self.times, dtype=float)
+        self.sizes = np.asarray(self.sizes, dtype=np.int64)
+        self.is_write = np.asarray(self.is_write, dtype=bool)
+        n = len(self.times)
+        if len(self.sizes) != n or len(self.is_write) != n:
+            raise ValueError("trace arrays must have equal length")
+        if self.source is None:
+            self.source = np.zeros(n, dtype=np.int32)
+        else:
+            self.source = np.asarray(self.source, dtype=np.int32)
+            if len(self.source) != n:
+                raise ValueError("trace arrays must have equal length")
+        if n and np.any(np.diff(self.times) < 0):
+            order = np.argsort(self.times, kind="stable")
+            self.times = self.times[order]
+            self.sizes = self.sizes[order]
+            self.is_write = self.is_write[order]
+            self.source = self.source[order]
+        if n and self.sizes.min() < 0:
+            raise ValueError("request sizes must be non-negative")
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+    @property
+    def duration(self) -> float:
+        if len(self) == 0:
+            return 0.0
+        return float(self.times[-1] - self.times[0])
+
+    @property
+    def total_bytes(self) -> int:
+        return int(self.sizes.sum())
+
+    # -- the paper's headline statistics ------------------------------------------
+
+    def write_fraction_requests(self) -> float:
+        """Fraction of *requests* that are writes (paper: ≈0.60)."""
+        if len(self) == 0:
+            return 0.0
+        return float(self.is_write.mean())
+
+    def write_fraction_bytes(self) -> float:
+        if self.total_bytes == 0:
+            return 0.0
+        return float(self.sizes[self.is_write].sum() / self.total_bytes)
+
+    def small_fraction(self) -> float:
+        """Fraction of requests under 16 KB."""
+        if len(self) == 0:
+            return 0.0
+        return float((self.sizes < SMALL_REQUEST_CEILING).mean())
+
+    def megabyte_multiple_fraction(self) -> float:
+        """Fraction of requests that are exact multiples of 1 MiB."""
+        if len(self) == 0:
+            return 0.0
+        return float(((self.sizes % MiB == 0) & (self.sizes > 0)).mean())
+
+    def interarrival_times(self) -> np.ndarray:
+        if len(self) < 2:
+            return np.empty(0)
+        return np.diff(self.times)
+
+    def idle_times(self, busy_window: float = 0.01) -> np.ndarray:
+        """Gaps longer than ``busy_window`` — the study's idle periods."""
+        gaps = self.interarrival_times()
+        return gaps[gaps > busy_window]
+
+    # -- windowed views --------------------------------------------------------------
+
+    def bandwidth_series(self, bin_seconds: float = 1.0,
+                         writes_only: bool = False) -> tuple[np.ndarray, np.ndarray]:
+        """(bin start times, bytes/s per bin) — the server throughput log
+        IOSI consumes."""
+        if bin_seconds <= 0:
+            raise ValueError("bin_seconds must be positive")
+        if len(self) == 0:
+            return np.empty(0), np.empty(0)
+        t0, t1 = self.times[0], self.times[-1]
+        n_bins = max(1, int(np.ceil((t1 - t0) / bin_seconds)) + 1)
+        edges = t0 + np.arange(n_bins + 1) * bin_seconds
+        mask = self.is_write if writes_only else np.ones(len(self), dtype=bool)
+        hist, _ = np.histogram(self.times[mask], bins=edges,
+                               weights=self.sizes[mask].astype(float))
+        return edges[:-1], hist / bin_seconds
+
+    def slice(self, t_start: float, t_end: float) -> "RequestTrace":
+        mask = (self.times >= t_start) & (self.times < t_end)
+        return RequestTrace(
+            self.times[mask], self.sizes[mask], self.is_write[mask],
+            self.source[mask], label=self.label,
+        )
+
+
+def merge_traces(traces: list[RequestTrace], label: str = "mixed") -> RequestTrace:
+    """Interleave several traces into one server-side view — the center-wide
+    mixed workload the paper insists designs be evaluated against ("A shared
+    scratch file system experiences these I/O workloads as a mix, not as
+    independent streams", §II)."""
+    traces = [t for t in traces if len(t)]
+    if not traces:
+        return RequestTrace(np.empty(0), np.empty(0, dtype=np.int64),
+                            np.empty(0, dtype=bool), label=label)
+    times = np.concatenate([t.times for t in traces])
+    sizes = np.concatenate([t.sizes for t in traces])
+    is_write = np.concatenate([t.is_write for t in traces])
+    source = np.concatenate([
+        np.full(len(t), i, dtype=np.int32) for i, t in enumerate(traces)
+    ])
+    order = np.argsort(times, kind="stable")
+    return RequestTrace(times[order], sizes[order], is_write[order],
+                        source[order], label=label)

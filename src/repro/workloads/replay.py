@@ -1,0 +1,143 @@
+"""Queueing replay: turn a request trace into per-request latencies.
+
+§II's qualitative claim — "competing workloads can significantly impact
+application runtime of simulations or the responsiveness of interactive
+analysis workloads" — is about *latency*, which the steady-state flow
+solver cannot see.  This module replays a server-side trace through a
+FIFO service station and returns each request's sojourn time, so the
+interference analysis (:mod:`repro.analysis.interference`) can quantify
+what a checkpoint burst does to analytics response times.
+
+Two service models:
+
+* :func:`replay_fifo` — a ``c``-server FIFO station (an OSS/OST service
+  pipe with ``c`` concurrent I/O threads), exact event-driven replay via
+  a heap of server-free times (the multi-server Lindley recursion);
+* :func:`service_times_for` — maps request sizes to service times using
+  the disk-model law (per-request positioning cost + size/bandwidth).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.workloads.model import RequestTrace
+
+__all__ = ["ReplayResult", "service_times_for", "replay_fifo", "replay_trace"]
+
+
+@dataclass(frozen=True)
+class ReplayResult:
+    """Per-request latency outcome of a replay."""
+
+    latencies: np.ndarray  # sojourn times (wait + service), seconds
+    waits: np.ndarray
+    is_write: np.ndarray
+    source: np.ndarray
+
+    def __post_init__(self) -> None:
+        n = len(self.latencies)
+        if not (len(self.waits) == len(self.is_write) == len(self.source) == n):
+            raise ValueError("replay arrays must align")
+
+    def percentile(self, q: float, *, reads_only: bool = False,
+                   source: int | None = None) -> float:
+        mask = np.ones(len(self.latencies), dtype=bool)
+        if reads_only:
+            mask &= ~self.is_write
+        if source is not None:
+            mask &= self.source == source
+        if not mask.any():
+            raise ValueError("no requests match the filter")
+        return float(np.percentile(self.latencies[mask], q))
+
+    def mean(self, *, reads_only: bool = False,
+             source: int | None = None) -> float:
+        mask = np.ones(len(self.latencies), dtype=bool)
+        if reads_only:
+            mask &= ~self.is_write
+        if source is not None:
+            mask &= self.source == source
+        if not mask.any():
+            raise ValueError("no requests match the filter")
+        return float(self.latencies[mask].mean())
+
+    @property
+    def utilization_proxy(self) -> float:
+        """Mean wait / mean latency — 0 for an idle station, → 1 saturated."""
+        total = self.latencies.mean()
+        return float(self.waits.mean() / total) if total > 0 else 0.0
+
+
+def service_times_for(
+    sizes: np.ndarray,
+    *,
+    bandwidth: float,
+    positioning_time: float = 0.004,
+) -> np.ndarray:
+    """Per-request service times: positioning cost + transfer time.
+
+    ``bandwidth`` is the station's streaming rate (e.g. one OST's fs-level
+    bandwidth); ``positioning_time`` the per-request fixed cost (seek +
+    RPC handling) — small requests are latency-bound, large ones
+    bandwidth-bound, matching the bimodal workload's behaviour.
+    """
+    if bandwidth <= 0:
+        raise ValueError("bandwidth must be positive")
+    if positioning_time < 0:
+        raise ValueError("positioning_time must be non-negative")
+    sizes = np.asarray(sizes, dtype=float)
+    return positioning_time + sizes / bandwidth
+
+
+def replay_fifo(
+    arrival_times: np.ndarray,
+    service_times: np.ndarray,
+    *,
+    n_servers: int = 1,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Exact FIFO replay through ``n_servers`` identical servers.
+
+    Returns (waits, latencies).  Requests start in arrival order on the
+    earliest-free server (work-conserving FIFO).
+    """
+    if n_servers < 1:
+        raise ValueError("n_servers must be >= 1")
+    arrival_times = np.asarray(arrival_times, dtype=float)
+    service_times = np.asarray(service_times, dtype=float)
+    if arrival_times.shape != service_times.shape:
+        raise ValueError("arrivals and services must align")
+    if len(arrival_times) and np.any(np.diff(arrival_times) < 0):
+        raise ValueError("arrival_times must be sorted")
+    n = len(arrival_times)
+    waits = np.empty(n)
+    free_at = [0.0] * n_servers  # min-heap of server-free times
+    heapq.heapify(free_at)
+    for i in range(n):
+        earliest = heapq.heappop(free_at)
+        start = max(arrival_times[i], earliest)
+        waits[i] = start - arrival_times[i]
+        heapq.heappush(free_at, start + service_times[i])
+    return waits, waits + service_times
+
+
+def replay_trace(
+    trace: RequestTrace,
+    *,
+    bandwidth: float,
+    n_servers: int = 1,
+    positioning_time: float = 0.004,
+) -> ReplayResult:
+    """Replay a whole trace through one station."""
+    service = service_times_for(trace.sizes, bandwidth=bandwidth,
+                                positioning_time=positioning_time)
+    waits, latencies = replay_fifo(trace.times, service, n_servers=n_servers)
+    return ReplayResult(
+        latencies=latencies,
+        waits=waits,
+        is_write=trace.is_write.copy(),
+        source=trace.source.copy(),
+    )

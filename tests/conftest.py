@@ -1,0 +1,59 @@
+"""Shared fixtures: a miniature Spider deployment for fast tests, plus the
+full paper-calibrated Spider II for integration checks."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.placement import PlacementSpec
+from repro.core.spider import SPIDER2, SpiderSpec, SpiderSystem, build_spider2
+from repro.hardware.controller import ControllerSpec
+from repro.hardware.disk import DiskSpec
+from repro.hardware.ssu import SsuSpec
+from repro.lustre.oss import OssSpec
+from repro.network.infiniband import FabricSpec
+from repro.network.torus import TorusSpec
+from repro.units import GB, MB, TB
+
+
+def mini_spec(**overrides) -> SpiderSpec:
+    """A 4-SSU, 280-disk system that builds in milliseconds."""
+    defaults = dict(
+        name="mini",
+        n_ssus=4,
+        ssu=SsuSpec(
+            n_enclosures=10,
+            disks_per_enclosure=7,
+            disk=DiskSpec(),
+            controller=ControllerSpec(
+                block_bw_cap=4.0 * GB,
+                fs_bw_cap=2.4 * GB,
+                upgraded_fs_bw_cap=3.8 * GB,
+            ),
+        ),
+        n_namespaces=2,
+        oss=OssSpec(node_bw_cap=5.0 * GB, n_osts=7),
+        fabric=FabricSpec(n_leaf_switches=4, n_core_switches=2),
+        torus=TorusSpec(dims=(5, 4, 6)),
+        placement=PlacementSpec(n_modules=6, routers_per_module=4, n_leaves=4),
+        n_compute_nodes=128,
+    )
+    defaults.update(overrides)
+    return SpiderSpec(**defaults)
+
+
+@pytest.fixture
+def mini_system() -> SpiderSystem:
+    return SpiderSystem(mini_spec(), seed=7)
+
+
+@pytest.fixture(scope="session")
+def spider2_session() -> SpiderSystem:
+    """One full Spider II shared by read-only integration tests."""
+    return build_spider2(seed=2014)
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(123)

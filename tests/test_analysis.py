@@ -1,0 +1,152 @@
+"""Analysis-layer tests: workload characterization, layer profiling,
+reporting."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.layers import profile_layers
+from repro.analysis.reporting import render_kv, render_series, render_table
+from repro.analysis.workload_stats import (
+    characterize,
+    hill_tail_index,
+    tail_heavier_than_exponential,
+)
+from repro.sim.rng import RngStreams, bounded_pareto
+from repro.workloads.mixed import spider_mixed_workload
+from repro.workloads.model import RequestTrace
+
+
+class TestHillEstimator:
+    def test_recovers_pareto_alpha(self, rng):
+        for alpha in (1.2, 1.6, 2.5):
+            x = bounded_pareto(rng, alpha, 1.0, 1e9, size=200_000)
+            est = hill_tail_index(np.asarray(x), tail_fraction=0.02)
+            assert est == pytest.approx(alpha, rel=0.2)
+
+    def test_exponential_looks_light(self, rng):
+        x = rng.exponential(1.0, size=200_000)
+        est = hill_tail_index(x, tail_fraction=0.02)
+        assert est > 3.0  # far above heavy-tail territory
+
+    def test_needs_samples(self, rng):
+        with pytest.raises(ValueError):
+            hill_tail_index(np.ones(5))
+        with pytest.raises(ValueError):
+            hill_tail_index(np.ones(100), tail_fraction=0.9)
+
+
+class TestTailComparison:
+    def test_pareto_flagged_heavy(self, rng):
+        x = np.asarray(bounded_pareto(rng, 1.3, 0.001, 100.0, size=100_000))
+        assert tail_heavier_than_exponential(x)
+
+    def test_exponential_not_flagged(self, rng):
+        x = rng.exponential(0.01, size=100_000)
+        assert not tail_heavier_than_exponential(x)
+
+    def test_needs_samples(self, rng):
+        with pytest.raises(ValueError):
+            tail_heavier_than_exponential(np.ones(10))
+
+
+class TestCharacterize:
+    def test_spider_mix_report(self):
+        """Experiment E3's core: the calibrated mix reproduces the paper's
+        published characterization."""
+        _wl, trace = spider_mixed_workload(duration=2 * 3600.0, seed=4)
+        report = characterize(trace)
+        assert report.write_fraction_requests == pytest.approx(0.60, abs=0.04)
+        assert report.bimodal_fraction > 0.95
+        assert report.interarrival_heavy_tailed
+        assert report.rows()  # renders
+
+    def test_needs_enough_requests(self):
+        t = RequestTrace(np.arange(10.0), np.ones(10, dtype=np.int64),
+                         np.ones(10, dtype=bool))
+        with pytest.raises(ValueError):
+            characterize(t)
+
+
+class TestLayerProfile:
+    def test_ceilings_monotone_nonincreasing(self, mini_system):
+        profile = profile_layers(mini_system)
+        ceilings = [l.ceiling for l in profile.layers]
+        assert all(a >= b - 1e-6 for a, b in zip(ceilings, ceilings[1:]))
+
+    def test_block_vs_fs_profiles(self, mini_system):
+        fs_profile = profile_layers(mini_system, fs_level=True)
+        blk_profile = profile_layers(mini_system, fs_level=False)
+        assert fs_profile.end_to_end <= blk_profile.end_to_end
+
+    def test_loss_table_renders(self, mini_system):
+        rows = profile_layers(mini_system).loss_table()
+        assert rows[0][2] == "-"
+        assert all(len(r) == 3 for r in rows)
+
+    def test_spider2_couplet_is_the_block_bottleneck(self, spider2_session):
+        profile = profile_layers(spider2_session, fs_level=False)
+        disks = profile.ceiling_of("disks (streaming sum)")
+        couplets = profile.ceiling_of("controller couplets (block)")
+        assert couplets < disks  # Lesson 12: controllers gate the raw disks
+
+    def test_ceiling_of_missing_raises(self, mini_system):
+        with pytest.raises(KeyError):
+            profile_layers(mini_system).ceiling_of("bogus")
+
+
+class TestReporting:
+    def test_render_table_alignment(self):
+        out = render_table(["a", "bb"], [[1, 22], [333, 4]], title="T")
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert len({len(l) for l in lines[1:]}) <= 2  # consistent widths
+
+    def test_render_series_bars_scale(self):
+        out = render_series("x", "y", [("p", 10.0), ("q", 5.0)])
+        lines = out.splitlines()
+        assert lines[1].count("#") == 2 * lines[2].count("#")
+
+    def test_render_series_empty(self):
+        assert render_series("x", "y", [], title="t") == "t"
+
+    def test_render_kv(self):
+        out = render_kv([("key", 1), ("longer key", "v")])
+        assert "key        : 1" in out
+
+
+class TestDesignProxy:
+    def test_pure_modes_match_spec(self):
+        from repro.analysis.design_proxy import mixed_delivered_bandwidth
+        from repro.hardware.disk import DiskSpec
+        from repro.units import MiB
+        spec = DiskSpec()
+        assert mixed_delivered_bandwidth(spec, 0.0) == spec.seq_bw
+        assert mixed_delivered_bandwidth(spec, 1.0) == pytest.approx(
+            spec.bandwidth(MiB, sequential=False))
+
+    def test_harmonic_composition_below_arithmetic(self):
+        from repro.analysis.design_proxy import mixed_delivered_bandwidth
+        from repro.hardware.disk import DiskSpec
+        from repro.units import MiB
+        spec = DiskSpec()
+        p = 0.4
+        harmonic = mixed_delivered_bandwidth(spec, p)
+        arithmetic = (p * spec.bandwidth(MiB, sequential=False)
+                      + (1 - p) * spec.seq_bw)
+        assert harmonic < arithmetic  # time adds, bytes don't
+
+    def test_comparison_detects_proxy_blindness(self):
+        from repro.analysis.design_proxy import compare_disk_options
+        from repro.hardware.disk import DiskSpec
+        from repro.units import MB
+        a = DiskSpec(seq_bw=140 * MB, access_time=0.025, name="a")
+        b = DiskSpec(seq_bw=140 * MB, access_time=0.075, name="b")
+        cmp = compare_disk_options(a, b)
+        assert cmp.proxy_blind
+        assert cmp.mixed_ratio < 1.0
+
+    def test_validation(self):
+        from repro.analysis.design_proxy import mixed_delivered_bandwidth
+        from repro.hardware.disk import DiskSpec
+        with pytest.raises(ValueError):
+            mixed_delivered_bandwidth(DiskSpec(), 1.5)

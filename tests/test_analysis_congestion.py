@@ -1,0 +1,103 @@
+"""Congestion-census tests + center workflow-makespan tests."""
+
+import pytest
+
+from repro.analysis.congestion import census_link_loads, route_census_for_policy
+from repro.core.center import HpcCenter, PfsModel, checkpoint_analysis_workflow
+from repro.network.lnet import FineGrainedRouting, RoundRobinRouting
+from repro.network.torus import Torus3D, TorusSpec
+from repro.units import GB, HOUR, TB
+
+
+@pytest.fixture
+def torus():
+    return Torus3D(TorusSpec(dims=(6, 6, 6)))
+
+
+class TestCensus:
+    def test_single_route(self, torus):
+        report = census_link_loads(torus, [((0, 0, 0), (2, 0, 0))])
+        assert report.n_routes == 1
+        assert report.total_link_crossings == 2
+        assert report.max_load == 1
+        assert report.axis_crossings == (2, 0, 0)
+
+    def test_overlapping_routes_create_hotspot(self, torus):
+        hot = [((0, 0, 0), (3, 0, 0))] * 5  # three links, load 5 each
+        background = [((0, y, z), (0, y + 1, z))  # single-hop, load 1
+                      for y in range(3) for z in range(3)]
+        report = census_link_loads(torus, hot + background)
+        assert report.max_load == 5
+        assert report.hotspot_ratio > 2.0
+
+    def test_mean_path_length(self, torus):
+        pairs = [((0, 0, 0), (1, 0, 0)), ((0, 0, 0), (0, 0, 3))]
+        report = census_link_loads(torus, pairs)
+        assert report.mean_path_length == pytest.approx(2.0)
+
+    def test_empty_rejected(self, torus):
+        with pytest.raises(ValueError):
+            census_link_loads(torus, [])
+
+    def test_rows_render(self, torus):
+        report = census_link_loads(torus, [((0, 0, 0), (2, 2, 2))])
+        assert len(report.rows()) == 7
+
+
+class TestPolicyCensus:
+    def test_fgr_less_concentrated_than_rr(self, mini_system):
+        clients = [c.coord for c in mini_system.clients[:48]]
+        leaves = [i % mini_system.spec.fabric.n_leaf_switches
+                  for i in range(48)]
+        fgr = route_census_for_policy(
+            mini_system.torus, FineGrainedRouting(mini_system.lnet),
+            clients, leaves)
+        rr = route_census_for_policy(
+            mini_system.torus, RoundRobinRouting(mini_system.lnet),
+            clients, leaves)
+        assert fgr.mean_path_length <= rr.mean_path_length
+
+    def test_alignment_validated(self, mini_system):
+        with pytest.raises(ValueError):
+            route_census_for_policy(
+                mini_system.torus, FineGrainedRouting(mini_system.lnet),
+                [(0, 0, 0)], [0, 1])
+
+
+class TestWorkflowMakespan:
+    def test_data_centric_pays_no_staging(self):
+        center = HpcCenter(model=PfsModel.DATA_CENTRIC)
+        wf = checkpoint_analysis_workflow()
+        assert center.workflow_staging_seconds(wf) == 0.0
+
+    def test_exclusive_staging_serializes(self):
+        center = HpcCenter(model=PfsModel.MACHINE_EXCLUSIVE)
+        wf = checkpoint_analysis_workflow(checkpoint_bytes=450 * TB,
+                                          reduced_bytes=40 * TB)
+        staging = center.workflow_staging_seconds(wf, dtn_bandwidth=10 * GB)
+        assert staging == pytest.approx(490 * TB / (10 * GB))
+        assert staging > 13 * HOUR  # copying half a petabyte is not free
+
+    def test_makespan_difference_is_staging(self):
+        wf = checkpoint_analysis_workflow()
+        dc = HpcCenter(model=PfsModel.DATA_CENTRIC)
+        ex = HpcCenter(model=PfsModel.MACHINE_EXCLUSIVE)
+        kwargs = dict(default_stage_seconds=2 * HOUR, dtn_bandwidth=10 * GB)
+        delta = (ex.workflow_makespan(wf, **kwargs)
+                 - dc.workflow_makespan(wf, **kwargs))
+        assert delta == pytest.approx(ex.workflow_staging_seconds(
+            wf, dtn_bandwidth=10 * GB))
+
+    def test_stage_seconds_override(self):
+        center = HpcCenter()
+        wf = checkpoint_analysis_workflow()
+        short = center.workflow_makespan(
+            wf, stage_seconds={"simulation": 10.0, "analysis": 10.0,
+                               "visualization": 10.0})
+        assert short == pytest.approx(30.0)
+
+    def test_validation(self):
+        center = HpcCenter()
+        wf = checkpoint_analysis_workflow()
+        with pytest.raises(ValueError):
+            center.workflow_staging_seconds(wf, dtn_bandwidth=0)

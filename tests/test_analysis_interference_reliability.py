@@ -1,0 +1,119 @@
+"""Interference-analysis and reliability-simulation tests."""
+
+import pytest
+
+from repro.analysis.interference import measure_interference
+from repro.hardware.raid import RaidGeometry
+from repro.ops.reliability import ReliabilitySim, analytic_mttdl_years
+from repro.units import GB
+
+
+class TestInterference:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return measure_interference(duration=900.0, seed=5)
+
+    def test_tail_latency_inflates_under_mix(self, result):
+        """§II's claim: analytics responsiveness suffers under the mix."""
+        assert result.p99_inflation > 5.0
+        assert result.mixed_read_p99 > result.alone_read_p99
+
+    def test_median_barely_moves(self, result):
+        """Interference is bursty: between checkpoints, latency is normal."""
+        assert result.mixed_read_p50 < 2.0 * result.alone_read_p50
+
+    def test_checkpoint_pays_modestly(self, result):
+        assert 1.0 <= result.checkpoint_slowdown < 2.0
+
+    def test_rows_render(self, result):
+        rows = result.rows()
+        assert len(rows) == 9
+        assert all(isinstance(v, str) for _k, v in rows)
+
+    def test_deterministic(self):
+        a = measure_interference(duration=600.0, seed=9)
+        b = measure_interference(duration=600.0, seed=9)
+        assert a.mixed_read_p99 == b.mixed_read_p99
+
+
+class TestReliabilitySim:
+    def test_failure_rate_matches_afr(self):
+        sim = ReliabilitySim(annual_failure_rate=0.025, seed=2)
+        report = sim.run(years=10)
+        expected = 0.025 * sim.n_disks
+        assert report.failures_per_year == pytest.approx(expected, rel=0.1)
+
+    def test_declustering_shrinks_exposure(self):
+        conv = ReliabilitySim(declustered=False, seed=3).run(years=10)
+        dec = ReliabilitySim(declustered=True, seed=3).run(years=10)
+        assert conv.failures == dec.failures  # same trace
+        assert dec.critical_group_hours < conv.critical_group_hours
+        assert dec.mean_rebuild_hours == pytest.approx(
+            conv.mean_rebuild_hours / RaidGeometry().declustering_speedup)
+
+    def test_degraded_hours_scale_with_rebuild_window(self):
+        short = ReliabilitySim(rebuild_hours=6.0, seed=4).run(years=5)
+        long = ReliabilitySim(rebuild_hours=48.0, seed=4).run(years=5)
+        assert long.degraded_group_hours > 5 * short.degraded_group_hours
+
+    def test_rows_render(self):
+        report = ReliabilitySim(seed=5).run(years=2)
+        assert len(report.rows()) == 7
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ReliabilitySim(n_groups=0)
+        with pytest.raises(ValueError):
+            ReliabilitySim(rebuild_hours=0)
+        with pytest.raises(ValueError):
+            ReliabilitySim().run(years=0)
+
+
+class TestAnalyticMttdl:
+    def test_faster_rebuild_longer_mttdl(self):
+        g = RaidGeometry()
+        slow = analytic_mttdl_years(g, n_groups=2016,
+                                    annual_failure_rate=0.025,
+                                    rebuild_hours=48.0)
+        fast = analytic_mttdl_years(g, n_groups=2016,
+                                    annual_failure_rate=0.025,
+                                    rebuild_hours=12.0)
+        assert fast == pytest.approx(16 * slow)  # mu^2 scaling
+
+    def test_more_groups_shorter_mttdl(self):
+        g = RaidGeometry()
+        one = analytic_mttdl_years(g, n_groups=1, annual_failure_rate=0.02,
+                                   rebuild_hours=24.0)
+        many = analytic_mttdl_years(g, n_groups=100,
+                                    annual_failure_rate=0.02,
+                                    rebuild_hours=24.0)
+        assert many == pytest.approx(one / 100)
+
+    def test_validation(self):
+        g = RaidGeometry()
+        with pytest.raises(ValueError):
+            analytic_mttdl_years(g, n_groups=1, annual_failure_rate=0.0,
+                                 rebuild_hours=1.0)
+        with pytest.raises(ValueError):
+            analytic_mttdl_years(g, n_groups=0, annual_failure_rate=0.01,
+                                 rebuild_hours=1.0)
+
+
+class TestPlacementLatency:
+    def test_spread_protects_tail_latency(self):
+        from repro.analysis.interference import measure_placement_latency
+        report = measure_placement_latency(n_stations=8, duration=600.0,
+                                           seed=9)
+        assert report.spread_gain > 5.0
+        assert report.spread_p99 < report.concentrated_p99
+
+    def test_rows_render(self):
+        from repro.analysis.interference import measure_placement_latency
+        report = measure_placement_latency(n_stations=4, duration=300.0,
+                                           seed=2)
+        assert len(report.rows()) == 4
+
+    def test_validation(self):
+        from repro.analysis.interference import measure_placement_latency
+        with pytest.raises(ValueError):
+            measure_placement_latency(n_stations=1)

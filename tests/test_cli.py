@@ -1,0 +1,89 @@
+"""CLI tests: every subcommand runs and prints its report."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    def test_seed_flag_global(self):
+        args = build_parser().parse_args(["--seed", "7", "placement"])
+        assert args.seed == 7
+
+
+class TestCommands:
+    def test_inventory(self, capsys):
+        assert main(["inventory"]) == 0
+        out = capsys.readouterr().out
+        assert "20160" in out
+        assert "32.26 PB" in out
+
+    def test_inventory_spider1(self, capsys):
+        assert main(["inventory", "--system", "spider1"]) == 0
+        assert "13440" in capsys.readouterr().out
+
+    def test_layers(self, capsys):
+        assert main(["layers"]) == 0
+        out = capsys.readouterr().out
+        assert "RAID groups" in out
+        assert "couplets" in out
+
+    def test_ior(self, capsys):
+        assert main(["ior", "-n", "96", "--ppn", "16"]) == 0
+        assert "aggregate" in capsys.readouterr().out
+
+    def test_ior_optimal_upgraded(self, capsys):
+        assert main(["ior", "-n", "96", "--ppn", "1",
+                     "--placement", "optimal", "--upgraded"]) == 0
+
+    def test_incident_both_designs(self, capsys):
+        assert main(["incident", "--enclosures", "5"]) == 0
+        assert "FAILED" in capsys.readouterr().out
+        assert main(["incident", "--enclosures", "10"]) == 0
+        assert "tolerated" in capsys.readouterr().out
+
+    def test_placement_map(self, capsys):
+        assert main(["placement"]) == 0
+        out = capsys.readouterr().out
+        assert "router groups" in out
+
+    def test_workload(self, capsys):
+        assert main(["workload", "--hours", "1"]) == 0
+        assert "write fraction" in capsys.readouterr().out
+
+    def test_interference(self, capsys):
+        assert main(["interference"]) == 0
+        assert "p99" in capsys.readouterr().out
+
+    def test_reliability(self, capsys):
+        assert main(["reliability", "--years", "3"]) == 0
+        assert "disk failures" in capsys.readouterr().out
+
+    def test_reliability_declustered(self, capsys):
+        assert main(["reliability", "--years", "3", "--declustered"]) == 0
+        assert "declustered" in capsys.readouterr().out
+
+
+class TestNewCommands:
+    def test_recovery_standard(self, capsys):
+        assert main(["recovery"]) == 0
+        out = capsys.readouterr().out
+        assert "standard" in out
+        assert "Router failure" in out
+
+    def test_recovery_imperative(self, capsys):
+        assert main(["recovery", "--imperative", "--hp-journaling"]) == 0
+        assert "imperative" in capsys.readouterr().out
+
+    def test_suite(self, capsys):
+        assert main(["suite", "--ssu", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "fs overhead" in out

@@ -1,0 +1,121 @@
+"""HPC-center model tests: the data-centric vs machine-exclusive tradeoffs."""
+
+import pytest
+
+from repro.core.center import (
+    OLCF_RESOURCES,
+    ComputeResource,
+    HpcCenter,
+    PfsModel,
+    Workflow,
+    WorkflowStage,
+    checkpoint_analysis_workflow,
+)
+from repro.units import PB, TB
+
+
+@pytest.fixture
+def data_centric():
+    return HpcCenter(model=PfsModel.DATA_CENTRIC)
+
+
+@pytest.fixture
+def exclusive():
+    return HpcCenter(model=PfsModel.MACHINE_EXCLUSIVE)
+
+
+class TestCapacityRule:
+    def test_olcf_aggregate_memory_770tb(self, data_centric):
+        assert data_centric.aggregate_memory_bytes == 770 * TB
+
+    def test_thirty_x_target_met_by_spider2(self, data_centric):
+        # 770 TB x 30 = 23.1 PB < 32 PB (§VII).
+        assert data_centric.capacity_target_bytes() == 23_100 * TB
+        assert data_centric.meets_capacity_target()
+
+    def test_headroom_supports_new_resource(self, data_centric):
+        headroom = data_centric.headroom_for_new_resource()
+        assert headroom > 250 * TB  # "margin for accommodating new systems"
+
+    def test_headroom_zero_when_at_target(self):
+        center = HpcCenter(pfs_capacity_bytes=23 * PB)
+        assert center.headroom_for_new_resource() == 0
+
+
+class TestCost:
+    def test_exclusive_storage_costs_more(self, data_centric, exclusive):
+        # ">10% of the total acquisition cost" per machine + movers.
+        assert exclusive.storage_cost() > data_centric.storage_cost()
+
+    def test_adding_resource_free_under_data_centric_margin(self, data_centric):
+        small = ComputeResource("summitdev", memory_bytes=40 * TB,
+                                acquisition_cost=8.0)
+        assert data_centric.cost_of_adding_resource(small) == 0.0
+
+    def test_adding_resource_costs_under_exclusive(self, exclusive):
+        small = ComputeResource("summitdev", memory_bytes=40 * TB,
+                                acquisition_cost=8.0)
+        assert exclusive.cost_of_adding_resource(small) == pytest.approx(0.8)
+
+    def test_oversized_addition_needs_expansion(self, data_centric):
+        huge = ComputeResource("summit", memory_bytes=2000 * TB,
+                               acquisition_cost=200.0)
+        assert data_centric.cost_of_adding_resource(huge) > 0.0
+
+
+class TestDataMovement:
+    def test_data_centric_moves_nothing(self, data_centric):
+        wf = checkpoint_analysis_workflow()
+        assert data_centric.workflow_movement_bytes(wf) == 0
+
+    def test_exclusive_copies_each_handoff(self, exclusive):
+        wf = checkpoint_analysis_workflow(checkpoint_bytes=450 * TB,
+                                          reduced_bytes=40 * TB)
+        moved = exclusive.workflow_movement_bytes(wf)
+        assert moved == 450 * TB + 40 * TB
+
+    def test_same_resource_stage_free(self, exclusive):
+        wf = Workflow("local", (
+            WorkflowStage("titan", 0, 100),
+            WorkflowStage("titan", 100, 10),
+        ))
+        assert exclusive.workflow_movement_bytes(wf) == 0
+
+    def test_unknown_resource_rejected(self, exclusive):
+        wf = Workflow("bad", (WorkflowStage("nonexistent", 0, 1),))
+        with pytest.raises(KeyError):
+            exclusive.workflow_movement_bytes(wf)
+
+
+class TestAvailability:
+    def test_data_centric_survives_compute_outage(self, data_centric):
+        assert data_centric.data_availability("titan") == 1.0
+
+    def test_exclusive_loses_data_with_machine(self, exclusive):
+        avail = exclusive.data_availability("titan")
+        assert avail == pytest.approx(1 - 710 / 770)
+
+    def test_exclusive_all_up(self, exclusive):
+        assert exclusive.data_availability(None) == 1.0
+
+
+class TestValidation:
+    def test_duplicate_resources_rejected(self):
+        r = ComputeResource("x", memory_bytes=1, acquisition_cost=1.0)
+        with pytest.raises(ValueError):
+            HpcCenter(resources=(r, r))
+
+    def test_empty_center_rejected(self):
+        with pytest.raises(ValueError):
+            HpcCenter(resources=())
+
+    def test_resource_validation(self):
+        with pytest.raises(ValueError):
+            ComputeResource("x", memory_bytes=0, acquisition_cost=1.0)
+        with pytest.raises(ValueError):
+            ComputeResource("x", memory_bytes=1, acquisition_cost=1.0,
+                            availability=0.0)
+
+    def test_workflow_needs_stages(self):
+        with pytest.raises(ValueError):
+            Workflow("empty", ())

@@ -1,0 +1,151 @@
+"""Max-min flow solver tests: exact small cases and structure."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.flow import FlowNetwork
+
+
+def simple_net(cap, flows):
+    net = FlowNetwork()
+    net.add_component("c", cap)
+    for i, demand in enumerate(flows):
+        net.add_flow(f"f{i}", ["c"], demand=demand)
+    return net
+
+
+class TestBasics:
+    def test_equal_split(self):
+        res = simple_net(12.0, [math.inf] * 3).solve()
+        assert np.allclose(res.rates, 4.0)
+        assert res.total == pytest.approx(12.0)
+
+    def test_demand_bound_respected(self):
+        res = simple_net(12.0, [1.0, math.inf, math.inf]).solve()
+        assert sorted(res.rates.tolist()) == pytest.approx([1.0, 5.5, 5.5])
+
+    def test_all_demands_satisfiable(self):
+        res = simple_net(100.0, [5.0, 10.0, 15.0]).solve()
+        assert res.rates.tolist() == pytest.approx([5.0, 10.0, 15.0])
+        assert res.saturated_components() == []
+
+    def test_zero_demand_flow(self):
+        res = simple_net(10.0, [0.0, math.inf]).solve()
+        assert res.rates.tolist() == pytest.approx([0.0, 10.0])
+
+    def test_zero_capacity_component(self):
+        res = simple_net(0.0, [math.inf]).solve()
+        assert res.rates.tolist() == pytest.approx([0.0])
+
+    def test_weighted_shares(self):
+        net = FlowNetwork()
+        net.add_component("c", 12.0)
+        net.add_flow("heavy", ["c"], weight=2.0)
+        net.add_flow("light", ["c"], weight=1.0)
+        res = net.solve()
+        assert res.rate_of("heavy") == pytest.approx(8.0)
+        assert res.rate_of("light") == pytest.approx(4.0)
+
+
+class TestTopologies:
+    def test_two_bottlenecks(self):
+        """The classic max-min example: one flow crosses both links."""
+        net = FlowNetwork()
+        net.add_component("l1", 10.0)
+        net.add_component("l2", 4.0)
+        net.add_flow("long", ["l1", "l2"])
+        net.add_flow("a", ["l1"])
+        net.add_flow("b", ["l2"])
+        res = net.solve()
+        # l2 saturates first at 2 each; 'a' then grows to fill l1.
+        assert res.rate_of("long") == pytest.approx(2.0)
+        assert res.rate_of("b") == pytest.approx(2.0)
+        assert res.rate_of("a") == pytest.approx(8.0)
+
+    def test_layered_path_min_rules(self):
+        net = FlowNetwork()
+        for name, cap in [("client", 5.0), ("router", 3.0), ("ost", 10.0)]:
+            net.add_component(name, cap)
+        net.add_flow("f", ["client", "router", "ost"])
+        res = net.solve()
+        assert res.rate_of("f") == pytest.approx(3.0)
+        assert "router" in res.saturated_components()
+
+    def test_infinite_capacity_never_binds(self):
+        net = FlowNetwork()
+        net.add_component("inf", math.inf)
+        net.add_component("cap", 2.0)
+        net.add_flow("f", ["inf", "cap"])
+        res = net.solve()
+        assert res.rate_of("f") == pytest.approx(2.0)
+
+    def test_unbounded_flow_reports_inf(self):
+        net = FlowNetwork()
+        net.add_component("inf", math.inf)
+        net.add_flow("f", ["inf"])
+        res = net.solve()
+        assert math.isinf(res.rate_of("f"))
+
+    def test_empty_path_with_demand(self):
+        net = FlowNetwork()
+        net.add_flow("f", [], demand=7.0)
+        assert net.solve().rate_of("f") == pytest.approx(7.0)
+
+    def test_duplicate_components_collapse(self):
+        net = FlowNetwork()
+        net.add_component("c", 6.0)
+        net.add_flow("f", ["c", "c", "c"])
+        assert net.solve().rate_of("f") == pytest.approx(6.0)
+
+
+class TestResultApi:
+    def test_load_accounting(self):
+        net = FlowNetwork()
+        net.add_component("c", 9.0)
+        net.add_flow("a", ["c"])
+        net.add_flow("b", ["c"], demand=1.0)
+        res = net.solve()
+        assert res.component_load["c"] == pytest.approx(9.0)
+        assert res.utilization("c") == pytest.approx(1.0)
+        assert "c" in res.bottlenecks
+
+    def test_utilization_of_infinite_component(self):
+        net = FlowNetwork()
+        net.add_component("inf", math.inf)
+        net.add_flow("f", ["inf"], demand=5.0)
+        res = net.solve()
+        assert res.utilization("inf") == 0.0
+
+
+class TestValidation:
+    def test_unknown_component(self):
+        net = FlowNetwork()
+        with pytest.raises(KeyError):
+            net.add_flow("f", ["missing"])
+
+    def test_duplicate_flow_name(self):
+        net = FlowNetwork()
+        net.add_component("c", 1.0)
+        net.add_flow("f", ["c"])
+        with pytest.raises(ValueError):
+            net.add_flow("f", ["c"])
+
+    def test_bad_weight_and_demand(self):
+        net = FlowNetwork()
+        net.add_component("c", 1.0)
+        with pytest.raises(ValueError):
+            net.add_flow("f", ["c"], weight=0.0)
+        with pytest.raises(ValueError):
+            net.add_flow("g", ["c"], demand=-1.0)
+
+    def test_negative_capacity(self):
+        net = FlowNetwork()
+        with pytest.raises(ValueError):
+            net.add_component("c", -1.0)
+
+    def test_empty_path_unbounded_demand_rejected(self):
+        net = FlowNetwork()
+        with pytest.raises(ValueError):
+            net.add_flow("f", [])

@@ -1,0 +1,112 @@
+"""End-to-end path construction tests on the mini system."""
+
+import math
+
+import pytest
+
+from repro.core.path import PathBuilder, Transfer
+from repro.network.lnet import RoundRobinRouting
+from repro.units import GB
+
+
+def transfer_for(system, ost_index=0, demand=1 * GB, client_idx=0, name="t0",
+                 osts=None):
+    return Transfer(
+        name=name,
+        client=system.clients[client_idx],
+        ost_indices=osts or (ost_index,),
+        demand=demand,
+    )
+
+
+class TestTransfer:
+    def test_validation(self, mini_system):
+        with pytest.raises(ValueError):
+            Transfer("x", mini_system.clients[0], ())
+        with pytest.raises(ValueError):
+            Transfer("x", mini_system.clients[0], (0,), demand=0.0)
+
+
+class TestBuild:
+    def test_flow_per_ost(self, mini_system):
+        builder = PathBuilder(mini_system)
+        net = builder.build([transfer_for(mini_system, osts=(0, 1, 2))])
+        assert net.n_flows == 3
+
+    def test_path_crosses_all_layers(self, mini_system):
+        builder = PathBuilder(mini_system)
+        t = transfer_for(mini_system)
+        net = builder.build([t])
+        res = net.solve()
+        flow_name = res.flow_names[0]
+        assert flow_name == "t0->ost0"
+        # The delivered rate respects every layer on the path.
+        ost_cap = mini_system.ost_flow_capacities(fs_level=True)[0]
+        assert res.rates[0] <= min(t.demand, ost_cap) + 1e-6
+
+    def test_router_usage_tracked(self, mini_system):
+        builder = PathBuilder(mini_system)
+        builder.build([transfer_for(mini_system)])
+        usage = builder.router_usage()
+        assert sum(usage.values()) == 1
+
+    def test_block_level_skips_obdfilter(self, mini_system):
+        fs_builder = PathBuilder(mini_system, fs_level=True)
+        blk_builder = PathBuilder(mini_system, fs_level=False)
+        t = [transfer_for(mini_system, demand=math.inf)]
+        fs_rate = fs_builder.solve(t).total
+        blk_rate = blk_builder.solve(t).total
+        assert blk_rate > fs_rate
+
+    def test_include_torus_adds_links(self, mini_system):
+        plain = PathBuilder(mini_system, include_torus=False)
+        torus = PathBuilder(mini_system, include_torus=True)
+        t = [transfer_for(mini_system)]
+        n_plain = plain.build(t).n_components
+        n_torus = torus.build(t).n_components
+        assert n_torus > n_plain
+
+    def test_policy_override(self, mini_system):
+        builder = PathBuilder(
+            mini_system, policy=RoundRobinRouting(mini_system.lnet))
+        res = builder.solve([transfer_for(mini_system)])
+        assert res.total > 0
+
+    def test_node_sharing_caps_colocated_transfers(self, mini_system):
+        """Two transfers on the same client share its stack cap."""
+        client = mini_system.clients[0]
+        builder = PathBuilder(mini_system)
+        transfers = [
+            Transfer("a", client, (0,), demand=client.bw_cap),
+            Transfer("b", client, (1,), demand=client.bw_cap),
+        ]
+        res = builder.solve(transfers)
+        rates = builder.transfer_rates(res, transfers)
+        assert rates["a"] + rates["b"] <= client.bw_cap * (1 + 1e-6)
+
+    def test_transfer_rates_aggregate_stripes(self, mini_system):
+        builder = PathBuilder(mini_system)
+        t = transfer_for(mini_system, osts=(0, 1), demand=0.5 * GB)
+        res = builder.solve([t])
+        rates = builder.transfer_rates(res, [t])
+        assert rates["t0"] == pytest.approx(0.5 * GB, rel=1e-6)
+
+
+class TestSaturation:
+    def test_couplet_binds_under_heavy_load(self, mini_system):
+        """Enough demand saturates the fs-level couplet caps — the
+        pre-upgrade 320 GB/s mechanism in miniature."""
+        builder = PathBuilder(mini_system)
+        fs = list(mini_system.filesystems.values())[0]
+        transfers = []
+        for i, client in enumerate(mini_system.clients[:64]):
+            ost = fs.osts[i % len(fs.osts)].index
+            transfers.append(Transfer(f"w{i}", client, (ost,), demand=math.inf))
+        res = builder.solve(transfers)
+        saturated = res.saturated_components()
+        assert any(c.startswith("couplet:") for c in saturated)
+        # Total equals the namespace couplet budget.
+        ns_ssus = {o.ssu_index for o in fs.osts}
+        budget = sum(mini_system.ssus[s].couplet.bw_cap(fs_level=True)
+                     for s in ns_ssus)
+        assert res.total == pytest.approx(budget, rel=0.01)

@@ -1,0 +1,110 @@
+"""Router placement tests: Figure 2 structure and placement quality."""
+
+import numpy as np
+import pytest
+
+from repro.core.placement import (
+    CABINET_COLS,
+    CABINET_ROWS,
+    Placement,
+    PlacementSpec,
+    clustered_placement,
+    evenly_spaced_placement,
+    render_cabinet_map,
+)
+from repro.network.torus import TITAN_TORUS, Torus3D
+
+
+class TestSpec:
+    def test_defaults_give_440_routers(self):
+        spec = PlacementSpec()
+        assert spec.n_routers == 440
+        assert spec.n_groups == 9
+
+    def test_leaves_of_group_cover_all(self):
+        spec = PlacementSpec()
+        leaves = [l for g in range(spec.n_groups) for l in spec.leaves_of_group(g)]
+        assert sorted(leaves) == list(range(36))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PlacementSpec(n_modules=0)
+        with pytest.raises(ValueError):
+            PlacementSpec(n_leaves=37)  # not divisible by 4
+
+
+class TestEvenPlacement:
+    def test_module_coords_valid(self):
+        torus = Torus3D(TITAN_TORUS)
+        placement = evenly_spaced_placement()
+        for coord in placement.module_coords:
+            assert torus.contains(coord)
+
+    def test_each_module_serves_four_distinct_leaves(self):
+        placement = evenly_spaced_placement()
+        by_coord = {}
+        for r in placement.routers:
+            by_coord.setdefault((r.coord, r.name[:6]), []).append(r.leaf)
+        for m in range(len(placement.module_coords)):
+            leaves = [r.leaf for r in placement.routers[4 * m:4 * m + 4]]
+            assert len(set(leaves)) == 4
+
+    def test_groups_interleaved_across_x(self):
+        """Adjacent modules belong to different groups — Figure 2's
+        color-spread pattern."""
+        placement = evenly_spaced_placement()
+        groups = placement.module_group
+        same_adjacent = sum(a == b for a, b in zip(groups, groups[1:]))
+        assert same_adjacent == 0
+
+    def test_every_leaf_served_by_many_routers(self):
+        placement = evenly_spaced_placement()
+        per_leaf = {}
+        for r in placement.routers:
+            per_leaf[r.leaf] = per_leaf.get(r.leaf, 0) + 1
+        assert min(per_leaf.values()) >= 10  # ~440/36 each
+        assert max(per_leaf.values()) <= 14
+
+
+class TestPlacementQuality:
+    def test_even_beats_clustered_on_locality(self):
+        """Lesson 14: the engineered spread reduces the client-to-router
+        distance vs packing the modules in a corner."""
+        torus = Torus3D(TITAN_TORUS)
+        rng = np.random.default_rng(0)
+        clients = [
+            (int(rng.integers(0, 25)), int(rng.integers(0, 16)),
+             int(rng.integers(0, 24)))
+            for _ in range(150)
+        ]
+        even = evenly_spaced_placement().mean_client_distance(torus, clients)
+        clustered = clustered_placement().mean_client_distance(torus, clients)
+        assert even < 0.8 * clustered
+
+    def test_mean_distance_empty_clients(self):
+        assert evenly_spaced_placement().mean_client_distance(
+            Torus3D(TITAN_TORUS), []) == 0.0
+
+
+class TestCabinetMap:
+    def test_render_shape(self):
+        art = render_cabinet_map(evenly_spaced_placement())
+        lines = art.splitlines()
+        assert len(lines) == CABINET_ROWS + 2  # header + 8 rows + legend
+        # Row lines contain only group letters and dots after the margin.
+        for line in lines[1:-1]:
+            body = line[4:]
+            assert len(body) == CABINET_COLS
+
+    def test_render_has_modules(self):
+        art = render_cabinet_map(evenly_spaced_placement())
+        letters = sum(c.isalpha() for line in art.splitlines()[1:-1]
+                      for c in line[4:])
+        # 110 modules over 200 cabinets: some cabinets may host two modules
+        # (overwritten cell), so the letter count is bounded by both.
+        assert 80 <= letters <= 110
+
+    def test_cabinet_of_module(self):
+        placement = evenly_spaced_placement()
+        cx, cy = placement.cabinet_of_module(0)
+        assert 0 <= cx < CABINET_COLS and 0 <= cy < CABINET_ROWS

@@ -1,0 +1,156 @@
+"""Spider system builder tests: paper-pinned inventory and calibration."""
+
+import numpy as np
+import pytest
+
+from repro.core.spider import SPIDER1, SPIDER2, SpiderSystem, build_spider1, build_spider2
+from repro.units import GB, PB, TB
+
+
+class TestSpecArithmetic:
+    def test_spider2_inventory_matches_paper(self):
+        assert SPIDER2.n_disks == 20_160
+        assert SPIDER2.n_osts == 2_016
+        assert SPIDER2.n_osses == 288
+        assert SPIDER2.placement.n_routers == 440
+        assert SPIDER2.fabric.n_leaf_switches == 36
+        assert SPIDER2.n_namespaces == 2
+        assert SPIDER2.n_compute_nodes == 18_688
+
+    def test_spider1_inventory(self):
+        assert SPIDER1.n_disks == 13_440
+        assert SPIDER1.n_osts == 1_344
+        assert SPIDER1.n_namespaces == 4
+        assert SPIDER1.ssu.n_enclosures == 5  # the incident geometry
+
+    def test_validation_namespace_divisibility(self):
+        with pytest.raises(ValueError):
+            from dataclasses import replace
+            replace(SPIDER2, n_namespaces=5)
+
+
+class TestMiniBuild:
+    def test_component_counts(self, mini_system):
+        spec = mini_system.spec
+        assert len(mini_system.osts) == spec.n_osts
+        assert len(mini_system.osses) == spec.n_osses
+        assert len(mini_system.clients) == spec.n_compute_nodes
+        assert len(mini_system.filesystems) == spec.n_namespaces
+
+    def test_ost_indices_dense_and_sorted(self, mini_system):
+        indices = [o.index for o in mini_system.osts]
+        assert indices == list(range(mini_system.spec.n_osts))
+
+    def test_oss_lookup(self, mini_system):
+        for ost in mini_system.osts:
+            oss = mini_system.oss_of_ost(ost.index)
+            assert ost.index in oss.ost_indices
+            assert oss.ssu_index == ost.ssu_index
+
+    def test_filesystem_partition(self, mini_system):
+        seen = set()
+        for fs in mini_system.filesystems.values():
+            for ost in fs.osts:
+                assert ost.index not in seen
+                seen.add(ost.index)
+                assert mini_system.filesystem_of_ost(ost.index) is fs
+        assert len(seen) == mini_system.spec.n_osts
+
+    def test_clients_have_valid_coords(self, mini_system):
+        for client in mini_system.clients:
+            assert mini_system.torus.contains(client.coord)
+
+    def test_clients_avoid_router_modules(self, mini_system):
+        module_coords = set(mini_system.placement.module_coords)
+        for client in mini_system.clients:
+            assert client.coord not in module_coords
+
+    def test_raw_bandwidth_vector(self, mini_system):
+        bw = mini_system.raw_ost_bandwidths()
+        assert bw.shape == (mini_system.spec.n_osts,)
+        assert (bw > 0).all()
+
+    def test_ost_flow_capacities_below_raw(self, mini_system):
+        raw = mini_system.raw_ost_bandwidths(fs_level=True)
+        caps = mini_system.ost_flow_capacities(fs_level=True)
+        assert (caps <= raw + 1e-9).all()
+
+    def test_upgrade_raises_fs_aggregate(self, mini_system):
+        before = mini_system.aggregate_bandwidth(fs_level=True)
+        mini_system.upgrade_controllers()
+        after = mini_system.aggregate_bandwidth(fs_level=True)
+        assert after > before
+
+    def test_torus_too_small_raises(self):
+        from tests.conftest import mini_spec
+        from repro.network.torus import TorusSpec
+        spec = mini_spec(torus=TorusSpec(dims=(2, 2, 2)), n_compute_nodes=128)
+        with pytest.raises(ValueError):
+            SpiderSystem(spec)
+
+
+class TestSpider2Headlines:
+    """The paper's headline numbers, on the full build (session fixture)."""
+
+    def test_capacity_32pb(self, spider2_session):
+        assert spider2_session.total_capacity_bytes() == pytest.approx(
+            32.26 * PB, rel=0.01)
+
+    def test_block_level_exceeds_1tbps(self, spider2_session):
+        bw = spider2_session.aggregate_bandwidth(fs_level=False)
+        assert bw > 1000 * GB
+        assert bw < 1150 * GB  # not wildly over
+
+    def test_namespace_pre_upgrade_320gbps(self, spider2_session):
+        total_fs = spider2_session.aggregate_bandwidth(fs_level=True)
+        per_namespace = total_fs / spider2_session.spec.n_namespaces
+        assert per_namespace == pytest.approx(320 * GB, rel=0.02)
+
+    def test_inventory_dict(self, spider2_session):
+        inv = spider2_session.inventory()
+        assert inv["disks"] == 20_160
+        assert inv["osts"] == 2_016
+        assert inv["routers"] == 440
+        assert inv["clients"] == 18_688
+
+    def test_spider1_aggregate_240gbps(self):
+        s1 = build_spider1(build_clients=False)
+        bw = s1.aggregate_bandwidth(fs_level=True)
+        assert bw == pytest.approx(240 * GB, rel=0.05)
+        assert s1.total_capacity_bytes() == pytest.approx(10.75 * PB, rel=0.01)
+
+
+class TestSsuScalability:
+    """§III-A: the SSU is the unit of scale — 'This structure provides the
+    flexibility to grow the PFS in the future as needed.'"""
+
+    def test_capacity_and_bandwidth_scale_linearly_in_ssus(self):
+        from dataclasses import replace
+        from tests.conftest import mini_spec
+
+        base = SpiderSystem(mini_spec(), seed=1)
+        grown_spec = mini_spec(n_ssus=8,
+                               fabric=base.spec.fabric.__class__(
+                                   n_leaf_switches=8, n_core_switches=2),
+                               placement=base.spec.placement.__class__(
+                                   n_modules=6, routers_per_module=4,
+                                   n_leaves=8))
+        grown = SpiderSystem(grown_spec, seed=1)
+        assert grown.total_capacity_bytes() == 2 * base.total_capacity_bytes()
+        ratio = (grown.aggregate_bandwidth(fs_level=False)
+                 / base.aggregate_bandwidth(fs_level=False))
+        # Raw (pre-culling) bandwidth carries slow-disk sampling noise; the
+        # scaling is linear up to that spread.
+        assert ratio == pytest.approx(2.0, rel=0.06)
+
+    def test_spider1_namespace_partition(self):
+        s1 = build_spider1(build_clients=False)
+        assert len(s1.filesystems) == 4
+        names = list(s1.filesystems)
+        assert names[0].startswith("widow")
+        sizes = {len(fs.osts) for fs in s1.filesystems.values()}
+        assert sizes == {1344 // 4}
+        # filesystem_of_ost agrees with the partition.
+        for fs in s1.filesystems.values():
+            for ost in fs.osts[:3]:
+                assert s1.filesystem_of_ost(ost.index) is fs

@@ -1,0 +1,46 @@
+"""Smoke tests: every example script runs to completion and prints its
+headline content.  These are the living documentation — they must not rot.
+"""
+
+import runpy
+import sys
+
+import pytest
+
+EXAMPLES = {
+    "quickstart": ("examples/quickstart.py",
+                   ("Inventory", "layer", "client scaling")),
+    "checkpoint_campaign": ("examples/checkpoint_campaign.py",
+                            ("Checkpoint design point", "write fraction")),
+    "operations_day": ("examples/operations_day.py",
+                       ("cable diagnosis", "purge")),
+    "procure_a_filesystem": ("examples/procure_a_filesystem.py",
+                             ("Winner", "Acceptance")),
+}
+
+#: the libPIO example builds the full client set and solves large flow
+#: problems twice; keep it in the slow bucket
+SLOW_EXAMPLES = {
+    "noisy_neighbor_libpio": ("examples/noisy_neighbor_libpio.py",
+                              ("libPIO", "improvement")),
+    "full_lifecycle": ("examples/full_lifecycle.py",
+                       ("PHASE 6", "Lifecycle complete")),
+}
+
+
+@pytest.mark.parametrize("name", sorted(EXAMPLES))
+def test_example_runs(name, capsys):
+    path, expectations = EXAMPLES[name]
+    runpy.run_path(path, run_name="__main__")
+    out = capsys.readouterr().out
+    for needle in expectations:
+        assert needle in out, f"{path} output lacks {needle!r}"
+
+
+@pytest.mark.parametrize("name", sorted(SLOW_EXAMPLES))
+def test_slow_example_runs(name, capsys):
+    path, expectations = SLOW_EXAMPLES[name]
+    runpy.run_path(path, run_name="__main__")
+    out = capsys.readouterr().out
+    for needle in expectations:
+        assert needle in out, f"{path} output lacks {needle!r}"

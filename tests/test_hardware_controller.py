@@ -1,0 +1,104 @@
+"""Controller couplet tests: caps, failover, the 2014 upgrade."""
+
+import numpy as np
+import pytest
+
+from repro.hardware.controller import ControllerCouplet, ControllerSpec
+from repro.units import GB
+
+
+class TestSpec:
+    def test_default_caps_ordering(self):
+        spec = ControllerSpec()
+        assert spec.fs_bw_cap < spec.block_bw_cap
+        assert spec.fs_bw_cap < spec.upgraded_fs_bw_cap
+
+    def test_fs_cap_cannot_exceed_block(self):
+        with pytest.raises(ValueError):
+            ControllerSpec(block_bw_cap=1 * GB, fs_bw_cap=2 * GB,
+                           upgraded_fs_bw_cap=2 * GB)
+
+    def test_spider2_namespace_calibration(self):
+        # 18 couplets per namespace: 320 GB/s pre-, ~510 GB/s post-upgrade.
+        spec = ControllerSpec()
+        pre = 18 * 2 * spec.fs_bw_cap
+        post = 18 * 2 * spec.upgraded_fs_bw_cap
+        assert pre == pytest.approx(320 * GB, rel=0.02)
+        assert post == pytest.approx(510 * GB, rel=0.02)
+
+
+class TestCouplet:
+    def test_even_home_split(self):
+        c = ControllerCouplet(n_groups=56)
+        assert (c.group_owner == np.arange(56) % 2).all()
+
+    def test_caps_sum_both_controllers(self):
+        spec = ControllerSpec()
+        c = ControllerCouplet(spec)
+        assert c.bw_cap(fs_level=False) == pytest.approx(2 * spec.block_bw_cap)
+        assert c.bw_cap(fs_level=True) == pytest.approx(2 * spec.fs_bw_cap)
+
+    def test_upgrade_raises_fs_cap_only(self):
+        spec = ControllerSpec()
+        c = ControllerCouplet(spec)
+        block_before = c.bw_cap(fs_level=False)
+        c.upgrade()
+        assert c.bw_cap(fs_level=True) == pytest.approx(2 * spec.upgraded_fs_bw_cap)
+        assert c.bw_cap(fs_level=False) == block_before
+
+    def test_failover_moves_groups(self):
+        c = ControllerCouplet(n_groups=8)
+        c.fail_controller(0)
+        assert (c.group_owner == 1).all()
+        assert c.online
+        assert c.bw_cap(fs_level=True) == pytest.approx(c.spec.fs_bw_cap)
+
+    def test_failback(self):
+        c = ControllerCouplet(n_groups=8)
+        c.fail_controller(0)
+        c.restore_controller(0)
+        assert (c.group_owner == c.home_owner).all()
+
+    def test_double_failure_kills_couplet(self):
+        c = ControllerCouplet(n_groups=4)
+        c.fail_controller(0)
+        c.fail_controller(1)
+        assert not c.online
+        assert c.bw_cap(fs_level=False) == 0.0
+        assert (c.group_share_caps(fs_level=False) == 0).all()
+
+    def test_group_share_caps_fair(self):
+        spec = ControllerSpec()
+        c = ControllerCouplet(spec, n_groups=8)
+        caps = c.group_share_caps(fs_level=True)
+        assert caps.shape == (8,)
+        # each controller owns 4 groups
+        assert np.allclose(caps, spec.fs_bw_cap / 4)
+
+    def test_group_share_caps_after_failover(self):
+        spec = ControllerSpec()
+        c = ControllerCouplet(spec, n_groups=8)
+        c.fail_controller(1)
+        caps = c.group_share_caps(fs_level=True)
+        assert np.allclose(caps, spec.fs_bw_cap / 8)
+
+    def test_counters_record(self):
+        c = ControllerCouplet(n_groups=4)
+        c.record_io(10 * 2**20, write=True, request_size=2**20)
+        c.record_io(2**20, write=False, request_size=2**20)
+        ctrl = c.controllers[0]
+        assert ctrl.counters.write_bytes == 10 * 2**20
+        assert ctrl.counters.read_bytes == 2**20
+        assert ctrl.counters.write_requests == 10
+        assert ctrl.counters.request_size_hist[2**20] == 2
+
+    def test_counters_skip_dead_controller(self):
+        c = ControllerCouplet(n_groups=4)
+        c.fail_controller(0)
+        c.record_io(100, write=True, request_size=100)
+        assert c.controllers[0].counters.write_bytes == 0
+        assert c.controllers[1].counters.write_bytes == 100
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ControllerCouplet(n_groups=0)

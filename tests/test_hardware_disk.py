@@ -1,0 +1,133 @@
+"""Disk model tests: the 20-25% random ratio and the slow tails."""
+
+import numpy as np
+import pytest
+
+from repro.hardware.disk import Disk, DiskPopulation, DiskSpec, DiskState
+from repro.sim.rng import RngStreams
+from repro.units import KiB, MB, MiB, TB
+
+
+class TestDiskSpec:
+    def test_defaults_match_spider2(self):
+        spec = DiskSpec()
+        assert spec.capacity_bytes == 2 * TB
+        assert spec.seq_bw == 140 * MB
+
+    def test_random_ratio_in_paper_band_at_1mib(self):
+        # "20-25% of its peak performance under random I/O workloads
+        # (with 1 MB I/O block sizes)" — §III-A.
+        eff = DiskSpec().random_efficiency(1 * MiB)
+        assert 0.20 <= eff <= 0.25
+
+    def test_random_efficiency_monotone_in_size(self):
+        spec = DiskSpec()
+        sizes = [4 * KiB, 64 * KiB, 1 * MiB, 16 * MiB]
+        effs = [spec.random_efficiency(s) for s in sizes]
+        assert effs == sorted(effs)
+        assert effs[0] < 0.01  # tiny random requests are seek-dominated
+
+    def test_sequential_ignores_request_size(self):
+        spec = DiskSpec()
+        assert spec.bandwidth(4 * KiB, sequential=True) == spec.seq_bw
+        assert spec.bandwidth(16 * MiB, sequential=True) == spec.seq_bw
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DiskSpec(capacity_bytes=0)
+        with pytest.raises(ValueError):
+            DiskSpec(seq_bw=0)
+        with pytest.raises(ValueError):
+            DiskSpec(annual_failure_rate=1.0)
+        with pytest.raises(ValueError):
+            DiskSpec().random_efficiency(0)
+
+
+class TestDisk:
+    def test_speed_factor_scales(self):
+        spec = DiskSpec()
+        slow = Disk(spec, "S1", speed_factor=0.5)
+        assert slow.seq_bw == pytest.approx(spec.seq_bw * 0.5)
+
+    def test_fs_latency_factor_only_at_fs_level(self):
+        spec = DiskSpec()
+        disk = Disk(spec, "S2", fs_latency_factor=1.5)
+        block = disk.bandwidth(MiB, sequential=True, fs_level=False)
+        fs = disk.bandwidth(MiB, sequential=True, fs_level=True)
+        assert block == pytest.approx(spec.seq_bw)
+        assert fs == pytest.approx(spec.seq_bw / 1.5)
+
+
+class TestDiskPopulation:
+    def test_population_size_and_views(self):
+        pop = DiskPopulation(1000, rng=RngStreams(1))
+        assert len(pop) == 1000
+        assert pop.seq_bandwidths().shape == (1000,)
+
+    def test_slow_tail_incidence_calibrated(self):
+        # The defaults are calibrated to the §V-A culling counts:
+        # ≈7.45% block-slow, ≈2.48% fs-latency-tail.
+        pop = DiskPopulation(20_160, rng=RngStreams(3))
+        slow = np.sum(pop.speed_factor < 0.95)
+        assert 1200 <= slow <= 1800  # ≈1,500 of 20,160
+        fs_tail = np.sum(pop.fs_latency_factor > 1.05)
+        assert 350 <= fs_tail <= 650  # ≈500
+
+    def test_healthy_body_tight(self):
+        pop = DiskPopulation(5000, rng=RngStreams(4), block_slow_fraction=0.0,
+                             fs_slow_fraction=0.0)
+        assert pop.speed_factor.std() < 0.02
+        assert np.allclose(pop.fs_latency_factor, 1.0)
+
+    def test_replace_clears_tails(self):
+        pop = DiskPopulation(2000, rng=RngStreams(5))
+        slow = np.flatnonzero(pop.speed_factor < 0.95)
+        n = pop.replace(slow)
+        assert n == len(slow)
+        assert pop.total_replacements == len(slow)
+        assert (pop.speed_factor > 0.9).all()
+        assert np.allclose(pop.fs_latency_factor[slow], 1.0)
+
+    def test_replace_empty_is_noop(self):
+        pop = DiskPopulation(10, rng=RngStreams(6))
+        assert pop.replace([]) == 0
+
+    def test_replace_out_of_range(self):
+        pop = DiskPopulation(10, rng=RngStreams(6))
+        with pytest.raises(IndexError):
+            pop.replace([10])
+
+    def test_failed_disk_has_zero_bandwidth(self):
+        pop = DiskPopulation(10, rng=RngStreams(7))
+        pop.fail(3)
+        assert pop.seq_bandwidths()[3] == 0.0
+        assert pop.bandwidths()[3] == 0.0
+        assert pop.disk(3).state is DiskState.FAILED
+
+    def test_disk_view_matches_arrays(self):
+        pop = DiskPopulation(10, rng=RngStreams(8))
+        d = pop.disk(2)
+        assert d.speed_factor == pytest.approx(float(pop.speed_factor[2]))
+        assert d.serial.endswith("000002")
+
+    def test_disk_view_out_of_range(self):
+        pop = DiskPopulation(10, rng=RngStreams(8))
+        with pytest.raises(IndexError):
+            pop.disk(10)
+
+    def test_random_bandwidths_scaled(self):
+        pop = DiskPopulation(100, rng=RngStreams(9), block_slow_fraction=0.0)
+        seq = pop.bandwidths(sequential=True)
+        rnd = pop.bandwidths(request_size=MiB, sequential=False)
+        ratio = rnd / seq
+        assert ((ratio > 0.20) & (ratio < 0.25)).all()
+
+    def test_seeded_reproducibility(self):
+        a = DiskPopulation(500, rng=RngStreams(11))
+        b = DiskPopulation(500, rng=RngStreams(11))
+        assert np.array_equal(a.speed_factor, b.speed_factor)
+        assert np.array_equal(a.fs_latency_factor, b.fs_latency_factor)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DiskPopulation(0)

@@ -1,0 +1,61 @@
+"""Enclosure geometry tests: the Lesson 11 design metric."""
+
+import numpy as np
+import pytest
+
+from repro.hardware.enclosure import EnclosureGroup
+
+
+class TestGeometry:
+    def test_five_shelf_design_two_members_per_shelf(self):
+        g = EnclosureGroup(n_enclosures=5, disks_per_enclosure=56, raid_width=10)
+        assert g.n_groups == 28
+        for group in range(g.n_groups):
+            counts = g.members_per_enclosure(group)
+            assert set(counts.values()) == {2}
+        assert g.max_members_lost_per_enclosure() == 2
+
+    def test_ten_shelf_design_one_member_per_shelf(self):
+        g = EnclosureGroup(n_enclosures=10, disks_per_enclosure=28, raid_width=10)
+        assert g.n_groups == 28
+        for group in range(g.n_groups):
+            assert set(g.members_per_enclosure(group).values()) == {1}
+        assert g.max_members_lost_per_enclosure() == 1
+
+    def test_all_slots_assigned_exactly_once(self):
+        g = EnclosureGroup(n_enclosures=5, disks_per_enclosure=20, raid_width=10)
+        all_members = [d for members in g.group_members for d in members]
+        assert sorted(all_members) == list(range(100))
+        assert sorted(g.all_disk_indices().tolist()) == list(range(100))
+
+    def test_first_disk_index_offsets(self):
+        g = EnclosureGroup(5, 20, raid_width=10, first_disk_index=1000)
+        assert g.all_disk_indices().min() == 1000
+        assert g.all_disk_indices().max() == 1099
+
+    def test_indivisible_geometry_rejected(self):
+        with pytest.raises(ValueError):
+            EnclosureGroup(n_enclosures=3, disks_per_enclosure=7, raid_width=10)
+
+    def test_invalid_dimensions(self):
+        with pytest.raises(ValueError):
+            EnclosureGroup(0, 10)
+        with pytest.raises(ValueError):
+            EnclosureGroup(5, 10, raid_width=0)
+
+
+class TestOutage:
+    def test_offline_enclosure_reports_members(self):
+        g = EnclosureGroup(5, 20, raid_width=10)
+        g.set_enclosure_online(2, False)
+        for group in range(g.n_groups):
+            lost = g.unavailable_members(group)
+            assert len(lost) == 2
+            for pos in lost:
+                assert g.member_enclosure[group][pos] == 2
+
+    def test_online_again(self):
+        g = EnclosureGroup(5, 20, raid_width=10)
+        g.set_enclosure_online(2, False)
+        g.set_enclosure_online(2, True)
+        assert g.unavailable_members(0) == []

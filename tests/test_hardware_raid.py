@@ -1,0 +1,150 @@
+"""RAID geometry, min-of-members coupling, failure/journal mechanics."""
+
+import numpy as np
+import pytest
+
+from repro.hardware.disk import DiskPopulation
+from repro.hardware.raid import RaidGeometry, RaidGroup, RaidState, group_bandwidths
+from repro.sim.rng import RngStreams
+from repro.units import TB
+
+
+@pytest.fixture
+def pop():
+    return DiskPopulation(40, rng=RngStreams(0), block_slow_fraction=0.0,
+                          fs_slow_fraction=0.0, healthy_sigma=0.0)
+
+
+def make_group(pop, members=None, **kwargs):
+    return RaidGroup(RaidGeometry(), pop, members or list(range(10)), **kwargs)
+
+
+class TestGeometry:
+    def test_spider_geometry(self):
+        g = RaidGeometry()
+        assert g.width == 10
+        assert g.fault_tolerance == 2
+        assert g.usable_fraction() == pytest.approx(0.8)
+
+    def test_rebuild_time(self):
+        g = RaidGeometry()
+        t = g.rebuild_time(2 * TB)
+        assert t == pytest.approx(2 * TB / g.rebuild_rate)
+        assert g.rebuild_time(2 * TB, declustered=True) == pytest.approx(
+            t / g.declustering_speedup)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RaidGeometry(n_data=0)
+        with pytest.raises(ValueError):
+            RaidGeometry(rebuild_rate=0)
+        with pytest.raises(ValueError):
+            RaidGeometry(declustering_speedup=0.5)
+
+
+class TestRaidGroup:
+    def test_usable_capacity(self, pop):
+        assert make_group(pop).usable_capacity == 8 * pop.spec.capacity_bytes
+
+    def test_member_validation(self, pop):
+        with pytest.raises(ValueError):
+            make_group(pop, members=list(range(9)))
+        with pytest.raises(ValueError):
+            make_group(pop, members=[0] * 10)
+
+    def test_streaming_is_min_of_members(self, pop):
+        group = make_group(pop)
+        base = group.streaming_bandwidth()
+        assert base == pytest.approx(8 * pop.spec.seq_bw)
+        pop.speed_factor[4] = 0.5  # one slow member drags the whole group
+        assert group.streaming_bandwidth() == pytest.approx(base * 0.5)
+
+    def test_state_machine(self, pop):
+        group = make_group(pop)
+        assert group.state is RaidState.CLEAN
+        group.erase_member(0)
+        assert group.state is RaidState.DEGRADED
+        group.erase_member(1)
+        assert group.state is RaidState.DEGRADED
+        group.erase_member(2)
+        assert group.state is RaidState.FAILED
+        assert group.data_lost
+
+    def test_rebuilding_counts_toward_effective_erasures(self, pop):
+        group = make_group(pop)
+        group.erase_member(0)
+        group.restore_member(0)  # rebuilding now
+        assert group.state is RaidState.REBUILDING
+        assert group.effective_erasures == 1
+        group.erase_member(1)
+        group.erase_member(2)
+        # 2 erased + 1 rebuilding = 3 > tolerance
+        assert group.state is RaidState.FAILED
+
+    def test_restore_with_rebuilt_skips_rebuild(self, pop):
+        group = make_group(pop)
+        group.erase_member(0)
+        group.restore_member(0, rebuilt=True)
+        assert group.state is RaidState.CLEAN
+
+    def test_finish_rebuild(self, pop):
+        group = make_group(pop)
+        group.erase_member(0)
+        group.restore_member(0)
+        group.finish_rebuild(0)
+        assert group.state is RaidState.CLEAN
+
+    def test_degraded_pays_reconstruction_penalty(self, pop):
+        group = make_group(pop)
+        clean = group.streaming_bandwidth()
+        group.erase_member(0)
+        assert group.streaming_bandwidth() == pytest.approx(clean * 0.6)
+
+    def test_failed_group_moves_nothing(self, pop):
+        group = make_group(pop)
+        for m in range(3):
+            group.erase_member(m)
+        assert group.streaming_bandwidth() == 0.0
+
+    def test_journal_lost_on_failure(self, pop):
+        group = make_group(pop)
+        group.journal.stage(1000)
+        for m in range(3):
+            group.erase_member(m)
+        assert group.journal.lost_files == 1000
+        assert group.journal.dirty_files == 0
+
+    def test_journal_commit(self, pop):
+        group = make_group(pop)
+        group.journal.stage(10)
+        assert group.journal.commit() == 10
+        assert group.journal.dirty_files == 0
+
+    def test_erase_out_of_range(self, pop):
+        with pytest.raises(IndexError):
+            make_group(pop).erase_member(10)
+
+
+class TestGroupBandwidths:
+    def test_vectorized_matches_scalar(self, pop):
+        members = np.array([list(range(10)), list(range(10, 20))])
+        pop.speed_factor[13] = 0.7
+        bw = group_bandwidths(members, pop.bandwidths())
+        g0 = make_group(pop, list(range(10)))
+        g1 = make_group(pop, list(range(10, 20)))
+        assert bw[0] == pytest.approx(g0.streaming_bandwidth())
+        assert bw[1] == pytest.approx(g1.streaming_bandwidth())
+
+    def test_shape_validation(self, pop):
+        with pytest.raises(ValueError):
+            group_bandwidths(np.arange(10), pop.bandwidths())
+
+    def test_min_of_members_amplification(self):
+        """With p≈7.4% slow drives, over half of 10-wide groups contain at
+        least one slow member — the statistical heart of Lesson 13."""
+        pop = DiskPopulation(20_160, rng=RngStreams(2))
+        members = np.arange(20_160).reshape(-1, 10)
+        bw = group_bandwidths(members, pop.bandwidths())
+        nominal = 8 * pop.spec.seq_bw
+        frac_dragged = np.mean(bw < 0.95 * nominal)
+        assert 0.40 <= frac_dragged <= 0.65

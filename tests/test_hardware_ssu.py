@@ -1,0 +1,83 @@
+"""SSU building-block tests."""
+
+import numpy as np
+import pytest
+
+from repro.hardware.disk import DiskPopulation
+from repro.hardware.raid import RaidState
+from repro.hardware.ssu import Ssu, SsuSpec
+from repro.sim.rng import RngStreams
+from repro.units import GB, TB
+
+
+@pytest.fixture
+def ssu():
+    spec = SsuSpec()
+    pop = DiskPopulation(spec.n_disks, spec.disk, rng=RngStreams(1),
+                         block_slow_fraction=0.0, fs_slow_fraction=0.0,
+                         healthy_sigma=0.0)
+    return Ssu(spec, pop, 0)
+
+
+class TestSpec:
+    def test_spider2_ssu_arithmetic(self):
+        spec = SsuSpec()
+        assert spec.n_disks == 560
+        assert spec.n_groups == 56
+        assert spec.usable_capacity == 56 * 8 * 2 * TB
+
+    def test_nominal_bandwidth_is_couplet_bound(self):
+        spec = SsuSpec()
+        raw = spec.n_groups * 8 * spec.disk.seq_bw
+        assert spec.nominal_block_bandwidth() == pytest.approx(
+            min(raw, 2 * spec.controller.block_bw_cap))
+        assert spec.nominal_block_bandwidth() == pytest.approx(29 * GB)
+
+    def test_indivisible_raid_rejected(self):
+        with pytest.raises(ValueError):
+            SsuSpec(n_enclosures=3, disks_per_enclosure=7)
+
+
+class TestSsu:
+    def test_disk_range(self, ssu):
+        idx = ssu.disk_indices()
+        assert idx[0] == 0 and idx[-1] == 559
+
+    def test_range_outside_population_rejected(self):
+        spec = SsuSpec()
+        pop = DiskPopulation(100, spec.disk, rng=RngStreams(0))
+        with pytest.raises(ValueError):
+            Ssu(spec, pop, 0)
+
+    def test_group_bandwidths_couplet_capped(self, ssu):
+        bw = ssu.group_streaming_bandwidths()
+        assert bw.shape == (56,)
+        share = ssu.couplet.group_share_caps(fs_level=False)
+        assert (bw <= share + 1e-6).all()
+        # With uniform healthy disks the couplet is the binding layer.
+        assert ssu.aggregate_bandwidth() == pytest.approx(
+            ssu.couplet.bw_cap(fs_level=False), rel=1e-6)
+
+    def test_fs_level_below_block_level(self, ssu):
+        assert ssu.aggregate_bandwidth(fs_level=True) < ssu.aggregate_bandwidth()
+
+    def test_enclosure_outage_erases_one_member_per_group(self, ssu):
+        ssu.apply_enclosure_outage(3)
+        for group in ssu.groups:
+            assert len(group.erased) == 1
+            assert group.state is RaidState.DEGRADED
+
+    def test_restore_puts_members_in_rebuild(self, ssu):
+        ssu.apply_enclosure_outage(3)
+        ssu.restore_enclosure(3)
+        for group in ssu.groups:
+            assert not group.erased
+            assert len(group.rebuilding) == 1
+            assert group.state is RaidState.REBUILDING
+
+    def test_five_enclosure_geometry_loses_two(self):
+        spec = SsuSpec(n_enclosures=5, disks_per_enclosure=56)
+        pop = DiskPopulation(spec.n_disks, spec.disk, rng=RngStreams(2))
+        five = Ssu(spec, pop, 0)
+        five.apply_enclosure_outage(0)
+        assert all(len(g.erased) == 2 for g in five.groups)

@@ -1,0 +1,116 @@
+"""fair-lio tests: sweep coverage, queue-depth behaviour, the 20-25% metric."""
+
+import numpy as np
+import pytest
+
+from repro.hardware.disk import Disk, DiskPopulation, DiskSpec
+from repro.hardware.raid import RaidGeometry, RaidGroup
+from repro.iobench.fairlio import (
+    DiskTarget,
+    FairLioSweep,
+    LunTarget,
+    random_to_sequential_ratio,
+)
+from repro.sim.rng import RngStreams
+from repro.units import KiB, MiB
+
+
+@pytest.fixture
+def disk_target():
+    return DiskTarget(Disk(DiskSpec(), serial="T0"))
+
+
+@pytest.fixture
+def lun_target():
+    pop = DiskPopulation(10, rng=RngStreams(0), block_slow_fraction=0.0,
+                         fs_slow_fraction=0.0, healthy_sigma=0.0)
+    return LunTarget(RaidGroup(RaidGeometry(), pop, list(range(10))))
+
+
+class TestDiskTarget:
+    def test_sequential_full_speed(self, disk_target):
+        assert disk_target.bandwidth(MiB, sequential=True) == pytest.approx(
+            disk_target.disk.spec.seq_bw)
+
+    def test_random_in_paper_band(self, disk_target):
+        seq = disk_target.bandwidth(MiB, sequential=True)
+        rnd = disk_target.bandwidth(MiB, sequential=False, queue_depth=1)
+        assert 0.20 <= rnd / seq <= 0.25
+
+    def test_queue_depth_helps_random(self, disk_target):
+        qd1 = disk_target.bandwidth(MiB, sequential=False, queue_depth=1)
+        qd16 = disk_target.bandwidth(MiB, sequential=False, queue_depth=16)
+        assert qd16 > 1.3 * qd1
+
+    def test_queue_depth_floor(self, disk_target):
+        deep = disk_target.bandwidth(MiB, sequential=False, queue_depth=10_000)
+        seq = disk_target.bandwidth(MiB, sequential=True)
+        assert deep < seq  # never reaches streaming speed
+
+    def test_validation(self, disk_target):
+        with pytest.raises(ValueError):
+            disk_target.bandwidth(0, sequential=True)
+        with pytest.raises(ValueError):
+            disk_target.bandwidth(MiB, sequential=False, queue_depth=0)
+
+
+class TestLunTarget:
+    def test_sequential_is_group_rate(self, lun_target):
+        bw = lun_target.bandwidth(MiB, sequential=True)
+        assert bw == pytest.approx(8 * lun_target.group.population.spec.seq_bw)
+
+    def test_random_worse_than_single_disk_ratio(self, lun_target):
+        """LUN-level random: the 1 MiB request splits into 128 KiB per-disk
+        chunks, so the ratio falls below the single-disk 20-25%."""
+        seq = lun_target.bandwidth(MiB, sequential=True)
+        rnd = lun_target.bandwidth(MiB, sequential=False, queue_depth=1)
+        assert rnd / seq < 0.20
+
+    def test_large_requests_recover_efficiency(self, lun_target):
+        small = lun_target.bandwidth(MiB, sequential=False)
+        large = lun_target.bandwidth(16 * MiB, sequential=False)
+        assert large > 2 * small
+
+
+class TestSweep:
+    def test_full_parameter_coverage(self, disk_target, rng):
+        sweep = FairLioSweep()
+        results = sweep.run(disk_target, rng)
+        expected = (len(sweep.request_sizes) * len(sweep.queue_depths)
+                    * len(sweep.write_fractions) * len(sweep.modes))
+        assert len(results) == expected
+        # every combination present exactly once
+        combos = {(r.request_size, r.queue_depth, r.write_fraction,
+                   r.sequential) for r in results}
+        assert len(combos) == expected
+
+    def test_measurement_noise_small(self, disk_target, rng):
+        sweep = FairLioSweep(noise_sigma=0.01)
+        results = sweep.run(disk_target, rng)
+        seq_1m = [r for r in results if r.sequential and r.request_size == MiB]
+        model = disk_target.bandwidth(MiB, sequential=True)
+        for r in seq_1m:
+            assert abs(r.bandwidth - model) / model < 0.05
+
+    def test_iops_consistent(self, disk_target, rng):
+        results = FairLioSweep().run(disk_target, rng)
+        for r in results:
+            assert r.iops == pytest.approx(r.bandwidth / r.request_size)
+
+    def test_run_many(self, lun_target, disk_target, rng):
+        results = FairLioSweep(queue_depths=(1,), write_fractions=(1.0,),
+                               request_sizes=(MiB,)).run_many(
+            [disk_target, lun_target], rng)
+        assert {r.target for r in results} == {disk_target.name, lun_target.name}
+
+
+class TestAcceptanceMetric:
+    def test_ratio_extraction(self, disk_target, rng):
+        results = FairLioSweep(noise_sigma=0.0).run(disk_target, rng)
+        ratio = random_to_sequential_ratio(results)
+        assert 0.20 <= ratio <= 0.25
+
+    def test_missing_points_rejected(self, disk_target, rng):
+        results = FairLioSweep(request_sizes=(4 * KiB,)).run(disk_target, rng)
+        with pytest.raises(ValueError):
+            random_to_sequential_ratio(results)

@@ -1,0 +1,94 @@
+"""IOR harness tests on the mini system, plus the transfer-size model."""
+
+import numpy as np
+import pytest
+
+from repro.iobench.ior import IorRun, client_scaling, transfer_efficiency, transfer_size_sweep
+from repro.units import GB, KiB, MiB
+
+
+class TestTransferEfficiency:
+    def test_peaks_at_1mib(self):
+        sizes = [64 * KiB, 256 * KiB, MiB, 4 * MiB, 16 * MiB]
+        effs = [transfer_efficiency(s) for s in sizes]
+        assert max(effs) == transfer_efficiency(MiB)
+
+    def test_monotone_rise_below_peak(self):
+        effs = [transfer_efficiency(s) for s in (4 * KiB, 64 * KiB, 512 * KiB, MiB)]
+        assert effs == sorted(effs)
+
+    def test_mild_decline_above_peak(self):
+        assert transfer_efficiency(16 * MiB) < transfer_efficiency(MiB)
+        assert transfer_efficiency(16 * MiB) > 0.5 * transfer_efficiency(MiB)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            transfer_efficiency(0)
+
+
+class TestIorRun:
+    def test_basic_run(self, mini_system):
+        result = IorRun(mini_system, n_processes=32, ppn=16).run()
+        assert result.aggregate_bw > 0
+        assert result.per_process_bw == pytest.approx(
+            result.aggregate_bw / 32)
+
+    def test_linear_region_per_process_constant(self, mini_system):
+        r1 = IorRun(mini_system, n_processes=16, ppn=16).run()
+        r2 = IorRun(mini_system, n_processes=32, ppn=16).run()
+        assert r2.aggregate_bw == pytest.approx(2 * r1.aggregate_bw, rel=0.05)
+
+    def test_saturation_region(self, mini_system):
+        """Enough processes pin the namespace at its couplet budget."""
+        big = IorRun(mini_system, n_processes=120, ppn=4).run()
+        fs = mini_system.filesystems[next(iter(mini_system.filesystems))]
+        ns_ssus = {o.ssu_index for o in fs.osts}
+        budget = sum(mini_system.ssus[s].couplet.bw_cap(fs_level=True)
+                     for s in ns_ssus)
+        assert big.aggregate_bw == pytest.approx(budget, rel=0.02)
+
+    def test_optimal_beats_random_placement(self, mini_system):
+        rand = IorRun(mini_system, n_processes=16, ppn=16,
+                      placement="random").run()
+        opt = IorRun(mini_system, n_processes=16, ppn=16,
+                     placement="optimal").run()
+        assert opt.aggregate_bw > 1.3 * rand.aggregate_bw
+
+    def test_stonewall_data_moved(self, mini_system):
+        r = IorRun(mini_system, n_processes=8, stonewall_seconds=30.0).run()
+        assert r.data_moved_bytes == pytest.approx(30.0 * r.aggregate_bw)
+
+    def test_second_namespace_selectable(self, mini_system):
+        names = list(mini_system.filesystems)
+        r = IorRun(mini_system, n_processes=8, fs_name=names[1]).run()
+        assert r.aggregate_bw > 0
+
+    def test_too_many_processes_rejected(self, mini_system):
+        with pytest.raises(ValueError):
+            IorRun(mini_system, n_processes=10_000, ppn=1).run()
+
+    def test_validation(self, mini_system):
+        with pytest.raises(ValueError):
+            IorRun(mini_system, n_processes=0)
+        with pytest.raises(ValueError):
+            IorRun(mini_system, placement="bogus")
+        with pytest.raises(ValueError):
+            IorRun(mini_system, stripe_count=0)
+
+
+class TestSweeps:
+    def test_transfer_size_sweep_shape(self, mini_system):
+        """Figure 3's shape: rises to 1 MiB, then declines."""
+        results = transfer_size_sweep(
+            mini_system, sizes=(256 * KiB, MiB, 8 * MiB), n_processes=16)
+        bws = [r.aggregate_bw for r in results]
+        assert bws[1] > bws[0]
+        assert bws[1] > bws[2]
+
+    def test_client_scaling_monotone_then_flat(self, mini_system):
+        """Figure 4's shape: monotone growth to a plateau."""
+        results = client_scaling(
+            mini_system, process_counts=(8, 32, 96, 120), ppn=4)
+        bws = [r.aggregate_bw for r in results]
+        assert bws[0] < bws[1] < bws[2]
+        assert bws[3] == pytest.approx(bws[2], rel=0.10)

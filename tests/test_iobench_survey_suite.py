@@ -1,0 +1,96 @@
+"""obdfilter-survey and acceptance-suite tests."""
+
+import numpy as np
+import pytest
+
+from repro.iobench.obdfilter_survey import ObdfilterSurvey, SurveyResult
+from repro.iobench.suite import AcceptanceSuite
+from repro.units import GB
+
+
+class TestSurvey:
+    def test_runs_all_osts_by_default(self, mini_system, rng):
+        results = ObdfilterSurvey(mini_system).run(rng=rng)
+        assert len(results) == mini_system.spec.n_osts
+        assert [r.ost_index for r in results] == list(range(mini_system.spec.n_osts))
+
+    def test_subset(self, mini_system, rng):
+        results = ObdfilterSurvey(mini_system).run([3, 9], rng)
+        assert [r.ost_index for r in results] == [3, 9]
+
+    def test_rewrite_below_write(self, mini_system, rng):
+        for r in ObdfilterSurvey(mini_system).run([0, 1], rng):
+            assert r.rewrite < r.write
+
+    def test_isolated_exposes_variance_concurrent_masks_it(self, rng):
+        """The couplet fair share flattens concurrent measurements; the
+        per-OST isolated run shows drive-level variance — why culling
+        measures OSTs one at a time."""
+        from repro.core.spider import build_spider2
+        sys2 = build_spider2(build_clients=False, seed=99)
+        iso = ObdfilterSurvey(sys2, mode="isolated", noise_sigma=0.0)
+        conc = ObdfilterSurvey(sys2, mode="concurrent", noise_sigma=0.0)
+        idx = list(range(56))  # one SSU
+        iso_bw = np.array([r.write for r in iso.run(idx, rng)])
+        conc_bw = np.array([r.write for r in conc.run(idx, rng)])
+        assert iso_bw.std() / iso_bw.mean() > 3 * (conc_bw.std() / conc_bw.mean() + 1e-12)
+
+    def test_fs_overhead_near_obdfilter_efficiency(self, mini_system, rng):
+        survey = ObdfilterSurvey(mini_system, noise_sigma=0.0)
+        results = survey.run(rng=rng)
+        from repro.hardware.raid import group_bandwidths
+        block = np.concatenate([
+            group_bandwidths(ssu.members_matrix,
+                             mini_system.population.bandwidths(),
+                             8)
+            for ssu in mini_system.ssus
+        ])
+        overhead = survey.fs_overhead(block, results)
+        assert 0.08 <= overhead <= 0.20
+
+    def test_fs_overhead_validation(self, mini_system, rng):
+        survey = ObdfilterSurvey(mini_system)
+        results = survey.run([0], rng)
+        with pytest.raises(ValueError):
+            survey.fs_overhead(np.array([1.0, 2.0]), results)
+
+    def test_mode_validation(self, mini_system):
+        with pytest.raises(ValueError):
+            ObdfilterSurvey(mini_system, mode="bogus")
+
+
+class TestAcceptanceSuite:
+    def test_report_structure(self, mini_system):
+        suite = AcceptanceSuite(mini_system)
+        report = suite.run_ssu(0)
+        assert report.block_seq_bw > 0
+        assert report.block_random_bw < report.block_seq_bw
+        assert report.fs_write_bw > 0
+        assert 0.0 < report.fs_overhead < 0.3
+        # Per-disk-1MiB random ratio: the healthy-disk band is 0.20-0.25;
+        # un-culled slow members lower seq more than random, nudging the
+        # fleet-average ratio slightly above it.
+        assert 0.15 < report.random_ratio < 0.30
+
+    def test_block_seq_couplet_capped(self, mini_system):
+        report = AcceptanceSuite(mini_system).run_ssu(0)
+        cap = mini_system.ssus[0].couplet.bw_cap(fs_level=False)
+        assert report.block_seq_bw <= cap * 1.001
+
+    def test_sow_target_check(self, mini_system):
+        suite = AcceptanceSuite(mini_system)
+        report = suite.run_ssu(0)
+        ok = suite.check_sow_targets(report,
+                                     seq_floor=report.block_seq_bw * 0.9,
+                                     random_floor=report.block_random_bw * 0.9)
+        assert ok == {"sequential": True, "random": True}
+        bad = suite.check_sow_targets(report,
+                                      seq_floor=report.block_seq_bw * 2,
+                                      random_floor=report.block_random_bw * 0.9)
+        assert bad["sequential"] is False
+
+    def test_rows_render(self, mini_system):
+        report = AcceptanceSuite(mini_system).run_ssu(0)
+        rows = report.rows()
+        assert len(rows) == 5
+        assert all(isinstance(k, str) and isinstance(v, str) for k, v in rows)

@@ -1,0 +1,105 @@
+"""LustreFilesystem tests: allocation, QOS behaviour, accounting."""
+
+import pytest
+
+from repro.lustre.filesystem import LustreFilesystem
+from repro.lustre.ost import Ost, OstSpec
+from repro.units import GiB, MiB, TB
+
+
+def make_fs(n_osts=8, capacity=16 * TB, **kwargs):
+    osts = [Ost(i, OstSpec(capacity_bytes=capacity)) for i in range(n_osts)]
+    return LustreFilesystem("testfs", osts, **kwargs)
+
+
+class TestAllocation:
+    def test_round_robin_when_balanced(self):
+        fs = make_fs()
+        first = fs.choose_osts(2)
+        second = fs.choose_osts(2)
+        assert first != second  # the cursor advances
+
+    def test_qos_prefers_empty_osts_when_imbalanced(self):
+        fs = make_fs(n_osts=4, capacity=1000)
+        fs.osts[0].allocate(900)
+        fs.osts[1].allocate(900)
+        chosen = fs.choose_osts(2)
+        assert set(chosen) == {2, 3}
+
+    def test_stripe_count_clamped_to_ost_count(self):
+        fs = make_fs(n_osts=2)
+        assert len(fs.choose_osts(16)) == 2
+
+    def test_explicit_osts_validated(self):
+        fs = make_fs(n_osts=2)
+        with pytest.raises(KeyError):
+            fs.layout_for(osts=(99,))
+
+
+class TestFileOps:
+    def test_create_charges_osts(self):
+        fs = make_fs()
+        fs.create_file("/f", now=0.0, size=4 * MiB, stripe_count=4)
+        assert fs.used_bytes == 4 * MiB
+        entry = fs.namespace.get("/f")
+        assert entry.layout.stripe_count == 4
+
+    def test_append_charges_only_delta(self):
+        fs = make_fs()
+        fs.create_file("/f", now=0.0, size=2 * MiB, stripe_count=2)
+        fs.append("/f", 2 * MiB, now=1.0)
+        assert fs.used_bytes == 4 * MiB
+        assert fs.namespace.get("/f").size == 4 * MiB
+
+    def test_unlink_releases_capacity(self):
+        fs = make_fs()
+        fs.create_file("/f", now=0.0, size=8 * MiB)
+        fs.unlink("/f")
+        assert fs.used_bytes == 0
+        assert "/f" not in fs.namespace
+
+    def test_read_records_ost_traffic(self):
+        fs = make_fs()
+        fs.create_file("/f", now=0.0, size=2 * MiB, stripe_count=1,
+                       osts=(3,))
+        fs.read_file("/f", now=1.0)
+        assert fs.ost(3).read_bytes_total == 2 * MiB
+
+    def test_mkdir_parents(self):
+        fs = make_fs()
+        fs.mkdir("/a/b/c", now=0.0)
+        assert "/a/b" in fs.namespace
+
+    def test_stat_charges_mds_per_stripe(self):
+        fs = make_fs()
+        fs.create_file("/wide", now=0.0, stripe_count=8)
+        fs.create_file("/narrow", now=0.0, stripe_count=1)
+        before = fs.mds.busy_seconds
+        fs.stat("/wide")
+        wide_cost = fs.mds.busy_seconds - before
+        before = fs.mds.busy_seconds
+        fs.stat("/narrow")
+        narrow_cost = fs.mds.busy_seconds - before
+        assert wide_cost > 2 * narrow_cost
+
+    def test_du_walks_everything(self):
+        fs = make_fs()
+        fs.mkdir("/p", now=0.0)
+        fs.create_file("/p/a", now=0.0, size=100)
+        fs.create_file("/p/b", now=0.0, size=200)
+        before = fs.mds.busy_seconds
+        total = fs.du("/p")
+        assert total == 300
+        assert fs.mds.busy_seconds > before
+
+    def test_fill_fraction(self):
+        fs = make_fs(n_osts=2, capacity=1000)
+        fs.create_file("/f", now=0.0, size=500, stripe_count=2,
+                       stripe_size=250)
+        assert fs.fill_fraction == pytest.approx(0.25)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LustreFilesystem("x", [])
+        with pytest.raises(ValueError):
+            make_fs(default_stripe_count=0)

@@ -1,0 +1,85 @@
+"""Metadata server tests: rates, stat amplification, DNE vs namespaces."""
+
+import pytest
+
+from repro.lustre.mds import MdsSpec, MetadataCluster, MetadataServer, OpMix
+
+
+class TestMetadataServer:
+    def test_service_time_additive(self):
+        mds = MetadataServer()
+        t = mds.service_time(OpMix(creates=15_000))
+        assert t == pytest.approx(1.0)
+        assert mds.ops_served == 15_000
+        assert mds.busy_seconds == pytest.approx(1.0)
+
+    def test_stat_amplification_with_stripes(self):
+        """Wide-striped files make stat expensive — the §VII best practice
+        of single-OST striping for small files."""
+        mds = MetadataServer()
+        narrow = mds.sustainable_rate(OpMix(stats=1000, mean_stripe_count=1))
+        wide = mds.sustainable_rate(OpMix(stats=1000, mean_stripe_count=16))
+        assert narrow > 2 * wide
+
+    def test_sustainable_rate_matches_service_time(self):
+        mds = MetadataServer()
+        mix = OpMix(creates=600, stats=300, unlinks=100, mean_stripe_count=4)
+        rate = mds.sustainable_rate(mix)
+        probe = MetadataServer()
+        t = probe.service_time(mix)
+        assert rate == pytest.approx(mix.total_ops / t)
+
+    def test_sustainable_rate_empty_mix_infinite(self):
+        assert MetadataServer().sustainable_rate(OpMix()) == float("inf")
+
+    def test_probe_does_not_mutate(self):
+        mds = MetadataServer()
+        mds.sustainable_rate(OpMix(creates=100))
+        assert mds.ops_served == 0
+
+    def test_mix_scaling(self):
+        mix = OpMix(creates=10, stats=20, readdir_entries=100)
+        scaled = mix.scaled(2.0)
+        assert scaled.creates == 20 and scaled.stats == 40
+        assert scaled.readdir_entries == 200
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            MdsSpec(create_rate=0)
+        with pytest.raises(ValueError):
+            MdsSpec(stat_ost_rpc_cost=-1)
+
+
+class TestMetadataCluster:
+    MIX = OpMix(creates=500, stats=400, unlinks=100, mean_stripe_count=2)
+
+    def test_single_server_baseline(self):
+        cluster = MetadataCluster(1)
+        single = MetadataServer().sustainable_rate(self.MIX)
+        assert cluster.sustainable_rate(self.MIX) == pytest.approx(single)
+
+    def test_namespaces_scale_with_imbalance_tax(self):
+        """The Spider design: 2 namespaces ≈ 2 × 0.85 the single-MDS rate."""
+        cluster = MetadataCluster(2, mode="namespaces", balance=0.85)
+        assert cluster.speedup_over_single(self.MIX) == pytest.approx(1.7)
+
+    def test_dne_scales_with_overhead_tax(self):
+        cluster = MetadataCluster(4, mode="dne", dne_overhead=0.10)
+        assert cluster.speedup_over_single(self.MIX) == pytest.approx(4 / 1.1)
+
+    def test_multiple_namespaces_beat_single(self):
+        """§IV-C's core claim: one MDS cannot sustain the center-wide
+        metadata rate; splitting namespaces raises the ceiling."""
+        single = MetadataCluster(1)
+        multi = MetadataCluster(4, mode="namespaces")
+        assert multi.sustainable_rate(self.MIX) > 3 * single.sustainable_rate(self.MIX)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MetadataCluster(0)
+        with pytest.raises(ValueError):
+            MetadataCluster(2, mode="bogus")
+        with pytest.raises(ValueError):
+            MetadataCluster(2, balance=0.0)
+        with pytest.raises(ValueError):
+            MetadataCluster(2, dne_overhead=-0.1)

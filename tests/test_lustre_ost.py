@@ -1,0 +1,90 @@
+"""OST tests: fill penalty curve, allocation accounting."""
+
+import numpy as np
+import pytest
+
+from repro.lustre.ost import OBDFILTER_EFFICIENCY, Ost, OstSpec, fill_penalty
+from repro.units import TB
+
+
+class TestFillPenalty:
+    def test_flat_below_half(self):
+        # "performance degradation when the utilization ... greater than 50%"
+        assert fill_penalty(0.0) == 1.0
+        assert fill_penalty(0.3) == 1.0
+        assert fill_penalty(0.5) == 1.0
+
+    def test_degrades_past_half(self):
+        assert fill_penalty(0.6) < 1.0
+
+    def test_severe_past_seventy(self):
+        # "severe performance degradation after the resource is 70% or
+        # more full" — the knee steepens past 0.7.
+        slope_50_70 = (fill_penalty(0.5) - fill_penalty(0.7)) / 0.2
+        slope_70_90 = (fill_penalty(0.7) - fill_penalty(0.9)) / 0.2
+        assert slope_70_90 > 1.5 * slope_50_70
+        assert fill_penalty(0.9) < 0.6
+
+    def test_monotone_nonincreasing(self):
+        fills = np.linspace(0, 1, 101)
+        pen = fill_penalty(fills)
+        assert (np.diff(pen) <= 1e-12).all()
+
+    def test_clips_out_of_range(self):
+        assert fill_penalty(-0.5) == 1.0
+        assert fill_penalty(1.5) == fill_penalty(1.0)
+
+    def test_vectorized(self):
+        out = fill_penalty(np.array([0.0, 0.7, 1.0]))
+        assert out.shape == (3,)
+        assert out[0] == 1.0 and out[2] == pytest.approx(0.35)
+
+
+class TestOst:
+    def make(self, capacity=16 * TB):
+        return Ost(0, OstSpec(capacity_bytes=capacity))
+
+    def test_allocation_accounting(self):
+        ost = self.make()
+        ost.allocate(1 * TB)
+        assert ost.used_bytes == 1 * TB
+        assert ost.n_objects == 1
+        assert ost.fill_fraction == pytest.approx(1 / 16)
+
+    def test_enospc(self):
+        ost = self.make(capacity=100)
+        with pytest.raises(OSError):
+            ost.allocate(101)
+
+    def test_release(self):
+        ost = self.make()
+        ost.allocate(1000)
+        ost.release(400)
+        assert ost.used_bytes == 600
+        ost.release(10_000)  # over-release clamps at zero
+        assert ost.used_bytes == 0
+
+    def test_fs_bandwidth_applies_obdfilter_and_fill(self):
+        ost = self.make()
+        raw = 1e9
+        fresh = ost.fs_bandwidth(raw)
+        assert fresh == pytest.approx(raw * OBDFILTER_EFFICIENCY)
+        ost.allocate(int(0.9 * ost.spec.capacity_bytes))
+        full = ost.fs_bandwidth(raw)
+        assert full < 0.6 * fresh
+
+    def test_negative_sizes_rejected(self):
+        ost = self.make()
+        with pytest.raises(ValueError):
+            ost.allocate(-1)
+        with pytest.raises(ValueError):
+            ost.release(-1)
+
+    def test_component_name(self):
+        assert Ost(17, OstSpec(capacity_bytes=1)).component == "ost:17"
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            OstSpec(capacity_bytes=0)
+        with pytest.raises(ValueError):
+            OstSpec(capacity_bytes=1, obdfilter_efficiency=1.5)

@@ -1,0 +1,71 @@
+"""Recovery simulation tests (§IV-D features)."""
+
+import pytest
+
+from repro.lustre.recovery import RecoverySpec, simulate_recovery
+
+
+class TestSpec:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RecoverySpec(rpc_timeout=0)
+        with pytest.raises(ValueError):
+            RecoverySpec(journal_speedup=0)
+
+
+class TestStandardRecovery:
+    def test_discovery_is_timeout_scale(self):
+        o = simulate_recovery(n_clients=1000, imperative=False,
+                              absent_fraction=0.0, seed=1)
+        spec = RecoverySpec()
+        # All clients discover within [timeout, 1.5*timeout] + reconnect.
+        assert o.window_seconds >= spec.rpc_timeout
+        assert o.window_seconds <= spec.recovery_window
+
+    def test_dead_clients_force_full_window(self):
+        o = simulate_recovery(n_clients=1000, imperative=False,
+                              absent_fraction=0.01, seed=1)
+        assert o.window_seconds == pytest.approx(RecoverySpec().recovery_window)
+        assert o.evicted == 10
+
+
+class TestImperativeRecovery:
+    def test_window_collapses_to_seconds(self):
+        std = simulate_recovery(n_clients=5000, imperative=False, seed=2)
+        imp = simulate_recovery(n_clients=5000, imperative=True, seed=2)
+        assert imp.window_seconds < 0.2 * std.window_seconds
+
+    def test_ir_handles_dead_clients_gracefully(self):
+        o = simulate_recovery(n_clients=1000, imperative=True,
+                              absent_fraction=0.01, seed=3)
+        assert o.window_seconds < 60.0
+        assert o.evicted == 10
+
+
+class TestJournaling:
+    def test_hp_journaling_divides_replay(self):
+        stock = simulate_recovery(n_clients=100, hp_journaling=False, seed=4)
+        hp = simulate_recovery(n_clients=100, hp_journaling=True, seed=4)
+        assert hp.replay_seconds == pytest.approx(
+            stock.replay_seconds / RecoverySpec().journal_speedup)
+        assert hp.window_seconds == stock.window_seconds
+
+
+class TestOutcome:
+    def test_blackout_is_window_plus_replay(self):
+        o = simulate_recovery(n_clients=100, seed=5)
+        assert o.blackout_seconds == pytest.approx(
+            o.window_seconds + o.replay_seconds)
+
+    def test_all_live_clients_reconnect(self):
+        o = simulate_recovery(n_clients=2000, absent_fraction=0.005, seed=6)
+        assert o.reconnected == 2000 - o.evicted
+
+    def test_rows_render(self):
+        assert len(simulate_recovery(n_clients=10, seed=7).rows()) == 7
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            simulate_recovery(n_clients=0)
+        with pytest.raises(ValueError):
+            simulate_recovery(n_clients=10, absent_fraction=1.0)

@@ -1,0 +1,97 @@
+"""Tests for the du-storm analysis, ARN simulation, and the IOSI
+namespace recommender."""
+
+import pytest
+
+from repro.analysis.mds_latency import measure_du_storm
+from repro.lustre.mds import MdsSpec
+from repro.lustre.recovery import simulate_router_failure
+from repro.tools.iosi import IoSignature, recommend_namespace
+from repro.units import GB
+
+
+class TestDuStorm:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return measure_du_storm(duration=60.0, storm_files=100_000,
+                                storm_start=10.0, seed=1)
+
+    def test_quiet_latency_is_service_scale(self, result):
+        spec = MdsSpec()
+        service = (1 + spec.stat_ost_rpc_cost * 4) / spec.stat_rate
+        assert result.quiet_p50 >= service
+        assert result.quiet_p99 < 20 * service
+
+    def test_storm_inflates_tail(self, result):
+        assert result.storm_p99 > 10 * result.quiet_p99
+        assert result.p99_inflation > 10
+
+    def test_drain_time_matches_service_demand(self, result):
+        spec = MdsSpec()
+        service = (1 + spec.stat_ost_rpc_cost * 4) / spec.stat_rate
+        # The du needs at least its own service demand of MDS time.
+        assert result.storm_duration >= 100_000 * service * 0.99
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            measure_du_storm(interactive_rate=0)
+        with pytest.raises(ValueError):
+            measure_du_storm(storm_files=0)
+
+
+class TestRouterFailure:
+    def test_timeout_discovery_is_timeout_scale(self):
+        o = simulate_router_failure(arn=False, seed=2)
+        assert 100.0 <= o.mean_stall_seconds <= 160.0
+
+    def test_arn_is_seconds_scale(self):
+        o = simulate_router_failure(arn=True, seed=2)
+        assert o.mean_stall_seconds < 10.0
+
+    def test_total_stall_accumulates(self):
+        o = simulate_router_failure(n_affected_clients=100, arn=False, seed=3)
+        assert o.total_stall_client_seconds == pytest.approx(
+            o.mean_stall_seconds * 100, rel=1e-9)
+
+    def test_rows_render(self):
+        assert len(simulate_router_failure(seed=4).rows()) == 5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            simulate_router_failure(0)
+        with pytest.raises(ValueError):
+            simulate_router_failure(10, reroute_cost=0)
+
+
+class TestRecommendNamespace:
+    SIG = IoSignature(period=600.0, burst_volume_bytes=100 * GB,
+                      burst_duration=10.0, bursts_per_run=5, n_runs=3)
+    # burst demand: 10 GB/s
+
+    def test_picks_namespace_with_most_margin(self):
+        choice = recommend_namespace(self.SIG, {"atlas1": 12 * GB,
+                                                "atlas2": 40 * GB})
+        assert choice == "atlas2"
+
+    def test_covering_beats_non_covering(self):
+        choice = recommend_namespace(self.SIG, {"atlas1": 5 * GB,
+                                                "atlas2": 11 * GB})
+        assert choice == "atlas2"
+
+    def test_closest_when_none_cover(self):
+        choice = recommend_namespace(self.SIG, {"atlas1": 2 * GB,
+                                                "atlas2": 8 * GB})
+        assert choice == "atlas2"
+
+    def test_deterministic_tie_break(self):
+        choice = recommend_namespace(self.SIG, {"b": 20 * GB, "a": 20 * GB})
+        assert choice == "a"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            recommend_namespace(self.SIG, {})
+        with pytest.raises(ValueError):
+            recommend_namespace(self.SIG, {"x": -1.0})
+        bad = IoSignature(600.0, 1.0, 0.0, 1, 1)
+        with pytest.raises(ValueError):
+            recommend_namespace(bad, {"x": 1.0})

@@ -1,0 +1,138 @@
+"""Cross-cutting edge-case tests for report renderers, row helpers, and
+less-travelled branches."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.flow import FlowNetwork
+from repro.hardware.disk import Disk, DiskSpec
+from repro.iobench.fairlio import DiskTarget, FairLioSweep
+from repro.iobench.ior import IorResult
+from repro.lustre.mds import OpMix
+from repro.monitoring.metricsdb import MetricsDb
+from repro.sim.engine import Engine
+from repro.tools.ptools import ToolComparison
+from repro.units import GB, MiB
+
+
+class TestRowRenderers:
+    def test_fairlio_result_row(self, rng):
+        sweep = FairLioSweep(request_sizes=(MiB,), queue_depths=(1,),
+                             write_fractions=(1.0,), modes=(True,))
+        [result] = sweep.run(DiskTarget(Disk(DiskSpec(), "X")), rng)
+        row = result.row()
+        assert row[0] == "X"
+        assert "MB/s" in row[5]
+
+    def test_ior_result_row(self):
+        r = IorResult(n_processes=10, ppn=1, transfer_size=MiB,
+                      placement="optimal", stonewall_seconds=30.0,
+                      aggregate_bw=10 * GB, per_process_bw=GB)
+        row = r.row()
+        assert row[0] == 10
+        assert "GB/s" in row[3]
+
+
+class TestFlowEdgeCases:
+    def test_component_capacity_overwrite(self):
+        net = FlowNetwork()
+        net.add_component("c", 1.0)
+        net.add_component("c", 5.0)  # what-if override
+        net.add_flow("f", ["c"])
+        assert net.solve().rate_of("f") == pytest.approx(5.0)
+
+    def test_counts(self):
+        net = FlowNetwork()
+        net.add_component("a", 1.0)
+        net.add_component("b", 1.0)
+        net.add_flow("f", ["a", "b"])
+        assert net.n_components == 2
+        assert net.n_flows == 1
+
+    def test_no_flows_solves_empty(self):
+        net = FlowNetwork()
+        net.add_component("a", 1.0)
+        result = net.solve()
+        assert result.total == 0.0
+        assert result.component_load["a"] == 0.0
+
+    def test_mixed_finite_infinite_demands_on_one_component(self):
+        net = FlowNetwork()
+        net.add_component("c", 10.0)
+        net.add_flow("small", ["c"], demand=1.0)
+        net.add_flow("big", ["c"])
+        res = net.solve()
+        assert res.rate_of("small") == pytest.approx(1.0)
+        assert res.rate_of("big") == pytest.approx(9.0)
+
+
+class TestEngineEdgeCases:
+    def test_timeout_value_none(self):
+        engine = Engine()
+        ev = engine.timeout(1.0)
+        engine.run()
+        assert ev.triggered and ev.value is None
+
+    def test_process_yield_none_resumes_same_time(self):
+        engine = Engine()
+        times = []
+
+        def proc():
+            times.append(engine.now)
+            yield None
+            times.append(engine.now)
+
+        engine.process(proc())
+        engine.run()
+        assert times == [0.0, 0.0]
+
+    def test_events_processed_counter(self):
+        engine = Engine()
+        for t in range(5):
+            engine.call_at(float(t), lambda: None)
+        engine.run()
+        assert engine.events_processed == 5
+
+
+class TestOpMixEdge:
+    def test_total_ops(self):
+        mix = OpMix(creates=1, stats=2, unlinks=3, mkdirs=4,
+                    readdir_entries=5)
+        assert mix.total_ops == 15
+
+    def test_scaled_preserves_stripe_count(self):
+        mix = OpMix(stats=10, mean_stripe_count=8.0)
+        assert mix.scaled(0.5).mean_stripe_count == 8.0
+
+
+class TestMetricsDbEdge:
+    def test_metrics_listing(self):
+        db = MetricsDb()
+        db.insert("a", "x", 0.0, 1.0)
+        db.insert("b", "x", 0.0, 1.0)
+        assert db.metrics() == ["a", "b"]
+        assert db.sources("a") == ["x"]
+
+    def test_rate_zero_window(self):
+        db = MetricsDb()
+        db.insert("m", "s", 5.0, 1.0)
+        db.insert("m", "s", 5.0, 2.0)  # same timestamp allowed (>=)
+        assert db.rate("m", "s") == 0.0
+
+    def test_range_bounds_inclusive(self):
+        db = MetricsDb()
+        for t in (1.0, 2.0, 3.0):
+            db.insert("m", "s", t, t)
+        points = db.range("m", "s", 2.0, 2.0)
+        assert len(points) == 1 and points[0].time == 2.0
+
+
+class TestToolComparisonEdge:
+    def test_infinite_speedup_guard(self):
+        from repro.tools.ptools import ToolRun
+        serial = ToolRun("cp", 1, 1, 1.0)
+        instant = ToolRun("dcp", 1, 1, 0.0)
+        assert ToolComparison(serial, instant).speedup == math.inf
+        assert instant.throughput == 0.0

@@ -1,0 +1,90 @@
+"""SION-like fabric tests: attachment, paths, cable faults."""
+
+import pytest
+
+from repro.core.flow import FlowNetwork
+from repro.network.infiniband import FabricSpec, InfinibandFabric
+
+
+@pytest.fixture
+def fabric():
+    f = InfinibandFabric(FabricSpec(n_leaf_switches=4, n_core_switches=2))
+    f.attach_host("oss0", 0)
+    f.attach_host("oss1", 1)
+    f.attach_host("rtr0", 0)
+    f.attach_host("rtr1", 1)
+    return f
+
+
+class TestAttachment:
+    def test_ports_assigned_sequentially(self, fabric):
+        assert fabric.cable_of("oss0").port == 0
+        assert fabric.cable_of("rtr0").port == 1
+
+    def test_duplicate_host_rejected(self, fabric):
+        with pytest.raises(ValueError):
+            fabric.attach_host("oss0", 2)
+
+    def test_leaf_out_of_range(self, fabric):
+        with pytest.raises(ValueError):
+            fabric.attach_host("x", 4)
+
+    def test_leaf_of(self, fabric):
+        assert fabric.leaf_of("oss1") == 1
+
+
+class TestPaths:
+    def test_intra_leaf_stays_on_leaf(self, fabric):
+        comps = fabric.path_components("rtr0", "oss0")
+        assert comps == ["ibport:0/1", "ibleaf:0", "ibport:0/0"]
+        assert fabric.crossings("rtr0", "oss0") == 1
+
+    def test_inter_leaf_goes_via_core(self, fabric):
+        comps = fabric.path_components("rtr0", "oss1")
+        assert any(c.startswith("ibcore:") for c in comps)
+        assert any(c.startswith("ibup:") for c in comps)
+        assert fabric.crossings("rtr0", "oss1") == 3
+
+    def test_core_choice_deterministic(self, fabric):
+        a = fabric.core_for(0, 1)
+        assert a == fabric.core_for(0, 1)
+        assert 0 <= a < 2
+
+
+class TestFlowRegistration:
+    def test_all_components_registered(self, fabric):
+        net = FlowNetwork()
+        fabric.register_components(net)
+        for comps in (fabric.path_components("rtr0", "oss0"),
+                      fabric.path_components("rtr0", "oss1")):
+            for c in comps:
+                assert net.has_component(c)
+
+    def test_degraded_cable_reduces_capacity(self, fabric):
+        fabric.degrade_cable("oss0", 0.5)
+        net = FlowNetwork()
+        fabric.register_components(net)
+        healthy = net.capacity_of(fabric.cable_of("oss1").component)
+        degraded = net.capacity_of(fabric.cable_of("oss0").component)
+        assert degraded == pytest.approx(healthy / 2)
+
+
+class TestFaults:
+    def test_degrade_accrues_errors(self, fabric):
+        fabric.degrade_cable("rtr0", 0.8, symbol_errors=500)
+        errors = fabric.error_counters()
+        assert errors["rtr0"] == (500, 0)
+        assert not fabric.cable_of("rtr0").healthy
+
+    def test_fail_and_repair(self, fabric):
+        fabric.fail_cable("rtr1")
+        assert fabric.cable_of("rtr1").degradation == 0.0
+        assert fabric.error_counters()["rtr1"][1] == 1
+        fabric.repair_cable("rtr1")
+        assert fabric.cable_of("rtr1").healthy
+
+    def test_degrade_validation(self, fabric):
+        with pytest.raises(ValueError):
+            fabric.degrade_cable("rtr0", 0.0)
+        with pytest.raises(ValueError):
+            fabric.degrade_cable("rtr0", 1.5)

@@ -1,0 +1,107 @@
+"""LNET routing policy tests: FGR vs round robin."""
+
+import numpy as np
+import pytest
+
+from repro.network.infiniband import FabricSpec, InfinibandFabric
+from repro.network.lnet import (
+    FineGrainedRouting,
+    LnetConfig,
+    RouterInfo,
+    RoundRobinRouting,
+)
+from repro.network.torus import Torus3D, TorusSpec
+
+
+@pytest.fixture
+def config():
+    torus = Torus3D(TorusSpec(dims=(8, 8, 8)))
+    fabric = InfinibandFabric(FabricSpec(n_leaf_switches=2))
+    routers = [
+        RouterInfo("r0", (0, 0, 0), leaf=0),
+        RouterInfo("r1", (4, 4, 4), leaf=0),
+        RouterInfo("r2", (0, 4, 0), leaf=1),
+        RouterInfo("r3", (4, 0, 4), leaf=1),
+    ]
+    for r in routers:
+        fabric.attach_host(r.name, r.leaf)
+    return LnetConfig(torus, fabric, routers)
+
+
+class TestLnetConfig:
+    def test_routers_for_leaf(self, config):
+        assert [r.name for r in config.routers_for_leaf(0)] == ["r0", "r1"]
+        assert [r.name for r in config.routers_for_leaf(1)] == ["r2", "r3"]
+
+    def test_empty_routers_rejected(self, config):
+        with pytest.raises(ValueError):
+            LnetConfig(config.torus, config.fabric, [])
+
+
+class TestFgr:
+    def test_leaf_affinity(self, config):
+        fgr = FineGrainedRouting(config, slack=0)
+        router = fgr.select_router((0, 0, 1), dst_leaf=1)
+        assert router.leaf == 1
+
+    def test_picks_nearest_with_zero_slack(self, config):
+        fgr = FineGrainedRouting(config, slack=0)
+        assert fgr.select_router((0, 0, 1), dst_leaf=0).name == "r0"
+        assert fgr.select_router((4, 4, 3), dst_leaf=0).name == "r1"
+
+    def test_load_spreading_within_slack(self, config):
+        # Every router of leaf 0 is within slack of a central client, so
+        # repeated selections alternate rather than piling on one.
+        fgr = FineGrainedRouting(config, slack=12)
+        picks = [fgr.select_router((2, 2, 2), dst_leaf=0).name for _ in range(10)]
+        assert picks.count("r0") == 5
+        assert picks.count("r1") == 5
+
+    def test_unknown_leaf_raises(self, config):
+        fgr = FineGrainedRouting(config)
+        with pytest.raises(LookupError):
+            fgr.select_router((0, 0, 0), dst_leaf=9)
+
+    def test_negative_slack_rejected(self, config):
+        with pytest.raises(ValueError):
+            FineGrainedRouting(config, slack=-1)
+
+
+class TestRoundRobin:
+    def test_cycles_all_routers_ignoring_leaf(self, config):
+        rr = RoundRobinRouting(config)
+        picks = [rr.select_router((0, 0, 0), dst_leaf=0).name for _ in range(8)]
+        assert picks == ["r0", "r1", "r2", "r3"] * 2
+        # Half the picks land on the wrong leaf — the FGR-vs-naive cost.
+        rr2 = RoundRobinRouting(config)
+        wrong = sum(rr2.select_router((0, 0, 0), dst_leaf=0).leaf != 0
+                    for _ in range(8))
+        assert wrong == 4
+
+
+class TestPolicyComparison:
+    def test_fgr_shorter_torus_paths_than_rr(self, config):
+        """FGR's selections are never farther than round robin's on
+        average — the locality half of Lesson 14."""
+        rng = np.random.default_rng(3)
+        clients = [tuple(rng.integers(0, 8, size=3)) for _ in range(60)]
+        fgr = FineGrainedRouting(config)
+        rr = RoundRobinRouting(config)
+        d_fgr = np.mean([
+            config.torus.distance(c, fgr.select_router(c, 0).coord)
+            for c in clients
+        ])
+        d_rr = np.mean([
+            config.torus.distance(c, rr.select_router(c, 0).coord)
+            for c in clients
+        ])
+        assert d_fgr <= d_rr
+
+    def test_fgr_always_intra_leaf_rr_often_not(self, config):
+        fgr = FineGrainedRouting(config)
+        rr = RoundRobinRouting(config)
+        fgr_crossings = [
+            config.fabric.crossings(fgr.select_router((1, 1, 1), 1).name, "r2")
+            for _ in range(8)
+        ]
+        assert all(c == 1 for c in fgr_crossings)  # r2/r3 share leaf 1

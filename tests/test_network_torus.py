@@ -1,0 +1,98 @@
+"""3D torus tests: coordinates, wraparound, dimension-ordered routing."""
+
+import numpy as np
+import pytest
+
+from repro.network.torus import TITAN_TORUS, Torus3D, TorusSpec
+
+
+@pytest.fixture
+def torus():
+    return Torus3D(TorusSpec(dims=(5, 4, 6)))
+
+
+class TestSpec:
+    def test_titan_dimensions(self):
+        assert TITAN_TORUS.dims == (25, 16, 24)
+        assert TITAN_TORUS.n_routers == 9600
+        assert TITAN_TORUS.n_nodes == 19_200  # two nodes per Gemini
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TorusSpec(dims=(0, 4, 4))
+        with pytest.raises(ValueError):
+            TorusSpec(link_bw=0)
+
+
+class TestCoordinates:
+    def test_index_roundtrip(self, torus):
+        for coord in torus.all_coords():
+            assert torus.coord_of(torus.node_index(coord)) == coord
+
+    def test_out_of_range_rejected(self, torus):
+        with pytest.raises(ValueError):
+            torus.node_index((5, 0, 0))
+        with pytest.raises(ValueError):
+            torus.coord_of(5 * 4 * 6)
+
+
+class TestDistance:
+    def test_zero_to_self(self, torus):
+        assert torus.distance((1, 2, 3), (1, 2, 3)) == 0
+
+    def test_wraparound_shorter(self, torus):
+        # X ring of 5: 0 -> 4 is one hop backward, not four forward.
+        assert torus.distance((0, 0, 0), (4, 0, 0)) == 1
+
+    def test_symmetric(self, torus):
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            a = tuple(rng.integers(0, d) for d in torus.dims)
+            b = tuple(rng.integers(0, d) for d in torus.dims)
+            assert torus.distance(a, b) == torus.distance(b, a)
+
+    def test_vectorized_matches_scalar(self, torus):
+        src = (2, 1, 3)
+        dsts = np.array(list(torus.all_coords()))
+        vec = torus.distances_from(src, dsts)
+        for coord, d in zip(torus.all_coords(), vec):
+            assert d == torus.distance(src, coord)
+
+
+class TestRouting:
+    def test_route_endpoints(self, torus):
+        path = torus.route((0, 0, 0), (3, 2, 5))
+        assert path[0] == (0, 0, 0)
+        assert path[-1] == (3, 2, 5)
+
+    def test_route_length_equals_distance(self, torus):
+        rng = np.random.default_rng(1)
+        for _ in range(50):
+            a = tuple(rng.integers(0, d) for d in torus.dims)
+            b = tuple(rng.integers(0, d) for d in torus.dims)
+            assert len(torus.route(a, b)) - 1 == torus.distance(a, b)
+
+    def test_route_steps_are_single_hop(self, torus):
+        path = torus.route((0, 0, 0), (4, 3, 5))
+        for u, v in zip(path, path[1:]):
+            assert torus.distance(u, v) == 1
+
+    def test_dimension_order(self, torus):
+        # X corrects before Y before Z.
+        path = torus.route((0, 0, 0), (2, 2, 0))
+        xs = [p[0] for p in path]
+        assert xs[:3] == [0, 1, 2]  # X first
+
+    def test_route_links_count(self, torus):
+        links = torus.route_links((0, 0, 0), (2, 1, 1))
+        assert len(links) == torus.distance((0, 0, 0), (2, 1, 1))
+
+    def test_link_loads_census(self, torus):
+        pairs = [((0, 0, 0), (1, 0, 0))] * 3
+        loads = torus.link_loads(pairs)
+        assert loads[("gl", 0, 0, 0, 0, 1)] == 3
+
+    def test_component_names(self, torus):
+        assert torus.injection_component((1, 2, 3)) == "inj:1,2,3"
+        assert Torus3D.link_component(("gl", 1, 2, 3, 0, 1)) == "gl:1,2,3:0+"
+        assert Torus3D.link_component(("gl", 1, 2, 3, 2, -1)) == "gl:1,2,3:2-"

@@ -1,0 +1,91 @@
+"""Culling workflow tests (Lesson 13 / experiment E4)."""
+
+import numpy as np
+import pytest
+
+from repro.core.spider import build_spider2
+from repro.ops.culling import CullingCampaign, envelope_metrics
+
+
+class TestEnvelopeMetrics:
+    def test_uniform_groups_zero_spread(self):
+        m = envelope_metrics(np.full(20, 100.0), groups_per_ssu=10)
+        assert m.worst_intra_ssu_spread == 0.0
+        assert m.global_spread == 0.0
+        assert m.within(0.05)
+
+    def test_intra_ssu_spread(self):
+        bw = np.full(20, 100.0)
+        bw[3] = 80.0  # one slow group in SSU 0
+        m = envelope_metrics(bw, groups_per_ssu=10)
+        assert m.worst_intra_ssu_spread == pytest.approx(0.2)
+        assert not m.within(0.05)
+
+    def test_global_spread_uses_mean(self):
+        bw = np.array([100.0, 100.0, 100.0, 70.0])
+        m = envelope_metrics(bw, groups_per_ssu=4)
+        assert m.global_spread == pytest.approx(1 - 70.0 / 92.5)
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            envelope_metrics(np.full(7, 1.0), groups_per_ssu=2)
+
+
+class TestCampaignMini:
+    def test_rounds_reduce_variance(self, mini_system):
+        campaign = CullingCampaign(mini_system, threshold=0.05)
+        report = campaign.run_level(fs_level=False)
+        if report.rounds:  # mini system may start within envelope
+            assert (report.rounds[-1].metrics_after.global_spread
+                    <= report.rounds[0].metrics_before.global_spread)
+
+    def test_replacement_touches_population(self, mini_system):
+        campaign = CullingCampaign(mini_system)
+        report = campaign.run_full_campaign()
+        assert mini_system.population.total_replacements == report.total_replaced
+
+    def test_measurement_has_noise(self, mini_system):
+        campaign = CullingCampaign(mini_system, noise_sigma=0.01)
+        a = campaign.measure_groups(fs_level=False)
+        b = campaign.measure_groups(fs_level=False)
+        assert not np.array_equal(a, b)
+
+    def test_validation(self, mini_system):
+        with pytest.raises(ValueError):
+            CullingCampaign(mini_system, threshold=0.0)
+        with pytest.raises(ValueError):
+            CullingCampaign(mini_system, bin_fraction=0.0)
+
+
+class TestCampaignFullScale:
+    """The paper-scale numbers on a full 20,160-drive build (slowish)."""
+
+    @pytest.fixture(scope="class")
+    def report_and_system(self):
+        system = build_spider2(build_clients=False, seed=2014)
+        campaign = CullingCampaign(system)
+        return campaign.run_full_campaign(), system
+
+    def test_block_level_replacements_near_1500(self, report_and_system):
+        report, _ = report_and_system
+        assert 1200 <= report.replaced_at("block") <= 1800
+
+    def test_fs_level_replacements_near_500(self, report_and_system):
+        report, _ = report_and_system
+        assert 300 <= report.replaced_at("fs") <= 700
+
+    def test_multiple_rounds_per_level(self, report_and_system):
+        report, _ = report_and_system
+        assert sum(1 for r in report.rounds if r.level == "block") >= 2
+
+    def test_final_envelope_within_operational_7_5pct(self, report_and_system):
+        """The contractual story: 5% proved prohibitive, 7.5% held."""
+        report, _ = report_and_system
+        final = report.final_metrics()
+        assert final.within(0.075)
+
+    def test_culling_raises_aggregate_bandwidth(self, report_and_system):
+        _report, system = report_and_system
+        fresh = build_spider2(build_clients=False, seed=2014)
+        assert (system.raw_ost_bandwidths().sum()
+                > 1.02 * fresh.raw_ost_bandwidths().sum())

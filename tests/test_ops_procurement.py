@@ -1,0 +1,120 @@
+"""Procurement model tests (Lessons 3 & 5)."""
+
+import pytest
+
+from repro.hardware.controller import ControllerSpec
+from repro.hardware.disk import DiskSpec
+from repro.hardware.ssu import SsuSpec
+from repro.ops.procurement import (
+    ProcurementEvaluation,
+    ResponseModel,
+    Rfp,
+    VendorProposal,
+)
+from repro.units import GB, MB, PB, TB
+
+
+def block_proposal(**overrides):
+    defaults = dict(
+        vendor="ddn-like",
+        model=ResponseModel.BLOCK_STORAGE,
+        ssu=SsuSpec(),
+        n_ssus=36,
+        price_per_ssu=0.75,
+        integration_cost=2.0,
+        annual_service_cost=0.5,
+        delivery_months=10,
+        past_performance=0.85,
+    )
+    defaults.update(overrides)
+    return VendorProposal(**defaults)
+
+
+def appliance_proposal(**overrides):
+    defaults = dict(
+        vendor="appliance-co",
+        model=ResponseModel.APPLIANCE,
+        ssu=SsuSpec(price=1.2),
+        n_ssus=36,
+        price_per_ssu=1.0,
+        integration_cost=1.0,
+        annual_service_cost=0.7,
+        delivery_months=12,
+        past_performance=0.8,
+    )
+    defaults.update(overrides)
+    return VendorProposal(**defaults)
+
+
+class TestProposal:
+    def test_derived_performance(self):
+        p = block_proposal()
+        assert p.total_seq_bw == pytest.approx(36 * 29 * GB, rel=0.01)
+        assert p.total_capacity == 36 * SsuSpec().usable_capacity
+        # random follows the 20-25% disk ratio
+        assert 0.19 < p.total_random_bw / p.total_seq_bw < 0.26
+
+    def test_tco(self):
+        p = block_proposal()
+        assert p.tco(5) == pytest.approx(36 * 0.75 + 2.0 + 5 * 0.5)
+
+    def test_block_model_riskier_raw(self):
+        assert (block_proposal().integration_risk()
+                > appliance_proposal().integration_risk())
+
+
+class TestEvaluation:
+    def test_compliance(self):
+        ev = ProcurementEvaluation(Rfp())
+        assert ev.compliant(block_proposal())
+        slow = block_proposal(n_ssus=8)
+        assert not ev.compliant(slow)
+        late = block_proposal(delivery_months=30)
+        assert not ev.compliant(late)
+
+    def test_buyer_expertise_flips_block_vs_appliance(self):
+        """§III-C: OLCF chose block storage *because* its team could absorb
+        the integration risk; a less experienced buyer scores the appliance
+        higher on risk."""
+        rfp = Rfp()
+        expert = ProcurementEvaluation(rfp, buyer_integration_expertise=0.9)
+        novice = ProcurementEvaluation(rfp, buyer_integration_expertise=0.0)
+        block, appliance = block_proposal(), appliance_proposal()
+        assert (expert.score(block).scores["risk"]
+                > expert.score(appliance).scores["risk"] - 0.05)
+        assert (novice.score(block).scores["risk"]
+                < novice.score(appliance).scores["risk"])
+
+    def test_block_wins_for_olcf_profile(self):
+        """Cheaper + expertise => the block model wins, as it did."""
+        ev = ProcurementEvaluation(Rfp(), buyer_integration_expertise=0.85)
+        winner, cards = ev.select([block_proposal(), appliance_proposal()])
+        assert winner.vendor == "ddn-like"
+        assert len(cards) == 2
+
+    def test_noncompliant_cannot_win(self):
+        ev = ProcurementEvaluation(Rfp())
+        cheap_but_tiny = block_proposal(vendor="tiny", n_ssus=4,
+                                        price_per_ssu=0.1)
+        winner, _ = ev.select([cheap_but_tiny, appliance_proposal()])
+        assert winner.vendor == "appliance-co"
+
+    def test_no_compliant_raises(self):
+        ev = ProcurementEvaluation(Rfp())
+        with pytest.raises(RuntimeError):
+            ev.select([block_proposal(n_ssus=2)])
+
+    def test_weights_must_sum_to_one(self):
+        with pytest.raises(ValueError):
+            ProcurementEvaluation(Rfp(), weights={"performance": 0.5})
+
+    def test_scorecard_row(self):
+        ev = ProcurementEvaluation(Rfp())
+        card = ev.score(block_proposal())
+        assert card.row()[0] == "ddn-like"
+
+    def test_rfp_validation(self):
+        with pytest.raises(ValueError):
+            Rfp(sequential_floor=0)
+        with pytest.raises(ValueError):
+            Rfp(budget_min=50, budget_max=40)

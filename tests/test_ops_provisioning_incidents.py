@@ -1,0 +1,116 @@
+"""Provisioning (Lesson 7) and the 2010 incident replay (Lesson 11)."""
+
+import pytest
+
+from repro.ops.incidents import replay_2010_incident
+from repro.ops.provisioning import (
+    DEFAULT_SCRIPTS,
+    GediCluster,
+    GediScript,
+    NodeState,
+    ServiceDef,
+    diskful_mttr,
+    diskless_mttr,
+)
+from repro.sim.engine import Engine
+from repro.units import HOUR
+
+
+class TestGediBoot:
+    def test_single_node_reaches_service(self):
+        engine = Engine()
+        cluster = GediCluster(engine, ["oss01"])
+        cluster.boot_node("oss01")
+        engine.run()
+        node = cluster.nodes["oss01"]
+        assert node.state is NodeState.IN_SERVICE
+        assert node.services_up == ["openibd", "srp_daemon", "lustre"]
+
+    def test_scripts_run_in_integer_order(self):
+        engine = Engine()
+        scripts = (
+            GediScript(30, "late", ("c.conf",)),
+            GediScript(10, "early", ("a.conf",)),
+        )
+        services = (ServiceDef("svc", ("a.conf", "c.conf")),)
+        cluster = GediCluster(engine, ["n1"], scripts=scripts, services=services)
+        assert [s.name for s in cluster.scripts] == ["early", "late"]
+        cluster.boot_node("n1")
+        engine.run()
+        assert cluster.nodes["n1"].state is NodeState.IN_SERVICE
+
+    def test_missing_config_producer_rejected_at_build(self):
+        """The Lesson 7 invariant: services whose configs nothing builds
+        are a provisioning bug caught before any node boots."""
+        engine = Engine()
+        with pytest.raises(ValueError):
+            GediCluster(engine, ["n1"],
+                        services=(ServiceDef("svc", ("ghost.conf",)),))
+
+    def test_boot_storm_contends_on_tftp(self):
+        engine = Engine()
+        few = GediCluster(engine, [f"a{i}" for i in range(4)],
+                          tftp_concurrency=16)
+        few.boot_all()
+        engine.run()
+        t_few = max(n.boot_finished_at for n in few.nodes.values())
+
+        engine2 = Engine()
+        many = GediCluster(engine2, [f"b{i}" for i in range(64)],
+                           tftp_concurrency=4)
+        many.boot_all()
+        engine2.run()
+        t_many = max(n.boot_finished_at for n in many.nodes.values())
+        assert t_many > 2 * t_few
+
+    def test_image_update_and_convergence(self):
+        engine = Engine()
+        cluster = GediCluster(engine, ["n1", "n2"])
+        cluster.boot_all()
+        engine.run()
+        assert cluster.stale_nodes() == []
+        cluster.push_image_update()
+        assert sorted(cluster.stale_nodes()) == ["n1", "n2"]
+        rebooted = cluster.converge()
+        engine.run()
+        assert sorted(rebooted) == ["n1", "n2"]
+        assert cluster.stale_nodes() == []
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError):
+            GediCluster(Engine(), ["n", "n"])
+
+
+class TestMttr:
+    def test_diskless_much_faster(self):
+        # Lesson 7's payoff: no reinstall, no local RAID rebuild.
+        assert diskless_mttr() < 0.2 * diskful_mttr()
+
+
+class TestIncidentReplay:
+    def test_five_enclosure_design_loses_journal(self):
+        outcome = replay_2010_incident(5)
+        assert outcome.journal_replay_failed
+        assert outcome.max_effective_erasures == 3
+        # ">1 million files" lost, "95% successful recovery",
+        # "more than two weeks".
+        assert outcome.files_lost > 1_000_000
+        assert outcome.recovery_rate == pytest.approx(0.95, abs=0.001)
+        assert outcome.recovery_days > 13.0
+
+    def test_ten_enclosure_design_tolerates(self):
+        outcome = replay_2010_incident(10)
+        assert outcome.tolerated
+        assert outcome.max_effective_erasures == 2
+        assert outcome.files_lost == 0
+
+    def test_rebuild_still_running_at_18h(self):
+        """The timeline only compounds because the rebuild window under
+        production load exceeds 18 hours."""
+        from repro.units import MB, TB
+        rebuild = 1 * TB / (12 * MB)
+        assert rebuild > 18 * HOUR
+
+    def test_other_geometries_rejected(self):
+        with pytest.raises(ValueError):
+            replay_2010_incident(7)

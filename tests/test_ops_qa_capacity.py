@@ -1,0 +1,148 @@
+"""Thin-filesystem QA and capacity-planning tests (Lessons 16 & 10)."""
+
+import numpy as np
+import pytest
+
+from repro.ops.capacity import NamespacePlanner, Project
+from repro.ops.qa import PerformanceQa, ThinFilesystem
+from repro.units import GB, PB, TB
+
+
+class TestThinFilesystem:
+    def test_small_reservation(self, mini_system):
+        thin = ThinFilesystem(mini_system, reserve_fraction=0.01)
+        assert thin.capacity_overhead() == pytest.approx(0.01, rel=0.05)
+        assert thin.fs.capacity_bytes < mini_system.total_capacity_bytes() * 0.02
+
+    def test_spans_every_ost(self, mini_system):
+        thin = ThinFilesystem(mini_system)
+        assert len(thin.fs.osts) == mini_system.spec.n_osts
+
+    def test_reformat_discards_contents(self, mini_system):
+        thin = ThinFilesystem(mini_system)
+        thin.fs.create_file("/bench", now=0.0, size=1 * GB)
+        assert thin.fs.used_bytes > 0
+        thin.reformat()
+        assert thin.fs.used_bytes == 0
+        assert thin.formats == 2
+
+    def test_does_not_touch_production_osts(self, mini_system):
+        thin = ThinFilesystem(mini_system)
+        thin.fs.create_file("/bench", now=0.0, size=1 * GB)
+        assert all(o.used_bytes == 0 for o in mini_system.osts)
+
+    def test_validation(self, mini_system):
+        with pytest.raises(ValueError):
+            ThinFilesystem(mini_system, reserve_fraction=0.6)
+
+
+class TestPerformanceQa:
+    def test_baseline_then_clean_cycle(self, mini_system):
+        qa = PerformanceQa(mini_system, tolerance=0.10)
+        qa.record_baseline(now=0.0)
+        findings = qa.run_qa_cycle(now=1.0)
+        assert findings == []  # nothing changed
+
+    def test_detects_degraded_drive(self, mini_system):
+        qa = PerformanceQa(mini_system, tolerance=0.10)
+        qa.record_baseline(now=0.0)
+        # Degrade one member drive of OST 0's group by 40%.
+        victim = int(mini_system.ssus[0].members_matrix[0][0])
+        mini_system.population.speed_factor[victim] *= 0.6
+        findings = qa.run_qa_cycle(now=1.0)
+        assert any(f.ost_index == 0 for f in findings)
+        f0 = next(f for f in findings if f.ost_index == 0)
+        # Regression relative to the baseline min-member; at least the
+        # tolerance, at most the injected 40%.
+        assert 0.10 < f0.regression <= 0.45
+
+    def test_cycle_without_baseline_fails(self, mini_system):
+        with pytest.raises(RuntimeError):
+            PerformanceQa(mini_system).run_qa_cycle()
+
+    def test_validation(self, mini_system):
+        with pytest.raises(ValueError):
+            PerformanceQa(mini_system, tolerance=0.0)
+
+
+class TestProjects:
+    def test_tier_classification(self):
+        small = Project("s", capacity_bytes=10 * TB, bandwidth=1 * GB)
+        large = Project("l", capacity_bytes=2000 * TB, bandwidth=80 * GB)
+        assert small.tier() == "capS-bwS"
+        assert large.tier() == "capL-bwL"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Project("x", capacity_bytes=-1, bandwidth=0)
+
+
+class TestNamespacePlanner:
+    def planner(self):
+        return NamespacePlanner({
+            "atlas1": (16 * PB, 320 * GB),
+            "atlas2": (16 * PB, 320 * GB),
+        })
+
+    def projects(self, n=20, seed=0):
+        rng = np.random.default_rng(seed)
+        return [
+            Project(f"p{i}",
+                    capacity_bytes=int(rng.uniform(50, 1000) * TB),
+                    bandwidth=float(rng.uniform(2, 60) * GB))
+            for i in range(n)
+        ]
+
+    def test_all_projects_assigned_once(self):
+        report = self.planner().plan(self.projects())
+        names = [p for ns in report.namespaces for p in ns.projects]
+        assert sorted(names) == sorted(f"p{i}" for i in range(20))
+
+    def test_balanced_two_axes(self):
+        report = self.planner().plan(self.projects(40))
+        assert report.capacity_imbalance < 0.10
+        assert report.bandwidth_imbalance < 0.15
+
+    def test_greedy_beats_naive_split(self):
+        """The classification model balances the *worse axis* better than
+        alternating assignment — the point of §IV-C's project model."""
+        projects = self.projects(30, seed=5)
+        report = self.planner().plan(projects)
+        # naive: alternate in input order
+        naive_cap = [0, 0]
+        naive_bw = [0.0, 0.0]
+        for i, p in enumerate(projects):
+            naive_cap[i % 2] += p.capacity_bytes
+            naive_bw[i % 2] += p.bandwidth
+        naive_worst = max(
+            abs(naive_cap[0] - naive_cap[1]) / (16 * PB),
+            abs(naive_bw[0] - naive_bw[1]) / (320 * GB),
+        )
+        greedy_worst = max(report.capacity_imbalance,
+                           report.bandwidth_imbalance)
+        assert greedy_worst <= naive_worst + 1e-9
+
+    def test_required_capacity_30pct_headroom(self):
+        planner = self.planner()
+        projects = [Project("p", capacity_bytes=10 * PB, bandwidth=1 * GB)]
+        assert planner.required_capacity(projects) == int(13 * PB)
+
+    def test_knee_check(self):
+        planner = self.planner()
+        light = planner.plan([Project("p", 2 * PB, 10 * GB)])
+        assert planner.stays_below_knee(light)
+        heavy = planner.plan([Project(f"p{i}", 6 * PB, 10 * GB)
+                              for i in range(5)])
+        assert not planner.stays_below_knee(heavy)
+
+    def test_namespace_of(self):
+        report = self.planner().plan(self.projects(4))
+        assert report.namespace_of("p0") in ("atlas1", "atlas2")
+        with pytest.raises(KeyError):
+            report.namespace_of("nope")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NamespacePlanner({})
+        with pytest.raises(ValueError):
+            self.planner().required_capacity([], headroom=-0.1)

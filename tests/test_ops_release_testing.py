@@ -1,0 +1,85 @@
+"""Release-testing model tests (Lesson 9)."""
+
+import pytest
+
+from repro.ops.release_testing import (
+    CandidateRelease,
+    CampaignOutcome,
+    LatentDefect,
+    ScaleTestCampaign,
+)
+
+
+class TestLatentDefect:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LatentDefect(0, trigger_scale=0, detect_probability=0.5)
+        with pytest.raises(ValueError):
+            LatentDefect(0, trigger_scale=1, detect_probability=0.0)
+
+
+class TestCandidateRelease:
+    def test_deterministic_by_seed(self):
+        a = CandidateRelease(seed=3)
+        b = CandidateRelease(seed=3)
+        assert [d.trigger_scale for d in a.defects] == \
+               [d.trigger_scale for d in b.defects]
+
+    def test_heavy_tail_of_trigger_scales(self):
+        release = CandidateRelease(seed=2, n_defects=200)
+        # Most defects are small-scale, but a material tail isn't.
+        assert release.defects_above(2) < 200
+        assert release.defects_above(256) >= 15
+        assert release.defects_above(256) <= 100
+
+    def test_explicit_defects_respected(self):
+        defects = [LatentDefect(0, 10, 0.9), LatentDefect(1, 10_000, 0.9)]
+        release = CandidateRelease(defects=defects, n_defects=2)
+        assert release.defects_above(100) == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CandidateRelease(n_defects=-1)
+
+
+class TestScaleTestCampaign:
+    def _release(self):
+        return CandidateRelease(defects=[
+            LatentDefect(0, 10, 0.99),
+            LatentDefect(1, 1_000, 0.99),
+            LatentDefect(2, 10_000, 0.99),
+        ], n_defects=3)
+
+    def test_scale_gates_detection(self):
+        release = self._release()
+        small = ScaleTestCampaign(100, n_runs=20, seed=1).run(release)
+        big = ScaleTestCampaign(18_688, n_runs=20, seed=1).run(release)
+        assert small.caught == 1
+        assert small.escaped_large_scale == 2
+        assert big.caught == 3
+        assert big.escaped == 0
+
+    def test_more_runs_catch_flaky_defects(self):
+        release = CandidateRelease(defects=[
+            LatentDefect(0, 10, 0.5)], n_defects=1)
+        once = sum(
+            ScaleTestCampaign(100, n_runs=1, seed=s).run(release).caught
+            for s in range(200)
+        )
+        many = sum(
+            ScaleTestCampaign(100, n_runs=10, seed=s).run(release).caught
+            for s in range(200)
+        )
+        assert many > once
+
+    def test_outcome_rows_and_rate(self):
+        outcome = CampaignOutcome(test_scale=100, n_runs=2, caught=3,
+                                  escaped=1, escaped_large_scale=1)
+        assert outcome.catch_rate == pytest.approx(0.75)
+        assert len(outcome.rows()) == 6
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ScaleTestCampaign(0)
+        with pytest.raises(ValueError):
+            ScaleTestCampaign(10, n_runs=0)

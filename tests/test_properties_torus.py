@@ -1,0 +1,85 @@
+"""Property-based torus tests: metric axioms and routing validity."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.network.torus import Torus3D, TorusSpec
+
+dims_st = st.tuples(st.integers(2, 9), st.integers(2, 9), st.integers(2, 9))
+
+
+def coord_st(dims):
+    return st.tuples(*(st.integers(0, d - 1) for d in dims))
+
+
+@st.composite
+def torus_and_pair(draw):
+    dims = draw(dims_st)
+    torus = Torus3D(TorusSpec(dims=dims))
+    a = draw(coord_st(dims))
+    b = draw(coord_st(dims))
+    return torus, a, b
+
+
+@given(torus_and_pair())
+@settings(max_examples=200, deadline=None)
+def test_distance_metric_axioms(tp):
+    torus, a, b = tp
+    assert torus.distance(a, a) == 0
+    assert torus.distance(a, b) == torus.distance(b, a)
+    assert torus.distance(a, b) >= 0
+    # Bounded by half the ring in each dimension.
+    bound = sum(d // 2 for d in torus.dims)
+    assert torus.distance(a, b) <= bound
+
+
+@given(torus_and_pair(), st.data())
+@settings(max_examples=100, deadline=None)
+def test_triangle_inequality(tp, data):
+    torus, a, b = tp
+    c = data.draw(coord_st(torus.dims))
+    assert torus.distance(a, b) <= torus.distance(a, c) + torus.distance(c, b)
+
+
+@given(torus_and_pair())
+@settings(max_examples=200, deadline=None)
+def test_route_is_valid_shortest_path(tp):
+    torus, a, b = tp
+    path = torus.route(a, b)
+    assert path[0] == a and path[-1] == b
+    for u, v in zip(path, path[1:]):
+        assert torus.distance(u, v) == 1
+    assert len(path) - 1 == torus.distance(a, b)
+
+
+@given(torus_and_pair())
+@settings(max_examples=200, deadline=None)
+def test_route_links_align_with_route(tp):
+    torus, a, b = tp
+    links = torus.route_links(a, b)
+    path = torus.route(a, b)
+    assert len(links) == len(path) - 1
+    for (tag, x, y, z, axis, sign), src in zip(links, path[:-1]):
+        assert (x, y, z) == src
+        assert sign in (-1, 1)
+
+
+@given(torus_and_pair())
+@settings(max_examples=100, deadline=None)
+def test_vectorized_distance_agrees(tp):
+    torus, a, b = tp
+    vec = torus.distances_from(a, np.array([b]))
+    assert vec[0] == torus.distance(a, b)
+
+
+@given(dims_st)
+@settings(max_examples=50, deadline=None)
+def test_index_bijection(dims):
+    torus = Torus3D(TorusSpec(dims=dims))
+    seen = set()
+    for coord in torus.all_coords():
+        idx = torus.node_index(coord)
+        assert idx not in seen
+        seen.add(idx)
+        assert torus.coord_of(idx) == coord
+    assert len(seen) == dims[0] * dims[1] * dims[2]

@@ -1,0 +1,107 @@
+"""Server queue and token-bucket tests."""
+
+import pytest
+
+from repro.sim.engine import Engine, SimulationError
+from repro.sim.resources import Server, TokenBucket
+
+
+class TestServer:
+    def test_single_server_serializes(self):
+        engine = Engine()
+        server = Server(engine, n_servers=1)
+        done_times = []
+        for _ in range(3):
+            ev = server.submit(10.0)
+            ev.on_trigger(lambda e: done_times.append(engine.now))
+        engine.run()
+        assert done_times == [10.0, 20.0, 30.0]
+
+    def test_multi_server_parallelism(self):
+        engine = Engine()
+        server = Server(engine, n_servers=3)
+        done_times = []
+        for _ in range(3):
+            server.submit(10.0).on_trigger(lambda e: done_times.append(engine.now))
+        engine.run()
+        assert done_times == [10.0, 10.0, 10.0]
+
+    def test_fifo_order_and_value(self):
+        engine = Engine()
+        server = Server(engine, n_servers=1)
+        order = []
+        for name in "abc":
+            server.submit(1.0, value=name).on_trigger(lambda e: order.append(e.value))
+        engine.run()
+        assert order == ["a", "b", "c"]
+
+    def test_stats(self):
+        engine = Engine()
+        server = Server(engine, n_servers=1)
+        server.submit(4.0)
+        server.submit(6.0)
+        engine.run()
+        assert server.stats.completions == 2
+        assert server.stats.busy_time == pytest.approx(10.0)
+        assert server.stats.mean_service == pytest.approx(5.0)
+        # second job waited 4 s
+        assert server.stats.mean_wait == pytest.approx(2.0)
+        assert server.utilization() == pytest.approx(1.0)
+
+    def test_validation(self):
+        engine = Engine()
+        with pytest.raises(SimulationError):
+            Server(engine, n_servers=0)
+        server = Server(engine)
+        with pytest.raises(SimulationError):
+            server.submit(-1.0)
+
+
+class TestTokenBucket:
+    def test_immediate_grant_within_capacity(self):
+        engine = Engine()
+        bucket = TokenBucket(engine, rate=10.0, capacity=100.0)
+        ev = bucket.acquire(50.0)
+        assert ev.triggered
+
+    def test_waits_for_refill(self):
+        engine = Engine()
+        bucket = TokenBucket(engine, rate=10.0, capacity=10.0)
+        bucket.acquire(10.0)  # drains it
+        ev = bucket.acquire(5.0)
+        assert not ev.triggered
+        engine.run()
+        assert ev.triggered
+        assert engine.now == pytest.approx(0.5)
+
+    def test_fifo_no_starvation(self):
+        engine = Engine()
+        bucket = TokenBucket(engine, rate=10.0, capacity=10.0)
+        bucket.acquire(10.0)
+        order = []
+        big = bucket.acquire(8.0)
+        big.on_trigger(lambda e: order.append("big"))
+        small = bucket.acquire(1.0)
+        small.on_trigger(lambda e: order.append("small"))
+        engine.run()
+        assert order == ["big", "small"]
+
+    def test_oversize_request_rejected(self):
+        engine = Engine()
+        bucket = TokenBucket(engine, rate=1.0, capacity=5.0)
+        with pytest.raises(SimulationError):
+            bucket.acquire(6.0)
+
+    def test_tokens_capped_at_capacity(self):
+        engine = Engine()
+        bucket = TokenBucket(engine, rate=100.0, capacity=10.0)
+        engine.call_at(100.0, lambda: None)
+        engine.run()
+        assert bucket.tokens == pytest.approx(10.0)
+
+    def test_validation(self):
+        engine = Engine()
+        with pytest.raises(SimulationError):
+            TokenBucket(engine, rate=0.0)
+        with pytest.raises(SimulationError):
+            TokenBucket(engine, rate=1.0, capacity=0.0)

@@ -1,0 +1,94 @@
+"""RNG stream and heavy-tail distribution tests."""
+
+import numpy as np
+import pytest
+
+from repro.sim.rng import RngStreams, bounded_pareto, lognormal_factors, pareto_interarrivals
+
+
+class TestRngStreams:
+    def test_same_name_same_stream_across_instances(self):
+        a = RngStreams(99).get("disks").random(5)
+        b = RngStreams(99).get("disks").random(5)
+        assert np.array_equal(a, b)
+
+    def test_order_independence(self):
+        s1 = RngStreams(1)
+        s1.get("x")
+        first = s1.get("disks").random(3)
+        s2 = RngStreams(1)
+        second = s2.get("disks").random(3)
+        assert np.array_equal(first, second)
+
+    def test_different_names_differ(self):
+        s = RngStreams(0)
+        assert not np.array_equal(s.get("a").random(8), s.get("b").random(8))
+
+    def test_different_seeds_differ(self):
+        a = RngStreams(1).get("x").random(8)
+        b = RngStreams(2).get("x").random(8)
+        assert not np.array_equal(a, b)
+
+    def test_spawn_is_deterministic_and_independent(self):
+        parent = RngStreams(5)
+        child1 = parent.spawn("sub")
+        child2 = RngStreams(5).spawn("sub")
+        assert child1.seed == child2.seed
+        assert child1.seed != parent.seed
+
+
+class TestBoundedPareto:
+    def test_respects_bounds(self, rng):
+        x = bounded_pareto(rng, alpha=1.3, lower=0.01, upper=5.0, size=10_000)
+        assert x.min() >= 0.01
+        assert x.max() <= 5.0
+
+    def test_heavy_tail_shape(self, rng):
+        # More mass near the lower bound than a uniform would have.
+        x = bounded_pareto(rng, alpha=1.5, lower=1.0, upper=1000.0, size=50_000)
+        assert np.mean(x < 2.0) > 0.4
+        # but a real tail exists
+        assert x.max() > 50.0
+
+    def test_alpha_controls_tail(self, rng):
+        light = bounded_pareto(rng, alpha=3.0, lower=1.0, upper=1e6, size=50_000)
+        heavy = bounded_pareto(rng, alpha=1.1, lower=1.0, upper=1e6, size=50_000)
+        assert np.quantile(heavy, 0.999) > np.quantile(light, 0.999)
+
+    @pytest.mark.parametrize("alpha,lower,upper", [
+        (0.0, 1.0, 2.0), (-1.0, 1.0, 2.0), (1.0, 0.0, 2.0), (1.0, 2.0, 1.0),
+    ])
+    def test_validation(self, rng, alpha, lower, upper):
+        with pytest.raises(ValueError):
+            bounded_pareto(rng, alpha, lower, upper)
+
+
+class TestParetoInterarrivals:
+    def test_positive_gaps(self, rng):
+        gaps = pareto_interarrivals(rng, 1000)
+        assert len(gaps) == 1000
+        assert (gaps > 0).all()
+        assert gaps.max() <= 60.0
+
+    def test_empty(self, rng):
+        assert len(pareto_interarrivals(rng, 0)) == 0
+
+    def test_negative_rejected(self, rng):
+        with pytest.raises(ValueError):
+            pareto_interarrivals(rng, -1)
+
+
+class TestLognormalFactors:
+    def test_unit_median(self, rng):
+        f = lognormal_factors(rng, 100_000, sigma=0.05)
+        assert np.median(f) == pytest.approx(1.0, rel=0.01)
+
+    def test_sigma_zero_is_exactly_one(self, rng):
+        f = lognormal_factors(rng, 100, sigma=0.0)
+        assert np.allclose(f, 1.0)
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            lognormal_factors(rng, 10, sigma=-0.1)
+        with pytest.raises(ValueError):
+            lognormal_factors(rng, -1)

@@ -1,0 +1,111 @@
+"""IOSI tests: burst detection and cross-run signature extraction."""
+
+import numpy as np
+import pytest
+
+from repro.sim.rng import RngStreams
+from repro.tools.iosi import Iosi, IoSignature
+from repro.units import GB, MiB
+from repro.workloads.analytics import AnalyticsApp, analytics_trace
+from repro.workloads.checkpoint import CheckpointApp, checkpoint_trace
+from repro.workloads.model import merge_traces
+
+
+class TestBurstDetection:
+    def test_clean_bursts(self):
+        iosi = Iosi(bin_seconds=1.0)
+        times = np.arange(100, dtype=float)
+        bw = np.full(100, 10.0)
+        bw[20:25] = 1000.0
+        bw[60:63] = 900.0
+        bursts = iosi.detect_bursts(times, bw)
+        assert len(bursts) == 2
+        assert bursts[0].start == pytest.approx(20.0)
+        assert bursts[0].duration == pytest.approx(5.0)
+        assert bursts[0].volume_bytes == pytest.approx(5 * 990.0)
+
+    def test_no_bursts_in_flat_series(self):
+        iosi = Iosi(bin_seconds=1.0)
+        times = np.arange(50, dtype=float)
+        assert iosi.detect_bursts(times, np.full(50, 5.0)) == []
+
+    def test_empty_series(self):
+        assert Iosi().detect_bursts(np.empty(0), np.empty(0)) == []
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            Iosi().detect_bursts(np.arange(3.0), np.arange(4.0))
+
+
+class TestSignatureExtraction:
+    def _noisy_trace_with_app(self, seed=1, n_runs=3, period=600.0,
+                              run_len=3000.0):
+        """A shared server log: background analytics + one periodic
+        checkpoint app running in known windows."""
+        rng = RngStreams(seed)
+        app = CheckpointApp(name="target", n_procs=512,
+                            bytes_per_proc=64 * MiB, interval=period,
+                            aggregate_bandwidth=40 * GB)
+        noise = AnalyticsApp(name="noise", request_rate=800.0)
+        pieces = []
+        windows = []
+        for run in range(n_runs):
+            t0 = run * (run_len + 1200.0)
+            pieces.append(checkpoint_trace(
+                app, duration=run_len, rng=rng.get(f"ck{run}"),
+                start_offset=0.0).slice(0, run_len))
+            # shift the run to its window
+            trace = pieces[-1]
+            trace.times += t0
+            windows.append((t0, t0 + run_len))
+        background = analytics_trace(
+            noise, duration=n_runs * (run_len + 1200.0), rng=rng.get("bg"))
+        server = merge_traces(pieces + [background], label="server")
+        return app, server, windows
+
+    def test_extracts_period_and_volume(self):
+        app, server, windows = self._noisy_trace_with_app()
+        iosi = Iosi(bin_seconds=5.0)
+        sig = iosi.extract(server, windows)
+        assert sig.matches(period=app.interval,
+                           volume_bytes=app.checkpoint_bytes, rel_tol=0.2)
+        assert sig.n_runs == 3
+
+    def test_bursts_per_run_counts(self):
+        app, server, windows = self._noisy_trace_with_app(period=600.0,
+                                                          run_len=3000.0)
+        sig = Iosi(bin_seconds=5.0).extract(server, windows)
+        assert sig.bursts_per_run == pytest.approx(5.0, abs=1.0)
+
+    def test_single_run_still_works(self):
+        app, server, windows = self._noisy_trace_with_app(n_runs=1)
+        sig = Iosi(bin_seconds=5.0).extract(server, windows[:1])
+        assert sig.burst_volume_bytes == pytest.approx(
+            app.checkpoint_bytes, rel=0.25)
+
+    def test_no_bursts_raises(self):
+        _app, server, _ = self._noisy_trace_with_app()
+        iosi = Iosi(bin_seconds=5.0, threshold_sigmas=2.0)
+        # A window with only background noise.
+        with pytest.raises(ValueError):
+            iosi.extract(server, [(1e9, 1e9 + 100.0)])
+
+    def test_bad_window_rejected(self):
+        _app, server, _ = self._noisy_trace_with_app()
+        with pytest.raises(ValueError):
+            Iosi().extract(server, [(100.0, 50.0)])
+        with pytest.raises(ValueError):
+            Iosi().extract(server, [])
+
+
+class TestSignatureMatch:
+    def test_matches_tolerance(self):
+        sig = IoSignature(period=600.0, burst_volume_bytes=1e12,
+                          burst_duration=30.0, bursts_per_run=5, n_runs=3)
+        assert sig.matches(period=650.0, volume_bytes=1.1e12)
+        assert not sig.matches(period=1200.0, volume_bytes=1e12)
+
+    def test_ground_truth_validation(self):
+        sig = IoSignature(600.0, 1e12, 30.0, 5, 3)
+        with pytest.raises(ValueError):
+            sig.matches(period=0.0, volume_bytes=1.0)

@@ -1,0 +1,91 @@
+"""Purge engine tests: the 14-day policy and its invariants."""
+
+import pytest
+
+from repro.lustre.filesystem import LustreFilesystem
+from repro.lustre.ost import Ost, OstSpec
+from repro.tools.purger import Purger
+from repro.units import DAY, MiB, TB
+
+
+@pytest.fixture
+def fs():
+    osts = [Ost(i, OstSpec(capacity_bytes=1 * TB)) for i in range(4)]
+    fs = LustreFilesystem("scratch", osts)
+    fs.mkdir("/u", now=0.0)
+    return fs
+
+
+class TestEligibility:
+    def test_old_untouched_file_is_eligible(self, fs):
+        fs.create_file("/u/old", now=0.0, size=MiB)
+        purger = Purger(fs)
+        assert purger.eligible(fs.namespace.get("/u/old"), now=15 * DAY)
+
+    def test_recent_create_protected(self, fs):
+        fs.create_file("/u/new", now=10 * DAY, size=MiB)
+        purger = Purger(fs)
+        assert not purger.eligible(fs.namespace.get("/u/new"), now=15 * DAY)
+
+    def test_recent_read_protects(self, fs):
+        """'not created, modified, or accessed within a contiguous 14 day
+        range' — a read resets the clock."""
+        fs.create_file("/u/f", now=0.0, size=MiB)
+        fs.read_file("/u/f", now=10 * DAY)
+        purger = Purger(fs)
+        assert not purger.eligible(fs.namespace.get("/u/f"), now=20 * DAY)
+        assert purger.eligible(fs.namespace.get("/u/f"), now=25 * DAY)
+
+    def test_recent_write_protects(self, fs):
+        fs.create_file("/u/f", now=0.0, size=MiB)
+        fs.append("/u/f", MiB, now=13 * DAY)
+        assert not Purger(fs).eligible(fs.namespace.get("/u/f"), now=20 * DAY)
+
+    def test_exemption(self, fs):
+        fs.create_file("/u/keep", now=0.0, size=MiB, project="pinned")
+        purger = Purger(fs, exempt=lambda e: e.project == "pinned")
+        assert not purger.eligible(fs.namespace.get("/u/keep"), now=30 * DAY)
+
+    def test_directories_never_eligible(self, fs):
+        assert not Purger(fs).eligible(fs.namespace.get("/u"), now=100 * DAY)
+
+
+class TestSweep:
+    def test_sweep_removes_and_reclaims(self, fs):
+        fs.create_file("/u/old", now=0.0, size=10 * MiB)
+        fs.create_file("/u/new", now=20 * DAY, size=10 * MiB)
+        report = Purger(fs).sweep(now=21 * DAY)
+        assert report.files_purged == 1
+        assert report.bytes_purged == 10 * MiB
+        assert "/u/old" not in fs.namespace
+        assert "/u/new" in fs.namespace
+        assert report.fill_after < report.fill_before
+
+    def test_dry_run_deletes_nothing(self, fs):
+        fs.create_file("/u/old", now=0.0, size=MiB)
+        report = Purger(fs).sweep(now=30 * DAY, dry_run=True)
+        assert report.files_purged == 1
+        assert "/u/old" in fs.namespace
+        assert Purger(fs).total_purged_bytes() == 0
+
+    def test_never_deletes_recently_touched(self, fs):
+        """Safety invariant: no file touched within the window is removed."""
+        for i in range(50):
+            fs.create_file(f"/u/f{i}", now=float(i) * DAY, size=MiB)
+        now = 40 * DAY
+        Purger(fs).sweep(now=now)
+        for entry in fs.namespace.files():
+            assert now - entry.last_touched() <= 14 * DAY
+
+    def test_repeated_sweeps_accumulate(self, fs):
+        fs.create_file("/u/a", now=0.0, size=MiB)
+        fs.create_file("/u/b", now=20 * DAY, size=MiB)
+        purger = Purger(fs)
+        purger.sweep(now=15 * DAY)
+        purger.sweep(now=40 * DAY)
+        assert purger.total_purged_bytes() == 2 * MiB
+        assert len(purger.reports) == 2
+
+    def test_validation(self, fs):
+        with pytest.raises(ValueError):
+            Purger(fs, age_limit=0)

@@ -1,0 +1,98 @@
+"""Unit-handling tests: the decimal/binary split and formatting."""
+
+import math
+
+import pytest
+
+from repro.units import (
+    DAY, GB, GiB, HOUR, KB, KiB, MB, MiB, MINUTE, PB, TB, TiB,
+    fmt_bandwidth, fmt_duration, fmt_size, parse_size, transfer_time,
+)
+
+
+class TestConstants:
+    def test_decimal_are_powers_of_1000(self):
+        assert KB == 1000
+        assert MB == KB * 1000
+        assert GB == MB * 1000
+        assert TB == GB * 1000
+        assert PB == TB * 1000
+
+    def test_binary_are_powers_of_1024(self):
+        assert KiB == 1024
+        assert MiB == KiB * 1024
+        assert GiB == MiB * 1024
+        assert TiB == GiB * 1024
+
+    def test_binary_exceeds_decimal(self):
+        assert KiB > KB and MiB > MB and GiB > GB and TiB > TB
+
+    def test_time_constants(self):
+        assert MINUTE == 60 and HOUR == 3600 and DAY == 86400
+
+
+class TestParseSize:
+    @pytest.mark.parametrize("text,expected", [
+        ("16KiB", 16 * KiB),
+        ("1 MB", MB),
+        ("1.5 TB", int(1.5 * TB)),
+        ("2tib", 2 * TiB),
+        ("512", 512),
+        ("512B", 512),
+        ("32 PB", 32 * PB),
+    ])
+    def test_parses(self, text, expected):
+        assert parse_size(text) == expected
+
+    def test_numbers_pass_through(self):
+        assert parse_size(4096) == 4096
+        assert parse_size(4096.6) == 4097
+
+    @pytest.mark.parametrize("bad", ["", "MB", "12 XB", "1..5 GB", "-3 MB"])
+    def test_rejects_garbage(self, bad):
+        with pytest.raises(ValueError):
+            parse_size(bad)
+
+
+class TestFormatting:
+    def test_fmt_size_uses_decimal_prefixes(self):
+        assert fmt_size(32 * PB) == "32.00 PB"
+        assert fmt_size(2 * TB) == "2.00 TB"
+        assert fmt_size(999) == "999 B"
+
+    def test_fmt_bandwidth_headline_units(self):
+        assert fmt_bandwidth(1.04e12) == "1.04 TB/s"
+        assert fmt_bandwidth(240 * GB) == "240.00 GB/s"
+
+    def test_fmt_duration_scales(self):
+        assert fmt_duration(6 * MINUTE) == "6.0 min"
+        assert fmt_duration(2 * DAY) == "2.0 d"
+        assert fmt_duration(0.005).endswith("ms")
+
+    def test_fmt_duration_non_finite(self):
+        assert fmt_duration(math.inf) == "inf"
+
+
+class TestTransferTime:
+    def test_paper_design_point(self):
+        # 75% of 600 TB in 6 minutes implies 1.25 TB/s; the paper rounds
+        # the requirement to "1 TB/s", giving 7.5 minutes at exactly 1 TB/s.
+        t = transfer_time(0.75 * 600 * TB, 1000 * GB)
+        assert t == pytest.approx(450.0)
+        implied_requirement = 0.75 * 600 * TB / (6 * MINUTE)
+        assert implied_requirement == pytest.approx(1.25 * 1000 * GB)
+
+    def test_latency_added(self):
+        assert transfer_time(MB, MB, latency=0.5) == pytest.approx(1.5)
+
+    def test_zero_bytes_is_latency_only(self):
+        assert transfer_time(0, 100, latency=0.25) == 0.25
+
+    def test_zero_bandwidth_stalls(self):
+        assert math.isinf(transfer_time(1, 0))
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            transfer_time(-1, 10)
+        with pytest.raises(ValueError):
+            transfer_time(1, -10)

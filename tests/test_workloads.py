@@ -1,0 +1,228 @@
+"""Workload generator tests: traces, checkpoint bursts, analytics, the
+calibrated Spider mix, and S3D."""
+
+import numpy as np
+import pytest
+
+from repro.sim.rng import RngStreams
+from repro.units import GB, KiB, MiB
+from repro.workloads.analytics import AnalyticsApp, analytics_trace
+from repro.workloads.checkpoint import CheckpointApp, checkpoint_trace, time_to_checkpoint
+from repro.workloads.mixed import spider_mixed_workload
+from repro.workloads.model import RequestTrace, merge_traces
+from repro.workloads.s3d import S3DApp
+
+
+class TestRequestTrace:
+    def make(self):
+        return RequestTrace(
+            times=[0.0, 1.0, 2.0, 3.0],
+            sizes=[4 * KiB, MiB, 2 * MiB, 8 * KiB],
+            is_write=[True, True, False, False],
+        )
+
+    def test_basic_stats(self):
+        t = self.make()
+        assert len(t) == 4
+        assert t.duration == 3.0
+        assert t.write_fraction_requests() == 0.5
+        assert t.small_fraction() == 0.5
+        assert t.megabyte_multiple_fraction() == 0.5
+
+    def test_write_fraction_bytes(self):
+        t = self.make()
+        expected = (4 * KiB + MiB) / (4 * KiB + MiB + 2 * MiB + 8 * KiB)
+        assert t.write_fraction_bytes() == pytest.approx(expected)
+
+    def test_sorts_unordered_input(self):
+        t = RequestTrace(times=[2.0, 0.0, 1.0], sizes=[1, 2, 3],
+                         is_write=[True, True, True])
+        assert list(t.times) == [0.0, 1.0, 2.0]
+        assert list(t.sizes) == [2, 3, 1]
+
+    def test_interarrival_and_idle(self):
+        t = RequestTrace(times=[0.0, 0.001, 5.0], sizes=[1, 1, 1],
+                         is_write=[1, 1, 1])
+        gaps = t.interarrival_times()
+        assert len(gaps) == 2
+        idles = t.idle_times(busy_window=0.01)
+        assert len(idles) == 1 and idles[0] == pytest.approx(4.999)
+
+    def test_bandwidth_series(self):
+        t = RequestTrace(times=[0.0, 0.5, 1.5], sizes=[100, 100, 200],
+                         is_write=[True, True, True])
+        times, bw = t.bandwidth_series(bin_seconds=1.0)
+        assert bw[0] == pytest.approx(200.0)
+        assert bw[1] == pytest.approx(200.0)
+
+    def test_slice(self):
+        t = self.make()
+        window = t.slice(1.0, 3.0)
+        assert len(window) == 2
+
+    def test_empty_trace(self):
+        t = RequestTrace(np.empty(0), np.empty(0, dtype=np.int64),
+                         np.empty(0, dtype=bool))
+        assert t.duration == 0.0
+        assert t.write_fraction_requests() == 0.0
+        assert len(t.interarrival_times()) == 0
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            RequestTrace([0.0], [1, 2], [True])
+
+    def test_merge_preserves_counts_and_order(self):
+        a = RequestTrace([0.0, 2.0], [1, 1], [True, True])
+        b = RequestTrace([1.0], [2], [False])
+        merged = merge_traces([a, b])
+        assert len(merged) == 3
+        assert (np.diff(merged.times) >= 0).all()
+        assert list(merged.source) == [0, 1, 0]
+
+
+class TestCheckpoint:
+    def test_burst_volume(self, rng):
+        app = CheckpointApp(n_procs=64, bytes_per_proc=16 * MiB,
+                            interval=100.0, aggregate_bandwidth=1 * GB)
+        trace = checkpoint_trace(app, duration=250.0, rng=rng)
+        # 3 bursts (t=0, 100, 200): data + headers.
+        expected = 3 * (app.checkpoint_bytes + app.n_procs * app.header_bytes)
+        assert trace.total_bytes == expected
+        assert trace.write_fraction_requests() == 1.0
+
+    def test_data_requests_are_mib_multiples(self, rng):
+        app = CheckpointApp(n_procs=8, bytes_per_proc=4 * MiB,
+                            interval=50.0)
+        trace = checkpoint_trace(app, duration=40.0, rng=rng)
+        large = trace.sizes[trace.sizes >= MiB]
+        assert (large % MiB == 0).all()
+
+    def test_request_coarsening_preserves_bytes(self, rng):
+        app = CheckpointApp(n_procs=256, bytes_per_proc=256 * MiB,
+                            interval=7200.0)
+        trace = checkpoint_trace(app, duration=100.0, rng=rng,
+                                 max_requests_per_burst=1000)
+        data_bytes = int(trace.sizes[trace.sizes >= MiB].sum())
+        assert data_bytes == pytest.approx(app.checkpoint_bytes, rel=0.01)
+        assert len(trace) < 1000 + app.n_procs + 10
+
+    def test_time_to_checkpoint_design_equation(self):
+        t = time_to_checkpoint(600_000 * GB, 0.75, 1000 * GB)
+        assert t == pytest.approx(450.0)
+        with pytest.raises(ValueError):
+            time_to_checkpoint(1, 0.0, 1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CheckpointApp(n_procs=0)
+        with pytest.raises(ValueError):
+            CheckpointApp(write_request_size=100)
+
+
+class TestAnalytics:
+    def test_read_heavy(self, rng):
+        app = AnalyticsApp(request_rate=200.0)
+        trace = analytics_trace(app, duration=300.0, rng=rng)
+        assert trace.write_fraction_requests() < 0.15
+
+    def test_rate_approximate(self, rng):
+        app = AnalyticsApp(request_rate=100.0)
+        trace = analytics_trace(app, duration=500.0, rng=rng)
+        rate = len(trace) / trace.duration
+        assert rate == pytest.approx(100.0, rel=0.35)
+
+    def test_bimodal_sizes(self, rng):
+        app = AnalyticsApp(request_rate=300.0)
+        trace = analytics_trace(app, duration=200.0, rng=rng)
+        small = trace.sizes < 16 * KiB
+        mib = trace.sizes % MiB == 0
+        assert (small | mib).all()
+        assert 0.5 < small.mean() < 0.75
+
+    def test_zero_duration(self, rng):
+        assert len(analytics_trace(AnalyticsApp(), 0.0, rng)) == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AnalyticsApp(request_rate=0)
+        with pytest.raises(ValueError):
+            AnalyticsApp(pareto_alpha=1.0)
+
+
+class TestSpiderMix:
+    def test_calibrated_60_40(self):
+        """The headline Spider I statistic: 60% write / 40% read requests."""
+        _wl, trace = spider_mixed_workload(duration=2 * 3600.0, seed=3)
+        assert trace.write_fraction_requests() == pytest.approx(0.60, abs=0.04)
+
+    def test_bimodal_coverage(self):
+        _wl, trace = spider_mixed_workload(duration=2 * 3600.0, seed=3)
+        small = trace.sizes < 16 * KiB
+        mib = (trace.sizes % MiB == 0) & (trace.sizes > 0)
+        assert (small | mib).mean() > 0.95
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            spider_mixed_workload(target_write_fraction=1.5)
+
+
+class TestS3D:
+    def test_geometry(self):
+        app = S3DApp(n_ranks=64, ranks_per_node=16)
+        assert app.n_nodes == 4
+        assert app.output_bytes == 64 * app.bytes_per_rank
+
+    def test_assign_clients_shares_nodes(self, mini_system):
+        app = S3DApp(n_ranks=32, ranks_per_node=16)
+        mapping = app.assign_clients(mini_system.clients)
+        assert len(mapping) == 32
+        assert mapping[0] is mapping[15]
+        assert mapping[0] is not mapping[16]
+
+    def test_assign_clients_insufficient(self, mini_system):
+        app = S3DApp(n_ranks=100_000, ranks_per_node=1)
+        with pytest.raises(ValueError):
+            app.assign_clients(mini_system.clients)
+
+    def test_output_transfers_with_round_robin(self, mini_system):
+        app = S3DApp(n_ranks=16, ranks_per_node=8)
+        transfers = app.output_transfers(
+            mini_system.clients,
+            S3DApp.round_robin_selector(stripe_count=1),
+            n_osts=mini_system.spec.n_osts,
+        )
+        assert len(transfers) == 16
+        assert transfers[0].ost_indices == (0,)
+        assert transfers[5].ost_indices == (5,)
+
+
+class TestRestart:
+    def test_restart_is_pure_reads_of_full_volume(self, rng):
+        from repro.workloads.checkpoint import restart_trace
+        app = CheckpointApp(n_procs=32, bytes_per_proc=8 * MiB)
+        trace = restart_trace(app, rng)
+        assert trace.write_fraction_requests() == 0.0
+        expected = app.checkpoint_bytes + app.n_procs * app.header_bytes
+        assert trace.total_bytes == expected
+
+    def test_restart_coarsening_preserves_bytes(self, rng):
+        from repro.workloads.checkpoint import restart_trace
+        app = CheckpointApp(n_procs=128, bytes_per_proc=512 * MiB)
+        trace = restart_trace(app, rng, max_requests=1000)
+        data = int(trace.sizes[trace.sizes >= MiB].sum())
+        assert data == pytest.approx(app.checkpoint_bytes, rel=0.01)
+
+    def test_time_to_restart(self):
+        from repro.workloads.checkpoint import time_to_restart
+        app = CheckpointApp(n_procs=1000, bytes_per_proc=GB)
+        assert time_to_restart(app, 100 * GB) == pytest.approx(10.0)
+        with pytest.raises(ValueError):
+            time_to_restart(app, 0)
+
+    def test_restart_burst_is_dense(self, rng):
+        from repro.workloads.checkpoint import restart_trace
+        app = CheckpointApp(n_procs=16, bytes_per_proc=64 * MiB,
+                            aggregate_bandwidth=1 * GB)
+        trace = restart_trace(app, rng, start=100.0)
+        assert trace.times.min() >= 100.0
+        assert trace.duration <= 1.2 * (app.checkpoint_bytes / (1 * GB))

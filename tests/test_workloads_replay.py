@@ -1,0 +1,103 @@
+"""Queueing-replay tests: exact FIFO semantics and latency statistics."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.model import RequestTrace
+from repro.workloads.replay import (
+    ReplayResult,
+    replay_fifo,
+    replay_trace,
+    service_times_for,
+)
+
+
+class TestServiceTimes:
+    def test_affine_in_size(self):
+        s = service_times_for(np.array([0, 1_000_000]), bandwidth=1e6,
+                              positioning_time=0.01)
+        assert s[0] == pytest.approx(0.01)
+        assert s[1] == pytest.approx(1.01)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            service_times_for(np.array([1]), bandwidth=0)
+        with pytest.raises(ValueError):
+            service_times_for(np.array([1]), bandwidth=1, positioning_time=-1)
+
+
+class TestReplayFifo:
+    def test_idle_station_no_wait(self):
+        arrivals = np.array([0.0, 10.0, 20.0])
+        services = np.array([1.0, 1.0, 1.0])
+        waits, lat = replay_fifo(arrivals, services)
+        assert np.allclose(waits, 0.0)
+        assert np.allclose(lat, 1.0)
+
+    def test_back_to_back_queueing(self):
+        arrivals = np.zeros(3)
+        services = np.array([2.0, 2.0, 2.0])
+        waits, lat = replay_fifo(arrivals, services, n_servers=1)
+        assert waits.tolist() == [0.0, 2.0, 4.0]
+        assert lat.tolist() == [2.0, 4.0, 6.0]
+
+    def test_multi_server_parallelism(self):
+        arrivals = np.zeros(4)
+        services = np.full(4, 3.0)
+        waits, _ = replay_fifo(arrivals, services, n_servers=4)
+        assert np.allclose(waits, 0.0)
+        waits2, _ = replay_fifo(arrivals, services, n_servers=2)
+        assert sorted(waits2.tolist()) == [0.0, 0.0, 3.0, 3.0]
+
+    def test_lindley_recursion_agreement(self):
+        """Single-server FIFO must satisfy the Lindley recursion exactly."""
+        rng = np.random.default_rng(0)
+        arrivals = np.sort(rng.uniform(0, 100, 500))
+        services = rng.exponential(0.2, 500)
+        waits, _ = replay_fifo(arrivals, services, n_servers=1)
+        w = 0.0
+        for i in range(1, 500):
+            w = max(0.0, w + services[i - 1] - (arrivals[i] - arrivals[i - 1]))
+            assert waits[i] == pytest.approx(w)
+
+    def test_unsorted_arrivals_rejected(self):
+        with pytest.raises(ValueError):
+            replay_fifo(np.array([1.0, 0.0]), np.array([1.0, 1.0]))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            replay_fifo(np.array([0.0]), np.array([1.0]), n_servers=0)
+        with pytest.raises(ValueError):
+            replay_fifo(np.array([0.0]), np.array([1.0, 2.0]))
+
+
+class TestReplayTrace:
+    def _trace(self):
+        return RequestTrace(
+            times=[0.0, 0.1, 0.2, 5.0],
+            sizes=[1_000_000, 1_000_000, 4_000, 4_000],
+            is_write=[True, True, False, False],
+            source=[0, 0, 1, 1],
+        )
+
+    def test_end_to_end(self):
+        result = replay_trace(self._trace(), bandwidth=1e7, n_servers=1)
+        assert len(result.latencies) == 4
+        assert (result.latencies >= result.waits).all()
+
+    def test_filters(self):
+        result = replay_trace(self._trace(), bandwidth=1e7)
+        reads = result.mean(reads_only=True)
+        writes_and_reads = result.mean()
+        assert reads < writes_and_reads  # reads here are tiny
+        assert result.percentile(50, source=1) == result.percentile(
+            50, reads_only=True)
+
+    def test_empty_filter_raises(self):
+        result = replay_trace(self._trace(), bandwidth=1e7)
+        with pytest.raises(ValueError):
+            result.mean(source=7)
+
+    def test_utilization_proxy_bounds(self):
+        result = replay_trace(self._trace(), bandwidth=1e7)
+        assert 0.0 <= result.utilization_proxy < 1.0
