@@ -62,6 +62,20 @@ class LayerProfile:
     def end_to_end(self) -> float:
         return self.layers[-1].ceiling
 
+    def bottleneck_layer(self) -> Layer:
+        """The layer that sets the end-to-end ceiling: the first (lowest)
+        layer whose ceiling equals the profile's end-to-end minimum.
+        Ceilings are monotonically non-increasing, so this is where the
+        machine stops losing bandwidth — everything above merely inherits
+        the limit."""
+        floor = self.end_to_end
+        for layer in self.layers:
+            # Relative tolerance: chained min()s of float products make
+            # analytically equal ceilings differ in the last few ulps.
+            if layer.ceiling <= floor * (1 + 1e-9):
+                return layer
+        return self.layers[-1]
+
 
 def profile_layers(system: SpiderSystem, *, fs_level: bool = True) -> LayerProfile:
     """Compute the layered ceilings of ``system``, bottom-up.

@@ -12,6 +12,8 @@ Subcommands map one-to-one onto the paper's activities::
     spider-repro workload               # the §II characterization
     spider-repro interference           # the §II latency-contention study
     spider-repro reliability --years 20 # failure/rebuild exposure
+    spider-repro ior --trace t.json     # same run, Chrome-trace recorded
+    spider-repro report t.json          # Lesson-12 layer table from a trace
 
 Every subcommand prints the same rendered report its benchmark archives.
 """
@@ -20,10 +22,39 @@ from __future__ import annotations
 
 import argparse
 import sys
+from contextlib import contextmanager
 
 from repro.units import GB, KiB, fmt_bandwidth, fmt_size
 
 __all__ = ["main", "build_parser"]
+
+
+@contextmanager
+def _tracing(trace_path: str | None):
+    """Enable the telemetry registry + sim-time tracer for the duration of
+    a subcommand and write the Chrome-trace file on the way out.
+
+    Yields ``(telemetry, tracer)`` — both enabled — when ``trace_path`` is
+    set, or ``(None, None)`` (leaving the disabled defaults in place) when
+    it is not, so command bodies stay branch-free.
+    """
+    if trace_path is None:
+        yield None, None
+        return
+    from repro.obs.instruments import Telemetry, use_telemetry
+    from repro.obs.trace import Tracer, use_tracer
+
+    # Fail on an unwritable path now, not after the benchmark has run.
+    with open(trace_path, "w"):
+        pass
+    telemetry = Telemetry(enabled=True)
+    tracer = Tracer(enabled=True)
+    with use_telemetry(telemetry), use_tracer(tracer):
+        yield telemetry, tracer
+    tracer.write_chrome_trace(trace_path, telemetry=telemetry)
+    print(f"\ntrace written: {trace_path} "
+          f"(open in Perfetto / chrome://tracing)")
+    print(f"layer report : spider-repro report {trace_path}")
 
 
 def _cmd_inventory(args) -> int:
@@ -73,13 +104,22 @@ def _cmd_ior(args) -> int:
     run = IorRun(system, n_processes=args.n_processes, ppn=args.ppn,
                  transfer_size=args.transfer_size * KiB,
                  placement=args.placement)
-    result = run.run()
-    print(f"IOR write: {result.n_processes} processes, "
-          f"{args.transfer_size} KiB transfers, {result.placement} placement")
-    print(f"  aggregate : {fmt_bandwidth(result.aggregate_bw)}")
-    print(f"  per process: {fmt_bandwidth(result.per_process_bw)}")
-    print(f"  data moved : {fmt_size(result.data_moved_bytes)} "
-          f"in {result.stonewall_seconds:.0f} s (stonewall)")
+    with _tracing(args.trace) as (telemetry, tracer):
+        engine = None
+        if tracer is not None:
+            from repro.obs.trace import instrument_engine
+            from repro.sim.engine import Engine
+
+            engine = Engine()
+            instrument_engine(engine, telemetry=telemetry, tracer=tracer)
+        result = run.run(engine)
+        print(f"IOR write: {result.n_processes} processes, "
+              f"{args.transfer_size} KiB transfers, "
+              f"{result.placement} placement")
+        print(f"  aggregate : {fmt_bandwidth(result.aggregate_bw)}")
+        print(f"  per process: {fmt_bandwidth(result.per_process_bw)}")
+        print(f"  data moved : {fmt_size(result.data_moved_bytes)} "
+              f"in {result.stonewall_seconds:.0f} s (stonewall)")
     return 0
 
 
@@ -91,11 +131,19 @@ def _cmd_scaling(args) -> int:
     system = build_spider2(seed=args.seed)
     if args.upgraded:
         system.upgrade_controllers()
-    results = client_scaling(system, ppn=args.ppn)
-    print(render_series(
-        "processes", "write GB/s",
-        [(r.n_processes, r.aggregate_bw / GB) for r in results],
-        title="IOR client scaling (cf. Figure 4)"))
+    with _tracing(args.trace) as (telemetry, tracer):
+        engine = None
+        if tracer is not None:
+            from repro.obs.trace import instrument_engine
+            from repro.sim.engine import Engine
+
+            engine = Engine()
+            instrument_engine(engine, telemetry=telemetry, tracer=tracer)
+        results = client_scaling(system, ppn=args.ppn, engine=engine)
+        print(render_series(
+            "processes", "write GB/s",
+            [(r.n_processes, r.aggregate_bw / GB) for r in results],
+            title="IOR client scaling (cf. Figure 4)"))
     return 0
 
 
@@ -189,9 +237,27 @@ def _cmd_suite(args) -> int:
     from repro.iobench.suite import AcceptanceSuite
 
     system = build_spider2(seed=args.seed, build_clients=False)
-    report = AcceptanceSuite(system).run_ssu(args.ssu)
-    print(render_table(["metric", "value"], report.rows(),
-                       title=f"Acceptance suite, SSU {args.ssu} (§III-B)"))
+    with _tracing(args.trace):
+        report = AcceptanceSuite(system).run_ssu(args.ssu)
+        print(render_table(["metric", "value"], report.rows(),
+                           title=f"Acceptance suite, SSU {args.ssu} (§III-B)"))
+    return 0
+
+
+def _cmd_report(args) -> int:
+    from repro.obs.report import render_layer_report
+    from repro.obs.trace import read_chrome_trace
+
+    try:
+        snapshot = read_chrome_trace(args.trace).get("telemetry")
+    except (OSError, ValueError) as exc:
+        print(f"cannot read trace: {exc}", file=sys.stderr)
+        return 1
+    if not snapshot:
+        print(f"no telemetry snapshot embedded in {args.trace}; "
+              f"re-record with a --trace-enabled subcommand", file=sys.stderr)
+        return 1
+    print(render_layer_report(snapshot))
     return 0
 
 
@@ -235,11 +301,16 @@ def build_parser() -> argparse.ArgumentParser:
                    default="random")
     p.add_argument("--upgraded", action="store_true",
                    help="apply the 2014 controller upgrade first")
+    p.add_argument("--trace", metavar="FILE",
+                   help="record a Chrome-trace (Perfetto) file; the run "
+                        "executes on a simulation engine")
     p.set_defaults(fn=_cmd_ior)
 
     p = sub.add_parser("scaling", help="the Figure 4 series")
     p.add_argument("--ppn", type=int, default=16)
     p.add_argument("--upgraded", action="store_true")
+    p.add_argument("--trace", metavar="FILE",
+                   help="record a Chrome-trace (Perfetto) file")
     p.set_defaults(fn=_cmd_scaling)
 
     p = sub.add_parser("culling", help="the §V-A culling campaign")
@@ -268,7 +339,14 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("suite", help="the §III-B acceptance suite on one SSU")
     p.add_argument("--ssu", type=int, default=0)
+    p.add_argument("--trace", metavar="FILE",
+                   help="record a Chrome-trace (Perfetto) file")
     p.set_defaults(fn=_cmd_suite)
+
+    p = sub.add_parser("report",
+                       help="Lesson-12 layer table from a recorded trace")
+    p.add_argument("trace", help="Chrome-trace file written by --trace")
+    p.set_defaults(fn=_cmd_report)
 
     p = sub.add_parser("reliability", help="failure/rebuild exposure")
     p.add_argument("--years", type=float, default=10.0)

@@ -56,6 +56,11 @@ class FlowResult:
     component_load: dict[str, float]
     component_capacity: dict[str, float]
     bottlenecks: dict[str, float] = field(default_factory=dict)
+    #: number of progressive-filling rounds the solve took
+    rounds: int = 0
+    #: saturated components in the order they saturated (first = the
+    #: binding bottleneck the filling hit first)
+    saturation_order: tuple[str, ...] = ()
 
     @property
     def total(self) -> float:
@@ -190,9 +195,11 @@ class FlowNetwork:
         frozen |= empty_path
 
         max_rounds = n_comp + n_flows + 2
+        rounds_used = 0
         for _round in range(max_rounds):
             if frozen.all():
                 break
+            rounds_used += 1
             active_entry = ~frozen[flow_of_entry]
             # Weighted active flow count per component.
             comp_weight = np.zeros(n_comp)
@@ -251,10 +258,86 @@ class FlowNetwork:
         fin_entry = finite[flow_of_entry]
         np.add.at(load, indices[fin_entry], rates[flow_of_entry[fin_entry]])
 
-        return FlowResult(
+        result = FlowResult(
             rates=rates,
             flow_names=names,
             component_load={c: float(load[i]) for i, c in enumerate(comp_names)},
             component_capacity={c: float(capacity[i]) for i, c in enumerate(comp_names)},
             bottlenecks=bottleneck_of,
+            rounds=rounds_used,
+            saturation_order=tuple(bottleneck_of),
         )
+        self._record_telemetry(result, comp_names, capacity, load)
+        return result
+
+    # -- observability -----------------------------------------------------------
+
+    def _record_telemetry(
+        self,
+        result: FlowResult,
+        comp_names: list[str],
+        capacity: np.ndarray,
+        load: np.ndarray,
+    ) -> None:
+        """Record the solve into the telemetry registry (Lesson 12 data).
+
+        Per solve: a filling-round histogram, the saturation order, and
+        per-*layer* load/capacity/utilization where a layer is a
+        component-name prefix (``client``, ``router``, ``oss``,
+        ``couplet``, ``ost``, ...).  Guarded on the registry's enabled
+        flag so un-traced solves pay one attribute check; the aggregation
+        runs on the solver's own arrays so an instrumented solve stays a
+        few vector ops, not a per-component Python walk.
+        """
+        from repro.obs.instruments import get_telemetry
+        from repro.obs.trace import get_tracer
+
+        telemetry = get_telemetry()
+        if not telemetry.enabled:
+            return
+        telemetry.counter("flow.solves").add(1.0)
+        telemetry.counter("flow.flows").add(float(len(result.flow_names)))
+        telemetry.histogram("flow.rounds", floor=1.0).observe(float(result.rounds))
+        telemetry.counter("flow.saturated_components").add(
+            float(len(result.saturation_order)))
+
+        tracer = get_tracer()
+        for order, comp in enumerate(result.saturation_order):
+            tracer.instant(f"saturated:{comp}", "flow", order=order)
+
+        finite = np.flatnonzero(np.isfinite(capacity))
+        if finite.size == 0:
+            return
+        # Map each component to a small integer layer id (one pass of
+        # string work), then aggregate with bincount/maximum.at — numpy
+        # string comparisons are far slower than this.
+        prefix_ids = np.empty(finite.size, dtype=np.intp)
+        prefix_index: dict[str, int] = {}
+        prefixes: list[str] = []
+        for k, i in enumerate(finite.tolist()):
+            p = comp_names[i].partition(":")[0]
+            j = prefix_index.get(p)
+            if j is None:
+                j = prefix_index[p] = len(prefixes)
+                prefixes.append(p)
+            prefix_ids[k] = j
+        n_layers = len(prefixes)
+        cap_f = capacity[finite]
+        load_f = load[finite]
+        with np.errstate(divide="ignore", invalid="ignore"):
+            util_f = np.where(cap_f > 0, load_f / cap_f,
+                              (load_f > 0).astype(float))
+        layer_load = np.bincount(prefix_ids, weights=load_f, minlength=n_layers)
+        layer_cap = np.bincount(prefix_ids, weights=cap_f, minlength=n_layers)
+        layer_util = np.zeros(n_layers)
+        np.maximum.at(layer_util, prefix_ids, util_f)
+        saturated_count: dict[str, int] = {}
+        for comp in result.bottlenecks:
+            p = comp.partition(":")[0]
+            saturated_count[p] = saturated_count.get(p, 0) + 1
+        for j, prefix in enumerate(prefixes):
+            telemetry.gauge("flow.layer.load", prefix).set(float(layer_load[j]))
+            telemetry.gauge("flow.layer.capacity", prefix).set(float(layer_cap[j]))
+            telemetry.gauge("flow.layer.max_util", prefix).set(float(layer_util[j]))
+            telemetry.gauge("flow.layer.saturated", prefix).set(
+                saturated_count.get(prefix, 0))

@@ -18,11 +18,13 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
+import numpy as np
 
 from repro.core.flow import FlowNetwork, FlowResult
 from repro.core.spider import SpiderSystem
 from repro.lustre.client import Client
-from repro.network.lnet import FineGrainedRouting, RoutingPolicy
+from repro.network.lnet import FineGrainedRouting, RoutingPolicy, record_routed_bytes
+from repro.obs.instruments import get_telemetry
 
 __all__ = ["Transfer", "PathBuilder"]
 
@@ -66,6 +68,9 @@ class PathBuilder:
         self.fs_level = fs_level
         self.include_torus = include_torus
         self._router_usage: dict[str, int] = {}
+        #: (router name | None, oss name, ost index, is_write) per flow,
+        #: in add order — parallel to FlowResult.flow_names/rates.
+        self._flow_routes: list[tuple[str | None, str, int, bool]] = []
 
     # -- component registration ---------------------------------------------------
 
@@ -111,6 +116,7 @@ class PathBuilder:
         net = FlowNetwork()
         self._register_static_components(net)
         self._router_usage.clear()
+        self._flow_routes.clear()
 
         for t in transfers:
             client_comps = self._client_components(net, t.client)
@@ -119,8 +125,10 @@ class PathBuilder:
                 ost = self.system.osts[ost_index]
                 oss = self.system.oss_of_ost(ost_index)
                 path = list(client_comps)
+                router_name = None
                 if t.client.on_torus:
                     router = self.policy.select_router(t.client.coord, oss.leaf)
+                    router_name = router.name
                     self._router_usage[router.name] = (
                         self._router_usage.get(router.name, 0) + 1
                     )
@@ -136,11 +144,11 @@ class PathBuilder:
                 path.append(oss.component)
                 path.append(f"couplet:{ost.ssu_index}")
                 path.append(ost.component)
-                net.add_flow(
-                    f"{t.name}->ost{ost_index}",
-                    path,
-                    demand=per_ost_demand,
+                flow_name = f"{t.name}->ost{ost_index}"
+                self._flow_routes.append(
+                    (router_name, oss.name, ost_index, t.write)
                 )
+                net.add_flow(flow_name, path, demand=per_ost_demand)
         return net
 
     def solve(self, transfers: list[Transfer]) -> FlowResult:
@@ -149,6 +157,50 @@ class PathBuilder:
     def router_usage(self) -> dict[str, int]:
         """Flows per router from the most recent :meth:`build`."""
         return dict(self._router_usage)
+
+    def record_flow_telemetry(self, result: FlowResult, duration: float) -> None:
+        """Attribute a solved allocation back to the layers it crossed.
+
+        Converts each flow's steady-state rate over ``duration`` seconds
+        into bytes and charges them to the router (``lnet.routed_bytes``),
+        the OSS (``oss.bytes``), and the OST (``ost.write_bytes`` /
+        ``ost.read_bytes``) it traversed — the per-layer counters the
+        paper's external pollers (DDN tool, MELT-style aggregation) would
+        observe.  No-op while telemetry is disabled, so un-traced runs
+        skip the attribution walk entirely.
+        """
+        telemetry = get_telemetry()
+        if not telemetry.enabled:
+            return
+        # Aggregate locally, then touch each counter once per source — the
+        # per-flow loop stays plain dict arithmetic on plain floats.
+        rates = np.asarray(result.rates, dtype=float)
+        valid = np.isfinite(rates) & (rates > 0)
+        nbytes_all = np.where(valid, rates * duration, 0.0).tolist()
+        router_bytes: dict[str, float] = {}
+        oss_bytes: dict[str, float] = {}
+        ost_bytes: dict[tuple[str, int], float] = {}
+        for route, nbytes in zip(self._flow_routes, nbytes_all):
+            if nbytes <= 0.0:
+                continue
+            router_name, oss_name, ost_index, is_write = route
+            if router_name is not None:
+                router_bytes[router_name] = (
+                    router_bytes.get(router_name, 0.0) + nbytes)
+            oss_bytes[oss_name] = oss_bytes.get(oss_name, 0.0) + nbytes
+            metric = "ost.write_bytes" if is_write else "ost.read_bytes"
+            ost_bytes[(metric, ost_index)] = (
+                ost_bytes.get((metric, ost_index), 0.0) + nbytes)
+        for router_name, nbytes in router_bytes.items():
+            record_routed_bytes(router_name, nbytes)
+        for router_name, n_selected in self._router_usage.items():
+            telemetry.counter("lnet.selections", router_name).add(
+                float(n_selected))
+        for oss_name, nbytes in oss_bytes.items():
+            telemetry.counter("oss.bytes", oss_name).add(nbytes)
+        for (metric, ost_index), nbytes in ost_bytes.items():
+            telemetry.counter(
+                metric, self.system.osts[ost_index].component).add(nbytes)
 
     # -- analysis helpers ---------------------------------------------------------------
 

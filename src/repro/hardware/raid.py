@@ -31,6 +31,8 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.hardware.disk import DiskPopulation
+from repro.obs.instruments import get_telemetry
+from repro.obs.trace import get_tracer
 from repro.units import MB
 
 __all__ = ["RaidGeometry", "RaidState", "RaidGroup", "group_bandwidths"]
@@ -131,6 +133,8 @@ class RaidGroup:
         self.rebuilding: set[int] = set()
         self.journal = JournalState()
         self.data_lost = False
+        #: open rebuild trace spans keyed by member position
+        self._rebuild_spans: dict[int, object] = {}
 
     # -- state ---------------------------------------------------------------
 
@@ -173,9 +177,24 @@ class RaidGroup:
         self.erased.discard(position)
         if not rebuilt and not self.data_lost:
             self.rebuilding.add(position)
+            tracer = get_tracer()
+            if tracer.enabled and position not in self._rebuild_spans:
+                self._rebuild_spans[position] = tracer.open(
+                    f"rebuild:{self.name}[{position}]", "raid",
+                    group=self.name, position=position,
+                    declustered=self.declustered)
+            telemetry = get_telemetry()
+            if telemetry.enabled:
+                telemetry.counter("raid.rebuilds_started", self.name).add(1.0)
 
     def finish_rebuild(self, position: int) -> None:
         self.rebuilding.discard(position)
+        handle = self._rebuild_spans.pop(position, None)
+        if handle is not None:
+            get_tracer().end(handle)
+        telemetry = get_telemetry()
+        if telemetry.enabled:
+            telemetry.counter("raid.rebuilds_finished", self.name).add(1.0)
 
     def rebuild_time(self) -> float:
         """Seconds to rebuild one member of this group."""

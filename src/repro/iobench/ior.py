@@ -37,10 +37,14 @@ from dataclasses import dataclass
 
 import numpy as np
 
+import math
+
 from repro.core.path import PathBuilder, Transfer
 from repro.core.spider import SpiderSystem
 from repro.lustre.client import Client
 from repro.network.lnet import RoutingPolicy
+from repro.obs.trace import get_tracer
+from repro.sim.engine import Engine
 from repro.units import GB, MiB
 
 __all__ = ["IorRun", "IorResult", "transfer_size_sweep", "client_scaling"]
@@ -160,10 +164,71 @@ class IorRun:
             ))
         return transfers
 
-    def run(self) -> IorResult:
-        transfers = self._build_transfers()
-        builder = PathBuilder(self.system, policy=self.policy, fs_level=True)
-        result = builder.solve(transfers)
+    def run(self, engine: Engine | None = None) -> IorResult:
+        """Execute the run.
+
+        Without an ``engine`` the run is the pure steady-state solve it
+        always was (spans, if a tracer is active, sit at sim time 0).
+        With an ``engine`` the run executes as a simulation process —
+        a metadata create phase (file-per-process creates against the
+        namespace's MDS) followed by the stonewalled write phase — so
+        trace spans land at real simulated times.  Either way the
+        reported bandwidth comes from the same flow solve.
+        """
+        if engine is not None:
+            return self._run_on_engine(engine)
+        tracer = get_tracer()
+        with tracer.span("ior.run", "iobench",
+                         n_processes=self.n_processes,
+                         transfer_size=self.transfer_size,
+                         placement=self.placement):
+            with tracer.span("ior.setup", "iobench"):
+                transfers = self._build_transfers()
+            builder = PathBuilder(self.system, policy=self.policy, fs_level=True)
+            with tracer.span("ior.write_phase", "iobench"):
+                result = builder.solve(transfers)
+            builder.record_flow_telemetry(result, self.stonewall_seconds)
+        return self._make_result(result)
+
+    def _run_on_engine(self, engine: Engine) -> IorResult:
+        from repro.lustre.mds import OpMix
+
+        tracer = get_tracer()
+        out: dict[str, object] = {}
+
+        def _phases():
+            fs = self.system.filesystems[self.fs_name]
+            run_span = tracer.open("ior.run", "iobench",
+                                   n_processes=self.n_processes,
+                                   transfer_size=self.transfer_size,
+                                   placement=self.placement)
+            create_span = tracer.open("ior.create_phase", "mds",
+                                      files=self.n_processes)
+            t_meta = fs.mds.service_time(OpMix(
+                creates=self.n_processes,
+                mean_stripe_count=float(self.stripe_count)))
+            yield t_meta
+            tracer.end(create_span)
+            setup_span = tracer.open("ior.setup", "iobench")
+            transfers = self._build_transfers()
+            tracer.end(setup_span)
+            builder = PathBuilder(self.system, policy=self.policy, fs_level=True)
+            write_span = tracer.open("ior.write_phase", "iobench")
+            result = builder.solve(transfers)
+            yield self.stonewall_seconds
+            tracer.end(write_span, aggregate_bw=result.total)
+            tracer.end(run_span)
+            builder.record_flow_telemetry(result, self.stonewall_seconds)
+            out["result"] = result
+
+        proc = engine.process(_phases(), name=f"ior[n={self.n_processes}]")
+        # Drive until the benchmark finishes, without draining unrelated
+        # periodic processes (monitors) that may share the engine.
+        while not proc.done.triggered and engine.peek() != math.inf:
+            engine.run(until=engine.peek())
+        return self._make_result(out["result"])
+
+    def _make_result(self, result) -> IorResult:
         total = result.total
         return IorResult(
             n_processes=self.n_processes,
@@ -183,11 +248,12 @@ def transfer_size_sweep(
                               1 * MiB, 2 * MiB, 4 * MiB, 8 * MiB, 16 * MiB),
     *,
     n_processes: int = 672,
+    engine: Engine | None = None,
     **kwargs,
 ) -> list[IorResult]:
     """Figure 3: fixed client count, swept per-process transfer size."""
     return [
-        IorRun(system, n_processes=n_processes, transfer_size=s, **kwargs).run()
+        IorRun(system, n_processes=n_processes, transfer_size=s, **kwargs).run(engine)
         for s in sizes
     ]
 
@@ -198,10 +264,11 @@ def client_scaling(
                                        8064, 12096, 16128),
     *,
     transfer_size: int = 1 * MiB,
+    engine: Engine | None = None,
     **kwargs,
 ) -> list[IorResult]:
     """Figure 4: 1 MiB transfers, swept I/O writer process count."""
     return [
-        IorRun(system, n_processes=n, transfer_size=transfer_size, **kwargs).run()
+        IorRun(system, n_processes=n, transfer_size=transfer_size, **kwargs).run(engine)
         for n in process_counts
     ]

@@ -21,6 +21,7 @@ import numpy as np
 from repro.core.spider import SpiderSystem
 from repro.iobench.fairlio import FairLioSweep, LunTarget, random_to_sequential_ratio
 from repro.iobench.obdfilter_survey import ObdfilterSurvey
+from repro.obs.trace import get_tracer
 from repro.units import GB, MiB
 
 __all__ = ["SuiteReport", "AcceptanceSuite"]
@@ -62,8 +63,11 @@ class AcceptanceSuite:
         ssu = sys.ssus[ssu_index]
         rng = np.random.default_rng(self.seed)
 
+        tracer = get_tracer()
         luns = [LunTarget(g) for g in ssu.groups]
-        block_results = self.sweep.run_many(luns, rng)
+        with tracer.span("suite.fairlio", "iobench", ssu=ssu_index,
+                         luns=len(luns)):
+            block_results = self.sweep.run_many(luns, rng)
 
         seq = [r for r in block_results
                if r.sequential and r.request_size == MiB and r.queue_depth == 1]
@@ -91,8 +95,9 @@ class AcceptanceSuite:
 
         base = ssu_index * sys.spec.ssu.n_groups
         ost_indices = list(range(base, base + sys.spec.ssu.n_groups))
-        survey_iso = ObdfilterSurvey(sys, mode="isolated").run(ost_indices, rng)
-        survey_conc = ObdfilterSurvey(sys, mode="concurrent").run(ost_indices, rng)
+        with tracer.span("suite.obdfilter_survey", "iobench", ssu=ssu_index):
+            survey_iso = ObdfilterSurvey(sys, mode="isolated").run(ost_indices, rng)
+            survey_conc = ObdfilterSurvey(sys, mode="concurrent").run(ost_indices, rng)
         fs_write = sum(r.write for r in survey_conc)
 
         block_per_ost = np.array([float(np.mean(per_lun_seq[g.name]))

@@ -23,6 +23,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.obs.instruments import get_telemetry
 
 __all__ = ["MdsSpec", "OpMix", "MetadataServer", "MetadataCluster"]
 
@@ -99,6 +100,16 @@ class MetadataServer:
         )
         self.ops_served += mix.total_ops
         self.busy_seconds += t
+        telemetry = get_telemetry()
+        if telemetry.enabled:
+            telemetry.counter("mds.ops", self.name).add(float(mix.total_ops))
+            # Service latency distribution: one sample per request batch,
+            # normalized to the mean per-op service time so the histogram
+            # reads as request latency, not batch size.
+            if mix.total_ops:
+                telemetry.histogram(
+                    "mds.service_seconds", self.name, floor=1e-6,
+                ).observe(t / mix.total_ops)
         return t
 
     def sustainable_rate(self, mix: OpMix) -> float:

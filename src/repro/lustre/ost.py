@@ -25,6 +25,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.obs.instruments import get_telemetry
+
 __all__ = ["OstSpec", "Ost", "fill_penalty", "OBDFILTER_EFFICIENCY"]
 
 #: fs-level bandwidth retained after obdfilter/ldiskfs software overhead,
@@ -110,6 +112,9 @@ class Ost:
         self.used_bytes += nbytes
         self.n_objects += 1
         self.written_bytes_total += nbytes
+        telemetry = get_telemetry()
+        if telemetry.enabled:
+            telemetry.counter("ost.write_bytes", self.component).add(float(nbytes))
 
     def release(self, nbytes: int) -> None:
         if nbytes < 0:
@@ -119,17 +124,21 @@ class Ost:
 
     def record_read(self, nbytes: int) -> None:
         self.read_bytes_total += nbytes
+        telemetry = get_telemetry()
+        if telemetry.enabled:
+            telemetry.counter("ost.read_bytes", self.component).add(float(nbytes))
 
     # -- performance ----------------------------------------------------------------
 
     def fs_bandwidth(self, raw_bandwidth: float) -> float:
         """fs-level delivered bandwidth given the block-level ``raw_bandwidth``:
         obdfilter overhead and fill penalty applied in sequence."""
-        return (
-            raw_bandwidth
-            * self.spec.obdfilter_efficiency
-            * fill_penalty(self.fill_fraction)
-        )
+        penalty = fill_penalty(self.fill_fraction)
+        if penalty < 1.0:
+            telemetry = get_telemetry()
+            if telemetry.enabled:
+                telemetry.counter("ost.fill_penalty_hits", self.component).add(1.0)
+        return raw_bandwidth * self.spec.obdfilter_efficiency * penalty
 
     @property
     def component(self) -> str:

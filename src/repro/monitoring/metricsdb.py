@@ -34,6 +34,9 @@ class _Series:
         self.values: list[float] = []
 
     def append(self, time: float, value: float) -> None:
+        # Equal timestamps are legal: two pollers legitimately sample the
+        # same simulated instant (e.g. both started on the engine at t=0
+        # with the same interval).  Only true out-of-order inserts reject.
         if self.times and time < self.times[-1]:
             raise ValueError(
                 f"out-of-order insert at {time} (last {self.times[-1]})"
@@ -83,14 +86,38 @@ class MetricsDb:
     def rate(self, metric: str, source: str,
              t0: float = -np.inf, t1: float = np.inf) -> float:
         """Mean rate of change over the window — turns monotonically
-        increasing byte counters into bandwidths."""
+        increasing byte counters into bandwidths.
+
+        Counter resets (a negative delta between consecutive points — a
+        rebooted controller restarts its counters at zero) restart the
+        measurement window at the reset point instead of producing a
+        negative bandwidth.
+        """
         points = self.range(metric, source, t0, t1)
         if len(points) < 2:
             return 0.0
-        dt = points[-1].time - points[0].time
+        # Restart the window after the most recent counter reset.
+        start = 0
+        for i in range(1, len(points)):
+            if points[i].value < points[i - 1].value:
+                start = i
+        dt = points[-1].time - points[start].time
         if dt <= 0:
             return 0.0
-        return (points[-1].value - points[0].value) / dt
+        return (points[-1].value - points[start].value) / dt
+
+    def ingest_telemetry(self, telemetry, now: float) -> int:
+        """Bridge one snapshot of an in-process telemetry registry
+        (:class:`repro.obs.instruments.Telemetry`) into the store.
+
+        Both sides key series by (metric, source), so counters and gauges
+        land verbatim and histograms expand into ``.count``/``.mean``/
+        ``.p50``/``.p99`` sub-series — the shape the DDN-tool-style pollers
+        write.  Call it from a periodic engine process to sample in-process
+        instruments alongside externally polled metrics.  Returns the
+        number of points written.
+        """
+        return telemetry.publish(self, now)
 
     def aggregate_latest(self, metric: str) -> float:
         """Sum of latest values across all sources of ``metric``."""

@@ -30,8 +30,18 @@ import numpy as np
 
 from repro.network.infiniband import InfinibandFabric
 from repro.network.torus import Coord, Torus3D
+from repro.obs.instruments import get_telemetry
 
-__all__ = ["RouterInfo", "LnetConfig", "RoutingPolicy", "FineGrainedRouting", "RoundRobinRouting"]
+__all__ = ["RouterInfo", "LnetConfig", "RoutingPolicy", "FineGrainedRouting",
+           "RoundRobinRouting", "record_routed_bytes"]
+
+
+def record_routed_bytes(router_name: str, nbytes: float) -> None:
+    """Account bytes routed through one LNET router (the per-router counter
+    the paper's congestion analyses need; attributed after a flow solve)."""
+    telemetry = get_telemetry()
+    if telemetry.enabled:
+        telemetry.counter("lnet.routed_bytes", router_name).add(float(nbytes))
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,50 @@
+"""repro.obs — the cross-layer telemetry spine.
+
+Three pieces:
+
+* :mod:`repro.obs.instruments` — a process-wide but explicitly-passable
+  registry of counters, gauges, and log-scale histograms (no-op fast path
+  when disabled);
+* :mod:`repro.obs.trace` — a sim-time-aware span tracer with Chrome-trace
+  (Perfetto) and JSONL exporters;
+* :mod:`repro.obs.report` — the Lesson-12 layer table rendered straight
+  from recorded telemetry (the ``spider-repro report`` subcommand).
+"""
+
+from repro.obs.instruments import (
+    Counter,
+    Gauge,
+    Histogram,
+    Telemetry,
+    get_telemetry,
+    set_telemetry,
+    use_telemetry,
+)
+from repro.obs.trace import (
+    Span,
+    Tracer,
+    get_tracer,
+    instrument_engine,
+    read_chrome_trace,
+    read_jsonl,
+    set_tracer,
+    use_tracer,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Telemetry",
+    "get_telemetry",
+    "set_telemetry",
+    "use_telemetry",
+    "Span",
+    "Tracer",
+    "get_tracer",
+    "set_tracer",
+    "use_tracer",
+    "instrument_engine",
+    "read_chrome_trace",
+    "read_jsonl",
+]

@@ -1,0 +1,304 @@
+"""A process-wide but explicitly-passable telemetry registry.
+
+The paper's tuning methodology (Lesson 12) is bottom-up layer profiling:
+establish the expected performance of a layer, compare observed, let each
+layer re-define the bottleneck.  That methodology needs every layer to
+*emit* observations, and MELT's argument (Brim et al.) is that the
+heterogeneous Lustre stack wants a single aggregation point for them.
+:class:`Telemetry` is that aggregation point for the simulation: counters,
+gauges, and log-scale histograms keyed by ``(name, source)`` — the same
+keying as :class:`repro.monitoring.metricsdb.MetricsDb`, so recorded
+telemetry bridges into the simulated DDN-tool's query surface unchanged.
+
+Design constraints, in order:
+
+1. **Cheap enough to leave on.**  Every mutating instrument call guards on
+   a single attribute read (``registry.enabled``); a disabled registry does
+   no arithmetic and allocates nothing per call.
+2. **Deterministic.**  Instruments never touch the RNG, never schedule
+   simulation events, and never read wall-clock time — a run with
+   telemetry enabled is bit-identical to a run without (the test suite
+   proves it).
+3. **Explicitly passable.**  Most call sites use the process-wide default
+   (:func:`get_telemetry`), but every instrumented API also accepts an
+   explicit registry so tests and concurrent experiments can isolate their
+   measurements.
+"""
+
+from __future__ import annotations
+
+import math
+from contextlib import contextmanager
+from typing import Iterator
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Telemetry",
+    "get_telemetry",
+    "set_telemetry",
+    "use_telemetry",
+]
+
+
+class Counter:
+    """A monotonically increasing sum (bytes moved, events processed)."""
+
+    __slots__ = ("name", "source", "value", "_registry")
+
+    def __init__(self, registry: "Telemetry", name: str, source: str) -> None:
+        self._registry = registry
+        self.name = name
+        self.source = source
+        self.value = 0.0
+
+    def add(self, amount: float = 1.0) -> None:
+        if self._registry.enabled:
+            self.value += amount
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Counter {self.name}/{self.source}={self.value}>"
+
+
+class Gauge:
+    """A last-value-wins observation (utilization, queue depth)."""
+
+    __slots__ = ("name", "source", "value", "_registry")
+
+    def __init__(self, registry: "Telemetry", name: str, source: str) -> None:
+        self._registry = registry
+        self.name = name
+        self.source = source
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        if self._registry.enabled:
+            self.value = float(value)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Gauge {self.name}/{self.source}={self.value}>"
+
+
+class Histogram:
+    """A log-scale histogram: exponential buckets, bounded relative error.
+
+    Bucket ``i`` covers ``(floor * growth**(i-1), floor * growth**i]``;
+    bucket 0 covers ``[0, floor]``.  With the default ``growth`` of 2 a
+    percentile estimate is within a factor of 2 of the true value over an
+    unbounded range with a handful of buckets — the right trade for
+    latency/throughput distributions whose interesting structure is in the
+    orders of magnitude, not the mantissa.
+    """
+
+    __slots__ = ("name", "source", "count", "sum", "min", "max",
+                 "floor", "growth", "_buckets", "_registry")
+
+    def __init__(
+        self,
+        registry: "Telemetry",
+        name: str,
+        source: str,
+        *,
+        floor: float = 1e-6,
+        growth: float = 2.0,
+    ) -> None:
+        if floor <= 0:
+            raise ValueError("floor must be positive")
+        if growth <= 1:
+            raise ValueError("growth must be > 1")
+        self._registry = registry
+        self.name = name
+        self.source = source
+        self.floor = floor
+        self.growth = growth
+        self.count = 0
+        self.sum = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+        self._buckets: dict[int, int] = {}
+
+    def _bucket_index(self, value: float) -> int:
+        if value <= self.floor:
+            return 0
+        return max(1, math.ceil(math.log(value / self.floor, self.growth) - 1e-12))
+
+    def bucket_upper_bound(self, index: int) -> float:
+        return self.floor * self.growth ** index
+
+    def observe(self, value: float) -> None:
+        if not self._registry.enabled:
+            return
+        if value < 0 or math.isnan(value):
+            raise ValueError(f"histogram {self.name!r} observed {value!r}")
+        self.count += 1
+        self.sum += value
+        self.min = min(self.min, value)
+        self.max = max(self.max, value)
+        idx = self._bucket_index(value)
+        self._buckets[idx] = self._buckets.get(idx, 0) + 1
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def percentile(self, p: float) -> float:
+        """Estimate the ``p``-th percentile (p ∈ [0, 100]).
+
+        Returns the upper bound of the bucket where the cumulative count
+        crosses the rank, clamped into ``[min, max]`` so single-bucket and
+        tail estimates never leave the observed range.
+        """
+        if not (0 <= p <= 100):
+            raise ValueError("percentile must be in [0, 100]")
+        if self.count == 0:
+            return 0.0
+        rank = p / 100.0 * self.count
+        cumulative = 0
+        for idx in sorted(self._buckets):
+            cumulative += self._buckets[idx]
+            if cumulative >= rank:
+                return min(self.max, max(self.min, self.bucket_upper_bound(idx)))
+        return self.max  # pragma: no cover - defensive (rank <= count)
+
+    def buckets(self) -> dict[int, int]:
+        return dict(self._buckets)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"<Histogram {self.name}/{self.source} n={self.count} "
+                f"mean={self.mean:.3g}>")
+
+
+class Telemetry:
+    """The registry: instruments keyed by ``(name, source)``.
+
+    ``source`` plays the same role as the MetricsDb source column — the
+    entity being measured (an OST component, a router name, an MDS).  The
+    empty source means "the process".
+    """
+
+    def __init__(self, *, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self._counters: dict[tuple[str, str], Counter] = {}
+        self._gauges: dict[tuple[str, str], Gauge] = {}
+        self._histograms: dict[tuple[str, str], Histogram] = {}
+
+    # -- instrument accessors (create-on-first-use) --------------------------
+
+    def counter(self, name: str, source: str = "") -> Counter:
+        key = (name, source)
+        inst = self._counters.get(key)
+        if inst is None:
+            inst = self._counters[key] = Counter(self, name, source)
+        return inst
+
+    def gauge(self, name: str, source: str = "") -> Gauge:
+        key = (name, source)
+        inst = self._gauges.get(key)
+        if inst is None:
+            inst = self._gauges[key] = Gauge(self, name, source)
+        return inst
+
+    def histogram(
+        self, name: str, source: str = "",
+        *, floor: float = 1e-6, growth: float = 2.0,
+    ) -> Histogram:
+        key = (name, source)
+        inst = self._histograms.get(key)
+        if inst is None:
+            inst = self._histograms[key] = Histogram(
+                self, name, source, floor=floor, growth=growth)
+        return inst
+
+    # -- iteration / export ---------------------------------------------------
+
+    def counters(self) -> list[Counter]:
+        return [self._counters[k] for k in sorted(self._counters)]
+
+    def gauges(self) -> list[Gauge]:
+        return [self._gauges[k] for k in sorted(self._gauges)]
+
+    def histograms(self) -> list[Histogram]:
+        return [self._histograms[k] for k in sorted(self._histograms)]
+
+    def reset(self) -> None:
+        """Drop every instrument (a fresh measurement window)."""
+        self._counters.clear()
+        self._gauges.clear()
+        self._histograms.clear()
+
+    def snapshot(self) -> dict:
+        """A JSON-serializable dump of every instrument's current state."""
+        return {
+            "counters": [
+                {"name": c.name, "source": c.source, "value": c.value}
+                for c in self.counters()
+            ],
+            "gauges": [
+                {"name": g.name, "source": g.source, "value": g.value}
+                for g in self.gauges()
+            ],
+            "histograms": [
+                {
+                    "name": h.name, "source": h.source,
+                    "count": h.count, "sum": h.sum,
+                    "min": h.min if h.count else 0.0,
+                    "max": h.max if h.count else 0.0,
+                    "floor": h.floor, "growth": h.growth,
+                    "p50": h.percentile(50), "p99": h.percentile(99),
+                    "buckets": {str(i): n for i, n in sorted(h._buckets.items())},
+                }
+                for h in self.histograms()
+            ],
+        }
+
+    def publish(self, db, now: float, *, default_source: str = "telemetry") -> int:
+        """Bridge the registry into a :class:`MetricsDb`-shaped store.
+
+        Counters and gauges insert as points at ``now``; histograms insert
+        their count, mean, and p50/p99 summaries.  Returns the number of
+        points written.  ``db`` is duck-typed on ``insert(metric, source,
+        time, value)`` so this module never imports ``repro.monitoring``.
+        """
+        written = 0
+        for c in self.counters():
+            db.insert(c.name, c.source or default_source, now, c.value)
+            written += 1
+        for g in self.gauges():
+            db.insert(g.name, g.source or default_source, now, g.value)
+            written += 1
+        for h in self.histograms():
+            src = h.source or default_source
+            db.insert(f"{h.name}.count", src, now, float(h.count))
+            db.insert(f"{h.name}.mean", src, now, h.mean)
+            db.insert(f"{h.name}.p50", src, now, h.percentile(50))
+            db.insert(f"{h.name}.p99", src, now, h.percentile(99))
+            written += 4
+        return written
+
+
+#: the process-wide default registry — disabled, so un-traced runs pay one
+#: attribute check per instrument call and nothing else.
+_default = Telemetry(enabled=False)
+
+
+def get_telemetry() -> Telemetry:
+    """The process-wide registry (disabled unless something enabled it)."""
+    return _default
+
+
+def set_telemetry(registry: Telemetry) -> Telemetry:
+    """Install ``registry`` as the process-wide default; returns the old one."""
+    global _default
+    previous, _default = _default, registry
+    return previous
+
+
+@contextmanager
+def use_telemetry(registry: Telemetry) -> Iterator[Telemetry]:
+    """Scoped :func:`set_telemetry` — restores the previous default on exit."""
+    previous = set_telemetry(registry)
+    try:
+        yield registry
+    finally:
+        set_telemetry(previous)

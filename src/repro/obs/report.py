@@ -1,0 +1,188 @@
+"""Render a Lesson-12-style layer table from recorded telemetry.
+
+The flow solver records, per solve, the aggregate load/capacity/utilization
+of every *layer* of the I/O path (component-name prefixes: ``client``,
+``gl`` torus links, ``router``, ``ibport``/``ibleaf``/``ibup``/``ibcore``,
+``oss``, ``couplet``, ``ost``).  This module turns a telemetry snapshot —
+live, or re-loaded from a ``--trace`` file — back into the operator-facing
+table of Lesson 12: where along the path did the bandwidth go, and which
+layer is the bottleneck.
+
+The layer naming is kept in lock-step with
+:func:`repro.analysis.layers.profile_layers` via :data:`PREFIX_TO_PROFILE`
+so a telemetry-derived bottleneck can be cross-checked against the
+analytical bottom-up profile (the acceptance test does exactly that).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.units import fmt_bandwidth
+
+__all__ = [
+    "LayerUsage",
+    "PREFIX_TO_PROFILE",
+    "layer_usage_from_snapshot",
+    "bottleneck_layer",
+    "render_layer_report",
+]
+
+#: component-name prefix -> human layer label (report rows, in path order)
+LAYER_LABELS: dict[str, str] = {
+    "client": "client stacks",
+    "inj": "torus injection",
+    "gl": "torus links",
+    "router": "LNET routers",
+    "ibport": "IB host ports",
+    "ibleaf": "IB leaf switches",
+    "ibup": "IB uplinks",
+    "ibcore": "IB core switches",
+    "oss": "OSS nodes",
+    "couplet": "controller couplets",
+    "ost": "OSTs (RAID groups)",
+}
+
+#: component-name prefix -> the matching layer name in
+#: :func:`repro.analysis.layers.profile_layers` output (fs-level profile)
+PREFIX_TO_PROFILE: dict[str, str] = {
+    "client": "client stacks",
+    "router": "LNET routers",
+    "ibport": "SAN host ports",
+    "ibleaf": "SAN host ports",
+    "ibup": "SAN host ports",
+    "ibcore": "SAN host ports",
+    "oss": "OSS nodes",
+    "couplet": "controller couplets (fs path)",
+    "ost": "OSTs (obdfilter + fill penalty)",
+}
+
+#: rendering order — the data path, client side down to the disks
+_PATH_ORDER = ["client", "inj", "gl", "router", "ibport", "ibleaf", "ibup",
+               "ibcore", "oss", "couplet", "ost"]
+
+
+@dataclass(frozen=True)
+class LayerUsage:
+    """One layer's aggregate state from a recorded flow solve."""
+
+    prefix: str
+    load: float  # aggregate bytes/s crossing the layer
+    capacity: float  # aggregate finite capacity of the layer
+    max_util: float  # utilization of the layer's hottest component
+    saturated: int  # number of saturated components
+
+    @property
+    def label(self) -> str:
+        return LAYER_LABELS.get(self.prefix, self.prefix)
+
+    @property
+    def utilization(self) -> float:
+        return self.load / self.capacity if self.capacity > 0 else 0.0
+
+
+def layer_usage_from_snapshot(snapshot: dict) -> list[LayerUsage]:
+    """Rebuild per-layer usage from a :meth:`Telemetry.snapshot` dict.
+
+    Reads the ``flow.layer.*`` gauges/counters the flow solver records;
+    the snapshot may come from a live registry or from the ``telemetry``
+    key of a ``--trace`` file.
+    """
+    gauges: dict[tuple[str, str], float] = {
+        (g["name"], g["source"]): g["value"] for g in snapshot.get("gauges", [])
+    }
+    prefixes = sorted({src for (name, src) in gauges if name == "flow.layer.load"})
+    usages = []
+    for prefix in prefixes:
+        usages.append(LayerUsage(
+            prefix=prefix,
+            load=gauges.get(("flow.layer.load", prefix), 0.0),
+            capacity=gauges.get(("flow.layer.capacity", prefix), 0.0),
+            max_util=gauges.get(("flow.layer.max_util", prefix), 0.0),
+            saturated=int(gauges.get(("flow.layer.saturated", prefix), 0.0)),
+        ))
+    usages.sort(key=lambda u: (_PATH_ORDER.index(u.prefix)
+                               if u.prefix in _PATH_ORDER else len(_PATH_ORDER),
+                               u.prefix))
+    return usages
+
+
+def bottleneck_layer(usages: list[LayerUsage]) -> LayerUsage | None:
+    """The limiting layer.
+
+    Among layers with saturated components, pick the one with the highest
+    *aggregate* utilization — that is where the machine runs out of
+    capacity (individual hot components elsewhere merely shift load to
+    siblings; a layer whose total headroom is gone caps the sum).  With no
+    saturation anywhere (a demand-limited run) fall back to the hottest
+    per-component utilization: where pressure would bite first.
+    """
+    if not usages:
+        return None
+    saturated = [u for u in usages if u.saturated > 0]
+    if saturated:
+        return max(saturated, key=lambda u: (u.utilization, u.max_util))
+    return max(usages, key=lambda u: u.max_util)
+
+
+def render_layer_report(snapshot: dict) -> str:
+    """The ``spider-repro report`` body for one telemetry snapshot."""
+    from repro.analysis.reporting import render_table
+
+    usages = layer_usage_from_snapshot(snapshot)
+    if not usages:
+        return ("no flow-solver telemetry recorded "
+                "(re-run with --trace on a data-moving subcommand)")
+    rows = []
+    for u in usages:
+        rows.append((
+            u.label,
+            fmt_bandwidth(u.load),
+            fmt_bandwidth(u.capacity),
+            f"{u.utilization:.1%}",
+            f"{u.max_util:.1%}",
+            str(u.saturated) if u.saturated else "-",
+        ))
+    table = render_table(
+        ["layer", "load", "capacity", "util", "hottest", "saturated"],
+        rows, title="Layer utilization from telemetry (Lesson 12)")
+    bn = bottleneck_layer(usages)
+    lines = [table, ""]
+    if bn is not None:
+        how = ("saturated" if bn.saturated
+               else "hottest (demand-limited run, nothing saturated)")
+        lines.append(f"bottleneck layer: {bn.label} [{how}]")
+
+    extras = _render_counter_summary(snapshot)
+    if extras:
+        lines.append("")
+        lines.append(extras)
+    return "\n".join(lines)
+
+
+def _render_counter_summary(snapshot: dict) -> str:
+    """Headline per-layer counters/histograms (engine, MDS, OST, LNET)."""
+    from repro.analysis.reporting import render_table
+
+    rows: list[tuple[str, str]] = []
+    totals: dict[str, float] = {}
+    for c in snapshot.get("counters", []):
+        totals[c["name"]] = totals.get(c["name"], 0.0) + c["value"]
+    for name in ("engine.events", "flow.solves", "flow.saturated_components",
+                 "mds.ops", "ost.fill_penalty_hits"):
+        if name in totals:
+            rows.append((name, f"{totals[name]:,.0f}"))
+    for name in ("ost.write_bytes", "ost.read_bytes", "oss.bytes",
+                 "lnet.routed_bytes"):
+        if name in totals:
+            rows.append((name, fmt_bandwidth(totals[name]).replace("/s", "")))
+    for h in snapshot.get("histograms", []):
+        if h["name"] == "mds.service_seconds" and h["count"]:
+            rows.append((f"mds service p50/p99 [{h['source']}]",
+                         f"{h['p50'] * 1e3:.2f} / {h['p99'] * 1e3:.2f} ms"))
+        if h["name"] == "flow.rounds" and h["count"]:
+            rows.append(("flow filling rounds (mean)",
+                         f"{h['sum'] / h['count']:.1f}"))
+    if not rows:
+        return ""
+    return render_table(["telemetry", "value"], rows, title="Recorded totals")

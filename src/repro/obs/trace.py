@@ -1,0 +1,322 @@
+"""A sim-time-aware span tracer with Chrome-trace / JSONL exporters.
+
+Spans are stamped with *simulated* time (:attr:`Engine.now`) as the primary
+timeline — that is the timeline Lesson 12 reasons about — plus wall-clock
+time as a secondary measure of how long the Python model itself took.  The
+Chrome-trace exporter writes the JSON object format (``{"traceEvents":
+[...]}``) that both ``chrome://tracing`` and Perfetto load directly; the
+JSONL exporter writes one span per line for ad-hoc ``jq``/pandas analysis.
+
+Like :mod:`repro.obs.instruments`, the tracer is process-wide but
+explicitly passable, deterministic (it never perturbs the simulation), and
+disabled by default with a one-attribute-read fast path.
+"""
+
+from __future__ import annotations
+
+import json
+import time as _time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator
+
+from repro.obs.instruments import Telemetry, get_telemetry
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "get_tracer",
+    "set_tracer",
+    "use_tracer",
+    "instrument_engine",
+    "read_chrome_trace",
+    "read_jsonl",
+]
+
+
+@dataclass
+class Span:
+    """One completed span: a named interval on the sim timeline."""
+
+    name: str
+    cat: str
+    t0_sim: float
+    t1_sim: float
+    t0_wall: float
+    t1_wall: float
+    depth: int = 0
+    parent: str | None = None
+    args: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def sim_duration(self) -> float:
+        return self.t1_sim - self.t0_sim
+
+    @property
+    def wall_duration(self) -> float:
+        return self.t1_wall - self.t0_wall
+
+
+class _OpenSpan:
+    __slots__ = ("name", "cat", "t0_sim", "t0_wall", "depth", "parent", "args")
+
+    def __init__(self, name, cat, t0_sim, t0_wall, depth, parent, args):
+        self.name = name
+        self.cat = cat
+        self.t0_sim = t0_sim
+        self.t0_wall = t0_wall
+        self.depth = depth
+        self.parent = parent
+        self.args = args
+
+
+class Tracer:
+    """Collects spans and instant events against a sim clock.
+
+    ``sim_clock`` is any zero-argument callable returning the current
+    simulated time; :meth:`attach_engine` wires it to ``engine.now``.  When
+    no clock is attached spans sit at sim time 0 and only their wall-clock
+    durations carry information.
+    """
+
+    def __init__(
+        self,
+        *,
+        sim_clock: Callable[[], float] | None = None,
+        enabled: bool = True,
+    ) -> None:
+        self.enabled = enabled
+        self._clock: Callable[[], float] = sim_clock or (lambda: 0.0)
+        self.spans: list[Span] = []
+        self.instants: list[Span] = []
+        self._stack: list[_OpenSpan] = []
+
+    # -- clock ----------------------------------------------------------------
+
+    def attach_engine(self, engine) -> None:
+        """Stamp subsequent spans with ``engine.now``."""
+        self._clock = lambda: engine.now
+
+    def now(self) -> float:
+        return self._clock()
+
+    # -- span recording --------------------------------------------------------
+
+    def begin(self, name: str, cat: str = "", **args: Any) -> _OpenSpan | None:
+        """Open a span explicitly (for intervals that start and end in
+        different call frames, e.g. RAID rebuild start/stop)."""
+        if not self.enabled:
+            return None
+        parent = self._stack[-1].name if self._stack else None
+        handle = _OpenSpan(name, cat, self._clock(), _time.perf_counter(),
+                           len(self._stack), parent, dict(args))
+        self._stack.append(handle)
+        return handle
+
+    def open(self, name: str, cat: str = "", **args: Any) -> _OpenSpan | None:
+        """Open a span *outside* the nesting stack.
+
+        For intervals that overlap arbitrarily with others — concurrent
+        engine processes, RAID rebuilds — where stack discipline would
+        force bogus closures.  Close with :meth:`end` as usual.
+        """
+        if not self.enabled:
+            return None
+        parent = self._stack[-1].name if self._stack else None
+        return _OpenSpan(name, cat, self._clock(), _time.perf_counter(),
+                         len(self._stack), parent, dict(args))
+
+    def end(self, handle: _OpenSpan | None, **args: Any) -> Span | None:
+        """Close an open span; out-of-order ends close intervening spans."""
+        if handle is None or not self.enabled:
+            return None
+        if handle in self._stack:
+            # Close anything opened after the handle (unbalanced callers).
+            while self._stack and self._stack[-1] is not handle:
+                self.end(self._stack[-1])
+            self._stack.pop()
+        handle.args.update(args)
+        span = Span(
+            name=handle.name, cat=handle.cat,
+            t0_sim=handle.t0_sim, t1_sim=self._clock(),
+            t0_wall=handle.t0_wall, t1_wall=_time.perf_counter(),
+            depth=handle.depth, parent=handle.parent, args=handle.args,
+        )
+        self.spans.append(span)
+        return span
+
+    @contextmanager
+    def span(self, name: str, cat: str = "", **args: Any) -> Iterator[None]:
+        handle = self.begin(name, cat, **args)
+        try:
+            yield
+        finally:
+            self.end(handle)
+
+    def instant(self, name: str, cat: str = "", **args: Any) -> None:
+        """A zero-duration marker (saturation events, failures)."""
+        if not self.enabled:
+            return
+        t_sim = self._clock()
+        wall = _time.perf_counter()
+        self.instants.append(Span(
+            name=name, cat=cat, t0_sim=t_sim, t1_sim=t_sim,
+            t0_wall=wall, t1_wall=wall,
+            depth=len(self._stack),
+            parent=self._stack[-1].name if self._stack else None,
+            args=dict(args),
+        ))
+
+    def reset(self) -> None:
+        self.spans.clear()
+        self.instants.clear()
+        self._stack.clear()
+
+    # -- export ----------------------------------------------------------------
+
+    def to_chrome_trace(self, telemetry: Telemetry | None = None) -> dict:
+        """The Chrome-trace JSON object (Perfetto-loadable).
+
+        Span ``ts``/``dur`` are simulated microseconds; the wall-clock
+        duration rides along in ``args.wall_ms``.  Each category gets its
+        own ``tid`` so layers render as separate tracks.  If ``telemetry``
+        is given its counters/gauges are appended as Chrome counter
+        (``"ph": "C"``) events and its full snapshot is embedded under the
+        top-level ``"telemetry"`` key (valid: the format allows extra
+        top-level metadata keys).
+        """
+        tids: dict[str, int] = {}
+
+        def tid_of(cat: str) -> int:
+            return tids.setdefault(cat or "default", len(tids) + 1)
+
+        events: list[dict] = []
+        for cat in sorted({s.cat or "default" for s in self.spans + self.instants}):
+            events.append({
+                "name": "thread_name", "ph": "M", "pid": 1,
+                "tid": tid_of(cat), "args": {"name": cat},
+            })
+        for s in self.spans:
+            args = dict(s.args)
+            args["wall_ms"] = round(s.wall_duration * 1e3, 6)
+            if s.parent:
+                args["parent"] = s.parent
+            events.append({
+                "name": s.name, "cat": s.cat or "default", "ph": "X",
+                "ts": s.t0_sim * 1e6, "dur": s.sim_duration * 1e6,
+                "pid": 1, "tid": tid_of(s.cat or "default"), "args": args,
+            })
+        for s in self.instants:
+            events.append({
+                "name": s.name, "cat": s.cat or "default", "ph": "i",
+                "ts": s.t0_sim * 1e6, "s": "p",
+                "pid": 1, "tid": tid_of(s.cat or "default"),
+                "args": dict(s.args),
+            })
+        out: dict[str, Any] = {
+            "traceEvents": events,
+            "displayTimeUnit": "ms",
+        }
+        if telemetry is not None:
+            t_end = max((s.t1_sim for s in self.spans), default=0.0) * 1e6
+            for c in telemetry.counters():
+                events.append({
+                    "name": c.name, "cat": _layer_of(c.name), "ph": "C",
+                    "ts": t_end, "pid": 1,
+                    "args": {c.source or "value": c.value},
+                })
+            out["telemetry"] = telemetry.snapshot()
+        return out
+
+    def write_chrome_trace(self, path, telemetry: Telemetry | None = None) -> None:
+        with open(path, "w") as fh:
+            json.dump(self.to_chrome_trace(telemetry), fh)
+
+    def write_jsonl(self, path) -> None:
+        """One span per line: the ad-hoc analysis format."""
+        with open(path, "w") as fh:
+            for s in self.spans + self.instants:
+                fh.write(json.dumps({
+                    "name": s.name, "cat": s.cat,
+                    "t0_sim": s.t0_sim, "t1_sim": s.t1_sim,
+                    "wall_ms": s.wall_duration * 1e3,
+                    "depth": s.depth, "parent": s.parent,
+                    "args": s.args,
+                }) + "\n")
+
+
+def _layer_of(metric_name: str) -> str:
+    """Layer (trace category) of a metric, from its dotted-name prefix."""
+    return metric_name.split(".", 1)[0]
+
+
+def read_chrome_trace(path) -> dict:
+    """Load a ``--trace`` output file back (exporter round-trip)."""
+    with open(path) as fh:
+        data = json.load(fh)
+    if "traceEvents" not in data:
+        raise ValueError(f"{path} is not a Chrome-trace-format file")
+    return data
+
+
+def read_jsonl(path) -> list[dict]:
+    with open(path) as fh:
+        return [json.loads(line) for line in fh if line.strip()]
+
+
+#: process-wide default tracer — disabled.
+_default = Tracer(enabled=False)
+
+
+def get_tracer() -> Tracer:
+    return _default
+
+
+def set_tracer(tracer: Tracer) -> Tracer:
+    global _default
+    previous, _default = _default, tracer
+    return previous
+
+
+@contextmanager
+def use_tracer(tracer: Tracer) -> Iterator[Tracer]:
+    previous = set_tracer(tracer)
+    try:
+        yield tracer
+    finally:
+        set_tracer(previous)
+
+
+def instrument_engine(
+    engine,
+    telemetry: Telemetry | None = None,
+    tracer: Tracer | None = None,
+) -> None:
+    """Wire an :class:`~repro.sim.engine.Engine` into the telemetry spine.
+
+    * every processed event increments the ``engine.events`` counter;
+    * process starts/ends become spans in the ``engine`` category;
+    * the tracer's sim clock is attached to ``engine.now``.
+
+    Purely observational: no simulation events are scheduled and event
+    ordering is untouched, so instrumented runs stay bit-identical.
+    """
+    registry = telemetry or get_telemetry()
+    event_counter = registry.counter("engine.events")
+    engine.on_event = lambda _time_: event_counter.add(1.0)
+
+    if tracer is not None:
+        tracer.attach_engine(engine)
+        open_spans: dict[int, _OpenSpan | None] = {}
+
+        def _start(process) -> None:
+            open_spans[id(process)] = tracer.open(
+                f"process:{process.name}", "engine")
+
+        def _end(process) -> None:
+            handle = open_spans.pop(id(process), None)
+            if handle is not None:
+                tracer.end(handle, steps=process.steps)
+
+        engine.on_process_start = _start
+        engine.on_process_end = _end

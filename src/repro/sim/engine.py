@@ -87,20 +87,26 @@ class Process:
     When the generator returns, :attr:`done` fires with its return value.
     """
 
-    __slots__ = ("engine", "name", "_gen", "done")
+    __slots__ = ("engine", "name", "_gen", "done", "steps")
 
     def __init__(self, engine: "Engine", gen: ProcessGenerator, name: str = "") -> None:
         self.engine = engine
         self.name = name or getattr(gen, "__name__", "process")
         self._gen = gen
         self.done = Event(engine, name=f"{self.name}.done")
+        self.steps = 0
+        engine._process_started(self)
         engine._schedule(engine.now, 0, self._step, None)
 
     def _step(self, send_value: Any) -> None:
+        self.steps += 1
+        counts = self.engine.process_event_counts
+        counts[self.name] = counts.get(self.name, 0) + 1
         try:
             yielded = self._gen.send(send_value)
         except StopIteration as stop:
             self.done.trigger(stop.value)
+            self.engine._process_ended(self)
             return
         if yielded is None:
             self.engine._schedule(self.engine.now, 0, self._step, None)
@@ -127,6 +133,24 @@ class Engine:
         self._heap: list[tuple[float, int, int, Callable[[Any], None], Any]] = []
         self._seq = itertools.count()
         self.events_processed = 0
+        #: cumulative process-step counts keyed by process name
+        self.process_event_counts: dict[str, int] = {}
+        #: observability hooks — purely observational: they must not (and,
+        #: being called after the fact, cannot) change event ordering, so a
+        #: hooked run is bit-identical to an unhooked one.
+        self.on_event: Callable[[float], None] | None = None
+        self.on_process_start: Callable[[Process], None] | None = None
+        self.on_process_end: Callable[[Process], None] | None = None
+
+    # -- lifecycle notifications (called by Process) -------------------------
+
+    def _process_started(self, process: "Process") -> None:
+        if self.on_process_start is not None:
+            self.on_process_start(process)
+
+    def _process_ended(self, process: "Process") -> None:
+        if self.on_process_end is not None:
+            self.on_process_end(process)
 
     # -- scheduling ---------------------------------------------------------
 
@@ -169,13 +193,20 @@ class Engine:
         name: str = "periodic",
     ) -> Process:
         """Run ``fn()`` every ``interval`` seconds, forever (bounded by the
-        run horizon).  ``start`` defaults to one interval from now."""
+        run horizon).  ``start`` defaults to one interval from now.
+
+        The first tick fires *at* the requested ``start`` time (clamped to
+        ``now`` when ``start`` lies in the past); it is not deferred behind
+        an extra zero-delay hop, so a poller started with ``start=now``
+        samples the current instant as its first tick.
+        """
         if interval <= 0:
             raise SimulationError(f"interval must be positive, got {interval}")
 
         def _loop() -> ProcessGenerator:
             first = interval if start is None else max(0.0, start - self.now)
-            yield first
+            if first > 0:
+                yield first
             while True:
                 fn()
                 yield interval
@@ -227,6 +258,8 @@ class Engine:
             fn(arg)
             processed += 1
             self.events_processed += 1
+            if self.on_event is not None:
+                self.on_event(time)
             if processed >= max_events:
                 raise SimulationError(f"exceeded max_events={max_events}")
         if until is not math.inf and math.isfinite(until):
