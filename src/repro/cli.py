@@ -11,7 +11,10 @@ Subcommands map one-to-one onto the paper's activities::
     spider-repro placement              # the Figure 2 cabinet map
     spider-repro workload               # the §II characterization
     spider-repro interference           # the §II latency-contention study
+    spider-repro recovery --imperative  # failover + router-failure recovery
+    spider-repro suite --ssu 1          # the §III-B acceptance suite
     spider-repro reliability --years 20 # failure/rebuild exposure
+    spider-repro chaos --faults 12      # a fault-injection campaign
     spider-repro ior --trace t.json     # same run, Chrome-trace recorded
     spider-repro report t.json          # Lesson-12 layer table from a trace
 
@@ -26,7 +29,12 @@ from contextlib import contextmanager
 
 from repro.units import GB, KiB, fmt_bandwidth, fmt_size
 
-__all__ = ["main", "build_parser"]
+__all__ = ["main", "build_parser", "CliError"]
+
+
+class CliError(Exception):
+    """A user-facing command failure: printed to stderr, exit status 1,
+    no traceback (bad paths, unreadable inputs)."""
 
 
 @contextmanager
@@ -45,8 +53,11 @@ def _tracing(trace_path: str | None):
     from repro.obs.trace import Tracer, use_tracer
 
     # Fail on an unwritable path now, not after the benchmark has run.
-    with open(trace_path, "w"):
-        pass
+    try:
+        with open(trace_path, "w"):
+            pass
+    except OSError as exc:
+        raise CliError(f"cannot write trace file: {exc}") from exc
     telemetry = Telemetry(enabled=True)
     tracer = Tracer(enabled=True)
     with use_telemetry(telemetry), use_tracer(tracer):
@@ -251,13 +262,73 @@ def _cmd_report(args) -> int:
     try:
         snapshot = read_chrome_trace(args.trace).get("telemetry")
     except (OSError, ValueError) as exc:
-        print(f"cannot read trace: {exc}", file=sys.stderr)
-        return 1
+        raise CliError(f"cannot read trace: {exc}") from exc
     if not snapshot:
-        print(f"no telemetry snapshot embedded in {args.trace}; "
-              f"re-record with a --trace-enabled subcommand", file=sys.stderr)
-        return 1
+        raise CliError(
+            f"no telemetry snapshot embedded in {args.trace}; "
+            f"re-record with a --trace-enabled subcommand")
     print(render_layer_report(snapshot))
+    return 0
+
+
+def _cmd_chaos(args) -> int:
+    from repro.analysis.reporting import render_kv, render_table
+    from repro.core.spider import build_spider1, build_spider2
+    from repro.faults import (
+        FaultCampaign,
+        FaultPlan,
+        cable_failure_scenario,
+        incident_2010_scenario,
+    )
+
+    # The 2010 incident needs the five-enclosure Spider I geometry to
+    # reproduce the RAID-tolerance breach; the other scenarios run on
+    # Spider II.
+    build = build_spider1 if args.scenario == "incident2010" else build_spider2
+    system = build(seed=args.seed)
+    with _tracing(args.trace):
+        if args.scenario == "random":
+            plan = FaultPlan.random(system, duration=args.duration,
+                                    n_faults=args.faults, seed=args.seed)
+        elif args.scenario == "cable":
+            plan = cable_failure_scenario(system)
+        else:
+            plan = incident_2010_scenario(system)
+        campaign = FaultCampaign(
+            system, plan,
+            duration=args.duration if args.scenario == "random" else None,
+            threshold=args.threshold)
+        result = campaign.run()
+
+        rows = [(f"{t:>10,.0f}", fmt_bandwidth(bw), label)
+                for t, bw, label in result.timeline]
+        print(render_table(
+            ["t (s)", "delivered bw", "event"], rows,
+            title=f"Bandwidth-degradation timeline ({args.scenario})"))
+        print()
+        print(render_kv([
+            ("faults injected / repaired",
+             f"{result.n_injected} / {result.n_repaired}"),
+            ("baseline bandwidth", fmt_bandwidth(result.baseline_bw)),
+            ("worst-case bandwidth", fmt_bandwidth(result.worst_bw)),
+            ("availability", f"{result.availability:.2%}"),
+            (f"time below {result.threshold:.0%} of baseline",
+             f"{result.time_below_threshold:,.0f} s "
+             f"({result.below_threshold_fraction():.1%})"),
+            ("unroutable probe flows", result.unroutable_flows),
+        ], title="Campaign metrics"))
+        if result.recovery_times:
+            print()
+            print(render_table(
+                ["fault class", "worst recovery"],
+                [(cls, f"{seconds:,.0f} s")
+                 for cls, seconds in result.recovery_times],
+                title="Recovery time per fault class"))
+        print()
+        print(render_table(
+            ["classification", "incidents"],
+            list(result.incident_counts),
+            title="Health-checker incident triage (§IV-A)"))
     return 0
 
 
@@ -348,6 +419,23 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("trace", help="Chrome-trace file written by --trace")
     p.set_defaults(fn=_cmd_report)
 
+    p = sub.add_parser("chaos", help="a fault-injection campaign")
+    p.add_argument("--scenario", choices=("random", "cable", "incident2010"),
+                   default="random",
+                   help="random seeded campaign, the §IV-A cable case, or "
+                        "the 2010 enclosure incident (default random)")
+    p.add_argument("--faults", type=int, default=8,
+                   help="fault count for the random scenario (default 8)")
+    p.add_argument("--duration", type=float, default=86_400.0,
+                   help="campaign window in seconds for the random "
+                        "scenario (default 1 day)")
+    p.add_argument("--threshold", type=float, default=0.5,
+                   help="degradation threshold as a fraction of baseline "
+                        "(default 0.5)")
+    p.add_argument("--trace", metavar="FILE",
+                   help="record a Chrome-trace (Perfetto) file")
+    p.set_defaults(fn=_cmd_chaos)
+
     p = sub.add_parser("reliability", help="failure/rebuild exposure")
     p.add_argument("--years", type=float, default=10.0)
     p.add_argument("--declustered", action="store_true")
@@ -358,7 +446,11 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.fn(args)
+    try:
+        return args.fn(args)
+    except CliError as exc:
+        print(f"spider-repro: {exc}", file=sys.stderr)
+        return 1
 
 
 if __name__ == "__main__":

@@ -71,6 +71,9 @@ class PathBuilder:
         #: (router name | None, oss name, ost index, is_write) per flow,
         #: in add order — parallel to FlowResult.flow_names/rates.
         self._flow_routes: list[tuple[str | None, str, int, bool]] = []
+        #: flows dropped by the most recent build because no live router
+        #: served their destination leaf (router failures, §IV-D)
+        self.unroutable_flows = 0
 
     # -- component registration ---------------------------------------------------
 
@@ -112,11 +115,19 @@ class PathBuilder:
     # -- network assembly ------------------------------------------------------------
 
     def build(self, transfers: list[Transfer]) -> FlowNetwork:
-        """A flow network with one flow per (transfer, OST) pair."""
+        """A flow network with one flow per (transfer, OST) pair.
+
+        A flow whose destination leaf has no live router (every serving
+        router failed) is dropped rather than built — the Lustre client
+        simply cannot reach that OST — and counted in
+        :attr:`unroutable_flows` (plus the ``flow.unroutable`` telemetry
+        counter when enabled).
+        """
         net = FlowNetwork()
         self._register_static_components(net)
         self._router_usage.clear()
         self._flow_routes.clear()
+        self.unroutable_flows = 0
 
         for t in transfers:
             client_comps = self._client_components(net, t.client)
@@ -127,7 +138,15 @@ class PathBuilder:
                 path = list(client_comps)
                 router_name = None
                 if t.client.on_torus:
-                    router = self.policy.select_router(t.client.coord, oss.leaf)
+                    try:
+                        router = self.policy.select_router(
+                            t.client.coord, oss.leaf)
+                    except LookupError:
+                        self.unroutable_flows += 1
+                        telemetry = get_telemetry()
+                        if telemetry.enabled:
+                            telemetry.counter("flow.unroutable").add(1.0)
+                        continue
                     router_name = router.name
                     self._router_usage[router.name] = (
                         self._router_usage.get(router.name, 0) + 1

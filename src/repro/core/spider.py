@@ -232,12 +232,12 @@ class SpiderSystem:
     def raw_ost_bandwidths(self, *, fs_level: bool = False) -> np.ndarray:
         """Block-level streaming bandwidth of every OST's RAID group —
         *without* the couplet cap (the flow solver applies couplets as
-        separate components)."""
+        separate components).  RAID redundancy state is applied: erased
+        members are reconstructed around, degraded/rebuilding groups pay
+        the reconstruction penalty, failed groups deliver nothing — so
+        fault campaigns surface directly in flow solves."""
         disk_bw = self.population.bandwidths(fs_level=fs_level)
-        chunks = [
-            group_bandwidths(ssu.members_matrix, disk_bw, self.spec.ssu.raid.n_data)
-            for ssu in self.ssus
-        ]
+        chunks = [ssu.group_raw_bandwidths(disk_bw) for ssu in self.ssus]
         return np.concatenate(chunks)
 
     def ost_flow_capacities(self, *, fs_level: bool = True) -> np.ndarray:

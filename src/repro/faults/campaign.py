@@ -1,0 +1,335 @@
+"""The fault campaign: timed injection, flow re-solves, health, metrics.
+
+A :class:`FaultCampaign` executes a :class:`~repro.faults.plan.FaultPlan`
+against a built :class:`~repro.core.spider.SpiderSystem` on the
+discrete-event engine, in two interleaved regimes (the same split as the
+rest of the model):
+
+* **DES regime** — fault onsets, repairs, rebuild completions, and health
+  symptoms are engine events at their scheduled times;
+* **flow regime** — at every state change that touches the data path, the
+  campaign re-solves a constant probe workload (each OSS offered exactly
+  its couplet fair share) through :class:`~repro.core.path.PathBuilder`,
+  sampling the delivered aggregate bandwidth.  The samples form a
+  step-function bandwidth-degradation timeline.
+
+Every injection/repair also feeds the operational surfaces: a
+:class:`~repro.monitoring.health.HealthEvent` per fault (plus the
+RPC-timeout software symptom for blackout-class faults, which is what lets
+the health checker demonstrate hardware-rooted correlation), a
+``faults.injected``/``faults.repaired`` telemetry counter per class, and an
+open trace span per fault lifetime — so ``spider-repro chaos --trace``
+shows faults as intervals on the sim timeline next to the RAID-rebuild and
+engine-process spans.
+
+The result is a :class:`CampaignResult` of plain floats and tuples, so two
+runs with the same seed compare equal with ``==`` — the determinism
+contract the test suite enforces (telemetry on or off, bit-identical).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.path import PathBuilder, Transfer
+from repro.core.spider import SpiderSystem
+from repro.faults.events import PlannedFault
+from repro.faults.injectors import injector_for
+from repro.faults.plan import FaultPlan
+from repro.monitoring.health import HealthEvent, LustreHealthChecker
+from repro.obs.instruments import get_telemetry
+from repro.obs.trace import get_tracer, instrument_engine
+from repro.sim.engine import Engine
+
+__all__ = ["FaultCampaign", "CampaignResult"]
+
+#: seconds between a blackout-class hardware fault and its Lustre symptom
+SYMPTOM_DELAY = 5.0
+
+#: a fault class "recovers" when bandwidth returns to this fraction of its
+#: pre-fault level
+RECOVERY_FRACTION = 0.99
+
+
+@dataclass(frozen=True)
+class CampaignResult:
+    """Availability and degradation metrics of one executed campaign.
+
+    All fields are plain floats/ints/tuples, so results from identically
+    seeded runs compare equal with ``==``.
+    """
+
+    #: delivered probe bandwidth with every component healthy (bytes/s)
+    baseline_bw: float
+    #: lowest bandwidth sample seen during the campaign (bytes/s)
+    worst_bw: float
+    #: bandwidth at the campaign horizon (bytes/s)
+    final_bw: float
+    #: campaign horizon (seconds)
+    duration: float
+    #: degradation threshold as a fraction of baseline
+    threshold: float
+    #: seconds spent below ``threshold × baseline_bw``
+    time_below_threshold: float
+    #: time-weighted mean bandwidth / baseline (1.0 = no degradation)
+    availability: float
+    #: ``(time, bandwidth, label)`` per flow re-solve, time-sorted
+    timeline: tuple[tuple[float, float, str], ...]
+    #: worst observed ``(fault class value, recovery seconds)`` per class;
+    #: censored at the horizon for faults that never fully recovered
+    recovery_times: tuple[tuple[str, float], ...]
+    #: health-checker incident classification counts, sorted by key
+    incident_counts: tuple[tuple[str, int], ...]
+    n_injected: int
+    n_repaired: int
+    #: probe flows dropped because no live router served their leaf
+    unroutable_flows: int
+
+    def below_threshold_fraction(self) -> float:
+        """Fraction of the campaign spent below the degradation threshold."""
+        return self.time_below_threshold / self.duration if self.duration else 0.0
+
+
+class FaultCampaign:
+    """Executes one :class:`FaultPlan` and measures the damage.
+
+    Args:
+        system: the built system to hurt (mutated in place — build a fresh
+            one per campaign).
+        plan: the fault schedule.
+        duration: campaign horizon in seconds; defaults to one hour past
+            the plan's last scheduled event so final repairs settle.
+        threshold: degradation threshold as a fraction of baseline
+            bandwidth, for the ``time_below_threshold`` metric.
+        health: the health checker receiving fault events; a fresh
+            ``LustreHealthChecker`` by default.
+        probe_clients_per_oss: probe streams per OSS.  Two 1.4 GB/s client
+            stacks out-demand one OSS's couplet share, so server-side
+            degradation is visible rather than hidden behind client limits.
+    """
+
+    def __init__(
+        self,
+        system: SpiderSystem,
+        plan: FaultPlan,
+        *,
+        duration: float | None = None,
+        threshold: float = 0.5,
+        health: LustreHealthChecker | None = None,
+        probe_clients_per_oss: int = 2,
+    ) -> None:
+        if not system.clients:
+            raise ValueError("campaign needs a system built with clients")
+        if duration is None:
+            duration = plan.end + 3600.0
+        if duration <= 0:
+            raise ValueError("duration must be positive")
+        if not (0 < threshold < 1):
+            raise ValueError("threshold must be in (0, 1)")
+        if probe_clients_per_oss < 1:
+            raise ValueError("probe_clients_per_oss must be >= 1")
+        self.probe_clients_per_oss = probe_clients_per_oss
+        self.system = system
+        self.plan = plan
+        self.duration = float(duration)
+        self.threshold = float(threshold)
+        self.health = health or LustreHealthChecker()
+        self.transfers = self._probe_transfers()
+        # run state
+        self._engine: Engine | None = None
+        #: (sample time, FlowResult, the PathBuilder that produced it)
+        self._last: tuple[float, object, PathBuilder] | None = None
+        self._timeline: list[tuple[float, float, str]] = []
+        self._tokens: dict[PlannedFault, object] = {}
+        self._spans: dict[PlannedFault, object] = {}
+        self._unroutable = 0
+        self._n_injected = 0
+        self._n_repaired = 0
+
+    def _probe_transfers(self) -> list[Transfer]:
+        """Probe streams per OSS, clients chosen by a deterministic stride.
+
+        Each OSS is offered exactly its couplet fair share (the §III-B
+        acceptance operating point), split over the probe clients.  Offering
+        more would let sibling OSSes behind the same couplet absorb any
+        single-OSS fault into their slack; at the engineered share, every
+        layer that falls below its share surfaces in the timeline, while
+        faults the system genuinely rides out (a degraded RAID group with
+        raw bandwidth to spare) stay invisible — which is the point.
+        """
+        clients = self.system.clients
+        osses = self.system.osses
+        per_ssu = self.system.spec.osses_per_ssu
+        n_probes = len(osses) * self.probe_clients_per_oss
+        stride = max(1, len(clients) // n_probes)
+        transfers = []
+        for i, oss in enumerate(osses):
+            share = (self.system.ssus[oss.ssu_index].couplet.bw_cap(fs_level=True)
+                     / per_ssu)
+            for k in range(self.probe_clients_per_oss):
+                idx = i * self.probe_clients_per_oss + k
+                transfers.append(Transfer(
+                    name=f"probe-{oss.name}-{k}",
+                    client=clients[(idx * stride) % len(clients)],
+                    ost_indices=tuple(oss.ost_indices),
+                    demand=share / self.probe_clients_per_oss,
+                ))
+        return transfers
+
+    # -- engine callbacks -----------------------------------------------------
+
+    def _sample(self, label: str) -> None:
+        """Re-solve the probe workload and append a timeline sample."""
+        engine = self._engine
+        assert engine is not None
+        # Attribute the interval just ended to the per-layer byte counters
+        # (telemetry-gated inside) via the builder whose route table matches
+        # the previous solve.
+        if self._last is not None:
+            last_t, last_result, last_builder = self._last
+            last_builder.record_flow_telemetry(last_result, engine.now - last_t)
+        # A fresh builder per sample: routing-policy load state must not
+        # carry between solves, or the timeline drifts for reasons
+        # unrelated to the injected faults.
+        builder = PathBuilder(self.system, fs_level=True)
+        result = builder.solve(self.transfers)
+        self._unroutable += builder.unroutable_flows
+        self._last = (engine.now, result, builder)
+        self._timeline.append((engine.now, float(np.sum(result.rates)), label))
+
+    def _inject(self, fault: PlannedFault) -> None:
+        engine = self._engine
+        assert engine is not None
+        injector = injector_for(fault)
+        self._tokens[fault] = injector.inject(self.system, fault)
+        self._n_injected += 1
+        host = injector.host(self.system, fault)
+        get_telemetry().counter("faults.injected", fault.fault.value).add(1.0)
+        self._spans[fault] = get_tracer().open(
+            f"fault:{fault.label}", "faults",
+            target=str(fault.target), magnitude=fault.magnitude,
+        )
+        self.health.ingest(HealthEvent(
+            engine.now, injector.event_kind, host, detail=fault.label))
+        if injector.symptom is not None:
+            symptom = injector.symptom
+            engine.call_after(SYMPTOM_DELAY, lambda: self.health.ingest(
+                HealthEvent(engine.now, symptom, host,
+                            detail=f"symptom of {fault.label}")))
+        if injector.resolves_flow:
+            self._sample(fault.label)
+
+    def _repair(self, fault: PlannedFault) -> None:
+        engine = self._engine
+        assert engine is not None
+        injector = injector_for(fault)
+        followup = injector.repair(self.system, fault, self._tokens.pop(fault, None))
+        self._n_repaired += 1
+        get_telemetry().counter("faults.repaired", fault.fault.value).add(1.0)
+        get_tracer().end(self._spans.pop(fault, None), repaired=True)
+        if injector.resolves_flow:
+            self._sample(f"{fault.label}:repaired")
+        if followup is not None:
+            delay, fn = followup
+
+            def _finish() -> None:
+                fn()
+                if injector.resolves_flow:
+                    self._sample(f"{fault.label}:recovered")
+
+            engine.call_after(delay, _finish)
+
+    # -- execution ------------------------------------------------------------
+
+    def run(self) -> CampaignResult:
+        """Execute the plan and return the measured :class:`CampaignResult`."""
+        engine = self._engine = Engine()
+        instrument_engine(engine, get_telemetry(), get_tracer())
+        self._timeline.clear()
+        self._tokens.clear()
+        self._spans.clear()
+        self._last = None
+        self._unroutable = self._n_injected = self._n_repaired = 0
+
+        self._sample("baseline")
+        for fault in self.plan:
+            engine.call_at(fault.time, lambda f=fault: self._inject(f))
+            if math.isfinite(fault.repair_time):
+                engine.call_at(fault.repair_time, lambda f=fault: self._repair(f))
+        engine.run(until=self.duration)
+
+        # Attribute the tail interval (last state change → horizon).
+        if self._last is not None:
+            last_t, last_result, last_builder = self._last
+            last_builder.record_flow_telemetry(
+                last_result, max(0.0, self.duration - last_t))
+
+        # Faults still open at the horizon: close their spans, censored.
+        for fault in self.plan:
+            handle = self._spans.pop(fault, None)
+            if handle is not None:
+                get_tracer().end(handle, repaired=False)
+
+        return self._result()
+
+    # -- metrics --------------------------------------------------------------
+
+    def _result(self) -> CampaignResult:
+        timeline = list(self._timeline)
+        baseline = timeline[0][1] if timeline else 0.0
+        floor = self.threshold * baseline
+
+        # Step integration: each sample's bandwidth holds until the next.
+        below = 0.0
+        integral = 0.0
+        for i, (t, bw, _label) in enumerate(timeline):
+            t_next = timeline[i + 1][0] if i + 1 < len(timeline) else self.duration
+            dt = max(0.0, min(t_next, self.duration) - t)
+            integral += bw * dt
+            if bw < floor:
+                below += dt
+
+        availability = (
+            integral / (baseline * self.duration)
+            if baseline > 0 and self.duration > 0 else 0.0
+        )
+
+        # Recovery per fault class: time from injection until bandwidth
+        # returns to RECOVERY_FRACTION of its pre-fault level.
+        recovery: dict[str, float] = {}
+        for fault in self.plan:
+            injected_at = next(
+                (i for i, (t, _bw, label) in enumerate(timeline)
+                 if t >= fault.time and label == fault.label),
+                None,
+            )
+            if injected_at is None or injected_at == 0:
+                continue
+            pre_bw = timeline[injected_at - 1][1]
+            recovered_at = next(
+                (t for t, bw, _label in timeline[injected_at + 1:]
+                 if bw >= RECOVERY_FRACTION * pre_bw),
+                self.duration,  # censored: never recovered in-window
+            )
+            elapsed = recovered_at - fault.time
+            key = fault.fault.value
+            recovery[key] = max(recovery.get(key, 0.0), elapsed)
+
+        return CampaignResult(
+            baseline_bw=baseline,
+            worst_bw=min((bw for _t, bw, _l in timeline), default=0.0),
+            final_bw=timeline[-1][1] if timeline else 0.0,
+            duration=self.duration,
+            threshold=self.threshold,
+            time_below_threshold=below,
+            availability=availability,
+            timeline=tuple(timeline),
+            recovery_times=tuple(sorted(recovery.items())),
+            incident_counts=tuple(sorted(self.health.classify_counts().items())),
+            n_injected=self._n_injected,
+            n_repaired=self._n_repaired,
+            unroutable_flows=self._unroutable,
+        )

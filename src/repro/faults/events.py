@@ -1,0 +1,80 @@
+"""The fault taxonomy of the campaign engine.
+
+The paper's operational sections read as a catalogue of the component
+failures a 20,160-disk facility absorbs continuously: disk deaths and the
+slow-disk onset of Lesson 13, marginal/pulled IB cables (§IV-A), controller
+failovers (§IV-E), I/O router loss (§IV-D), metadata overload (§IV-C), and
+OSTs filling past the §VI-C knee.  :class:`FaultClass` enumerates them;
+:class:`PlannedFault` is one timed occurrence of one class on one target —
+the unit a :class:`repro.faults.plan.FaultPlan` composes and a
+:class:`repro.faults.campaign.FaultCampaign` executes.
+
+Targets are small plain values (disk index, host name, ``(ssu, enclosure)``
+pair) so plans stay hashable, comparable, and seed-deterministic.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+from typing import Any
+
+__all__ = ["FaultClass", "PlannedFault"]
+
+
+class FaultClass(enum.Enum):
+    """One injectable failure mode, named for the paper section it models."""
+
+    #: a drive hard-fails; its RAID group degrades, then rebuilds (§IV-A)
+    DISK_FAIL = "disk_fail"
+    #: slow-disk onset: a functional drive loses speed (Lesson 13)
+    DISK_SLOW = "disk_slow"
+    #: a marginal/flapping IB cable: bandwidth × magnitude (§IV-A)
+    CABLE_DEGRADE = "cable_degrade"
+    #: an IB cable pull: the link carries nothing until repaired (§IV-A)
+    CABLE_FAIL = "cable_fail"
+    #: one controller of a couplet dies; partner assumes its groups (§IV-E)
+    CONTROLLER_FAIL = "controller_fail"
+    #: an LNET I/O router drops out of the routing tables (§IV-D)
+    ROUTER_FAIL = "router_fail"
+    #: a metadata storm pins the MDS (§IV-C, Lesson 19)
+    MDS_OVERLOAD = "mds_overload"
+    #: an OST fills past the fill-penalty knee (§VI-C)
+    OST_FILL = "ost_fill"
+    #: a drive shelf goes offline, erasing a member of every group (§IV-E)
+    ENCLOSURE_OFFLINE = "enclosure_offline"
+
+
+@dataclass(frozen=True, order=True)
+class PlannedFault:
+    """One scheduled fault: inject at ``time``, repair ``duration`` later.
+
+    ``target`` identifies the victim in class-specific terms (documented on
+    each injector); ``magnitude`` parameterizes severity where the class
+    has a dial (degradation factor, fill fraction, overload scale).  A
+    ``duration`` of ``inf`` means the fault is never repaired inside the
+    campaign window.
+    """
+
+    time: float
+    fault: FaultClass
+    target: Any
+    duration: float = math.inf
+    magnitude: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.time < 0:
+            raise ValueError("fault time must be non-negative")
+        if self.duration <= 0:
+            raise ValueError("duration must be positive (use inf for never)")
+
+    @property
+    def repair_time(self) -> float:
+        """Absolute simulated time of the repair event (may be ``inf``)."""
+        return self.time + self.duration
+
+    @property
+    def label(self) -> str:
+        """Short human/trace label, e.g. ``cable_fail:oss03b``."""
+        return f"{self.fault.value}:{self.target}"

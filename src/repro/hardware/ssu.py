@@ -124,6 +124,41 @@ class Ssu:
 
     # -- performance ----------------------------------------------------------
 
+    def group_state_factors(self) -> np.ndarray:
+        """Per-group redundancy-state multiplier: 1 clean, 0.6 while
+        degraded/rebuilding (reconstruction competes with host I/O), 0 for
+        a failed group (it moves nothing)."""
+        return np.array([
+            0.0 if g.state is RaidState.FAILED
+            else (0.6 if g.state in (RaidState.DEGRADED, RaidState.REBUILDING)
+                  else 1.0)
+            for g in self.groups
+        ])
+
+    def group_raw_bandwidths(self, disk_bw: np.ndarray) -> np.ndarray:
+        """Per-group raw streaming bandwidth with redundancy state applied.
+
+        Like :func:`repro.hardware.raid.group_bandwidths` but state-aware:
+        erased members (failed drives, offline shelves) are excluded from
+        the min-of-members law — the group reconstructs around them — and
+        the degraded/rebuilding/failed state factor is applied on top.  For
+        an all-clean SSU this reduces exactly to the vectorized law.
+        """
+        per_member = disk_bw[self.members_matrix]
+        erased_any = False
+        for g, group in enumerate(self.groups):
+            if group.erased:
+                per_member[g, list(group.erased)] = np.inf
+                erased_any = True
+        raw = self.spec.raid.n_data * per_member.min(axis=1)
+        state = self.group_state_factors()
+        if erased_any:
+            # A fully-erased (failed) group would leave inf×0; force to 0.
+            return np.where(state > 0.0, raw * state, 0.0)
+        if (state == 1.0).all():
+            return raw
+        return raw * state
+
     def group_streaming_bandwidths(self, *, fs_level: bool = False) -> np.ndarray:
         """Per-RAID-group streaming bandwidth, capped by the couplet share.
 
@@ -138,13 +173,7 @@ class Ssu:
         # Reconstruction I/O competes with host I/O through the whole group
         # path (spindles AND controller), so the penalty applies to the
         # delivered share, not only to the raw spindle rate.
-        state_factor = np.array([
-            0.0 if g.state is RaidState.FAILED
-            else (0.6 if g.state in (RaidState.DEGRADED, RaidState.REBUILDING)
-                  else 1.0)
-            for g in self.groups
-        ])
-        return np.minimum(raw, caps) * state_factor
+        return np.minimum(raw, caps) * self.group_state_factors()
 
     def aggregate_bandwidth(self, *, fs_level: bool = False) -> float:
         return float(self.group_streaming_bandwidths(fs_level=fs_level).sum())

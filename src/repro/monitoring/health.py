@@ -32,11 +32,13 @@ class EventKind(enum.Enum):
     CABLE_ERRORS = "cable_errors"
     CONTROLLER_FAILOVER = "controller_failover"
     ENCLOSURE_OFFLINE = "enclosure_offline"
+    ROUTER_DOWN = "router_down"
     # software
     RPC_TIMEOUT = "rpc_timeout"
     CLIENT_EVICTION = "client_eviction"
     JOURNAL_ERROR = "journal_error"
     LBUG = "lbug"
+    OST_FULL = "ost_full"
 
     @property
     def is_hardware(self) -> bool:
@@ -49,6 +51,7 @@ _HARDWARE = {
     EventKind.CABLE_ERRORS,
     EventKind.CONTROLLER_FAILOVER,
     EventKind.ENCLOSURE_OFFLINE,
+    EventKind.ROUTER_DOWN,
 }
 
 

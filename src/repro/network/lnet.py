@@ -69,14 +69,33 @@ class LnetConfig:
         self.routers = list(routers)
         self._coords = np.array([r.coord for r in self.routers], dtype=int)
         self._by_leaf: dict[int, list[int]] = {}
+        self._index_of: dict[str, int] = {}
         for i, r in enumerate(self.routers):
             self._by_leaf.setdefault(r.leaf, []).append(i)
+            self._index_of[r.name] = i
+        #: routing-table liveness: a router that died (§IV-D) is removed
+        #: from every policy's candidate set until marked online again
+        self._online = np.ones(len(self.routers), dtype=bool)
 
     def routers_for_leaf(self, leaf: int) -> list[RouterInfo]:
         return [self.routers[i] for i in self._by_leaf.get(leaf, [])]
 
     def router_coords(self) -> np.ndarray:
         return self._coords.copy()
+
+    # -- liveness (router failures, §IV-D) ------------------------------------
+
+    def set_router_online(self, name: str, online: bool) -> None:
+        """Mark one router up/down in the routing tables (the LNET view of
+        a router failure; the fabric-side cable is a separate component)."""
+        self._online[self._index_of[name]] = online
+
+    def router_online(self, name: str) -> bool:
+        return bool(self._online[self._index_of[name]])
+
+    def online_indices(self, candidates: list[int]) -> list[int]:
+        """Filter a candidate index list down to live routers."""
+        return [i for i in candidates if self._online[i]]
 
 
 class RoutingPolicy:
@@ -116,7 +135,8 @@ class FineGrainedRouting(RoutingPolicy):
         self._load = np.zeros(len(config.routers), dtype=np.int64)
 
     def select_router(self, client: Coord, dst_leaf: int) -> RouterInfo:
-        candidates = self.config._by_leaf.get(dst_leaf)
+        candidates = self.config.online_indices(
+            self.config._by_leaf.get(dst_leaf, []))
         if not candidates:
             raise LookupError(f"no router serves leaf {dst_leaf}")
         coords = self.config._coords[candidates]
@@ -143,4 +163,8 @@ class RoundRobinRouting(RoutingPolicy):
         self._cycle = itertools.cycle(range(len(config.routers)))
 
     def select_router(self, client: Coord, dst_leaf: int) -> RouterInfo:
-        return self.config.routers[next(self._cycle)]
+        for _ in range(len(self.config.routers)):
+            i = next(self._cycle)
+            if self.config._online[i]:
+                return self.config.routers[i]
+        raise LookupError("no router online")

@@ -9,6 +9,26 @@ Three pieces:
   (Perfetto) and JSONL exporters;
 * :mod:`repro.obs.report` — the Lesson-12 layer table rendered straight
   from recorded telemetry (the ``spider-repro report`` subcommand).
+
+Both the registry and the tracer are **disabled by default**: every
+instrumented call site guards on one attribute read, and enabling them
+never changes simulation results (the determinism tests prove
+bit-identity).  Typical use — enable both for a scoped measurement, then
+export::
+
+    from repro.obs import Telemetry, Tracer, use_telemetry, use_tracer
+
+    telemetry = Telemetry(enabled=True)
+    tracer = Tracer(enabled=True)
+    with use_telemetry(telemetry), use_tracer(tracer):
+        run_experiment()                      # any instrumented code
+        telemetry.counter("my.metric").add(1)  # or your own instruments
+        with tracer.span("analysis", "mycat"):
+            analyse()
+    tracer.write_chrome_trace("trace.json", telemetry)  # Perfetto-loadable
+
+    from repro.obs.report import render_layer_report
+    print(render_layer_report(telemetry.snapshot()))  # Lesson-12 table
 """
 
 from repro.obs.instruments import (

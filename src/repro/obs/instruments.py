@@ -186,6 +186,18 @@ class Telemetry:
     # -- instrument accessors (create-on-first-use) --------------------------
 
     def counter(self, name: str, source: str = "") -> Counter:
+        """The counter keyed ``(name, source)``, created on first use.
+
+        Args:
+            name: dotted metric name; the prefix names the layer
+                (``ost.write_bytes``, ``engine.events``).
+            source: the entity being measured (a component or host name);
+                empty means "the process".
+
+        Returns:
+            The same :class:`Counter` instance on every call with the same
+            key, so call sites may cache it.
+        """
         key = (name, source)
         inst = self._counters.get(key)
         if inst is None:
@@ -193,6 +205,11 @@ class Telemetry:
         return inst
 
     def gauge(self, name: str, source: str = "") -> Gauge:
+        """The gauge keyed ``(name, source)``, created on first use.
+
+        Args/returns as :meth:`counter`, but the instrument is
+        last-value-wins (utilization, queue depth, fill level).
+        """
         key = (name, source)
         inst = self._gauges.get(key)
         if inst is None:
@@ -203,6 +220,20 @@ class Telemetry:
         self, name: str, source: str = "",
         *, floor: float = 1e-6, growth: float = 2.0,
     ) -> Histogram:
+        """The histogram keyed ``(name, source)``, created on first use.
+
+        Args:
+            name: dotted metric name (``mds.service_seconds``).
+            source: the entity being measured; empty means "the process".
+            floor: upper bound of bucket 0 — observations at or below it
+                are indistinguishable.  Only honoured on first creation.
+            growth: bucket growth factor (> 1); the bound on relative
+                percentile error.  Only honoured on first creation.
+
+        Returns:
+            The same :class:`Histogram` instance on every call with the
+            same key (later ``floor``/``growth`` arguments are ignored).
+        """
         key = (name, source)
         inst = self._histograms.get(key)
         if inst is None:
@@ -213,12 +244,15 @@ class Telemetry:
     # -- iteration / export ---------------------------------------------------
 
     def counters(self) -> list[Counter]:
+        """Every counter, sorted by ``(name, source)`` for stable output."""
         return [self._counters[k] for k in sorted(self._counters)]
 
     def gauges(self) -> list[Gauge]:
+        """Every gauge, sorted by ``(name, source)`` for stable output."""
         return [self._gauges[k] for k in sorted(self._gauges)]
 
     def histograms(self) -> list[Histogram]:
+        """Every histogram, sorted by ``(name, source)`` for stable output."""
         return [self._histograms[k] for k in sorted(self._histograms)]
 
     def reset(self) -> None:

@@ -126,7 +126,20 @@ def bottleneck_layer(usages: list[LayerUsage]) -> LayerUsage | None:
 
 
 def render_layer_report(snapshot: dict) -> str:
-    """The ``spider-repro report`` body for one telemetry snapshot."""
+    """The ``spider-repro report`` body for one telemetry snapshot.
+
+    Args:
+        snapshot: a :meth:`Telemetry.snapshot` dict — taken live, or read
+            back from the ``"telemetry"`` key of a ``--trace`` file via
+            :func:`repro.obs.trace.read_chrome_trace`.
+
+    Returns:
+        A multi-line string: the Lesson-12 layer-utilization table (one
+        row per I/O-path layer, client side down to the disks), the
+        identified bottleneck layer, and a headline-counter summary —
+        or a hint to re-run with ``--trace`` when the snapshot holds no
+        flow-solver telemetry.
+    """
     from repro.analysis.reporting import render_table
 
     usages = layer_usage_from_snapshot(snapshot)

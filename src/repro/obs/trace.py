@@ -103,8 +103,22 @@ class Tracer:
     # -- span recording --------------------------------------------------------
 
     def begin(self, name: str, cat: str = "", **args: Any) -> _OpenSpan | None:
-        """Open a span explicitly (for intervals that start and end in
-        different call frames, e.g. RAID rebuild start/stop)."""
+        """Open a span on the nesting stack.
+
+        For intervals that start and end in different call frames but
+        still nest properly (otherwise see :meth:`open`).
+
+        Args:
+            name: span name as rendered on the timeline.
+            cat: trace category; each category becomes its own track in
+                the Chrome-trace export.
+            **args: arbitrary JSON-serializable annotations, merged with
+                any passed to :meth:`end`.
+
+        Returns:
+            An opaque handle to pass to :meth:`end`, or ``None`` when the
+            tracer is disabled (:meth:`end` accepts ``None`` silently).
+        """
         if not self.enabled:
             return None
         parent = self._stack[-1].name if self._stack else None
@@ -117,8 +131,9 @@ class Tracer:
         """Open a span *outside* the nesting stack.
 
         For intervals that overlap arbitrarily with others — concurrent
-        engine processes, RAID rebuilds — where stack discipline would
-        force bogus closures.  Close with :meth:`end` as usual.
+        engine processes, RAID rebuilds, fault lifetimes — where stack
+        discipline would force bogus closures.  Close with :meth:`end` as
+        usual.  Args/returns as :meth:`begin`.
         """
         if not self.enabled:
             return None
@@ -127,7 +142,19 @@ class Tracer:
                          len(self._stack), parent, dict(args))
 
     def end(self, handle: _OpenSpan | None, **args: Any) -> Span | None:
-        """Close an open span; out-of-order ends close intervening spans."""
+        """Close an open span.
+
+        Args:
+            handle: the value :meth:`begin`/:meth:`open` returned (``None``
+                is accepted and ignored, so disabled-tracer call sites need
+                no guard).
+            **args: extra annotations merged into the span's args.
+
+        Returns:
+            The completed :class:`Span` (also appended to :attr:`spans`),
+            or ``None`` if there was nothing to close.  A stacked handle
+            ended out of order first closes every span opened after it.
+        """
         if handle is None or not self.enabled:
             return None
         if handle in self._stack:
@@ -147,6 +174,11 @@ class Tracer:
 
     @contextmanager
     def span(self, name: str, cat: str = "", **args: Any) -> Iterator[None]:
+        """Context-manager form of :meth:`begin`/:meth:`end`.
+
+        Args as :meth:`begin`; the span closes when the ``with`` block
+        exits (including on exception).
+        """
         handle = self.begin(name, cat, **args)
         try:
             yield
@@ -229,6 +261,7 @@ class Tracer:
         return out
 
     def write_chrome_trace(self, path, telemetry: Telemetry | None = None) -> None:
+        """Write :meth:`to_chrome_trace` as JSON to ``path``."""
         with open(path, "w") as fh:
             json.dump(self.to_chrome_trace(telemetry), fh)
 
@@ -251,10 +284,28 @@ def _layer_of(metric_name: str) -> str:
 
 
 def read_chrome_trace(path) -> dict:
-    """Load a ``--trace`` output file back (exporter round-trip)."""
+    """Load a ``--trace`` output file back (exporter round-trip).
+
+    Args:
+        path: a file previously written by :meth:`Tracer.write_chrome_trace`
+            (or any Chrome-trace-format JSON object).
+
+    Returns:
+        The parsed trace dict, with ``"traceEvents"`` guaranteed present
+        (and ``"telemetry"`` present when the writer embedded a snapshot).
+
+    Raises:
+        OSError: the file cannot be opened.
+        ValueError: the file is not valid JSON, or parses to something
+            other than a Chrome-trace object (e.g. a JSONL span file, a
+            bare list, or a scalar).
+    """
     with open(path) as fh:
-        data = json.load(fh)
-    if "traceEvents" not in data:
+        try:
+            data = json.load(fh)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"{path} is not valid JSON: {exc}") from exc
+    if not isinstance(data, dict) or "traceEvents" not in data:
         raise ValueError(f"{path} is not a Chrome-trace-format file")
     return data
 

@@ -87,3 +87,58 @@ class TestNewCommands:
         assert main(["suite", "--ssu", "1"]) == 0
         out = capsys.readouterr().out
         assert "fs overhead" in out
+
+
+class TestChaos:
+    def test_random_campaign(self, capsys):
+        assert main(["--seed", "7", "chaos", "--faults", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "Bandwidth-degradation timeline" in out
+        assert "availability" in out
+        assert "Health-checker incident triage" in out
+
+    def test_cable_scenario(self, capsys):
+        assert main(["chaos", "--scenario", "cable"]) == 0
+        out = capsys.readouterr().out
+        assert "cable_fail" in out
+        assert "Recovery time per fault class" in out
+
+    def test_trace_records_fault_spans(self, tmp_path, capsys):
+        trace = tmp_path / "chaos.json"
+        assert main(["chaos", "--scenario", "cable",
+                     "--trace", str(trace)]) == 0
+        from repro.obs.trace import read_chrome_trace
+
+        data = read_chrome_trace(trace)
+        assert any(e.get("cat") == "faults" for e in data["traceEvents"])
+        assert "telemetry" in data
+
+
+class TestErrorPaths:
+    def test_report_missing_file_is_clean_failure(self, capsys):
+        assert main(["report", "/no/such/trace.json"]) == 1
+        err = capsys.readouterr().err
+        assert err.startswith("spider-repro: cannot read trace")
+
+    def test_report_corrupt_file_is_clean_failure(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        assert main(["report", str(bad)]) == 1
+        assert "not valid JSON" in capsys.readouterr().err
+
+    def test_report_wrong_shape_is_clean_failure(self, tmp_path, capsys):
+        bad = tmp_path / "list.json"
+        bad.write_text("[1, 2, 3]")
+        assert main(["report", str(bad)]) == 1
+        assert "Chrome-trace" in capsys.readouterr().err
+
+    def test_report_without_telemetry_is_clean_failure(self, tmp_path, capsys):
+        empty = tmp_path / "empty.json"
+        empty.write_text('{"traceEvents": []}')
+        assert main(["report", str(empty)]) == 1
+        assert "no telemetry snapshot" in capsys.readouterr().err
+
+    def test_unwritable_trace_path_fails_before_running(self, capsys):
+        assert main(["chaos", "--scenario", "cable",
+                     "--trace", "/no/such/dir/t.json"]) == 1
+        assert "cannot write trace file" in capsys.readouterr().err

@@ -1,0 +1,62 @@
+"""Docs stay in lock-step with the code.
+
+The drift these tests prevent is the kind this repo actually
+accumulates: a new CLI subcommand that never makes it into the README
+synopsis, or a new package missing from DESIGN.md's inventory.  CI runs
+this module on every push (see .github/workflows/ci.yml).
+"""
+
+from __future__ import annotations
+
+import argparse
+from pathlib import Path
+
+from repro.cli import build_parser
+
+REPO = Path(__file__).resolve().parent.parent
+
+
+def _cli_subcommands() -> list[str]:
+    for action in build_parser()._actions:
+        if isinstance(action, argparse._SubParsersAction):
+            return sorted(action.choices)
+    raise AssertionError("spider-repro parser has no subparsers")
+
+
+def _repro_packages() -> list[str]:
+    src = REPO / "src" / "repro"
+    return sorted(p.name for p in src.iterdir()
+                  if p.is_dir() and (p / "__init__.py").exists())
+
+
+def test_every_subcommand_in_readme_synopsis():
+    readme = (REPO / "README.md").read_text()
+    missing = [cmd for cmd in _cli_subcommands()
+               if f"spider-repro {cmd}" not in readme]
+    assert not missing, (
+        f"README.md synopsis is missing subcommand(s) {missing}; "
+        f"add a `spider-repro <cmd>` line to the CLI block")
+
+
+def test_every_subcommand_in_cli_docstring():
+    import repro.cli
+
+    docstring = repro.cli.__doc__ or ""
+    missing = [cmd for cmd in _cli_subcommands()
+               if f"spider-repro {cmd}" not in docstring]
+    assert not missing, (
+        f"repro/cli.py module docstring is missing subcommand(s) {missing}")
+
+
+def test_every_package_in_design_inventory():
+    design = (REPO / "DESIGN.md").read_text()
+    missing = [pkg for pkg in _repro_packages() if f"{pkg}/" not in design]
+    assert not missing, (
+        f"DESIGN.md §3 package inventory is missing package(s) {missing}")
+
+
+def test_every_package_in_readme_tree():
+    readme = (REPO / "README.md").read_text()
+    missing = [pkg for pkg in _repro_packages() if f"{pkg}/" not in readme]
+    assert not missing, (
+        f"README.md \"What's inside\" tree is missing package(s) {missing}")
