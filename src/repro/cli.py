@@ -17,6 +17,7 @@ Subcommands map one-to-one onto the paper's activities::
     spider-repro chaos --faults 12      # a fault-injection campaign
     spider-repro ior --trace t.json     # same run, Chrome-trace recorded
     spider-repro report t.json          # Lesson-12 layer table from a trace
+    spider-repro lint src/repro         # spider-lint invariant checker
 
 Every subcommand prints the same rendered report its benchmark archives.
 """
@@ -27,7 +28,7 @@ import argparse
 import sys
 from contextlib import contextmanager
 
-from repro.units import GB, KiB, fmt_bandwidth, fmt_size
+from repro.units import DAY, GB, HOUR, KiB, fmt_bandwidth, fmt_size
 
 __all__ = ["main", "build_parser", "CliError"]
 
@@ -209,7 +210,7 @@ def _cmd_workload(args) -> int:
     from repro.analysis.workload_stats import characterize
     from repro.workloads.mixed import spider_mixed_workload
 
-    _wl, trace = spider_mixed_workload(duration=args.hours * 3600.0,
+    _wl, trace = spider_mixed_workload(duration=args.hours * HOUR,
                                        seed=args.seed)
     print(render_table(["metric", "value"], characterize(trace).rows(),
                        title="Center-wide mixed workload (§II)"))
@@ -332,6 +333,31 @@ def _cmd_chaos(args) -> int:
     return 0
 
 
+def _cmd_lint(args) -> int:
+    import json
+
+    from repro.lint import LintUsageError, lint_paths
+
+    def _ids(raw: str | None) -> list[str] | None:
+        if raw is None:
+            return None
+        return [s.strip() for s in raw.split(",") if s.strip()]
+
+    try:
+        findings = lint_paths(args.paths, select=_ids(args.select),
+                              ignore=_ids(args.ignore))
+    except LintUsageError as exc:
+        raise CliError(str(exc)) from exc
+    if args.format == "json":
+        print(json.dumps([f.to_dict() for f in findings], indent=2))
+    else:
+        for finding in findings:
+            print(finding.render())
+        print(f"{len(findings)} finding(s)" if findings
+              else "clean: no findings")
+    return 1 if findings else 0
+
+
 def _cmd_reliability(args) -> int:
     from repro.analysis.reporting import render_table
     from repro.ops.reliability import ReliabilitySim
@@ -345,6 +371,8 @@ def _cmd_reliability(args) -> int:
 
 
 def build_parser() -> argparse.ArgumentParser:
+    """Build the ``spider-repro`` argument parser (one subparser per
+    activity listed in the module docstring)."""
     parser = argparse.ArgumentParser(
         prog="spider-repro",
         description=__doc__.split("\n\n")[0],
@@ -426,7 +454,7 @@ def build_parser() -> argparse.ArgumentParser:
                         "the 2010 enclosure incident (default random)")
     p.add_argument("--faults", type=int, default=8,
                    help="fault count for the random scenario (default 8)")
-    p.add_argument("--duration", type=float, default=86_400.0,
+    p.add_argument("--duration", type=float, default=DAY,
                    help="campaign window in seconds for the random "
                         "scenario (default 1 day)")
     p.add_argument("--threshold", type=float, default=0.5,
@@ -441,10 +469,23 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--declustered", action="store_true")
     p.set_defaults(fn=_cmd_reliability)
 
+    p = sub.add_parser("lint", help="spider-lint invariant checker")
+    p.add_argument("paths", nargs="*", default=["src/repro"],
+                   help="files or directories to lint (default src/repro)")
+    p.add_argument("--format", choices=("text", "json"), default="text",
+                   help="findings as file:line:col lines or a JSON array")
+    p.add_argument("--select", metavar="IDS",
+                   help="comma-separated rule ids to run (default: all)")
+    p.add_argument("--ignore", metavar="IDS",
+                   help="comma-separated rule ids to skip")
+    p.set_defaults(fn=_cmd_lint)
+
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
+    """Entry point: parse ``argv``, run the subcommand, return its exit
+    status (``CliError`` prints to stderr and exits 1, no traceback)."""
     args = build_parser().parse_args(argv)
     try:
         return args.fn(args)

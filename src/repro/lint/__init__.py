@@ -1,0 +1,57 @@
+"""spider-lint: an AST-based checker for this repo's invariants.
+
+The simulation's claims rest on conventions the type system cannot see:
+one seed determines every result, all internal quantities are bytes and
+seconds, DES process generators stay sim-time pure, and telemetry is
+free when disabled.  ``repro.lint`` turns those conventions into
+machine-checked rules over the stdlib ``ast`` — no third-party
+dependencies, no importing of the code under analysis.
+
+Usage::
+
+    from repro.lint import lint_paths
+    findings = lint_paths(["src/repro"])          # [] when clean
+
+or from the CLI: ``spider-repro lint src/repro --format json``.
+
+Rules live in ``rules_*.py`` modules and self-register on import via
+:func:`repro.lint.registry.register`; importing this package populates
+the registry.  Findings are suppressed per line with a justified
+pragma: ``# spider-lint: ignore[rule-id] -- why``.
+"""
+
+from __future__ import annotations
+
+from repro.lint.findings import Finding, Severity
+from repro.lint.registry import LintUsageError, Rule, all_rules, register, resolve_rules
+from repro.lint.runner import (
+    FileContext,
+    Pragma,
+    iter_python_files,
+    lint_paths,
+    lint_source,
+    parse_pragmas,
+)
+
+# Importing the rule modules registers every rule (side effect by design).
+from repro.lint import rules_determinism as _rules_determinism  # noqa: F401
+from repro.lint import rules_units as _rules_units  # noqa: F401
+from repro.lint import rules_simtime as _rules_simtime  # noqa: F401
+from repro.lint import rules_obs as _rules_obs  # noqa: F401
+from repro.lint import rules_docs as _rules_docs  # noqa: F401
+
+__all__ = [
+    "Finding",
+    "Severity",
+    "Rule",
+    "register",
+    "all_rules",
+    "resolve_rules",
+    "LintUsageError",
+    "FileContext",
+    "Pragma",
+    "parse_pragmas",
+    "lint_source",
+    "lint_paths",
+    "iter_python_files",
+]

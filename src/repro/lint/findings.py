@@ -1,0 +1,53 @@
+"""Finding and severity types for spider-lint.
+
+A finding is one violation of one rule at one source location.  Findings
+are plain frozen dataclasses ordered by ``(path, line, col, rule_id)`` so
+reports are stable across runs and platforms — the same determinism
+discipline the linter itself enforces.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+__all__ = ["Severity", "Finding"]
+
+
+class Severity(str, enum.Enum):
+    """How a finding is treated by the CLI and CI gate.
+
+    ``ERROR`` findings fail the run (exit status 1); ``WARNING`` findings
+    are reported but do not affect the exit status.
+    """
+
+    ERROR = "error"
+    WARNING = "warning"
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    path: str
+    line: int
+    col: int
+    rule_id: str
+    message: str
+    severity: Severity = Severity.ERROR
+
+    def render(self) -> str:
+        """The one-line text-format rendering (``path:line:col: id message``)."""
+        return (f"{self.path}:{self.line}:{self.col}: "
+                f"{self.rule_id} [{self.severity.value}] {self.message}")
+
+    def to_dict(self) -> dict:
+        """The JSON-format object (schema locked by tests/test_lint.py)."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule_id,
+            "severity": self.severity.value,
+            "message": self.message,
+        }

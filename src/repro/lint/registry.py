@@ -1,0 +1,100 @@
+"""The spider-lint rule registry.
+
+Every rule is a singleton instance registered under a stable kebab-case
+``rule_id``.  The registry is the single source of truth for the rule
+list: the CLI's ``--select``/``--ignore`` validation, the README/DESIGN
+documentation lock-step test, and the suppression pragma parser all
+resolve rule ids against it.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING, Iterable, Iterator
+
+from repro.lint.findings import Finding, Severity
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for annotations
+    from repro.lint.runner import FileContext
+
+__all__ = ["Rule", "LintUsageError", "register", "all_rules", "resolve_rules"]
+
+
+class LintUsageError(Exception):
+    """A caller mistake (unknown rule id, unreadable path) — the CLI maps
+    this onto :class:`repro.cli.CliError` (exit 1, no traceback)."""
+
+
+class Rule:
+    """Base class for one invariant check.
+
+    Subclasses set the class attributes and implement :meth:`check`,
+    yielding findings for one parsed file.  ``invariant`` is the
+    repo-level property the rule guards; it is surfaced in ``--format
+    json`` rule listings and must stay lock-step with the DESIGN.md rule
+    table (a docs-consistency test enforces this).
+    """
+
+    rule_id: str = ""
+    summary: str = ""
+    invariant: str = ""
+    severity: Severity = Severity.ERROR
+
+    def check(self, ctx: "FileContext") -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(self, ctx: "FileContext", node: ast.AST, message: str) -> Finding:
+        """Build a finding for ``node`` in ``ctx`` with this rule's identity."""
+        return Finding(
+            path=ctx.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            rule_id=self.rule_id,
+            message=message,
+            severity=self.severity,
+        )
+
+
+_REGISTRY: dict[str, Rule] = {}
+
+
+def register(cls: type[Rule]) -> type[Rule]:
+    """Class decorator: instantiate ``cls`` and add it to the registry."""
+    rule = cls()
+    if not rule.rule_id:
+        raise ValueError(f"{cls.__name__} has no rule_id")
+    if rule.rule_id in _REGISTRY:
+        raise ValueError(f"duplicate rule id {rule.rule_id!r}")
+    if not (rule.summary and rule.invariant):
+        raise ValueError(f"rule {rule.rule_id!r} must document summary and invariant")
+    _REGISTRY[rule.rule_id] = rule
+    return cls
+
+
+def all_rules() -> list[Rule]:
+    """Every registered rule, sorted by id for stable output."""
+    return [_REGISTRY[k] for k in sorted(_REGISTRY)]
+
+
+def resolve_rules(select: Iterable[str] | None = None,
+                  ignore: Iterable[str] | None = None) -> list[Rule]:
+    """The active rule set after ``--select`` / ``--ignore`` filtering.
+
+    Unknown ids raise :class:`LintUsageError` — a misspelled rule must
+    fail loudly, not silently lint nothing.
+    """
+    known = set(_REGISTRY)
+    for ids in (select, ignore):
+        unknown = sorted(set(ids or ()) - known)
+        if unknown:
+            raise LintUsageError(
+                f"unknown rule id(s) {', '.join(unknown)}; "
+                f"known: {', '.join(sorted(known))}")
+    rules = all_rules()
+    if select:
+        wanted = set(select)
+        rules = [r for r in rules if r.rule_id in wanted]
+    if ignore:
+        dropped = set(ignore)
+        rules = [r for r in rules if r.rule_id not in dropped]
+    return rules

@@ -1,0 +1,189 @@
+"""Determinism rules: no hidden entropy, no order-unstable iteration.
+
+The repo's reproducibility contract is that one seed fully determines
+every result (same-seed ``==``-equality is asserted by the test suite for
+campaigns, benchmarks, and telemetry-on/off pairs).  Two things break
+that contract silently:
+
+* **hidden entropy** — wall-clock reads, the stdlib ``random`` module,
+  and ad-hoc ``numpy.random`` constructors that bypass the named
+  substream derivation in :class:`repro.sim.rng.RngStreams` (the stream
+  independence idiom: changing one component's draw count must not
+  perturb another's);
+* **order-unstable iteration** — ``set``/``frozenset`` iteration order
+  varies with insertion history and hash seeding, and directory listings
+  come back in filesystem order; feeding either into event scheduling or
+  reported sequences makes runs machine-dependent.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.findings import Finding
+from repro.lint.registry import Rule, register
+from repro.lint.runner import FileContext
+
+__all__ = ["DeterminismRule", "IterOrderRule", "WALL_CLOCK_CALLS"]
+
+#: modules whose import anywhere outside repro/sim/rng.py is a finding
+_BANNED_MODULES = {
+    "random": "stdlib random is unseedable per-stream; draw from a "
+              "numpy Generator handed in by the caller or from "
+              "RngStreams.get(name)",
+    "time": "wall-clock reads make runs non-reproducible; simulations "
+            "must use Engine.now (sim time)",
+    "datetime": "wall-clock dates make runs non-reproducible; pass "
+                "timestamps in as floats (seconds)",
+}
+
+#: fully-expanded call names that read wall-clock or sleep on it
+WALL_CLOCK_CALLS = frozenset({
+    "time.time", "time.time_ns", "time.monotonic", "time.monotonic_ns",
+    "time.perf_counter", "time.perf_counter_ns", "time.sleep",
+    "datetime.datetime.now", "datetime.datetime.utcnow",
+    "datetime.datetime.today", "datetime.date.today",
+})
+
+#: numpy.random attributes that are fine outside repro/sim/rng.py —
+#: deterministic seed plumbing and type names, not entropy sources
+_ALLOWED_NUMPY_RANDOM = frozenset({
+    "SeedSequence", "Generator", "BitGenerator",
+    "PCG64", "PCG64DXSM", "Philox", "SFC64", "MT19937",
+})
+
+#: the one module allowed to construct generators ad hoc
+_RNG_MODULE = "repro/sim/rng.py"
+
+
+@register
+class DeterminismRule(Rule):
+    """Forbid hidden entropy sources outside the seeded-RNG module."""
+
+    rule_id = "determinism"
+    summary = ("no stdlib random/time/datetime and no ad-hoc numpy.random "
+               "constructors outside repro/sim/rng.py")
+    invariant = ("one seed fully determines every result: stochastic code "
+                 "takes a numpy Generator parameter or draws from a named "
+                 "RngStreams substream")
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if ctx.in_module(_RNG_MODULE):
+            return
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    root = alias.name.partition(".")[0]
+                    if root in _BANNED_MODULES:
+                        yield self.finding(
+                            ctx, node,
+                            f"import of {root!r}: {_BANNED_MODULES[root]}")
+            elif isinstance(node, ast.ImportFrom) and node.module and not node.level:
+                root = node.module.partition(".")[0]
+                if root in _BANNED_MODULES:
+                    yield self.finding(
+                        ctx, node,
+                        f"import from {root!r}: {_BANNED_MODULES[root]}")
+                elif node.module in ("numpy.random", "numpy"):
+                    for alias in node.names:
+                        name = alias.name
+                        banned = (
+                            node.module == "numpy.random"
+                            and name not in _ALLOWED_NUMPY_RANDOM
+                        ) or (node.module == "numpy" and name == "random")
+                        if banned:
+                            yield self.finding(
+                                ctx, node,
+                                f"import of numpy.random.{name}: construct "
+                                f"generators only in repro/sim/rng.py; take a "
+                                f"Generator parameter or use "
+                                f"RngStreams.get(name)")
+            elif isinstance(node, ast.Call):
+                dotted = ctx.dotted_name(node.func)
+                if dotted is None:
+                    continue
+                if dotted in WALL_CLOCK_CALLS:
+                    yield self.finding(
+                        ctx, node,
+                        f"wall-clock call {dotted}(): results must depend "
+                        f"only on the seed; use sim time (Engine.now)")
+                elif dotted.startswith("numpy.random."):
+                    attr = dotted.rsplit(".", 1)[1]
+                    if attr not in _ALLOWED_NUMPY_RANDOM:
+                        yield self.finding(
+                            ctx, node,
+                            f"ad-hoc {dotted}(): bypasses the stream-"
+                            f"independence idiom; take a numpy Generator "
+                            f"parameter or use RngStreams.get(name)")
+
+
+#: directory-listing callables whose result order is filesystem-dependent
+_FS_ORDER_CALLS = frozenset({"os.listdir", "os.scandir",
+                             "glob.glob", "glob.iglob"})
+_FS_ORDER_METHODS = frozenset({"iterdir", "glob", "rglob", "scandir"})
+
+
+def _is_set_expr(node: ast.AST, ctx: FileContext) -> bool:
+    """Syntactically-certain set expressions (literal, comprehension,
+    set()/frozenset() call).  Variables that merely *hold* sets are out of
+    reach for a static check and are not flagged."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        return ctx.dotted_name(node.func) in ("set", "frozenset")
+    return False
+
+
+def _is_fs_listing(node: ast.AST, ctx: FileContext) -> bool:
+    if not isinstance(node, ast.Call):
+        return False
+    dotted = ctx.dotted_name(node.func)
+    if dotted in _FS_ORDER_CALLS:
+        return True
+    return (isinstance(node.func, ast.Attribute)
+            and node.func.attr in _FS_ORDER_METHODS)
+
+
+def _sorted_wrapped(node: ast.AST, ctx: FileContext) -> bool:
+    """True when ``node`` is an argument of a ``sorted(...)`` call."""
+    parent = ctx.parent(node)
+    return (isinstance(parent, ast.Call)
+            and ctx.dotted_name(parent.func) == "sorted"
+            and node in parent.args)
+
+
+@register
+class IterOrderRule(Rule):
+    """Flag iteration whose order is hash- or filesystem-dependent."""
+
+    rule_id = "iter-order"
+    summary = ("no iterating sets/frozensets or unsorted directory "
+               "listings; wrap in sorted(...)")
+    invariant = ("event and report ordering is identical on every machine "
+                 "and run: unordered collections are sorted before "
+                 "iteration")
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        iter_exprs: list[ast.AST] = []
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.For):
+                iter_exprs.append(node.iter)
+            elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp,
+                                   ast.GeneratorExp)):
+                iter_exprs.extend(gen.iter for gen in node.generators)
+        flagged: set[int] = set()
+        for expr in iter_exprs:
+            if _is_set_expr(expr, ctx):
+                flagged.add(id(expr))
+                yield self.finding(
+                    ctx, expr,
+                    "iteration over a set/frozenset: order is hash- and "
+                    "history-dependent; iterate sorted(...) instead")
+        for node in ast.walk(ctx.tree):
+            if (id(node) not in flagged and _is_fs_listing(node, ctx)
+                    and not _sorted_wrapped(node, ctx)):
+                yield self.finding(
+                    ctx, node,
+                    "directory listing without sorted(...): result order "
+                    "is filesystem-dependent")

@@ -1,0 +1,67 @@
+"""Public-API documentation rule.
+
+A module's ``__all__`` is its published surface — the names README and
+DESIGN point users at.  Every function or class exported there carries a
+docstring stating its contract (units of its arguments included; that is
+where the bytes/seconds convention is written down).  The rule checks
+only ``__all__``-listed definitions: private helpers stay free to be
+terse.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.findings import Finding
+from repro.lint.registry import Rule, register
+from repro.lint.runner import FileContext
+
+__all__ = ["ApiDocstringRule"]
+
+
+def _declared_all(tree: ast.Module) -> set[str]:
+    """String entries of a module-level ``__all__ = [...]`` assignment."""
+    names: set[str] = set()
+    for stmt in tree.body:
+        targets: list[ast.expr] = []
+        if isinstance(stmt, ast.Assign):
+            targets = stmt.targets
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            targets = [stmt.target]
+        if not any(isinstance(t, ast.Name) and t.id == "__all__"
+                   for t in targets):
+            continue
+        value = stmt.value if isinstance(stmt, ast.Assign) else stmt.value
+        if isinstance(value, (ast.List, ast.Tuple)):
+            for elt in value.elts:
+                if isinstance(elt, ast.Constant) and isinstance(elt.value, str):
+                    names.add(elt.value)
+    return names
+
+
+@register
+class ApiDocstringRule(Rule):
+    """Exported definitions document their contract."""
+
+    rule_id = "api-docstring"
+    summary = ("every function/class named in a module's __all__ has a "
+               "docstring")
+    invariant = ("the published API is self-describing: units and "
+                 "contracts live on the definition, not in tribal "
+                 "knowledge")
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        exported = _declared_all(ctx.tree)
+        if not exported:
+            return
+        for stmt in ctx.tree.body:
+            if not isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                     ast.ClassDef)):
+                continue
+            if stmt.name in exported and ast.get_docstring(stmt) is None:
+                kind = "class" if isinstance(stmt, ast.ClassDef) else "function"
+                yield self.finding(
+                    ctx, stmt,
+                    f"exported {kind} {stmt.name!r} (in __all__) has no "
+                    f"docstring")

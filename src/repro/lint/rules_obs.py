@@ -1,0 +1,157 @@
+"""Telemetry fast-path rules: observation never perturbs the I/O path.
+
+The telemetry spine (:mod:`repro.obs`) is engineered so a disabled
+registry costs one attribute read per call site and allocates nothing
+(design constraint 1 in ``repro/obs/instruments.py``).  That property
+only holds if call sites honour the idiom::
+
+    telemetry = get_telemetry()
+    if telemetry.enabled:
+        telemetry.counter("ost.write_bytes", comp).add(float(nbytes))
+
+or the early-return equivalent (``if not telemetry.enabled: return``).
+An unguarded chained mutation creates the instrument and boxes floats on
+every call even while disabled — observation perturbing the hot path the
+paper's §VI monitoring lesson forbids.  A second rule keeps registry
+internals private to ``repro/obs``: outside modules reaching into
+``telemetry._counters`` (or flipping ``.enabled`` directly instead of
+scoping with ``use_telemetry``) bypass the registry's invariants.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.findings import Finding
+from repro.lint.registry import Rule, register
+from repro.lint.runner import FileContext
+
+__all__ = ["ObsGuardRule", "ObsInternalsRule"]
+
+_OBS_PACKAGE = "repro/obs"
+
+#: instrument factories on Telemetry and the mutators they pair with
+_FACTORIES = frozenset({"counter", "gauge", "histogram"})
+_MUTATORS = frozenset({"add", "set", "observe"})
+
+#: receiver spellings that are telemetry/tracer objects, statically
+_OBS_RECEIVERS = frozenset({"telemetry", "tracer", "registry"})
+_OBS_GETTERS = frozenset({"get_telemetry", "get_tracer"})
+
+
+def _test_mentions_enabled(test: ast.expr) -> bool:
+    return any(isinstance(n, ast.Attribute) and n.attr == "enabled"
+               for n in ast.walk(test))
+
+
+def _enclosing_function(ctx: FileContext, node: ast.AST):
+    for anc in ctx.ancestors(node):
+        if isinstance(anc, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            return anc
+    return None
+
+
+def _guarded(ctx: FileContext, call: ast.Call) -> bool:
+    """True when ``call`` runs only while the registry is enabled.
+
+    Accepts both idioms used in the repo: nesting under
+    ``if telemetry.enabled:`` (any ancestor ``if`` testing ``.enabled``)
+    and the early-return form (``if not telemetry.enabled: return`` /
+    ``continue`` earlier in the enclosing function).
+    """
+    for anc in ctx.ancestors(call):
+        if isinstance(anc, ast.If) and _test_mentions_enabled(anc.test):
+            return True
+    fn = _enclosing_function(ctx, call)
+    if fn is None:
+        return False
+    for inner in ast.walk(fn):
+        if (isinstance(inner, ast.If)
+                and inner.lineno < call.lineno
+                and _test_mentions_enabled(inner.test)
+                and any(isinstance(s, (ast.Return, ast.Continue, ast.Raise))
+                        for s in inner.body)):
+            return True
+    return False
+
+
+def _is_obs_receiver(ctx: FileContext, node: ast.AST) -> bool:
+    """``telemetry`` / ``tracer`` names and ``get_telemetry()`` calls."""
+    if isinstance(node, ast.Name):
+        return node.id in _OBS_RECEIVERS
+    if isinstance(node, ast.Call):
+        dotted = ctx.dotted_name(node.func)
+        return dotted is not None and dotted.split(".")[-1] in _OBS_GETTERS
+    return False
+
+
+@register
+class ObsGuardRule(Rule):
+    """Instrument mutations outside repro/obs sit under an enabled guard."""
+
+    rule_id = "obs-guard"
+    summary = ("telemetry counter/gauge/histogram mutations outside "
+               "repro/obs use the `if telemetry.enabled:` no-op guard")
+    invariant = ("a disabled registry costs one attribute read per call "
+                 "site: hot paths never create instruments or box values "
+                 "while telemetry is off")
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if ctx.in_module(_OBS_PACKAGE):
+            return
+        for node in ast.walk(ctx.tree):
+            if not (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr in _MUTATORS):
+                continue
+            receiver = node.func.value
+            if not (isinstance(receiver, ast.Call)
+                    and isinstance(receiver.func, ast.Attribute)
+                    and receiver.func.attr in _FACTORIES):
+                continue
+            if not _guarded(ctx, node):
+                yield self.finding(
+                    ctx, node,
+                    f"unguarded telemetry mutation "
+                    f".{receiver.func.attr}(...).{node.func.attr}(...): "
+                    f"wrap in `if telemetry.enabled:` (or early-return) so "
+                    f"disabled runs pay one attribute read")
+
+
+#: private registry internals no outside module may touch
+_PRIVATE_ATTRS = frozenset({
+    "_counters", "_gauges", "_histograms", "_buckets", "_registry",
+    "_stack", "_spans", "_clock", "_default",
+})
+
+
+@register
+class ObsInternalsRule(Rule):
+    """Only repro/obs touches telemetry/tracer internals."""
+
+    rule_id = "obs-internals"
+    summary = ("no access to telemetry/tracer private attributes (and no "
+               "direct .enabled assignment) outside repro/obs")
+    invariant = ("registry state changes flow through the public API "
+                 "(use_telemetry / use_tracer scoping), so enabling "
+                 "telemetry can never change simulation results")
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if ctx.in_module(_OBS_PACKAGE):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Attribute):
+                continue
+            if not _is_obs_receiver(ctx, node.value):
+                continue
+            if node.attr in _PRIVATE_ATTRS:
+                yield self.finding(
+                    ctx, node,
+                    f"access to telemetry/tracer internal {node.attr!r}: "
+                    f"use the public instruments/snapshot API")
+            elif node.attr == "enabled" and isinstance(node.ctx, ast.Store):
+                yield self.finding(
+                    ctx, node,
+                    "direct assignment to .enabled: scope registries with "
+                    "use_telemetry(...) / use_tracer(...) instead")

@@ -1,0 +1,122 @@
+"""Sim-time purity: DES process generators stay free of real-world effects.
+
+Processes on :class:`repro.sim.engine.Engine` are generator coroutines;
+the engine interleaves their steps in event order.  A generator that
+reads the wall clock, prints, or touches the filesystem makes the
+*simulation output* depend on host speed and interleaving — exactly the
+perturbation the paper's monitoring lesson warns against (observation
+must never sit in the I/O path).  The rule is conservative and applies to
+every generator function except ``@contextmanager`` bodies (those are
+resource scopes, not processes): the repo's remaining generators are
+either DES processes or deterministic value streams, and neither may
+perform I/O.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.findings import Finding
+from repro.lint.registry import Rule, register
+from repro.lint.runner import FileContext
+from repro.lint.rules_determinism import WALL_CLOCK_CALLS
+
+__all__ = ["SimTimePurityRule"]
+
+#: bare builtins that perform real-world I/O
+_IO_BUILTINS = frozenset({"open", "input", "print", "breakpoint"})
+
+#: dotted-call prefixes that reach the OS (os.path.* is pure path algebra)
+_IO_PREFIXES = ("os.", "subprocess.", "shutil.", "socket.", "io.")
+_PURE_PREFIXES = ("os.path.", "os.environ.get",)
+
+#: attribute calls that read/write files (pathlib and file objects)
+_IO_METHODS = frozenset({
+    "write_text", "write_bytes", "read_text", "read_bytes",
+    "unlink", "touch", "mkdir", "rmdir",
+})
+
+
+#: decorators that turn a generator into a context manager — not a DES
+#: process, so the purity rule does not apply
+_CM_DECORATORS = frozenset({"contextmanager", "asynccontextmanager"})
+
+
+def _is_contextmanager(ctx: FileContext,
+                       fn: ast.FunctionDef | ast.AsyncFunctionDef) -> bool:
+    for dec in fn.decorator_list:
+        dotted = ctx.dotted_name(dec)
+        if dotted is not None and dotted.split(".")[-1] in _CM_DECORATORS:
+            return True
+    return False
+
+
+def _yields_directly(fn: ast.FunctionDef | ast.AsyncFunctionDef) -> bool:
+    """True when ``fn`` itself is a generator (yields not inside a nested
+    function — those belong to the inner function)."""
+    stack: list[ast.AST] = list(fn.body)
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.Yield, ast.YieldFrom)):
+            return True
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.Lambda)):
+            continue  # nested scope: its yields are not ours
+        stack.extend(ast.iter_child_nodes(node))
+    return False
+
+
+def _own_nodes(fn: ast.FunctionDef | ast.AsyncFunctionDef) -> Iterator[ast.AST]:
+    """Walk ``fn``'s body without descending into nested function scopes."""
+    stack: list[ast.AST] = list(fn.body)
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.Lambda)):
+            continue
+        yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+@register
+class SimTimePurityRule(Rule):
+    """Generator functions must not read wall-clock or perform I/O."""
+
+    rule_id = "simtime-purity"
+    summary = ("generator functions (DES process bodies) perform no "
+               "wall-clock reads, printing, or file/OS I/O")
+    invariant = ("simulated timelines depend only on seeds and sim time; "
+                 "observation and I/O never sit in the event path")
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if not _yields_directly(node) or _is_contextmanager(ctx, node):
+                continue
+            for inner in _own_nodes(node):
+                if not isinstance(inner, ast.Call):
+                    continue
+                dotted = ctx.dotted_name(inner.func)
+                if dotted is not None:
+                    impure = (
+                        dotted in _IO_BUILTINS
+                        or dotted in WALL_CLOCK_CALLS
+                        or (dotted.startswith(_IO_PREFIXES)
+                            and not dotted.startswith(_PURE_PREFIXES))
+                    )
+                    if impure:
+                        yield self.finding(
+                            ctx, inner,
+                            f"{dotted}() inside generator {node.name!r}: "
+                            f"DES processes must stay sim-time pure (no "
+                            f"wall-clock, no I/O)")
+                        continue
+                if (isinstance(inner.func, ast.Attribute)
+                        and inner.func.attr in _IO_METHODS):
+                    yield self.finding(
+                        ctx, inner,
+                        f".{inner.func.attr}() inside generator "
+                        f"{node.name!r}: DES processes must stay sim-time "
+                        f"pure (no file I/O)")

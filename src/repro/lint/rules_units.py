@@ -1,0 +1,189 @@
+"""Units-discipline rules: no magic unit literals, no off-convention names.
+
+Everything in this package works in **bytes** and **seconds** internally
+(see :mod:`repro.units`) — the discipline behind the paper's "1 TB/s"
+claim surviving vendor-decimal vs binary-request-size ambiguity.  Two
+drift modes erode it:
+
+* **magic literals** — ``1e9``, ``1 << 20``, ``3600`` scattered through
+  arithmetic re-encode unit knowledge the constants in ``repro.units``
+  already own, and each re-encoding is a chance to get it wrong;
+* **off-convention names** — a parameter called ``timeout_ms`` or
+  ``size_mb`` smuggles a scaled unit through an API whose contract is
+  bytes/seconds, so every caller must remember a conversion the type
+  system cannot see.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.findings import Finding
+from repro.lint.registry import Rule, register
+from repro.lint.runner import FileContext
+
+__all__ = ["MagicUnitRule", "UnitSuffixRule"]
+
+#: literal values that duplicate a repro.units constant
+_LITERALS = {
+    10 ** 6: "MB", 10 ** 9: "GB", 10 ** 12: "TB", 10 ** 15: "PB",
+    3600: "HOUR", 86400: "DAY",
+}
+
+#: left-shift amounts that spell binary unit constants
+_SHIFTS = {10: "KiB", 20: "MiB", 30: "GiB", 40: "TiB"}
+
+#: multiplication operands that scale another unit (1000 * GB == TB)
+_SCALERS = {1000: "the next decimal prefix (1000 * GB is TB)",
+            1024: "KiB/MiB/... (48 * 1024 is 48 * KiB)"}
+
+_UNITS_MODULE = "repro/units.py"
+
+
+def _constant_style(name: str) -> bool:
+    """``_CALL_OVERHEAD_BYTES`` / ``REWRITE_EFFICIENCY``-style names."""
+    stripped = name.lstrip("_")
+    return bool(stripped) and stripped.isupper()
+
+
+def _named_constant_subtrees(tree: ast.Module) -> set[int]:
+    """Node ids inside module-level ``NAME = <expr>`` constant definitions.
+
+    Giving a magic number a name *is* the fix this rule asks for, so the
+    right-hand side of a constant-style module-level assignment is exempt
+    (that is exactly how ``repro.units`` itself is written).
+    """
+    exempt: set[int] = set()
+    for stmt in tree.body:
+        targets: list[ast.expr] = []
+        if isinstance(stmt, ast.Assign):
+            targets = stmt.targets
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            targets = [stmt.target]
+        else:
+            continue
+        if all(isinstance(t, ast.Name) and _constant_style(t.id)
+               for t in targets):
+            for sub in ast.walk(stmt):
+                exempt.add(id(sub))
+    return exempt
+
+
+def _is_number(node: ast.AST) -> bool:
+    return (isinstance(node, ast.Constant)
+            and isinstance(node.value, (int, float))
+            and not isinstance(node.value, bool))
+
+
+@register
+class MagicUnitRule(Rule):
+    """Flag numeric literals that re-encode a ``repro.units`` constant."""
+
+    rule_id = "magic-unit"
+    summary = ("no 1e9 / 1 << 20 / 1024**k / 3600-style literals where "
+               "repro.units constants exist")
+    invariant = ("unit arithmetic flows through repro.units (bytes and "
+                 "seconds internally; conversion only at the reporting "
+                 "boundary)")
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if ctx.in_module(_UNITS_MODULE):
+            return
+        exempt = _named_constant_subtrees(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if id(node) in exempt:
+                continue
+            if _is_number(node):
+                value = node.value
+                if value in _LITERALS:
+                    yield self.finding(
+                        ctx, node,
+                        f"magic unit literal {value!r}: use "
+                        f"repro.units.{_LITERALS[value]}")
+                    continue
+                parent = ctx.parent(node)
+                if (value in _SCALERS and isinstance(parent, ast.BinOp)
+                        and isinstance(parent.op, ast.Mult)):
+                    yield self.finding(
+                        ctx, node,
+                        f"magic unit factor {value!r} in multiplication: "
+                        f"use {_SCALERS[value]}")
+            elif isinstance(node, ast.BinOp):
+                if (isinstance(node.op, ast.Pow)
+                        and _is_number(node.left) and _is_number(node.right)
+                        and node.left.value in (10, 1000, 1024)):
+                    # 1000**k / 1024**k always spell a unit; 10**k only
+                    # when it lands on one (10**9 = GB, but 10**4 is fine).
+                    spelled = (node.left.value != 10
+                               or node.right.value in (6, 9, 12, 15))
+                    if spelled:
+                        yield self.finding(
+                            ctx, node,
+                            f"magic unit power {node.left.value}**"
+                            f"{node.right.value}: use the repro.units "
+                            f"constant")
+                        continue
+                elif (isinstance(node.op, ast.LShift)
+                      and _is_number(node.left) and _is_number(node.right)
+                      and node.left.value == 1
+                      and node.right.value in _SHIFTS):
+                    yield self.finding(
+                        ctx, node,
+                        f"magic unit shift 1 << {node.right.value}: use "
+                        f"repro.units.{_SHIFTS[node.right.value]}")
+
+
+#: name suffixes that contradict the bytes/seconds internal convention
+_BAD_SUFFIXES = {
+    "_kb": "bytes", "_mb": "bytes", "_gb": "bytes", "_tb": "bytes",
+    "_pb": "bytes", "_kib": "bytes", "_mib": "bytes", "_gib": "bytes",
+    "_tib": "bytes",
+    "_ms": "seconds", "_us": "seconds", "_ns": "seconds",
+    "_kbps": "bytes/s", "_mbps": "bytes/s", "_gbps": "bytes/s",
+}
+_CANONICAL = {"bytes": "'_bytes'", "seconds": "'_s'/'_seconds'",
+              "bytes/s": "'_bps' (bytes per second)"}
+
+
+def _bad_suffix(name: str) -> str | None:
+    lowered = name.lower()
+    for suffix, dimension in _BAD_SUFFIXES.items():
+        if lowered.endswith(suffix):
+            return dimension
+    return None
+
+
+@register
+class UnitSuffixRule(Rule):
+    """Flag parameters/fields named with scaled-unit suffixes."""
+
+    rule_id = "unit-suffix"
+    summary = ("no _mb/_gb/_ms/_gbps-style parameter or field names; "
+               "canonical units are _bytes, _s, _bps")
+    invariant = ("every quantity crossing a public API is bytes, seconds, "
+                 "or bytes/s — the name says so, and no caller converts")
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                args = (node.args.posonlyargs + node.args.args
+                        + node.args.kwonlyargs)
+                for arg in args:
+                    dim = _bad_suffix(arg.arg)
+                    if dim is not None:
+                        yield self.finding(
+                            ctx, arg,
+                            f"parameter {arg.arg!r} carries a scaled unit; "
+                            f"the internal convention is {dim} — name it "
+                            f"with {_CANONICAL[dim]}")
+            elif (isinstance(node, ast.AnnAssign)
+                  and isinstance(node.target, ast.Name)
+                  and isinstance(ctx.parent(node), ast.ClassDef)):
+                dim = _bad_suffix(node.target.id)
+                if dim is not None:
+                    yield self.finding(
+                        ctx, node,
+                        f"field {node.target.id!r} carries a scaled unit; "
+                        f"the internal convention is {dim} — name it with "
+                        f"{_CANONICAL[dim]}")

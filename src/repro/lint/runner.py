@@ -1,0 +1,217 @@
+"""File loading, pragma parsing, and the lint drive loop.
+
+The runner parses each file once into a :class:`FileContext` — source,
+AST, parent links, import-alias map, and suppression pragmas — and hands
+the context to every active rule.  Rules never re-read the file and never
+import the code under analysis (pure ``ast``; linting a file has no side
+effects and works on code whose imports are unavailable).
+
+Suppression pragmas
+-------------------
+A finding is suppressed by a pragma naming its rule id::
+
+    t0 = time.perf_counter()  # spider-lint: ignore[determinism] -- profiling only
+
+A pragma on its own line applies to the next source line; a trailing
+pragma applies to its own line.  The text after ``--`` is the
+justification; the repo ratchet test requires one on every pragma.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator
+
+from repro.lint.findings import Finding
+from repro.lint.registry import LintUsageError, Rule, resolve_rules
+
+__all__ = [
+    "FileContext",
+    "Pragma",
+    "parse_pragmas",
+    "lint_source",
+    "lint_paths",
+    "iter_python_files",
+]
+
+_PRAGMA_RE = re.compile(
+    r"#\s*spider-lint:\s*ignore\[(?P<ids>[A-Za-z0-9_\-, ]+)\]"
+    r"(?:\s*--\s*(?P<reason>.*\S))?")
+
+
+@dataclass(frozen=True)
+class Pragma:
+    """One ``# spider-lint: ignore[...]`` comment."""
+
+    line: int  # line the pragma is written on (1-based)
+    applies_to: int  # line whose findings it suppresses
+    rule_ids: tuple[str, ...]
+    reason: str  # justification text after "--" ("" if absent)
+
+
+def parse_pragmas(source: str) -> list[Pragma]:
+    """Extract suppression pragmas from ``source``.
+
+    Line-based on purpose: pragmas are comments, and the ``ast`` module
+    drops comments, so the scan is textual.  A pragma whose line holds no
+    code applies to the next line; otherwise to its own.
+    """
+    pragmas = []
+    for lineno, text in enumerate(source.splitlines(), start=1):
+        m = _PRAGMA_RE.search(text)
+        if not m:
+            continue
+        ids = tuple(s.strip() for s in m.group("ids").split(",") if s.strip())
+        code_before = text[: m.start()].strip()
+        applies_to = lineno if code_before else lineno + 1
+        pragmas.append(Pragma(line=lineno, applies_to=applies_to,
+                              rule_ids=ids, reason=m.group("reason") or ""))
+    return pragmas
+
+
+@dataclass
+class FileContext:
+    """Everything a rule needs to check one parsed file."""
+
+    path: str  # path as reported in findings
+    rel: str  # posix path from the package root ("repro/sim/rng.py"), or ""
+    source: str
+    tree: ast.Module
+    pragmas: list[Pragma] = field(default_factory=list)
+    _parents: dict[int, ast.AST] = field(default_factory=dict)
+    import_aliases: dict[str, str] = field(default_factory=dict)
+
+    @classmethod
+    def parse(cls, source: str, path: str = "<string>") -> "FileContext":
+        """Parse ``source`` into a context (raises ``SyntaxError`` as-is)."""
+        tree = ast.parse(source, filename=path)
+        ctx = cls(path=path, rel=_repro_rel(path), source=source, tree=tree,
+                  pragmas=parse_pragmas(source))
+        for parent in ast.walk(tree):
+            for child in ast.iter_child_nodes(parent):
+                ctx._parents[id(child)] = parent
+        ctx.import_aliases = _collect_import_aliases(tree)
+        return ctx
+
+    # -- navigation -----------------------------------------------------------
+
+    def parent(self, node: ast.AST) -> ast.AST | None:
+        return self._parents.get(id(node))
+
+    def ancestors(self, node: ast.AST) -> Iterator[ast.AST]:
+        cur = self.parent(node)
+        while cur is not None:
+            yield cur
+            cur = self.parent(cur)
+
+    def dotted_name(self, node: ast.AST) -> str | None:
+        """Resolve ``np.random.default_rng`` → ``numpy.random.default_rng``.
+
+        Walks an Attribute/Name chain down to a Name base and expands the
+        base through this file's import aliases.  Returns ``None`` when
+        the base is not a plain name (e.g. a call result or subscript) —
+        such chains cannot be resolved statically and are never flagged.
+        """
+        parts: list[str] = []
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        parts.append(self.import_aliases.get(node.id, node.id))
+        return ".".join(reversed(parts))
+
+    def in_module(self, *rels: str) -> bool:
+        """True when this file is one of the given package-relative modules
+        (``"repro/sim/rng.py"``) or lives under a given package directory
+        (``"repro/obs"``)."""
+        return any(self.rel == r or self.rel.startswith(r + "/") for r in rels)
+
+    def suppressed(self, finding: Finding) -> bool:
+        return any(finding.line == p.applies_to and finding.rule_id in p.rule_ids
+                   for p in self.pragmas)
+
+
+def _repro_rel(path: str) -> str:
+    """The path from the ``repro`` package root, for path-scoped exemptions.
+
+    ``/root/repo/src/repro/sim/rng.py`` → ``repro/sim/rng.py``; paths not
+    under a ``repro`` directory return ``""`` (no exemption applies, which
+    is what fixture files in tests want).
+    """
+    parts = Path(path).as_posix().split("/")
+    for i in range(len(parts) - 1, -1, -1):
+        if parts[i] == "repro":
+            return "/".join(parts[i:])
+    return ""
+
+
+def _collect_import_aliases(tree: ast.Module) -> dict[str, str]:
+    """Map local names to the dotted things they import.
+
+    ``import numpy as np`` → ``{"np": "numpy"}``;
+    ``from datetime import datetime as dt`` → ``{"dt": "datetime.datetime"}``.
+    Only top-of-chain names are expanded, which is all the rules need.
+    """
+    aliases: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for a in node.names:
+                aliases[a.asname or a.name.partition(".")[0]] = (
+                    a.name if a.asname else a.name.partition(".")[0])
+        elif isinstance(node, ast.ImportFrom) and node.module and not node.level:
+            for a in node.names:
+                if a.name == "*":
+                    continue
+                aliases[a.asname or a.name] = f"{node.module}.{a.name}"
+    return aliases
+
+
+def lint_source(source: str, path: str = "<string>",
+                rules: Iterable[Rule] | None = None) -> list[Finding]:
+    """Lint one source string; the unit every test fixture goes through."""
+    ctx = FileContext.parse(source, path)
+    active = list(rules) if rules is not None else resolve_rules()
+    findings = [f for rule in active for f in rule.check(ctx)
+                if not ctx.suppressed(f)]
+    return sorted(findings)
+
+
+def iter_python_files(paths: Iterable[str]) -> list[Path]:
+    """Expand files/directories into a sorted list of ``.py`` files.
+
+    A nonexistent path raises :class:`LintUsageError` — the CLI turns it
+    into a clean exit-1 ``CliError``, matching the report/--trace error
+    convention.
+    """
+    out: list[Path] = []
+    for raw in paths:
+        p = Path(raw)
+        if p.is_dir():
+            out.extend(sorted(p.rglob("*.py")))
+        elif p.is_file():
+            out.append(p)
+        else:
+            raise LintUsageError(f"no such file or directory: {raw}")
+    return sorted(set(out))
+
+
+def lint_paths(paths: Iterable[str], *,
+               select: Iterable[str] | None = None,
+               ignore: Iterable[str] | None = None) -> list[Finding]:
+    """Lint files and directories; the engine behind ``spider-repro lint``."""
+    rules = resolve_rules(select, ignore)
+    findings: list[Finding] = []
+    for path in iter_python_files(paths):
+        try:
+            source = path.read_text(encoding="utf-8")
+        except OSError as exc:
+            raise LintUsageError(f"cannot read {path}: {exc}") from exc
+        try:
+            findings.extend(lint_source(source, str(path), rules))
+        except SyntaxError as exc:
+            raise LintUsageError(f"cannot parse {path}: {exc}") from exc
+    return sorted(findings)

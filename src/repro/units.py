@@ -24,7 +24,7 @@ import re
 __all__ = [
     "KB", "MB", "GB", "TB", "PB",
     "KiB", "MiB", "GiB", "TiB",
-    "MINUTE", "HOUR", "DAY",
+    "MINUTE", "HOUR", "DAY", "MS", "US",
     "parse_size", "fmt_size", "fmt_bandwidth", "fmt_duration",
     "transfer_time",
 ]
@@ -43,6 +43,11 @@ TiB = 1 << 40
 MINUTE = 60.0
 HOUR = 3600.0
 DAY = 86400.0
+
+# Sub-second durations, expressed in seconds: latency reports divide by
+# these (``lat / MS`` reads "how many milliseconds").
+MS = 1e-3
+US = 1e-6
 
 _DECIMAL_SUFFIXES = {
     "B": 1, "KB": KB, "MB": MB, "GB": GB, "TB": TB, "PB": PB,
@@ -117,7 +122,7 @@ def fmt_duration(seconds: float) -> str:
         return f"{seconds / MINUTE:.1f} min"
     if seconds >= 1:
         return f"{seconds:.2f} s"
-    return f"{seconds * 1e3:.2f} ms"
+    return f"{seconds / MS:.2f} ms"
 
 
 def transfer_time(nbytes: float, bandwidth: float, latency: float = 0.0) -> float:
