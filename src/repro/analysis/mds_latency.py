@@ -18,6 +18,8 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.lustre.mds import MdsSpec
+from repro.sim.rng import RngStreams
+from repro.units import MS
 from repro.workloads.replay import replay_fifo
 
 __all__ = ["DuStormReport", "measure_du_storm"]
@@ -40,10 +42,10 @@ class DuStormReport:
 
     def rows(self) -> list[tuple[str, str]]:
         return [
-            ("interactive p50, quiet", f"{self.quiet_p50 * 1e3:.2f} ms"),
-            ("interactive p99, quiet", f"{self.quiet_p99 * 1e3:.2f} ms"),
-            ("interactive p50, du storm", f"{self.storm_p50 * 1e3:.2f} ms"),
-            ("interactive p99, du storm", f"{self.storm_p99 * 1e3:.2f} ms"),
+            ("interactive p50, quiet", f"{self.quiet_p50 / MS:.2f} ms"),
+            ("interactive p99, quiet", f"{self.quiet_p99 / MS:.2f} ms"),
+            ("interactive p50, du storm", f"{self.storm_p50 / MS:.2f} ms"),
+            ("interactive p99, du storm", f"{self.storm_p99 / MS:.2f} ms"),
             ("p99 inflation", f"{self.p99_inflation:.0f}x"),
             ("du files", f"{self.storm_files:,}"),
             ("du drain time", f"{self.storm_duration:.1f} s"),
@@ -64,7 +66,7 @@ def measure_du_storm(
     if interactive_rate <= 0 or duration <= 0 or storm_files <= 0:
         raise ValueError("rates, duration, and storm size must be positive")
     spec = spec or MdsSpec()
-    rng = np.random.default_rng(seed)
+    rng = RngStreams(seed).get("mds.du_storm")
 
     stat_service = (1.0 + spec.stat_ost_rpc_cost * mean_stripe_count) / spec.stat_rate
 

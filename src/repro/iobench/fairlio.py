@@ -30,7 +30,8 @@ import numpy as np
 
 from repro.hardware.disk import Disk
 from repro.hardware.raid import RaidGroup
-from repro.units import KiB, MiB
+from repro.sim.rng import RngStreams
+from repro.units import KiB, MB, MiB
 
 __all__ = ["DiskTarget", "LunTarget", "FairLioResult", "FairLioSweep"]
 
@@ -125,7 +126,7 @@ class FairLioResult:
         mode = "seq" if self.sequential else "rnd"
         return (self.target, self.request_size, self.queue_depth,
                 f"{self.write_fraction:.2f}", mode,
-                f"{self.bandwidth / 1e6:.1f} MB/s", f"{self.iops:.0f}")
+                f"{self.bandwidth / MB:.1f} MB/s", f"{self.iops:.0f}")
 
 
 @dataclass
@@ -143,7 +144,7 @@ class FairLioSweep:
     def run(self, target: BlockTarget,
             rng: np.random.Generator | None = None) -> list[FairLioResult]:
         """Execute the full sweep against ``target``."""
-        rng = rng or np.random.default_rng(0)
+        rng = rng or RngStreams(0).get("fairlio.measure")
         results = []
         for sequential in self.modes:
             for size in self.request_sizes:
@@ -171,7 +172,7 @@ class FairLioSweep:
 
     def run_many(self, targets: Iterable[BlockTarget],
                  rng: np.random.Generator | None = None) -> list[FairLioResult]:
-        rng = rng or np.random.default_rng(0)
+        rng = rng or RngStreams(0).get("fairlio.measure")
         out: list[FairLioResult] = []
         for target in targets:
             out.extend(self.run(target, rng))

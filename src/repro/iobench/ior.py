@@ -35,8 +35,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
-
 import math
 
 from repro.core.path import PathBuilder, Transfer
@@ -45,7 +43,8 @@ from repro.lustre.client import Client
 from repro.network.lnet import RoutingPolicy
 from repro.obs.trace import get_tracer
 from repro.sim.engine import Engine
-from repro.units import GB, MiB
+from repro.sim.rng import RngStreams
+from repro.units import GB, KiB, MB, MiB
 
 __all__ = ["IorRun", "IorResult", "transfer_size_sweep", "client_scaling"]
 
@@ -88,7 +87,7 @@ class IorResult:
     def row(self) -> tuple:
         return (self.n_processes, self.transfer_size, self.placement,
                 f"{self.aggregate_bw / GB:.1f} GB/s",
-                f"{self.per_process_bw / 1e6:.1f} MB/s")
+                f"{self.per_process_bw / MB:.1f} MB/s")
 
 
 @dataclass
@@ -132,7 +131,7 @@ class IorRun:
             # Even spread over the machine: every k-th node.
             step = len(clients) // self.n_nodes
             return [clients[i * step] for i in range(self.n_nodes)]
-        rng = np.random.default_rng(self.seed)
+        rng = RngStreams(self.seed).get("ior.placement")
         picks = rng.choice(len(clients), size=self.n_nodes, replace=False)
         return [clients[i] for i in sorted(picks)]
 
@@ -244,7 +243,7 @@ class IorRun:
 
 def transfer_size_sweep(
     system: SpiderSystem,
-    sizes: tuple[int, ...] = (64 * 1024, 256 * 1024, 512 * 1024,
+    sizes: tuple[int, ...] = (64 * KiB, 256 * KiB, 512 * KiB,
                               1 * MiB, 2 * MiB, 4 * MiB, 8 * MiB, 16 * MiB),
     *,
     n_processes: int = 672,

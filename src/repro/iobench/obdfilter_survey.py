@@ -32,6 +32,8 @@ import numpy as np
 from repro.core.spider import SpiderSystem
 from repro.hardware.raid import group_bandwidths
 from repro.lustre.ost import OBDFILTER_EFFICIENCY
+from repro.sim.rng import RngStreams
+from repro.units import MB
 
 __all__ = ["SurveyResult", "ObdfilterSurvey"]
 
@@ -48,8 +50,8 @@ class SurveyResult:
     read: float
 
     def row(self) -> tuple:
-        return (self.ost_index, f"{self.write / 1e6:.0f}",
-                f"{self.rewrite / 1e6:.0f}", f"{self.read / 1e6:.0f}")
+        return (self.ost_index, f"{self.write / MB:.0f}",
+                f"{self.rewrite / MB:.0f}", f"{self.read / MB:.0f}")
 
 
 @dataclass
@@ -67,7 +69,7 @@ class ObdfilterSurvey:
 
     def run(self, ost_indices: list[int] | None = None,
             rng: np.random.Generator | None = None) -> list[SurveyResult]:
-        rng = rng or np.random.default_rng(0)
+        rng = rng or RngStreams(0).get("obdfilter.measure")
         sys = self.system
         if ost_indices is None:
             ost_indices = list(range(sys.spec.n_osts))

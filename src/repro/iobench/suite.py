@@ -22,7 +22,8 @@ from repro.core.spider import SpiderSystem
 from repro.iobench.fairlio import FairLioSweep, LunTarget, random_to_sequential_ratio
 from repro.iobench.obdfilter_survey import ObdfilterSurvey
 from repro.obs.trace import get_tracer
-from repro.units import GB, MiB
+from repro.sim.rng import RngStreams
+from repro.units import GB, KiB, MiB
 
 __all__ = ["SuiteReport", "AcceptanceSuite"]
 
@@ -54,14 +55,16 @@ class AcceptanceSuite:
 
     system: SpiderSystem
     sweep: FairLioSweep = field(default_factory=lambda: FairLioSweep(
-        request_sizes=(256 * 1024, MiB, 8 * MiB),
+        request_sizes=(256 * KiB, MiB, 8 * MiB),
         queue_depths=(1, 4), write_fractions=(0.0, 1.0)))
     seed: int = 3
 
     def run_ssu(self, ssu_index: int) -> SuiteReport:
         sys = self.system
         ssu = sys.ssus[ssu_index]
-        rng = np.random.default_rng(self.seed)
+        # Per-SSU substream: surveying SSU 3 draws the same numbers whether
+        # or not SSUs 0-2 were surveyed first.
+        rng = RngStreams(self.seed).get(f"suite.ssu:{ssu_index}")
 
         tracer = get_tracer()
         luns = [LunTarget(g) for g in ssu.groups]

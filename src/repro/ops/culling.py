@@ -34,6 +34,7 @@ import numpy as np
 
 from repro.core.spider import SpiderSystem
 from repro.hardware.raid import group_bandwidths
+from repro.sim.rng import RngStreams
 
 __all__ = ["EnvelopeMetrics", "envelope_metrics", "RoundReport", "CullingReport", "CullingCampaign"]
 
@@ -66,6 +67,8 @@ def envelope_metrics(group_bw: np.ndarray, groups_per_ssu: int) -> EnvelopeMetri
 
 @dataclass(frozen=True)
 class RoundReport:
+    """One cull round: what was replaced and the envelope before/after."""
+
     round_index: int
     level: str  # "block" | "fs"
     replaced: int
@@ -116,7 +119,7 @@ class CullingCampaign:
         self.noise_sigma = noise_sigma
         self.max_rounds = max_rounds
         self.bin_fraction = bin_fraction
-        self._rng = np.random.default_rng(seed)
+        self._rng = RngStreams(seed).get("culling.measure")
         self._members = np.vstack([ssu.members_matrix for ssu in system.ssus])
 
     # -- measurement ------------------------------------------------------------

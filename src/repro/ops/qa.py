@@ -25,6 +25,7 @@ from repro.iobench.obdfilter_survey import ObdfilterSurvey
 from repro.lustre.filesystem import LustreFilesystem
 from repro.lustre.mds import MdsSpec, MetadataServer
 from repro.lustre.ost import Ost, OstSpec
+from repro.sim.rng import RngStreams
 
 __all__ = ["ThinFilesystem", "QaBaseline", "QaFinding", "PerformanceQa"]
 
@@ -87,6 +88,8 @@ class QaBaseline:
 
 @dataclass(frozen=True)
 class QaFinding:
+    """One OST whose measured bandwidth regressed from its baseline."""
+
     ost_index: int
     baseline_bw: float
     current_bw: float
@@ -107,7 +110,7 @@ class PerformanceQa:
             raise ValueError("tolerance must be in (0, 1)")
         self.system = system
         self.tolerance = tolerance
-        self._rng = np.random.default_rng(seed)
+        self._rng = RngStreams(seed).get("qa.measure")
         self.baseline: QaBaseline | None = None
         self.findings_history: list[list[QaFinding]] = []
 
