@@ -15,12 +15,13 @@ disabled by default with a one-attribute-read fast path.
 from __future__ import annotations
 
 import json
-import time as _time
+import time as _time  # spider-lint: ignore[determinism] -- wall time is the tracer's secondary axis, never fed back into the simulation
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterator
 
 from repro.obs.instruments import Telemetry, get_telemetry
+from repro.units import MS, US
 
 __all__ = [
     "Span",
@@ -55,6 +56,13 @@ class Span:
     @property
     def wall_duration(self) -> float:
         return self.t1_wall - self.t0_wall
+
+
+def _wall_clock() -> float:
+    """The tracer's secondary timeline: how long the Python model itself
+    takes.  Wall time only ever annotates spans (``wall_ms``); it never
+    reaches simulation state, so determinism of results is preserved."""
+    return _time.perf_counter()  # spider-lint: ignore[determinism] -- deliberate wall-clock self-profiling, annotation-only
 
 
 class _OpenSpan:
@@ -122,7 +130,7 @@ class Tracer:
         if not self.enabled:
             return None
         parent = self._stack[-1].name if self._stack else None
-        handle = _OpenSpan(name, cat, self._clock(), _time.perf_counter(),
+        handle = _OpenSpan(name, cat, self._clock(), _wall_clock(),
                            len(self._stack), parent, dict(args))
         self._stack.append(handle)
         return handle
@@ -138,7 +146,7 @@ class Tracer:
         if not self.enabled:
             return None
         parent = self._stack[-1].name if self._stack else None
-        return _OpenSpan(name, cat, self._clock(), _time.perf_counter(),
+        return _OpenSpan(name, cat, self._clock(), _wall_clock(),
                          len(self._stack), parent, dict(args))
 
     def end(self, handle: _OpenSpan | None, **args: Any) -> Span | None:
@@ -166,7 +174,7 @@ class Tracer:
         span = Span(
             name=handle.name, cat=handle.cat,
             t0_sim=handle.t0_sim, t1_sim=self._clock(),
-            t0_wall=handle.t0_wall, t1_wall=_time.perf_counter(),
+            t0_wall=handle.t0_wall, t1_wall=_wall_clock(),
             depth=handle.depth, parent=handle.parent, args=handle.args,
         )
         self.spans.append(span)
@@ -190,7 +198,7 @@ class Tracer:
         if not self.enabled:
             return
         t_sim = self._clock()
-        wall = _time.perf_counter()
+        wall = _wall_clock()
         self.instants.append(Span(
             name=name, cat=cat, t0_sim=t_sim, t1_sim=t_sim,
             t0_wall=wall, t1_wall=wall,
@@ -230,18 +238,18 @@ class Tracer:
             })
         for s in self.spans:
             args = dict(s.args)
-            args["wall_ms"] = round(s.wall_duration * 1e3, 6)
+            args["wall_ms"] = round(s.wall_duration / MS, 6)
             if s.parent:
                 args["parent"] = s.parent
             events.append({
                 "name": s.name, "cat": s.cat or "default", "ph": "X",
-                "ts": s.t0_sim * 1e6, "dur": s.sim_duration * 1e6,
+                "ts": s.t0_sim / US, "dur": s.sim_duration / US,
                 "pid": 1, "tid": tid_of(s.cat or "default"), "args": args,
             })
         for s in self.instants:
             events.append({
                 "name": s.name, "cat": s.cat or "default", "ph": "i",
-                "ts": s.t0_sim * 1e6, "s": "p",
+                "ts": s.t0_sim / US, "s": "p",
                 "pid": 1, "tid": tid_of(s.cat or "default"),
                 "args": dict(s.args),
             })
@@ -250,7 +258,7 @@ class Tracer:
             "displayTimeUnit": "ms",
         }
         if telemetry is not None:
-            t_end = max((s.t1_sim for s in self.spans), default=0.0) * 1e6
+            t_end = max((s.t1_sim for s in self.spans), default=0.0) / US
             for c in telemetry.counters():
                 events.append({
                     "name": c.name, "cat": _layer_of(c.name), "ph": "C",
@@ -272,7 +280,7 @@ class Tracer:
                 fh.write(json.dumps({
                     "name": s.name, "cat": s.cat,
                     "t0_sim": s.t0_sim, "t1_sim": s.t1_sim,
-                    "wall_ms": s.wall_duration * 1e3,
+                    "wall_ms": s.wall_duration / MS,
                     "depth": s.depth, "parent": s.parent,
                     "args": s.args,
                 }) + "\n")
@@ -311,6 +319,7 @@ def read_chrome_trace(path) -> dict:
 
 
 def read_jsonl(path) -> list[dict]:
+    """Load a :meth:`Tracer.write_jsonl` file: one span dict per line."""
     with open(path) as fh:
         return [json.loads(line) for line in fh if line.strip()]
 
@@ -320,10 +329,12 @@ _default = Tracer(enabled=False)
 
 
 def get_tracer() -> Tracer:
+    """The process-wide tracer (the disabled default unless replaced)."""
     return _default
 
 
 def set_tracer(tracer: Tracer) -> Tracer:
+    """Install ``tracer`` as the process-wide tracer; returns the old one."""
     global _default
     previous, _default = _default, tracer
     return previous
@@ -331,6 +342,8 @@ def set_tracer(tracer: Tracer) -> Tracer:
 
 @contextmanager
 def use_tracer(tracer: Tracer) -> Iterator[Tracer]:
+    """Scope ``tracer`` as the process-wide tracer for a ``with`` block,
+    restoring the previous one on exit (exception-safe)."""
     previous = set_tracer(tracer)
     try:
         yield tracer
