@@ -25,7 +25,7 @@ import numpy as np
 
 
 from repro.sim.rng import RngStreams
-from repro.units import GB
+from repro.units import GB, MS, MiB
 from repro.workloads.analytics import AnalyticsApp, analytics_trace
 from repro.workloads.checkpoint import CheckpointApp, checkpoint_trace
 from repro.workloads.model import RequestTrace, merge_traces
@@ -62,10 +62,10 @@ class InterferenceReport:
 
     def rows(self) -> list[tuple[str, str]]:
         return [
-            ("analytics read p50, alone", f"{self.alone_read_p50 * 1e3:.1f} ms"),
-            ("analytics read p50, mixed", f"{self.mixed_read_p50 * 1e3:.1f} ms"),
-            ("analytics read p99, alone", f"{self.alone_read_p99 * 1e3:.1f} ms"),
-            ("analytics read p99, mixed", f"{self.mixed_read_p99 * 1e3:.1f} ms"),
+            ("analytics read p50, alone", f"{self.alone_read_p50 / MS:.1f} ms"),
+            ("analytics read p50, mixed", f"{self.mixed_read_p50 / MS:.1f} ms"),
+            ("analytics read p99, alone", f"{self.alone_read_p99 / MS:.1f} ms"),
+            ("analytics read p99, mixed", f"{self.mixed_read_p99 / MS:.1f} ms"),
             ("p99 inflation", f"{self.p99_inflation:.1f}x"),
             ("mean read inflation", f"{self.mean_inflation:.1f}x"),
             ("checkpoint burst drain, alone", f"{self.burst_drain_alone:.1f} s"),
@@ -107,7 +107,7 @@ def measure_interference(
     rng = RngStreams(seed)
     analytics = analytics or AnalyticsApp(request_rate=250.0)
     checkpoint = checkpoint or CheckpointApp(
-        n_procs=64, bytes_per_proc=48 * 1024 * 1024,
+        n_procs=64, bytes_per_proc=48 * MiB,
         interval=300.0, aggregate_bandwidth=3 * station_bandwidth)
 
     ana = analytics_trace(analytics, duration, rng.get("ana"))
@@ -159,9 +159,9 @@ class PlacementLatencyReport:
         return [
             ("OST-class stations", str(self.n_stations)),
             ("read p99, checkpoint concentrated",
-             f"{self.concentrated_p99 * 1e3:.1f} ms"),
+             f"{self.concentrated_p99 / MS:.1f} ms"),
             ("read p99, checkpoint spread",
-             f"{self.spread_p99 * 1e3:.1f} ms"),
+             f"{self.spread_p99 / MS:.1f} ms"),
             ("spread placement gain", f"{self.spread_gain:.1f}x"),
         ]
 
@@ -191,7 +191,7 @@ def measure_placement_latency(
     rng = RngStreams(seed)
     analytics = AnalyticsApp(request_rate=120.0 * n_stations)
     checkpoint = CheckpointApp(
-        n_procs=64, bytes_per_proc=48 * 1024 * 1024,
+        n_procs=64, bytes_per_proc=48 * MiB,
         interval=300.0, aggregate_bandwidth=1.5 * station_bandwidth)
 
     ana = analytics_trace(analytics, duration, rng.get("ana"))

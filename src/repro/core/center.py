@@ -21,12 +21,15 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass
 
-from repro.units import PB, TB
+from repro.units import GB, HOUR, PB, TB
 
 __all__ = ["PfsModel", "ComputeResource", "WorkflowStage", "Workflow", "HpcCenter"]
 
 
 class PfsModel(enum.Enum):
+    """The two provisioning models §I contrasts: one shared center-wide
+    file system vs. a dedicated scratch per compute platform."""
+
     DATA_CENTRIC = "data-centric"
     MACHINE_EXCLUSIVE = "machine-exclusive"
 
@@ -197,7 +200,7 @@ class HpcCenter:
         return moved
 
     def workflow_staging_seconds(
-        self, workflow: Workflow, *, dtn_bandwidth: float = 10 * 10**9
+        self, workflow: Workflow, *, dtn_bandwidth: float = 10 * GB
     ) -> float:
         """Wall-clock spent copying between file systems for the workflow.
 
@@ -215,8 +218,8 @@ class HpcCenter:
         workflow: Workflow,
         *,
         stage_seconds: dict[str, float] | None = None,
-        default_stage_seconds: float = 3600.0,
-        dtn_bandwidth: float = 10 * 10**9,
+        default_stage_seconds: float = HOUR,
+        dtn_bandwidth: float = 10 * GB,
     ) -> float:
         """End-to-end campaign wall-clock: compute stages plus (for the
         machine-exclusive model) the staging copies between them."""

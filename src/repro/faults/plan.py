@@ -29,6 +29,7 @@ from typing import Iterable, Iterator, Sequence
 from repro.core.spider import SpiderSystem
 from repro.faults.events import FaultClass, PlannedFault
 from repro.sim.rng import RngStreams
+from repro.units import HOUR
 
 __all__ = ["FaultPlan", "cable_failure_scenario", "incident_2010_scenario"]
 
@@ -171,7 +172,7 @@ def cable_failure_scenario(system: SpiderSystem, *, oss_name: str | None = None)
     return FaultPlan([
         PlannedFault(600.0, FaultClass.CABLE_DEGRADE, oss,
                      duration=3000.0, magnitude=0.4),
-        PlannedFault(3600.0, FaultClass.CABLE_FAIL, oss, duration=1800.0),
+        PlannedFault(HOUR, FaultClass.CABLE_FAIL, oss, duration=1800.0),
     ])
 
 
@@ -187,7 +188,7 @@ def incident_2010_scenario(system: SpiderSystem) -> FaultPlan:
     """
     failed_disk = int(system.ssus[0].members_matrix[0, 0])
     return FaultPlan([
-        PlannedFault(0.0, FaultClass.DISK_FAIL, failed_disk, duration=3600.0),
+        PlannedFault(0.0, FaultClass.DISK_FAIL, failed_disk, duration=HOUR),
         PlannedFault(600.0, FaultClass.CONTROLLER_FAIL, 0),
-        PlannedFault(18 * 3600.0, FaultClass.ENCLOSURE_OFFLINE, (0, 0)),
+        PlannedFault(18 * HOUR, FaultClass.ENCLOSURE_OFFLINE, (0, 0)),
     ])

@@ -20,6 +20,7 @@ import numpy as np
 from repro.lustre.mds import MdsSpec, MetadataServer, OpMix
 from repro.lustre.namespace import FileEntry, Namespace, StripeLayout
 from repro.lustre.ost import Ost
+from repro.units import MiB
 
 __all__ = ["LustreFilesystem"]
 
@@ -34,7 +35,7 @@ class LustreFilesystem:
         mds: MetadataServer | None = None,
         *,
         default_stripe_count: int = 4,
-        default_stripe_size: int = 1 << 20,
+        default_stripe_size: int = MiB,
         qos_threshold: float = 0.17,
     ) -> None:
         if not osts:

@@ -16,6 +16,8 @@ import posixpath
 from dataclasses import dataclass
 from typing import Callable, Iterator
 
+from repro.units import MiB
+
 __all__ = ["StripeLayout", "FileEntry", "Namespace", "NamespaceError"]
 
 
@@ -33,7 +35,7 @@ class StripeLayout:
     """
 
     osts: tuple[int, ...]
-    stripe_size: int = 1 << 20
+    stripe_size: int = MiB
 
     def __post_init__(self) -> None:
         if not self.osts:

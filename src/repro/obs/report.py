@@ -18,7 +18,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.units import fmt_bandwidth
+from repro.units import MS, fmt_bandwidth
 
 __all__ = [
     "LayerUsage",
@@ -192,7 +192,7 @@ def _render_counter_summary(snapshot: dict) -> str:
     for h in snapshot.get("histograms", []):
         if h["name"] == "mds.service_seconds" and h["count"]:
             rows.append((f"mds service p50/p99 [{h['source']}]",
-                         f"{h['p50'] * 1e3:.2f} / {h['p99'] * 1e3:.2f} ms"))
+                         f"{h['p50'] / MS:.2f} / {h['p99'] / MS:.2f} ms"))
         if h["name"] == "flow.rounds" and h["count"]:
             rows.append(("flow filling rounds (mean)",
                          f"{h['sum'] / h['count']:.1f}"))

@@ -19,7 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 
-from repro.units import GB, TB
+from repro.units import GB, PB, TB
 
 __all__ = ["Project", "NamespaceLoad", "PlanReport", "NamespacePlanner"]
 
@@ -36,7 +36,7 @@ class Project:
         if self.capacity_bytes < 0 or self.bandwidth < 0:
             raise ValueError("demands must be non-negative")
 
-    def tier(self, capacity_edges: tuple[int, ...] = (100 * TB, 1000 * TB),
+    def tier(self, capacity_edges: tuple[int, ...] = (100 * TB, PB),
              bw_edges: tuple[float, ...] = (10 * GB, 50 * GB)) -> str:
         """The classification of §IV-C: S/M/L on each axis."""
         cap = sum(self.capacity_bytes >= e for e in capacity_edges)
@@ -71,6 +71,8 @@ class NamespaceLoad:
 
 @dataclass(frozen=True)
 class PlanReport:
+    """The planner's verdict: project placements and the resulting balance."""
+
     namespaces: tuple[NamespaceLoad, ...]
 
     @property

@@ -20,12 +20,14 @@ import enum
 from dataclasses import dataclass
 
 from repro.hardware.ssu import SsuSpec
-from repro.units import GB, PB
+from repro.units import GB, MiB, PB, TB
 
 __all__ = ["ResponseModel", "Rfp", "VendorProposal", "ScoreCard", "ProcurementEvaluation"]
 
 
 class ResponseModel(enum.Enum):
+    """The two RFP response models §III-B allowed vendors to bid."""
+
     BLOCK_STORAGE = "block"  # OLCF integrates servers + network + Lustre
     APPLIANCE = "appliance"  # vendor-integrated turnkey
 
@@ -34,7 +36,7 @@ class ResponseModel(enum.Enum):
 class Rfp:
     """The Statement of Work's quantitative floors."""
 
-    sequential_floor: float = 1000 * GB  # 1 TB/s (75% of 600 TB in 6 min)
+    sequential_floor: float = TB  # 1 TB/s (75% of 600 TB in 6 min)
     random_floor: float = 240 * GB  # from the 20-25% single-disk ratio
     capacity_floor: int = 20 * PB
     budget_min: float = 25.0  # normalized money units
@@ -76,7 +78,7 @@ class VendorProposal:
     @property
     def total_random_bw(self) -> float:
         # the 20-25% disk-level ratio propagates through the array
-        ratio = self.ssu.disk.random_efficiency(1 << 20)
+        ratio = self.ssu.disk.random_efficiency(MiB)
         return self.total_seq_bw * ratio
 
     @property

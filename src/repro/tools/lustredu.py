@@ -22,6 +22,7 @@ from dataclasses import dataclass
 
 from repro.lustre.filesystem import LustreFilesystem
 from repro.lustre.mds import OpMix
+from repro.units import DAY
 
 __all__ = ["DuSnapshot", "LustreDu"]
 
@@ -50,7 +51,7 @@ class DuSnapshot:
 class LustreDu:
     """The daily server-side sweep plus the query interface."""
 
-    def __init__(self, fs: LustreFilesystem, *, sweep_interval: float = 86_400.0,
+    def __init__(self, fs: LustreFilesystem, *, sweep_interval: float = DAY,
                  server_scan_speedup: float = 5.0) -> None:
         if sweep_interval <= 0:
             raise ValueError("sweep_interval must be positive")

@@ -19,7 +19,7 @@ from typing import Callable
 
 from repro.lustre.filesystem import LustreFilesystem
 from repro.lustre.namespace import FileEntry
-from repro.units import DAY
+from repro.units import DAY, TB
 
 __all__ = ["PurgeReport", "Purger"]
 
@@ -41,7 +41,7 @@ class PurgeReport:
             f"{self.swept_at / DAY:.0f}d",
             self.files_examined,
             self.files_purged,
-            f"{self.bytes_purged / 1e12:.2f} TB",
+            f"{self.bytes_purged / TB:.2f} TB",
             f"{self.fill_before:.1%}",
             f"{self.fill_after:.1%}",
         )

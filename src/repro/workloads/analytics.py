@@ -32,7 +32,7 @@ class AnalyticsApp:
     small_fraction: float = 0.62  # fraction of requests under 16 KB
     read_fraction: float = 0.92  # analytics is read-heavy but not pure-read
     pareto_alpha: float = 1.4  # inter-arrival tail index (paper: long tail)
-    max_large_mib: int = 8  # bulk reads are 1..max_large_mib MiB
+    max_large_read: int = 8 * MiB  # bulk reads: 1 MiB .. max_large_read, in MiB steps
 
     def __post_init__(self) -> None:
         if self.request_rate <= 0:
@@ -42,8 +42,8 @@ class AnalyticsApp:
                 raise ValueError("fractions must be in [0, 1]")
         if self.pareto_alpha <= 1.0:
             raise ValueError("pareto_alpha must exceed 1 for a finite mean rate")
-        if self.max_large_mib < 1:
-            raise ValueError("max_large_mib must be >= 1")
+        if self.max_large_read < MiB:
+            raise ValueError("max_large_read must be >= 1 MiB")
 
 
 def analytics_trace(
@@ -81,7 +81,8 @@ def analytics_trace(
     exponents = rng.integers(9, 14, size=int(small.sum()))  # 2^9 .. 2^13
     sizes[small] = (1 << exponents).astype(np.int64)
     # Large mode: exact MiB multiples.
-    multiples = rng.integers(1, app.max_large_mib + 1, size=int((~small).sum()))
+    multiples = rng.integers(1, app.max_large_read // MiB + 1,
+                             size=int((~small).sum()))
     sizes[~small] = multiples.astype(np.int64) * MiB
 
     is_write = rng.random(n) >= app.read_fraction

@@ -17,7 +17,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.units import GB, KiB, MiB
+from repro.units import GB, HOUR, KiB, MiB
 
 __all__ = ["CheckpointApp", "checkpoint_trace", "restart_trace", "time_to_restart", "time_to_checkpoint"]
 
@@ -31,7 +31,7 @@ class CheckpointApp:
     name: str = "ckpt-app"
     n_procs: int = 8192
     bytes_per_proc: int = 2 * GB  # state written per rank per checkpoint
-    interval: float = 3600.0  # seconds between checkpoint starts
+    interval: float = HOUR  # seconds between checkpoint starts
     write_request_size: int = 1 * MiB
     header_bytes: int = 8 * KiB  # small header/metadata write per file
     aggregate_bandwidth: float = 200 * GB  # delivered during the burst

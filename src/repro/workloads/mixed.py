@@ -18,7 +18,7 @@ from dataclasses import dataclass, field
 
 
 from repro.sim.rng import RngStreams
-from repro.units import GB, MiB
+from repro.units import GB, HOUR, MiB
 from repro.workloads.analytics import AnalyticsApp, analytics_trace
 from repro.workloads.checkpoint import CheckpointApp, checkpoint_trace
 from repro.workloads.model import RequestTrace, merge_traces
@@ -49,7 +49,7 @@ class MixedWorkload:
 
 
 def spider_mixed_workload(
-    duration: float = 4 * 3600.0,
+    duration: float = 4 * HOUR,
     *,
     seed: int = 14,
     target_write_fraction: float = 0.60,
@@ -66,7 +66,7 @@ def spider_mixed_workload(
     rng = RngStreams(seed)
     ckpt_apps = [
         CheckpointApp(name="gyro", n_procs=4096, bytes_per_proc=1 * GB,
-                      interval=3600.0, aggregate_bandwidth=150 * GB),
+                      interval=HOUR, aggregate_bandwidth=150 * GB),
         CheckpointApp(name="s3d", n_procs=8192, bytes_per_proc=512 * MiB,
                       interval=1800.0, aggregate_bandwidth=180 * GB),
         CheckpointApp(name="chimera", n_procs=2048, bytes_per_proc=2 * GB,
