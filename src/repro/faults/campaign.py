@@ -43,6 +43,7 @@ from repro.monitoring.health import HealthEvent, LustreHealthChecker
 from repro.obs.instruments import get_telemetry
 from repro.obs.trace import get_tracer, instrument_engine
 from repro.sim.engine import Engine
+from repro.units import HOUR
 
 __all__ = ["FaultCampaign", "CampaignResult"]
 
@@ -124,7 +125,7 @@ class FaultCampaign:
         if not system.clients:
             raise ValueError("campaign needs a system built with clients")
         if duration is None:
-            duration = plan.end + 3600.0
+            duration = plan.end + HOUR
         if duration <= 0:
             raise ValueError("duration must be positive")
         if not (0 < threshold < 1):
@@ -207,7 +208,9 @@ class FaultCampaign:
         self._tokens[fault] = injector.inject(self.system, fault)
         self._n_injected += 1
         host = injector.host(self.system, fault)
-        get_telemetry().counter("faults.injected", fault.fault.value).add(1.0)
+        telemetry = get_telemetry()
+        if telemetry.enabled:
+            telemetry.counter("faults.injected", fault.fault.value).add(1.0)
         self._spans[fault] = get_tracer().open(
             f"fault:{fault.label}", "faults",
             target=str(fault.target), magnitude=fault.magnitude,
@@ -228,7 +231,9 @@ class FaultCampaign:
         injector = injector_for(fault)
         followup = injector.repair(self.system, fault, self._tokens.pop(fault, None))
         self._n_repaired += 1
-        get_telemetry().counter("faults.repaired", fault.fault.value).add(1.0)
+        telemetry = get_telemetry()
+        if telemetry.enabled:
+            telemetry.counter("faults.repaired", fault.fault.value).add(1.0)
         get_tracer().end(self._spans.pop(fault, None), repaired=True)
         if injector.resolves_flow:
             self._sample(f"{fault.label}:repaired")
