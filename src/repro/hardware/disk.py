@@ -78,6 +78,8 @@ class DiskSpec:
 
 
 class DiskState(enum.Enum):
+    """Lifecycle of a drive as the RAID layer sees it."""
+
     HEALTHY = "healthy"
     FAILED = "failed"
     REPLACED = "replaced"  # culled (still functional) and swapped out

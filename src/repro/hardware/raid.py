@@ -73,6 +73,8 @@ class RaidGeometry:
 
 
 class RaidState(enum.Enum):
+    """Redundancy state of one RAID group."""
+
     CLEAN = "clean"
     DEGRADED = "degraded"  # erasures <= tolerance, redundancy reduced
     REBUILDING = "rebuilding"

@@ -23,6 +23,8 @@ __all__ = ["CheckState", "CheckResult", "Alert", "CheckScheduler"]
 
 
 class CheckState(enum.IntEnum):
+    """Nagios-style severity ladder; higher is worse."""
+
     OK = 0
     WARNING = 1
     CRITICAL = 2
@@ -31,6 +33,8 @@ class CheckState(enum.IntEnum):
 
 @dataclass(frozen=True)
 class CheckResult:
+    """One execution of one check: its state at ``time``, with detail."""
+
     check: str
     time: float
     state: CheckState
@@ -39,6 +43,8 @@ class CheckResult:
 
 @dataclass
 class Alert:
+    """A non-OK episode: raised when a check degrades, cleared on recovery."""
+
     check: str
     raised_at: float
     state: CheckState

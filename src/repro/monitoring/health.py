@@ -26,6 +26,9 @@ __all__ = ["EventKind", "HealthEvent", "Incident", "LustreHealthChecker"]
 
 
 class EventKind(enum.Enum):
+    """The health-event taxonomy of §IV: hardware faults vs. Lustre
+    software symptoms, which drive different response playbooks."""
+
     # hardware
     DISK_FAILURE = "disk_failure"
     DISK_LATENCY = "disk_latency"

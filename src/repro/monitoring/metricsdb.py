@@ -22,6 +22,8 @@ __all__ = ["MetricPoint", "MetricsDb"]
 
 @dataclass(frozen=True)
 class MetricPoint:
+    """One sample of one series: ``value`` observed at sim-time ``time``."""
+
     time: float
     value: float
 

@@ -32,6 +32,8 @@ __all__ = ["NodeState", "GediScript", "ServiceDef", "GediCluster", "diskful_mttr
 
 
 class NodeState(enum.Enum):
+    """Stages of the netboot pipeline a server walks through."""
+
     OFF = "off"
     PXE = "pxe"
     INITRD = "initrd"
