@@ -1,0 +1,15 @@
+"""Bad: exported names without docstrings."""
+
+__all__ = ["Budget", "spend"]
+
+
+class Budget:
+    limit: float = 0.0
+
+
+def spend(amount: float) -> float:
+    return amount
+
+
+def _helper() -> None:
+    pass

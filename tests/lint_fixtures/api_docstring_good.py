@@ -1,0 +1,19 @@
+"""Good: the published surface documents its contract; private helpers
+stay free to be terse."""
+
+__all__ = ["Budget", "spend"]
+
+
+class Budget:
+    """A spending limit, in normalized units."""
+
+    limit: float = 0.0
+
+
+def spend(amount: float) -> float:
+    """Record one expense and return it."""
+    return amount
+
+
+def _helper() -> None:
+    pass

@@ -1,0 +1,11 @@
+"""Bad: every hidden-entropy pattern the determinism rule bans."""
+import random
+import time
+
+import numpy as np
+from numpy.random import default_rng
+
+
+def jitter() -> float:
+    rng = np.random.default_rng()
+    return rng.random() + random.random() + time.time()

@@ -1,0 +1,14 @@
+"""Good: entropy flows through seeded substreams and Generator params."""
+import numpy as np
+
+from repro.sim.rng import RngStreams
+
+
+def jitter(rng: np.random.Generator) -> float:
+    """One draw from the caller's stream."""
+    return float(rng.random())
+
+
+def sample(seed: int) -> float:
+    """A named substream pins the draw to the seed."""
+    return float(RngStreams(seed).get("fixture.sample").random())

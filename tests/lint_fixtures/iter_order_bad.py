@@ -1,0 +1,13 @@
+"""Bad: hash-ordered and filesystem-ordered iteration."""
+import os
+
+
+def names(path):
+    out = []
+    for name in os.listdir(path):
+        out.append(name)
+    return out
+
+
+def tags():
+    return [t for t in {"a", "b", "c"}]

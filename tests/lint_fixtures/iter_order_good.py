@@ -1,0 +1,12 @@
+"""Good: unordered sources are sorted before iteration."""
+import os
+
+
+def names(path):
+    """Deterministic listing order."""
+    return [name for name in sorted(os.listdir(path))]
+
+
+def tags():
+    """Sets are sorted before iteration."""
+    return [t for t in sorted({"a", "b", "c"})]

@@ -1,0 +1,8 @@
+"""Bad: unit knowledge re-encoded as literals inside arithmetic."""
+
+
+def cost(n_bytes: int) -> float:
+    chunk = 1 << 20
+    rate = 10 * 10 ** 9
+    window = 2 * 3600
+    return n_bytes / chunk + rate * window + 4 * 1024

@@ -1,0 +1,9 @@
+"""Good: named module-level constants and repro.units carry the numbers."""
+from repro.units import GB, HOUR, KiB, MiB
+
+_WINDOW_SLOTS = 3600  # a *count* of one-second slots, named at module level
+
+
+def cost(n_bytes: int) -> float:
+    """Unit arithmetic through named constants only."""
+    return n_bytes / MiB + 10 * GB * 2 * HOUR + 4 * KiB + _WINDOW_SLOTS

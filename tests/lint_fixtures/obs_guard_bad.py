@@ -1,0 +1,6 @@
+"""Bad: an unguarded instrument mutation on the hot path."""
+from repro.obs.instruments import get_telemetry
+
+
+def record(nbytes: float) -> None:
+    get_telemetry().counter("fixture.bytes").add(float(nbytes))

@@ -1,0 +1,17 @@
+"""Good: both guard idioms from repro/obs/instruments.py."""
+from repro.obs.instruments import get_telemetry
+
+
+def record(nbytes: float) -> None:
+    """Nested guard: one attribute read when disabled."""
+    telemetry = get_telemetry()
+    if telemetry.enabled:
+        telemetry.counter("fixture.bytes").add(float(nbytes))
+
+
+def record_early(nbytes: float) -> None:
+    """Early-return guard."""
+    telemetry = get_telemetry()
+    if not telemetry.enabled:
+        return
+    telemetry.counter("fixture.bytes").add(float(nbytes))

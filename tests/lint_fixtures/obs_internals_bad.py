@@ -1,0 +1,8 @@
+"""Bad: reaching into registry internals from outside repro/obs."""
+from repro.obs.instruments import get_telemetry
+
+
+def reset() -> None:
+    telemetry = get_telemetry()
+    telemetry._counters.clear()
+    telemetry.enabled = False

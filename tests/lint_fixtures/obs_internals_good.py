@@ -1,0 +1,21 @@
+"""Good: registry state flows through the public API; private names on
+non-telemetry objects stay allowed."""
+from repro.obs.instruments import Telemetry, use_telemetry
+
+
+def snapshot(run):
+    """Scoped enablement + public read API; private state untouched."""
+    with use_telemetry(Telemetry(enabled=True)) as telemetry:
+        run()
+        return telemetry.snapshot()
+
+
+class Recorder:
+    """A non-telemetry object may keep private state of its own."""
+
+    def __init__(self) -> None:
+        self._spans = []
+
+    def note(self, span) -> None:
+        """``self`` is not a telemetry receiver; ``self._spans`` is fine."""
+        self._spans.append(span)

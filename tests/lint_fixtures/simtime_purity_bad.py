@@ -1,0 +1,8 @@
+"""Bad: a DES process body reaching the host."""
+
+
+def writer_process(engine, path):
+    with open(path, "w") as fh:
+        fh.write("start")
+    yield engine.timeout(1.0)
+    print("done")

@@ -1,0 +1,19 @@
+"""Good: processes stay pure; @contextmanager resource scopes may do I/O."""
+from contextlib import contextmanager
+
+
+def writer_process(engine, log):
+    """A pure DES process: effects go to an in-memory log."""
+    log.append("start")
+    yield engine.timeout(1.0)
+    log.append("done")
+
+
+@contextmanager
+def report_file(path):
+    """A resource scope (not a process): host I/O is its whole point."""
+    fh = open(path, "w")
+    try:
+        yield fh
+    finally:
+        fh.close()

@@ -1,0 +1,12 @@
+"""Bad: scaled units smuggled through parameter and field names."""
+from dataclasses import dataclass
+
+
+@dataclass
+class Probe:
+    timeout_ms: float = 5.0
+    link_gbps: float = 40.0
+
+
+def transfer(size_mb: int, latency_us: float) -> float:
+    return size_mb / latency_us

@@ -1,0 +1,15 @@
+"""Good: quantities cross APIs in bytes and seconds."""
+from dataclasses import dataclass
+
+
+@dataclass
+class Probe:
+    """A link probe; quantities in base units."""
+
+    timeout: float = 5e-3  # seconds
+    link_bw: float = 5e9  # bytes/s
+
+
+def transfer(size: int, latency: float) -> float:
+    """Bytes and seconds in, a rate in bytes/s out."""
+    return size / latency

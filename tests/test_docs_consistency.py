@@ -60,3 +60,34 @@ def test_every_package_in_readme_tree():
     missing = [pkg for pkg in _repro_packages() if f"{pkg}/" not in readme]
     assert not missing, (
         f"README.md \"What's inside\" tree is missing package(s) {missing}")
+
+
+def _registered_lint_rules() -> set[str]:
+    import repro.lint
+
+    return {rule.rule_id for rule in repro.lint.all_rules()}
+
+
+def test_every_lint_rule_in_docs():
+    # Forward direction: registering a rule obliges documenting it.
+    rules = _registered_lint_rules()
+    for doc in ("DESIGN.md", "README.md"):
+        text = (REPO / doc).read_text()
+        missing = sorted(r for r in rules if f"`{r}`" not in text)
+        assert not missing, (
+            f"{doc} does not mention lint rule(s) {missing}; "
+            f"extend the spider-lint section")
+
+
+def test_design_rule_table_matches_registry():
+    # Reverse direction: the DESIGN.md §8 table may not document rules
+    # that no longer exist (nor miss ones that do).
+    import re
+
+    design = (REPO / "DESIGN.md").read_text()
+    documented = set(re.findall(r"^\| `([a-z][a-z-]*)` \|", design, re.M))
+    rules = _registered_lint_rules()
+    assert documented == rules, (
+        "DESIGN.md §8 rule table is out of step with the registry: "
+        f"stale={sorted(documented - rules)}, "
+        f"undocumented={sorted(rules - documented)}")
