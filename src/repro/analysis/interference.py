@@ -31,8 +31,38 @@ from repro.workloads.checkpoint import CheckpointApp, checkpoint_trace
 from repro.workloads.model import RequestTrace, merge_traces
 from repro.workloads.replay import ReplayResult, replay_trace
 
-__all__ = ["InterferenceReport", "measure_interference",
+__all__ = ["isolated_and_shared", "InterferenceReport", "measure_interference",
            "PlacementLatencyReport", "measure_placement_latency"]
+
+
+def isolated_and_shared(
+    traces: list[RequestTrace],
+    *,
+    bandwidth: float,
+    n_servers: int = 4,
+    positioning_time: float = 0.004,
+    label: str = "mixed",
+) -> tuple[list[ReplayResult], ReplayResult, RequestTrace]:
+    """Replay each trace alone, then all of them merged on one station.
+
+    The isolated-vs-shared harness behind :func:`measure_interference`,
+    factored out so other consumers (the scheduler's per-job "isolated
+    baseline", notably) reuse it instead of re-deriving the replay
+    plumbing.  Returns ``(alone_results, shared_result, merged_trace)``:
+    ``alone_results[i]`` aligns with ``traces[i]`` (an empty trace yields
+    an empty result), while :func:`~repro.workloads.model.merge_traces`
+    *drops* empty traces, so source ids in the shared result follow the
+    order of the **non-empty** inputs only.
+    """
+    if not traces:
+        raise ValueError("need at least one trace")
+    alone = [replay_trace(t, bandwidth=bandwidth, n_servers=n_servers,
+                          positioning_time=positioning_time)
+             for t in traces]
+    merged = merge_traces(traces, label=label)
+    shared = replay_trace(merged, bandwidth=bandwidth, n_servers=n_servers,
+                          positioning_time=positioning_time)
+    return alone, shared, merged
 
 
 @dataclass(frozen=True)
@@ -114,16 +144,11 @@ def measure_interference(
     ckpt = checkpoint_trace(checkpoint, duration, rng.get("ckpt"),
                             start_offset=60.0)
 
-    # Alone: each stream has the station to itself (machine-exclusive).
-    ana_alone = replay_trace(ana, bandwidth=station_bandwidth,
-                             n_servers=n_servers)
-    ckpt_alone = replay_trace(ckpt, bandwidth=station_bandwidth,
-                              n_servers=n_servers)
-
-    # Mixed: the streams interleave on the shared station (data-centric).
-    mixed = merge_traces([ana, ckpt], label="mixed")
-    mixed_result = replay_trace(mixed, bandwidth=station_bandwidth,
-                                n_servers=n_servers)
+    # Alone (machine-exclusive) vs mixed on the shared station
+    # (data-centric), through the reusable harness.
+    alone, mixed_result, mixed = isolated_and_shared(
+        [ana, ckpt], bandwidth=station_bandwidth, n_servers=n_servers)
+    ana_alone, ckpt_alone = alone
 
     # Source ids assigned by merge order: 0 = analytics, 1 = checkpoint.
     return InterferenceReport(

@@ -11,6 +11,7 @@ Subcommands map one-to-one onto the paper's activities::
     spider-repro placement              # the Figure 2 cabinet map
     spider-repro workload               # the §II characterization
     spider-repro interference           # the §II latency-contention study
+    spider-repro sched                  # multi-tenant scheduler + QoS caps
     spider-repro recovery --imperative  # failover + router-failure recovery
     spider-repro suite --ssu 1          # the §III-B acceptance suite
     spider-repro reliability --years 20 # failure/rebuild exposure
@@ -28,7 +29,16 @@ import argparse
 import sys
 from contextlib import contextmanager
 
-from repro.units import DAY, GB, HOUR, KiB, fmt_bandwidth, fmt_size
+from repro.units import (
+    DAY,
+    GB,
+    HOUR,
+    KiB,
+    MS,
+    fmt_bandwidth,
+    fmt_duration,
+    fmt_size,
+)
 
 __all__ = ["main", "build_parser", "CliError"]
 
@@ -224,6 +234,67 @@ def _cmd_interference(args) -> int:
     result = measure_interference(seed=args.seed)
     print(render_table(["metric", "value"], result.rows(),
                        title="Checkpoint-vs-analytics interference (§II)"))
+    return 0
+
+
+def _cmd_sched(args) -> int:
+    from repro.analysis.reporting import render_kv, render_table
+    from repro.core.spider import build_spider2
+    from repro.faults import FaultPlan
+    from repro.sched import FacilityScheduler, JobMix, QosPolicy, generate_jobs
+
+    if args.duration <= 0:
+        raise CliError("--duration must be positive")
+    if args.rate_scale <= 0:
+        raise CliError("--rate-scale must be positive")
+    if args.faults < 0:
+        raise CliError("--faults must be non-negative")
+
+    def run(policy):
+        # Fresh system per run: fault injectors mutate it in place.
+        system = build_spider2(seed=args.seed, build_clients=False)
+        backbone = system.aggregate_bandwidth(fs_level=True)
+        jobs = generate_jobs(JobMix().scaled(args.rate_scale),
+                             duration=args.duration, seed=args.seed,
+                             reference_bandwidth=backbone)
+        plan = None
+        if args.faults:
+            plan = FaultPlan.random(system, duration=args.duration,
+                                    n_faults=args.faults, seed=args.seed)
+        return FacilityScheduler(system, jobs, policy=policy,
+                                 fault_plan=plan, seed=args.seed).run()
+
+    with _tracing(args.trace):
+        for title, result in (
+            ("QoS caps disabled (as-deployed)", run(QosPolicy.disabled())),
+            ("QoS caps enabled (Lesson 1 knob)", run(QosPolicy())),
+        ):
+            print(render_table(
+                ["class", "jobs", "done", "slowdown", "p95", "stretch",
+                 "bw sat", "fairness"],
+                result.class_rows(),
+                title=f"Per-class outcomes — {title}"))
+            rows = [
+                ("jobs generated / submitted",
+                 f"{result.n_jobs} / {result.n_submitted}"),
+                ("finished / censored",
+                 f"{result.n_finished} / {result.n_censored}"),
+                ("fault events", result.n_fault_events),
+                ("makespan", fmt_duration(result.makespan)),
+                ("overall fairness (Jain)",
+                 f"{result.overall_fairness:.3f}"),
+            ]
+            lp = result.latency
+            if lp is not None:
+                rows += [
+                    ("analytics read p99, alone",
+                     f"{lp.alone_p99 / MS:.1f} ms"),
+                    ("analytics read p99, shared",
+                     f"{lp.shared_p99 / MS:.1f} ms"),
+                    ("p99 inflation", f"{lp.p99_inflation:.1f}x"),
+                ]
+            print(render_kv(rows, title="Run summary"))
+            print()
     return 0
 
 
@@ -429,6 +500,19 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("interference", help="§II latency contention study")
     p.set_defaults(fn=_cmd_interference)
+
+    p = sub.add_parser("sched",
+                       help="center-wide multi-tenant scheduler + QoS caps")
+    p.add_argument("--duration", type=float, default=DAY,
+                   help="arrival window in seconds (default 1 day)")
+    p.add_argument("--rate-scale", type=float, default=1.0,
+                   help="multiply every class arrival rate (default 1.0)")
+    p.add_argument("--faults", type=int, default=0,
+                   help="inject a random fault campaign under load "
+                        "(default 0: fault-free)")
+    p.add_argument("--trace", metavar="FILE",
+                   help="record a Chrome-trace (Perfetto) file")
+    p.set_defaults(fn=_cmd_sched)
 
     p = sub.add_parser("recovery", help="failover + router-failure recovery")
     p.add_argument("--imperative", action="store_true",

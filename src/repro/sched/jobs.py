@@ -1,0 +1,119 @@
+"""The job model of the center-wide scheduler.
+
+The paper's defining claim is that Spider is *center-wide*: one file
+system serving Titan's simulations, the analysis clusters, and the
+data-transfer nodes simultaneously (Lesson 1 trades "ease of data
+access" against "the ability to isolate compute platforms from
+competing I/O workloads").  This module gives that claim a unit of
+account: a :class:`JobSpec` is one tenant's stay on the facility,
+expressed as a sequence of :class:`Phase` steps — compute phases that
+touch no storage, and I/O phases that move a byte volume at up to a
+demanded bandwidth.
+
+Three :class:`PlatformClass` tenants mirror the paper's platforms:
+
+* ``SIMULATION`` — Titan-style jobs alternating long compute phases
+  with checkpoint bursts whose instantaneous demand can exceed the
+  whole backbone (§II's "different data production/consumption rates");
+* ``ANALYTICS`` — interactive analysis sessions: low steady demand,
+  but latency-sensitive (the class the QoS caps exist to protect);
+* ``DATA_TRANSFER`` — DTN bulk streams in and out of the center.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+__all__ = ["PlatformClass", "Phase", "JobSpec"]
+
+
+class PlatformClass(Enum):
+    """One of the three platform classes sharing the data-centric file
+    system: checkpointing simulations, interactive analytics, and bulk
+    data transfer."""
+
+    SIMULATION = "simulation"
+    ANALYTICS = "analytics"
+    DATA_TRANSFER = "data_transfer"
+
+
+@dataclass(frozen=True)
+class Phase:
+    """One step of a job's lifetime.
+
+    ``kind`` is ``"compute"`` (runs for ``duration`` seconds touching no
+    storage) or ``"io"`` (moves ``volume`` bytes at up to ``demand``
+    bytes/s — the actual rate is whatever the arbiter allocates).
+    """
+
+    kind: str
+    duration: float = 0.0
+    volume: float = 0.0
+    demand: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("compute", "io"):
+            raise ValueError(f"unknown phase kind {self.kind!r}")
+        if self.kind == "compute":
+            if self.duration <= 0:
+                raise ValueError("compute phases need a positive duration")
+        else:
+            if self.volume <= 0 or self.demand <= 0:
+                raise ValueError("io phases need positive volume and demand")
+
+    @classmethod
+    def compute(cls, duration: float) -> "Phase":
+        """A storage-silent phase of ``duration`` seconds."""
+        return cls("compute", duration=duration)
+
+    @classmethod
+    def io(cls, volume: float, demand: float) -> "Phase":
+        """An I/O phase moving ``volume`` bytes at up to ``demand`` bytes/s."""
+        return cls("io", volume=volume, demand=demand)
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One job: a named tenant of ``platform`` class arriving at
+    ``arrival`` seconds and executing ``phases`` in order."""
+
+    name: str
+    platform: PlatformClass
+    arrival: float
+    phases: tuple[Phase, ...]
+
+    def __post_init__(self) -> None:
+        if self.arrival < 0:
+            raise ValueError("arrival must be non-negative")
+        if not self.phases:
+            raise ValueError("a job needs at least one phase")
+
+    @property
+    def total_io_bytes(self) -> float:
+        """Total bytes the job moves across all its I/O phases."""
+        return float(sum(p.volume for p in self.phases if p.kind == "io"))
+
+    def isolated_runtime(self, capacity: float) -> float:
+        """Fluid runtime with the facility to itself: compute phases at
+        face value, I/O phases draining at ``min(demand, capacity)``.
+
+        This is the per-job "machine-exclusive scratch" baseline the
+        slowdown and stretch metrics divide by.
+        """
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        total = 0.0
+        for phase in self.phases:
+            if phase.kind == "compute":
+                total += phase.duration
+            else:
+                total += phase.volume / min(phase.demand, capacity)
+        return total
+
+    def isolated_io_time(self, capacity: float) -> float:
+        """The I/O-phase share of :meth:`isolated_runtime`."""
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        return float(sum(p.volume / min(p.demand, capacity)
+                         for p in self.phases if p.kind == "io"))

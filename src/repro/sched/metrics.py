@@ -1,0 +1,187 @@
+"""Per-job and per-class outcome metrics for scheduler runs.
+
+The Monitoring Extreme-scale Lustre Toolkit motivates the accounting
+here: facility operators need *job-visible* numbers, not raw bandwidth.
+Every job yields a :class:`JobOutcome` (slowdown against its isolated
+run, stretch including queue wait, bandwidth received vs demanded,
+checkpoint-drain overrun); classes roll up into :class:`ClassSummary`
+rows with Jain's fairness index; one run returns a :class:`SchedResult`
+of plain floats and tuples, so identically seeded runs compare equal
+with ``==`` — the same determinism contract as
+:class:`~repro.faults.campaign.CampaignResult`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.sched.jobs import PlatformClass
+
+__all__ = ["jains_index", "JobOutcome", "ClassSummary", "LatencyProbe",
+           "SchedResult"]
+
+
+def jains_index(values: Iterable[float]) -> float:
+    """Jain's fairness index: ``(sum x)^2 / (n * sum x^2)``.
+
+    1.0 means every job got the same normalized share; ``1/n`` means one
+    job got everything.  Defined as 1.0 for empty input (nothing to be
+    unfair about).
+    """
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        return 1.0
+    total = float(arr.sum())
+    squares = float((arr * arr).sum())
+    if squares <= 0:
+        return 1.0
+    return float(total * total / (arr.size * squares))
+
+
+@dataclass(frozen=True)
+class JobOutcome:
+    """One job's run, as the facility's accounting sees it.
+
+    ``slowdown`` is wall-clock running time over the isolated fluid
+    runtime; ``stretch`` additionally charges queueing delay
+    (finish - arrival over isolated runtime); ``satisfaction`` is the
+    mean bandwidth received during I/O phases over the isolated rate
+    (1.0 = never throttled); ``drain_overrun`` is the worst per-burst
+    drain time over its isolated drain (simulation jobs only).  Censored
+    jobs (still queued or running at the horizon) carry ``None`` for the
+    undefined metrics.
+    """
+
+    name: str
+    platform: str
+    arrival: float
+    start: float | None
+    finish: float | None
+    censored: bool
+    isolated_runtime: float
+    slowdown: float | None
+    stretch: float | None
+    satisfaction: float | None
+    drain_overrun: float | None
+
+
+@dataclass(frozen=True)
+class ClassSummary:
+    """Roll-up of one platform class's finished jobs."""
+
+    n_jobs: int
+    n_finished: int
+    n_censored: int
+    mean_slowdown: float
+    p95_slowdown: float
+    mean_stretch: float
+    mean_satisfaction: float
+    fairness: float
+    worst_drain_overrun: float | None
+
+    @classmethod
+    def from_outcomes(cls, outcomes: list[JobOutcome]) -> "ClassSummary":
+        """Summarize one class's outcomes (censored jobs counted, not
+        averaged)."""
+        finished = [o for o in outcomes if not o.censored]
+        slowdowns = [o.slowdown for o in finished if o.slowdown is not None]
+        stretches = [o.stretch for o in finished if o.stretch is not None]
+        sats = [o.satisfaction for o in finished if o.satisfaction is not None]
+        overruns = [o.drain_overrun for o in finished
+                    if o.drain_overrun is not None]
+        return cls(
+            n_jobs=len(outcomes),
+            n_finished=len(finished),
+            n_censored=len(outcomes) - len(finished),
+            mean_slowdown=float(np.mean(slowdowns)) if slowdowns else 0.0,
+            p95_slowdown=float(np.percentile(slowdowns, 95)) if slowdowns else 0.0,
+            mean_stretch=float(np.mean(stretches)) if stretches else 0.0,
+            mean_satisfaction=float(np.mean(sats)) if sats else 0.0,
+            fairness=jains_index(sats),
+            worst_drain_overrun=max(overruns) if overruns else None,
+        )
+
+
+@dataclass(frozen=True)
+class LatencyProbe:
+    """Analytics read-latency outcome of one scheduler run.
+
+    A representative analytics session is replayed through one OST-class
+    station twice: alone, and against a background write stream whose
+    rate is the mean non-analytics bandwidth the arbiter delivered while
+    analytics jobs were running (scaled to the station's share of the
+    backbone).  QoS caps lower that background rate, so the shared p99
+    recovers toward the alone p99 — Lesson 1's isolation knob, measured.
+    """
+
+    station_bandwidth: float
+    background_bandwidth: float
+    alone_p50: float
+    alone_p99: float
+    shared_p50: float
+    shared_p99: float
+
+    @property
+    def p99_inflation(self) -> float:
+        """Shared p99 over alone p99 (1.0 = perfectly isolated)."""
+        if self.alone_p99 <= 0:
+            return 1.0
+        return self.shared_p99 / self.alone_p99
+
+
+@dataclass(frozen=True)
+class SchedResult:
+    """Outcome of one :class:`~repro.sched.scheduler.FacilityScheduler`
+    run.  All fields are plain floats/ints/strings/tuples, so results
+    from identically seeded runs compare equal with ``==``."""
+
+    #: run horizon (seconds)
+    horizon: float
+    #: whether QoS demand caps were active
+    qos_enabled: bool
+    #: jobs in the generated population
+    n_jobs: int
+    #: jobs that arrived and were submitted before the horizon
+    n_submitted: int
+    n_finished: int
+    #: submitted jobs still queued or running at the horizon
+    n_censored: int
+    #: fault injections/repairs/recoveries executed during the run
+    n_fault_events: int
+    #: last job-finish time (horizon if nothing finished)
+    makespan: float
+    #: ``(class value, ClassSummary)`` sorted by class value
+    class_summaries: tuple[tuple[str, ClassSummary], ...]
+    #: per-job outcomes sorted by job name
+    outcomes: tuple[JobOutcome, ...]
+    #: ``(time, total allocated bandwidth, label)`` per arbiter re-solve
+    timeline: tuple[tuple[float, float, str], ...]
+    #: ``(class value, bytes delivered)`` sorted by class value
+    delivered_by_class: tuple[tuple[str, float], ...]
+    #: Jain's index over all finished jobs' bandwidth satisfaction
+    overall_fairness: float
+    #: analytics latency probe (None when no analytics job was submitted)
+    latency: LatencyProbe | None
+
+    def summary_of(self, platform: PlatformClass | str) -> ClassSummary:
+        """The :class:`ClassSummary` for one platform class."""
+        key = platform.value if isinstance(platform, PlatformClass) else platform
+        for value, summary in self.class_summaries:
+            if value == key:
+                return summary
+        raise KeyError(f"no summary for class {key!r}")
+
+    def class_rows(self) -> list[tuple]:
+        """Per-class table rows for the CLI report."""
+        rows = []
+        for value, s in self.class_summaries:
+            rows.append((
+                value, s.n_jobs, s.n_finished,
+                f"{s.mean_slowdown:.2f}x", f"{s.p95_slowdown:.2f}x",
+                f"{s.mean_stretch:.2f}x", f"{s.mean_satisfaction:.0%}",
+                f"{s.fairness:.3f}",
+            ))
+        return rows

@@ -1,0 +1,154 @@
+"""QoS policy and the per-resolve bandwidth arbiter.
+
+The arbiter is the time-varying extension of the interference study: at
+every job start/finish/phase change the scheduler hands it the currently
+running I/O phases and it re-solves a fresh
+:class:`~repro.core.flow.FlowNetwork`.  Each running phase is one flow
+crossing three components:
+
+* ``ingest:<class>`` — the platform's injection capacity (Titan's LNET
+  router aggregate for simulations, the analysis-cluster and DTN uplinks
+  for the others);
+* ``qos:<class>`` — the class demand cap, a fraction of the *current*
+  backbone, present only when the policy is enabled (DIAL-style
+  client-side bandwidth allocation);
+* ``fs:backbone`` — the file system's delivered aggregate, recomputed
+  from the live system so injected faults surface in every allocation.
+
+Max-min fairness inside and across classes comes from the flow solver;
+the policy adds the knobs the paper's Lesson 1 wishes it had — per-class
+caps that stop a checkpoint storm from saturating the path analytics
+latency rides on.
+"""
+
+from __future__ import annotations
+
+import math
+import sys
+from collections.abc import Mapping
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.flow import FlowNetwork
+from repro.sched.jobs import PlatformClass
+
+__all__ = ["QosPolicy", "BandwidthArbiter", "BACKBONE_COMPONENT"]
+
+#: the shared file-system component every I/O flow crosses
+BACKBONE_COMPONENT = "fs:backbone"
+
+
+def _default_caps() -> dict[PlatformClass, float]:
+    # Caps sum to 0.7, reserving headroom for analytics (uncapped) so a
+    # checkpoint storm plus a DTN campaign can never saturate the path
+    # interactive latency rides on.
+    return {
+        PlatformClass.SIMULATION: 0.50,
+        PlatformClass.ANALYTICS: 1.0,
+        PlatformClass.DATA_TRANSFER: 0.20,
+    }
+
+
+def _default_weights() -> dict[PlatformClass, float]:
+    return {cls: 1.0 for cls in PlatformClass}
+
+
+def _default_limits() -> dict[PlatformClass, int]:
+    return {
+        PlatformClass.SIMULATION: 24,
+        PlatformClass.ANALYTICS: 48,
+        PlatformClass.DATA_TRANSFER: 12,
+    }
+
+
+@dataclass(frozen=True)
+class QosPolicy:
+    """Per-class demand caps, arbitration weights, and admission limits.
+
+    ``cap_fraction`` bounds each class's aggregate allocation to a
+    fraction of the current backbone (1.0 = uncapped); ``weight`` scales
+    a class's share under max-min contention; ``max_concurrent`` is the
+    admission limit — arrivals beyond it queue FIFO per class.
+    """
+
+    enabled: bool = True
+    cap_fraction: Mapping[PlatformClass, float] = field(
+        default_factory=_default_caps)
+    weight: Mapping[PlatformClass, float] = field(
+        default_factory=_default_weights)
+    max_concurrent: Mapping[PlatformClass, int] = field(
+        default_factory=_default_limits)
+
+    def __post_init__(self) -> None:
+        for cls, frac in self.cap_fraction.items():
+            if not (0 < frac <= 1):
+                raise ValueError(f"cap fraction for {cls.value} must be in (0, 1]")
+        for cls, w in self.weight.items():
+            if w <= 0:
+                raise ValueError(f"weight for {cls.value} must be positive")
+        for cls, limit in self.max_concurrent.items():
+            if limit < 1:
+                raise ValueError(f"max_concurrent for {cls.value} must be >= 1")
+
+    @classmethod
+    def disabled(cls) -> "QosPolicy":
+        """Arbitration without caps: pure max-min over the shared path
+        (the as-deployed Spider, where isolation was a lesson, not a knob)."""
+        return cls(enabled=False)
+
+    def cap_of(self, platform: PlatformClass) -> float:
+        """The class's cap fraction (1.0 when unset)."""
+        return float(self.cap_fraction.get(platform, 1.0))
+
+    def weight_of(self, platform: PlatformClass) -> float:
+        """The class's arbitration weight (1.0 when unset)."""
+        return float(self.weight.get(platform, 1.0))
+
+    def limit_of(self, platform: PlatformClass) -> int:
+        """The class's admission limit (effectively unbounded when unset)."""
+        return int(self.max_concurrent.get(platform, sys.maxsize))
+
+
+class BandwidthArbiter:
+    """Solves one allocation round over the currently running I/O phases."""
+
+    def __init__(self, policy: QosPolicy) -> None:
+        self.policy = policy
+
+    def allocate(
+        self,
+        requests: list[tuple[str, PlatformClass, float]],
+        *,
+        backbone_capacity: float,
+        ingest_caps: Mapping[PlatformClass, float],
+    ) -> np.ndarray:
+        """Allocate rates for ``(name, platform, demand)`` requests.
+
+        Returns a rate array aligned with ``requests``.  Every flow
+        crosses its platform ingest link, its QoS class cap (when the
+        policy is enabled and the class is capped), and the backbone.
+        """
+        if not requests:
+            return np.empty(0)
+        net = FlowNetwork()
+        net.add_component(BACKBONE_COMPONENT, backbone_capacity)
+        class_paths: dict[PlatformClass, list[str]] = {}
+        for _name, platform, _demand in requests:
+            if platform in class_paths:
+                continue
+            ingest = f"ingest:{platform.value}"
+            net.add_component(
+                ingest, float(ingest_caps.get(platform, math.inf)))
+            path = [ingest]
+            cap = self.policy.cap_of(platform)
+            if self.policy.enabled and cap < 1.0:
+                qos = f"qos:{platform.value}"
+                net.add_component(qos, cap * backbone_capacity)
+                path.append(qos)
+            path.append(BACKBONE_COMPONENT)
+            class_paths[platform] = path
+        for name, platform, demand in requests:
+            net.add_flow(name, class_paths[platform], demand=demand,
+                         weight=self.policy.weight_of(platform))
+        return net.solve().rates

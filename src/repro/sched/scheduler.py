@@ -1,0 +1,599 @@
+"""The facility scheduler: a population of jobs on the shared backbone.
+
+:class:`FacilityScheduler` drives the discrete-event engine with the
+arrival stream from :mod:`repro.sched.arrivals` and, at every state
+change that touches the data path — job submission, admission, phase
+change, completion, fault injection or repair — asks the
+:class:`~repro.sched.qos.BandwidthArbiter` for a fresh allocation.
+Between re-solves every running I/O phase drains fluidly at its
+allocated rate, so job progress is exact given piecewise-constant
+rates: the next phase completion is scheduled as an engine event and
+invalidated (via an epoch guard — the engine has no cancellation) when
+an earlier state change re-solves first.
+
+Composition with :mod:`repro.faults` runs a chaos campaign *under
+load*: injectors mutate the live system, the backbone capacity is
+recomputed from it on the next allocation, and the damage lands in
+job-visible metrics (slowdown, drain overrun, latency probe) instead of
+raw bandwidth alone.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.analysis.interference import isolated_and_shared
+from repro.core.spider import SpiderSystem
+from repro.faults.injectors import injector_for
+from repro.faults.plan import FaultPlan
+from repro.obs.instruments import get_telemetry
+from repro.obs.trace import get_tracer, instrument_engine
+from repro.sched.jobs import JobSpec, PlatformClass
+from repro.sched.metrics import (
+    ClassSummary,
+    JobOutcome,
+    LatencyProbe,
+    SchedResult,
+    jains_index,
+)
+from repro.sched.qos import BandwidthArbiter, QosPolicy
+from repro.sim.engine import Engine
+from repro.sim.rng import RngStreams
+from repro.units import GB, HOUR, MiB
+from repro.workloads.analytics import AnalyticsApp, analytics_trace
+from repro.workloads.model import RequestTrace
+
+__all__ = ["FacilityScheduler"]
+
+#: analytics-cluster and DTN uplink capacities, as fractions of the
+#: healthy backbone (the simulation side uses the live router aggregate)
+ANALYTICS_INGEST_FRACTION = 0.35
+DTN_INGEST_FRACTION = 0.20
+
+#: slack past the last arrival before a default horizon censors the run
+DEFAULT_HORIZON_TAIL = 12 * HOUR
+
+#: a phase is drained when its remaining volume falls under this floor,
+#: or when draining the leftover would take under ``_DONE_EPS_S`` at the
+#: phase's current rate — float rounding of ``rate * dt`` at day-scale
+#: clock values can leave kilobyte residues whose drain time is below
+#: the clock's resolution, and a byte floor alone would spin on them
+_DONE_EPS_BYTES = 1e-3
+_DONE_EPS_S = 1e-6
+
+# -- latency probe calibration ------------------------------------------------
+#: probe session length (seconds)
+PROBE_DURATION = 300.0
+#: one OST-class station carries 1/8 of the backbone, capped at 2 GB/s,
+#: and serves with 4 concurrent I/O threads at a 4 ms positioning cost
+PROBE_STATION_DIVISOR = 8
+PROBE_STATION_CAP = 2 * GB
+PROBE_N_SERVERS = 4
+PROBE_POSITIONING_S = 0.004
+#: the probe session alone drives the station at this utilization
+PROBE_UTILIZATION = 0.2
+#: mean analytics request size under the default bimodal mix
+PROBE_MEAN_REQUEST_BYTES = 1.8 * MiB
+#: background stream request size and trace-size ceiling
+PROBE_BG_REQUEST_BYTES = 8 * MiB
+PROBE_BG_MAX_REQUESTS = 120_000
+#: the background replays at this time-weighted percentile of the
+#: non-analytics rate (the peak pressure QoS caps shave — the mean is
+#: work-conserving and nearly policy-independent)
+PROBE_BG_PERCENTILE = 95.0
+
+
+def _weighted_percentile(samples: list[tuple[float, float]],
+                         q: float) -> float:
+    """Time-weighted percentile of ``(duration, value)`` samples."""
+    if not samples:
+        return 0.0
+    ordered = sorted(samples, key=lambda s: s[1])
+    total = sum(dt for dt, _value in ordered)
+    if total <= 0:
+        return float(ordered[-1][1])
+    threshold = q / 100.0 * total
+    acc = 0.0
+    for dt, value in ordered:
+        acc += dt
+        if acc >= threshold:
+            return float(value)
+    return float(ordered[-1][1])
+
+
+@dataclass
+class _Job:
+    """Runtime state of one job (private to the scheduler)."""
+
+    spec: JobSpec
+    phase_index: int = 0
+    start: float | None = None
+    finish: float | None = None
+    #: remaining bytes of the current I/O phase
+    remaining: float = 0.0
+    #: allocated rate of the current I/O phase (bytes/s)
+    rate: float = 0.0
+    #: start time of the current phase
+    phase_start: float = 0.0
+    #: total time spent in I/O phases
+    io_time: float = 0.0
+    #: worst per-phase drain time over its isolated drain
+    worst_overrun: float | None = None
+    span: object = None
+
+    @property
+    def platform(self) -> PlatformClass:
+        return self.spec.platform
+
+
+@dataclass
+class _RunState:
+    """Mutable per-run accounting, reset by each :meth:`run`."""
+
+    last_settle: float = 0.0
+    epoch: int = 0
+    n_submitted: int = 0
+    n_finished: int = 0
+    n_fault_events: int = 0
+    makespan: float = 0.0
+    #: ``(dt, non-analytics allocated rate)`` per settle interval in
+    #: which at least one analytics I/O phase was active
+    bg_samples: list[tuple[float, float]] = field(default_factory=list)
+    timeline: list[tuple[float, float, str]] = field(default_factory=list)
+    delivered: dict[PlatformClass, float] = field(default_factory=dict)
+
+
+class FacilityScheduler:
+    """Runs a job population against one built system.
+
+    Args:
+        system: the facility (mutated in place by fault injectors when a
+            ``fault_plan`` is given — build a fresh one per run).
+        jobs: the arrival-sorted population (see
+            :func:`~repro.sched.arrivals.generate_jobs`).
+        policy: admission limits, weights, and QoS caps.
+        horizon: run end in simulated seconds; defaults to the last
+            arrival plus :data:`DEFAULT_HORIZON_TAIL`.  Jobs still
+            queued or running at the horizon are censored.
+        fault_plan: optional chaos campaign to execute under load.
+        seed: seeds the latency probe's trace substreams only — job
+            shapes are fixed by ``jobs``.
+    """
+
+    def __init__(
+        self,
+        system: SpiderSystem,
+        jobs: tuple[JobSpec, ...] | list[JobSpec],
+        *,
+        policy: QosPolicy | None = None,
+        horizon: float | None = None,
+        fault_plan: FaultPlan | None = None,
+        seed: int = 0,
+    ) -> None:
+        self.system = system
+        self.jobs = tuple(jobs)
+        if not self.jobs:
+            raise ValueError("need at least one job")
+        self.policy = policy or QosPolicy()
+        if horizon is None:
+            horizon = max(spec.arrival for spec in self.jobs) + DEFAULT_HORIZON_TAIL
+        if horizon <= 0:
+            raise ValueError("horizon must be positive")
+        self.horizon = float(horizon)
+        self.fault_plan = fault_plan
+        self.seed = seed
+        self._arbiter = BandwidthArbiter(self.policy)
+        self._baseline_backbone = float(
+            system.aggregate_bandwidth(fs_level=True))
+        if self._baseline_backbone <= 0:
+            raise ValueError("system delivers no fs-level bandwidth")
+        self._router_bw_cap = float(system.spec.router_bw_cap)
+        # run state (created fresh by run())
+        self._engine: Engine | None = None
+        self._state = _RunState()
+        self._active_io: dict[str, _Job] = {}
+        self._running: dict[PlatformClass, int] = {}
+        self._queues: dict[PlatformClass, deque[_Job]] = {}
+        self._finished: list[_Job] = []
+        self._submitted: list[_Job] = []
+        self._tokens: dict[object, object] = {}
+        self._fault_spans: dict[object, object] = {}
+        self._backbone_dirty = True
+        self._backbone_bw = self._baseline_backbone
+        self._ingest_caps: dict[PlatformClass, float] = {}
+        self._isolated_caps: dict[PlatformClass, float] = {}
+        self._refresh_capacity()
+        # The *isolated* capacity per class is frozen at the healthy
+        # system: the machine-exclusive baseline does not degrade when a
+        # fault campaign later hurts the shared instance.
+        self._isolated_caps = {
+            cls: min(self._ingest_caps.get(cls, math.inf),
+                     self._baseline_backbone)
+            for cls in PlatformClass
+        }
+
+    # -- capacity ------------------------------------------------------------
+
+    def _refresh_capacity(self) -> None:
+        """Recompute the backbone and per-class ingest caps from the live
+        system (called lazily, only after a fault or repair)."""
+        self._backbone_bw = float(
+            self.system.aggregate_bandwidth(fs_level=True))
+        if self.system.routers:
+            n_live = sum(
+                1 for router in self.system.routers
+                if self.system.lnet.router_online(router.name))
+            sim_ingest = n_live * self._router_bw_cap
+        else:
+            sim_ingest = math.inf
+        self._ingest_caps = {
+            PlatformClass.SIMULATION: sim_ingest,
+            PlatformClass.ANALYTICS:
+                ANALYTICS_INGEST_FRACTION * self._baseline_backbone,
+            PlatformClass.DATA_TRANSFER:
+                DTN_INGEST_FRACTION * self._baseline_backbone,
+        }
+        self._backbone_dirty = False
+
+    # -- job lifecycle -------------------------------------------------------
+
+    def _submit(self, job: _Job) -> None:
+        engine = self._engine
+        assert engine is not None
+        self._state.n_submitted += 1
+        self._submitted.append(job)
+        telemetry = get_telemetry()
+        if telemetry.enabled:
+            telemetry.counter("sched.submitted",
+                              job.platform.value).add(1.0)
+        cls = job.platform
+        if self._running.get(cls, 0) < self.policy.limit_of(cls):
+            self._start_job(job)
+        else:
+            self._queues.setdefault(cls, deque()).append(job)
+        self._resolve(f"submit:{job.spec.name}")
+
+    def _start_job(self, job: _Job) -> None:
+        engine = self._engine
+        assert engine is not None
+        cls = job.platform
+        self._running[cls] = self._running.get(cls, 0) + 1
+        job.start = engine.now
+        job.span = get_tracer().open(
+            f"job:{job.spec.name}", "sched", platform=cls.value)
+        self._begin_phase(job)
+
+    def _begin_phase(self, job: _Job) -> None:
+        engine = self._engine
+        assert engine is not None
+        phase = job.spec.phases[job.phase_index]
+        job.phase_start = engine.now
+        if phase.kind == "compute":
+            engine.call_after(phase.duration,
+                              lambda j=job: self._compute_done(j))
+        else:
+            job.remaining = float(phase.volume)
+            job.rate = 0.0
+            self._active_io[job.spec.name] = job
+
+    def _compute_done(self, job: _Job) -> None:
+        self._advance(job)
+        self._resolve(f"phase:{job.spec.name}")
+
+    def _advance(self, job: _Job) -> None:
+        """Move to the next phase, or finish the job."""
+        job.phase_index += 1
+        if job.phase_index >= len(job.spec.phases):
+            self._finish_job(job)
+        else:
+            self._begin_phase(job)
+
+    def _complete_io_phase(self, job: _Job) -> None:
+        engine = self._engine
+        assert engine is not None
+        phase = job.spec.phases[job.phase_index]
+        del self._active_io[job.spec.name]
+        drain = engine.now - job.phase_start
+        isolated = phase.volume / min(
+            phase.demand, self._isolated_caps[job.platform])
+        if isolated > 0:
+            overrun = drain / isolated
+            if job.worst_overrun is None or overrun > job.worst_overrun:
+                job.worst_overrun = overrun
+        self._advance(job)
+
+    def _finish_job(self, job: _Job) -> None:
+        engine = self._engine
+        assert engine is not None
+        job.finish = engine.now
+        self._state.n_finished += 1
+        self._state.makespan = max(self._state.makespan, engine.now)
+        self._finished.append(job)
+        cls = job.platform
+        self._running[cls] = self._running.get(cls, 1) - 1
+        telemetry = get_telemetry()
+        if telemetry.enabled:
+            telemetry.counter("sched.finished", cls.value).add(1.0)
+            if job.start is not None:
+                iso = job.spec.isolated_runtime(self._isolated_caps[cls])
+                if iso > 0:
+                    telemetry.histogram("sched.slowdown").observe(
+                        (job.finish - job.start) / iso)
+        get_tracer().end(job.span, finished=True)
+        job.span = None
+        queue = self._queues.get(cls)
+        while (queue and self._running.get(cls, 0) < self.policy.limit_of(cls)):
+            self._start_job(queue.popleft())
+
+    # -- fault composition ---------------------------------------------------
+
+    def _inject_fault(self, fault) -> None:
+        injector = injector_for(fault)
+        self._tokens[fault] = injector.inject(self.system, fault)
+        self._state.n_fault_events += 1
+        telemetry = get_telemetry()
+        if telemetry.enabled:
+            telemetry.counter("sched.faults", fault.fault.value).add(1.0)
+        self._fault_spans[fault] = get_tracer().open(
+            f"fault:{fault.label}", "sched.faults", target=str(fault.target))
+        self._backbone_dirty = True
+        self._resolve(f"fault:{fault.label}")
+
+    def _repair_fault(self, fault) -> None:
+        engine = self._engine
+        assert engine is not None
+        injector = injector_for(fault)
+        followup = injector.repair(self.system, fault,
+                                   self._tokens.pop(fault, None))
+        self._state.n_fault_events += 1
+        get_tracer().end(self._fault_spans.pop(fault, None), repaired=True)
+        self._backbone_dirty = True
+        self._resolve(f"repair:{fault.label}")
+        if followup is not None:
+            delay, fn = followup
+
+            def _finish() -> None:
+                fn()
+                self._state.n_fault_events += 1
+                self._backbone_dirty = True
+                self._resolve(f"recovered:{fault.label}")
+
+            engine.call_after(delay, _finish)
+
+    # -- the allocation loop -------------------------------------------------
+
+    def _settle(self, now: float) -> None:
+        """Account fluid progress since the previous settle point."""
+        state = self._state
+        dt = now - state.last_settle
+        state.last_settle = now
+        if dt <= 0 or not self._active_io:
+            return
+        ana_active = any(job.platform is PlatformClass.ANALYTICS
+                         for job in self._active_io.values())
+        bg_rate = 0.0
+        for job in self._active_io.values():
+            delivered = min(job.rate * dt, job.remaining)
+            job.remaining -= delivered
+            job.io_time += dt
+            cls = job.platform
+            state.delivered[cls] = state.delivered.get(cls, 0.0) + delivered
+            if cls is not PlatformClass.ANALYTICS:
+                bg_rate += job.rate
+        if ana_active:
+            state.bg_samples.append((dt, bg_rate))
+
+    def _resolve(self, label: str) -> None:
+        """Settle progress, complete drained phases, re-allocate, and
+        schedule the next projected completion."""
+        engine = self._engine
+        assert engine is not None
+        state = self._state
+        state.epoch += 1
+        self._settle(engine.now)
+        # Completing a phase can cascade: finish the job, admit a queued
+        # one, begin its first I/O phase — all at the current instant,
+        # all folded into this one allocation round.
+        drained = [job for job in self._active_io.values()
+                   if job.remaining <= _DONE_EPS_BYTES
+                   or (job.rate > 0
+                       and job.remaining <= job.rate * _DONE_EPS_S)]
+        for job in drained:
+            self._complete_io_phase(job)
+        if self._backbone_dirty:
+            self._refresh_capacity()
+        active = list(self._active_io.values())
+        requests = []
+        for job in active:
+            phase = job.spec.phases[job.phase_index]
+            requests.append((job.spec.name, job.platform, phase.demand))
+        rates = self._arbiter.allocate(
+            requests, backbone_capacity=self._backbone_bw,
+            ingest_caps=self._ingest_caps)
+        for job, rate in zip(active, rates):
+            job.rate = float(rate)
+        telemetry = get_telemetry()
+        if telemetry.enabled:
+            telemetry.counter("sched.resolves").add(1.0)
+        total = float(sum(job.rate for job in active))
+        state.timeline.append((engine.now, total, label))
+        # One wakeup for the earliest projected completion; the epoch
+        # guard voids it if any state change re-solves first.
+        next_dt = math.inf
+        for job in active:
+            if job.rate > 0:
+                next_dt = min(next_dt, job.remaining / job.rate)
+        if math.isfinite(next_dt):
+            epoch = state.epoch
+            engine.call_at(engine.now + max(_DONE_EPS_S, next_dt),
+                           lambda e=epoch: self._wakeup(e))
+
+    def _wakeup(self, epoch: int) -> None:
+        if epoch != self._state.epoch:
+            return
+        self._resolve("progress")
+
+    # -- execution -----------------------------------------------------------
+
+    def run(self) -> SchedResult:
+        """Execute the population to the horizon and return the
+        :class:`~repro.sched.metrics.SchedResult`."""
+        engine = self._engine = Engine()
+        instrument_engine(engine, get_telemetry(), get_tracer())
+        self._state = _RunState(
+            delivered={cls: 0.0 for cls in PlatformClass})
+        self._active_io.clear()
+        self._running = {cls: 0 for cls in PlatformClass}
+        self._queues = {cls: deque() for cls in PlatformClass}
+        self._finished.clear()
+        self._submitted.clear()
+        self._tokens.clear()
+        self._fault_spans.clear()
+        self._backbone_dirty = True
+
+        runtime_jobs = [_Job(spec) for spec in self.jobs]
+        for job in runtime_jobs:
+            if job.spec.arrival < self.horizon:
+                engine.call_at(job.spec.arrival,
+                               lambda j=job: self._submit(j))
+        if self.fault_plan is not None:
+            for fault in self.fault_plan:
+                if fault.time < self.horizon:
+                    engine.call_at(fault.time,
+                                   lambda f=fault: self._inject_fault(f))
+                if math.isfinite(fault.repair_time) and \
+                        fault.repair_time < self.horizon:
+                    engine.call_at(fault.repair_time,
+                                   lambda f=fault: self._repair_fault(f))
+        engine.run(until=self.horizon)
+        # Account the tail interval and close censored spans.
+        self._settle(self.horizon)
+        tracer = get_tracer()
+        for job in runtime_jobs:
+            if job.span is not None:
+                tracer.end(job.span, finished=False)
+                job.span = None
+        for fault, span in list(self._fault_spans.items()):
+            tracer.end(span, repaired=False)
+        self._fault_spans.clear()
+        return self._result()
+
+    # -- metrics -------------------------------------------------------------
+
+    def _outcome(self, job: _Job) -> JobOutcome:
+        spec = job.spec
+        isolated = spec.isolated_runtime(self._isolated_caps[job.platform])
+        censored = job.finish is None
+        slowdown = stretch = satisfaction = None
+        if not censored and job.start is not None and isolated > 0:
+            slowdown = (job.finish - job.start) / isolated
+            stretch = (job.finish - spec.arrival) / isolated
+            iso_io = spec.isolated_io_time(self._isolated_caps[job.platform])
+            if job.io_time > 0 and iso_io > 0:
+                satisfaction = iso_io / job.io_time
+        return JobOutcome(
+            name=spec.name,
+            platform=job.platform.value,
+            arrival=spec.arrival,
+            start=job.start,
+            finish=job.finish,
+            censored=censored,
+            isolated_runtime=isolated,
+            slowdown=slowdown,
+            stretch=stretch,
+            satisfaction=satisfaction,
+            drain_overrun=None if censored else job.worst_overrun,
+        )
+
+    def _latency_probe(self) -> LatencyProbe | None:
+        """Replay a representative analytics session alone vs against the
+        background bandwidth the arbiter delivered during analytics
+        activity, scaled to one OST-class station."""
+        state = self._state
+        if not any(job.platform is PlatformClass.ANALYTICS
+                   for job in self._submitted):
+            return None
+        station_bw = min(PROBE_STATION_CAP,
+                         self._baseline_backbone / PROBE_STATION_DIVISOR)
+        # Calibrate by service-time utilization: the positioning cost
+        # dominates small requests, so byte rates alone misstate load.
+        mean_service = (PROBE_POSITIONING_S
+                        + PROBE_MEAN_REQUEST_BYTES / station_bw)
+        request_rate = PROBE_UTILIZATION * PROBE_N_SERVERS / mean_service
+        rng = RngStreams(self.seed)
+        primary = analytics_trace(
+            AnalyticsApp(name="sched-probe", request_rate=request_rate),
+            PROBE_DURATION, rng.get("probe:analytics"))
+        if len(primary) == 0:
+            return None
+        # The background offers the station the same utilization the
+        # non-analytics classes put on the backbone at peak.  Coarsening
+        # to the request ceiling re-derives the rate from the larger
+        # request, so the offered utilization is preserved exactly.
+        bg_frac = (_weighted_percentile(state.bg_samples, PROBE_BG_PERCENTILE)
+                   / self._baseline_backbone)
+        req_bytes = float(PROBE_BG_REQUEST_BYTES)
+        bg_service = PROBE_POSITIONING_S + req_bytes / station_bw
+        bg_rate = bg_frac * PROBE_N_SERVERS / bg_service
+        n_requests = int(bg_rate * PROBE_DURATION)
+        if n_requests > PROBE_BG_MAX_REQUESTS:
+            factor = int(np.ceil(n_requests / PROBE_BG_MAX_REQUESTS))
+            req_bytes *= factor
+            bg_service = PROBE_POSITIONING_S + req_bytes / station_bw
+            bg_rate = bg_frac * PROBE_N_SERVERS / bg_service
+            n_requests = int(bg_rate * PROBE_DURATION)
+        times = (np.arange(n_requests) + 0.5) * (PROBE_DURATION
+                                                 / max(1, n_requests))
+        background = RequestTrace(
+            times,
+            np.full(n_requests, req_bytes),
+            np.ones(n_requests, dtype=bool),
+            label="sched-bg")
+        alone_results, shared, _merged = isolated_and_shared(
+            [primary, background], bandwidth=station_bw,
+            n_servers=PROBE_N_SERVERS,
+            positioning_time=PROBE_POSITIONING_S)
+        alone = alone_results[0]
+        return LatencyProbe(
+            station_bandwidth=float(station_bw),
+            background_bandwidth=float(bg_rate * req_bytes),
+            alone_p50=alone.percentile(50, reads_only=True),
+            alone_p99=alone.percentile(99, reads_only=True),
+            shared_p50=shared.percentile(50, reads_only=True, source=0),
+            shared_p99=shared.percentile(99, reads_only=True, source=0),
+        )
+
+    def _result(self) -> SchedResult:
+        state = self._state
+        outcomes = sorted((self._outcome(job) for job in self._submitted),
+                          key=lambda o: o.name)
+        by_class: dict[str, list[JobOutcome]] = {}
+        for outcome in outcomes:
+            by_class.setdefault(outcome.platform, []).append(outcome)
+        summaries = tuple(
+            (value, ClassSummary.from_outcomes(by_class[value]))
+            for value in sorted(by_class))
+        satisfactions = [o.satisfaction for o in outcomes
+                         if o.satisfaction is not None]
+        return SchedResult(
+            horizon=self.horizon,
+            qos_enabled=self.policy.enabled,
+            n_jobs=len(self.jobs),
+            n_submitted=state.n_submitted,
+            n_finished=state.n_finished,
+            n_censored=state.n_submitted - state.n_finished,
+            n_fault_events=state.n_fault_events,
+            makespan=state.makespan if state.n_finished else self.horizon,
+            class_summaries=summaries,
+            outcomes=tuple(outcomes),
+            timeline=tuple(state.timeline),
+            delivered_by_class=tuple(
+                (cls.value, state.delivered.get(cls, 0.0))
+                for cls in sorted(PlatformClass, key=lambda c: c.value)),
+            overall_fairness=jains_index(satisfactions),
+            latency=self._latency_probe(),
+        )

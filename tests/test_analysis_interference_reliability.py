@@ -1,11 +1,13 @@
 """Interference-analysis and reliability-simulation tests."""
 
+import numpy as np
 import pytest
 
-from repro.analysis.interference import measure_interference
+from repro.analysis.interference import isolated_and_shared, measure_interference
 from repro.hardware.raid import RaidGeometry
 from repro.ops.reliability import ReliabilitySim, analytic_mttdl_years
 from repro.units import GB
+from repro.workloads.model import RequestTrace
 
 
 class TestInterference:
@@ -34,6 +36,54 @@ class TestInterference:
         a = measure_interference(duration=600.0, seed=9)
         b = measure_interference(duration=600.0, seed=9)
         assert a.mixed_read_p99 == b.mixed_read_p99
+
+
+class TestIsolatedAndShared:
+    """The reusable isolated-vs-shared harness (also the scheduler's
+    per-job isolated-baseline adapter)."""
+
+    def _traces(self):
+        a = RequestTrace(times=[0.0, 1.0], sizes=[1e6, 1e6],
+                         is_write=[False, False], label="a")
+        b = RequestTrace(times=[0.5, 1.5], sizes=[2e6, 2e6],
+                         is_write=[True, True], label="b")
+        return a, b
+
+    def test_alone_results_align_with_inputs(self):
+        a, b = self._traces()
+        alone, shared, merged = isolated_and_shared(
+            [a, b], bandwidth=1e7, n_servers=1)
+        assert len(alone) == 2
+        assert len(alone[0].latencies) == len(a)
+        assert len(alone[1].latencies) == len(b)
+        assert len(shared.latencies) == len(merged) == len(a) + len(b)
+
+    def test_shared_is_never_faster(self):
+        a, b = self._traces()
+        alone, shared, _merged = isolated_and_shared(
+            [a, b], bandwidth=1e7, n_servers=1)
+        assert shared.mean() >= min(r.mean() for r in alone)
+
+    def test_empty_trace_dropped_from_merge_but_kept_in_alone(self):
+        a, _b = self._traces()
+        empty = RequestTrace(times=[], sizes=[], is_write=[], label="empty")
+        alone, shared, merged = isolated_and_shared(
+            [empty, a], bandwidth=1e7)
+        assert len(alone[0].latencies) == 0
+        # merge_traces drops the empty trace, so the non-empty input
+        # takes source id 0 in the shared replay.
+        assert np.array_equal(np.unique(merged.source), [0])
+        assert shared.percentile(50, source=0) > 0
+
+    def test_rejects_no_traces(self):
+        with pytest.raises(ValueError):
+            isolated_and_shared([], bandwidth=1e7)
+
+    def test_backs_measure_interference(self):
+        """The refactored measure_interference keeps its contract."""
+        report = measure_interference(duration=600.0, seed=9)
+        assert report.alone_read_p99 > 0
+        assert report.burst_drain_alone > 0
 
 
 class TestReliabilitySim:

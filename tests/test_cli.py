@@ -114,6 +114,31 @@ class TestChaos:
         assert "telemetry" in data
 
 
+class TestSched:
+    def test_paired_run_prints_both_policies(self, capsys):
+        assert main(["--seed", "7", "sched", "--duration", "3600",
+                     "--rate-scale", "0.5"]) == 0
+        out = capsys.readouterr().out
+        assert "QoS caps disabled" in out
+        assert "QoS caps enabled" in out
+        assert "Per-class outcomes" in out
+        assert "fairness" in out
+
+    def test_faults_under_load(self, capsys):
+        assert main(["--seed", "7", "sched", "--duration", "1800",
+                     "--rate-scale", "0.5", "--faults", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "fault events" in out
+
+    def test_bad_arguments_are_clean_failures(self, capsys):
+        assert main(["sched", "--duration", "-5"]) == 1
+        assert "--duration" in capsys.readouterr().err
+        assert main(["sched", "--rate-scale", "0"]) == 1
+        assert "--rate-scale" in capsys.readouterr().err
+        assert main(["sched", "--faults", "-1"]) == 1
+        assert "--faults" in capsys.readouterr().err
+
+
 class TestErrorPaths:
     def test_report_missing_file_is_clean_failure(self, capsys):
         assert main(["report", "/no/such/trace.json"]) == 1

@@ -62,6 +62,25 @@ def test_every_package_in_readme_tree():
         f"README.md \"What's inside\" tree is missing package(s) {missing}")
 
 
+def test_sched_subsystem_documented_everywhere():
+    """The multi-tenant scheduler is documented end to end: every
+    sched/ module appears in DESIGN.md's inventory, and EXPERIMENTS.md
+    carries the paired QoS-on/off ablation row that motivates it."""
+    design = (REPO / "DESIGN.md").read_text()
+    modules = sorted(p.name for p in (REPO / "src/repro/sched").glob("*.py")
+                     if p.name != "__init__.py")
+    missing = [m for m in modules if f"sched/{m}" not in design]
+    assert not missing, (
+        f"DESIGN.md §3 inventory is missing sched module(s) {missing}")
+
+    experiments = (REPO / "EXPERIMENTS.md").read_text()
+    assert "spider-repro sched" in experiments, (
+        "EXPERIMENTS.md must describe the multi-tenant QoS ablation "
+        "driven by `spider-repro sched`")
+    assert "| A14 |" in experiments, (
+        "EXPERIMENTS.md ablation table lost the A14 multi-tenant row")
+
+
 def _registered_lint_rules() -> set[str]:
     import repro.lint
 

@@ -12,6 +12,9 @@ EXAMPLES = {
                    ("Inventory", "layer", "client scaling")),
     "checkpoint_campaign": ("examples/checkpoint_campaign.py",
                             ("Checkpoint design point", "write fraction")),
+    "day_in_the_life": ("examples/day_in_the_life.py",
+                        ("Per-class outcomes", "Lesson 1 tradeoff",
+                         "p99 inflation")),
     "operations_day": ("examples/operations_day.py",
                        ("cable diagnosis", "purge")),
     "procure_a_filesystem": ("examples/procure_a_filesystem.py",

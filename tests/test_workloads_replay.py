@@ -101,3 +101,41 @@ class TestReplayTrace:
     def test_utilization_proxy_bounds(self):
         result = replay_trace(self._trace(), bandwidth=1e7)
         assert 0.0 <= result.utilization_proxy < 1.0
+
+
+class TestEdgeCases:
+    def test_empty_trace_replays_to_empty_result(self):
+        trace = RequestTrace(times=[], sizes=[], is_write=[])
+        result = replay_trace(trace, bandwidth=1e7, n_servers=4)
+        assert len(result.latencies) == 0
+        with pytest.raises(ValueError, match="no requests match"):
+            result.percentile(99)
+        with pytest.raises(ValueError, match="no requests match"):
+            result.mean()
+
+    def test_empty_arrays_replay_fifo(self):
+        waits, lat = replay_fifo(np.array([]), np.array([]), n_servers=3)
+        assert len(waits) == 0 and len(lat) == 0
+
+    def test_multi_server_matches_single_on_serial_trace(self):
+        """When every request finishes before the next arrives, server
+        count is irrelevant: c-server FIFO must equal single-server."""
+        arrivals = np.array([0.0, 5.0, 10.0, 15.0, 20.0])
+        services = np.array([1.0, 2.0, 3.0, 1.5, 0.5])  # all < 5s gaps
+        w1, l1 = replay_fifo(arrivals, services, n_servers=1)
+        for c in (2, 4, 8):
+            wc, lc = replay_fifo(arrivals, services, n_servers=c)
+            assert np.array_equal(w1, wc)
+            assert np.array_equal(l1, lc)
+        assert np.allclose(w1, 0.0)
+
+    def test_zero_byte_requests_cost_positioning_only(self):
+        sizes = np.zeros(3)
+        services = service_times_for(sizes, bandwidth=1e9,
+                                     positioning_time=0.004)
+        assert np.allclose(services, 0.004)
+        trace = RequestTrace(times=[0.0, 10.0, 20.0], sizes=sizes,
+                             is_write=[False, False, False])
+        result = replay_trace(trace, bandwidth=1e9)
+        assert np.allclose(result.latencies, 0.004)
+        assert np.allclose(result.waits, 0.0)
