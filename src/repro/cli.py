@@ -16,6 +16,8 @@ Subcommands map one-to-one onto the paper's activities::
     spider-repro suite --ssu 1          # the §III-B acceptance suite
     spider-repro reliability --years 20 # failure/rebuild exposure
     spider-repro chaos --faults 12      # a fault-injection campaign
+    spider-repro chaos --remediate      # same campaign, closed-loop repairs
+    spider-repro resilience             # manual vs automated paired study
     spider-repro ior --trace t.json     # same run, Chrome-trace recorded
     spider-repro report t.json          # Lesson-12 layer table from a trace
     spider-repro lint src/repro         # spider-lint invariant checker
@@ -302,15 +304,16 @@ def _cmd_recovery(args) -> int:
     from repro.analysis.reporting import render_table
     from repro.lustre.recovery import simulate_recovery, simulate_router_failure
 
-    outcome = simulate_recovery(imperative=args.imperative,
-                                hp_journaling=args.hp_journaling,
-                                seed=args.seed)
-    print(render_table(["metric", "value"], outcome.rows(),
-                       title="OSS failover recovery (§IV-D)"))
-    router = simulate_router_failure(arn=args.imperative, seed=args.seed)
-    print()
-    print(render_table(["metric", "value"], router.rows(),
-                       title="Router failure"))
+    with _tracing(args.trace):
+        outcome = simulate_recovery(imperative=args.imperative,
+                                    hp_journaling=args.hp_journaling,
+                                    seed=args.seed)
+        print(render_table(["metric", "value"], outcome.rows(),
+                           title="OSS failover recovery (§IV-D)"))
+        router = simulate_router_failure(arn=args.imperative, seed=args.seed)
+        print()
+        print(render_table(["metric", "value"], router.rows(),
+                           title="Router failure"))
     return 0
 
 
@@ -358,6 +361,11 @@ def _cmd_chaos(args) -> int:
     # Spider II.
     build = build_spider1 if args.scenario == "incident2010" else build_spider2
     system = build(seed=args.seed)
+    remediation = None
+    if args.remediate:
+        from repro.resilience import RemediationPolicy
+
+        remediation = RemediationPolicy(seed=args.seed)
     with _tracing(args.trace):
         if args.scenario == "random":
             plan = FaultPlan.random(system, duration=args.duration,
@@ -369,7 +377,8 @@ def _cmd_chaos(args) -> int:
         campaign = FaultCampaign(
             system, plan,
             duration=args.duration if args.scenario == "random" else None,
-            threshold=args.threshold)
+            threshold=args.threshold,
+            remediation=remediation)
         result = campaign.run()
 
         rows = [(f"{t:>10,.0f}", fmt_bandwidth(bw), label)
@@ -389,18 +398,77 @@ def _cmd_chaos(args) -> int:
              f"({result.below_threshold_fraction():.1%})"),
             ("unroutable probe flows", result.unroutable_flows),
         ], title="Campaign metrics"))
-        if result.recovery_times:
+        if result.recovery_stats:
+            worst = dict(result.recovery_times)
             print()
             print(render_table(
-                ["fault class", "worst recovery"],
-                [(cls, f"{seconds:,.0f} s")
-                 for cls, seconds in result.recovery_times],
+                ["fault class", "events", "mean recovery", "worst recovery"],
+                [(cls, str(n), f"{mean:,.0f} s", f"{worst[cls]:,.0f} s")
+                 for cls, n, mean in result.recovery_stats],
                 title="Recovery time per fault class"))
+        if result.remediation is not None:
+            print()
+            print(render_kv(result.remediation.rows(),
+                            title="Closed-loop remediation"))
+            if result.remediation.by_class:
+                print()
+                print(render_table(
+                    ["fault class", "remediated", "mean MTTD", "mean MTTR"],
+                    result.remediation.class_rows(),
+                    title="MTTD/MTTR decomposition per fault class"))
         print()
         print(render_table(
             ["classification", "incidents"],
             list(result.incident_counts),
             title="Health-checker incident triage (§IV-A)"))
+    return 0
+
+
+def _cmd_resilience(args) -> int:
+    from repro.analysis.reporting import render_kv, render_table
+    from repro.core.spider import build_spider2
+    from repro.faults import FaultPlan, cable_failure_scenario
+    from repro.resilience import run_paired_study
+
+    seed = args.seed
+    if args.scenario == "cable":
+        plan_factory = cable_failure_scenario
+        duration = None
+    else:
+        duration = args.duration
+
+        def plan_factory(system):
+            return FaultPlan.random(system, duration=args.duration,
+                                    n_faults=args.faults, seed=seed)
+
+    with _tracing(args.trace):
+        result = run_paired_study(
+            lambda: build_spider2(seed=seed),
+            plan_factory,
+            seed=seed,
+            duration=duration,
+            threshold=args.threshold)
+        print(render_table(
+            ["metric", "manual", "automated", "standard-recovery"],
+            result.rows(),
+            title=f"Manual vs closed-loop remediation ({args.scenario})"))
+        print()
+        print(render_kv([
+            ("blackout reduction",
+             f"{result.blackout_reduction_seconds:,.0f} s"),
+            ("availability gain", f"{result.availability_gain:+.4%}"),
+        ], title="Automated vs manual delta"))
+        outcome = result.automated.remediation
+        if outcome is not None:
+            print()
+            print(render_kv(outcome.rows(),
+                            title="Closed-loop pipeline (automated arm)"))
+            if outcome.by_class:
+                print()
+                print(render_table(
+                    ["fault class", "remediated", "mean MTTD", "mean MTTR"],
+                    outcome.class_rows(),
+                    title="MTTD/MTTR decomposition per fault class"))
     return 0
 
 
@@ -518,6 +586,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--imperative", action="store_true",
                    help="imperative recovery / ARN enabled")
     p.add_argument("--hp-journaling", action="store_true")
+    p.add_argument("--trace", metavar="FILE",
+                   help="record a Chrome-trace (Perfetto) file with the "
+                        "reconnect/replay/reroute spans")
     p.set_defaults(fn=_cmd_recovery)
 
     p = sub.add_parser("suite", help="the §III-B acceptance suite on one SSU")
@@ -544,9 +615,30 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--threshold", type=float, default=0.5,
                    help="degradation threshold as a fraction of baseline "
                         "(default 0.5)")
+    p.add_argument("--remediate", action="store_true",
+                   help="close the loop: automated detection + playbook "
+                        "repairs race the scripted plan")
     p.add_argument("--trace", metavar="FILE",
                    help="record a Chrome-trace (Perfetto) file")
     p.set_defaults(fn=_cmd_chaos)
+
+    p = sub.add_parser("resilience",
+                       help="manual vs closed-loop remediation paired study")
+    p.add_argument("--scenario", choices=("cable", "week"), default="cable",
+                   help="the §IV-A cable case or a random week-long plan "
+                        "(default cable)")
+    p.add_argument("--faults", type=int, default=10,
+                   help="fault count for the week scenario (default 10)")
+    p.add_argument("--duration", type=float, default=7 * DAY,
+                   help="plan window in seconds for the week scenario "
+                        "(default 7 days)")
+    p.add_argument("--threshold", type=float, default=0.5,
+                   help="degradation threshold as a fraction of baseline "
+                        "(default 0.5)")
+    p.add_argument("--trace", metavar="FILE",
+                   help="record a Chrome-trace (Perfetto) file with the "
+                        "detect/decide/act/verify spans")
+    p.set_defaults(fn=_cmd_resilience)
 
     p = sub.add_parser("reliability", help="failure/rebuild exposure")
     p.add_argument("--years", type=float, default=10.0)

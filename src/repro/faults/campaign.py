@@ -25,12 +25,20 @@ engine-process spans.
 The result is a :class:`CampaignResult` of plain floats and tuples, so two
 runs with the same seed compare equal with ``==`` — the determinism
 contract the test suite enforces (telemetry on or off, bit-identical).
+
+Passing ``remediation=`` closes the loop: a
+:class:`~repro.resilience.runner.PlaybookRunner` rides the same engine,
+detects each injected fault through the monitoring-latency model, walks
+its playbook, and applies the repair through the campaign's own repair
+path — whichever of the scripted repair and the remediation fires first
+wins, the other becomes a no-op.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -44,6 +52,10 @@ from repro.obs.instruments import get_telemetry
 from repro.obs.trace import get_tracer, instrument_engine
 from repro.sim.engine import Engine
 from repro.units import HOUR
+
+if TYPE_CHECKING:
+    from repro.resilience.playbooks import RemediationPolicy
+    from repro.resilience.runner import PlaybookRunner, RemediationOutcome
 
 __all__ = ["FaultCampaign", "CampaignResult"]
 
@@ -88,10 +100,21 @@ class CampaignResult:
     n_repaired: int
     #: probe flows dropped because no live router served their leaf
     unroutable_flows: int
+    #: ``(fault class value, event count, mean recovery seconds)`` per
+    #: class over every qualifying fault (``recovery_times`` keeps only
+    #: the worst case, for backward compatibility)
+    recovery_stats: tuple[tuple[str, int, float], ...] = ()
+    #: the closed-loop remediation outcome, when a policy was supplied
+    remediation: "RemediationOutcome | None" = None
 
     def below_threshold_fraction(self) -> float:
         """Fraction of the campaign spent below the degradation threshold."""
         return self.time_below_threshold / self.duration if self.duration else 0.0
+
+    def total_blackout_seconds(self) -> float:
+        """Sum of recovery seconds over every fault with a measured
+        recovery — the scalar the paired study compares across arms."""
+        return sum(n * mean for _cls, n, mean in self.recovery_stats)
 
 
 class FaultCampaign:
@@ -110,6 +133,10 @@ class FaultCampaign:
         probe_clients_per_oss: probe streams per OSS.  Two 1.4 GB/s client
             stacks out-demand one OSS's couplet share, so server-side
             degradation is visible rather than hidden behind client limits.
+        remediation: optional
+            :class:`~repro.resilience.playbooks.RemediationPolicy`; when
+            given, a :class:`~repro.resilience.runner.PlaybookRunner`
+            closes the loop on every injected fault.
     """
 
     def __init__(
@@ -121,6 +148,7 @@ class FaultCampaign:
         threshold: float = 0.5,
         health: LustreHealthChecker | None = None,
         probe_clients_per_oss: int = 2,
+        remediation: "RemediationPolicy | None" = None,
     ) -> None:
         if not system.clients:
             raise ValueError("campaign needs a system built with clients")
@@ -138,9 +166,11 @@ class FaultCampaign:
         self.duration = float(duration)
         self.threshold = float(threshold)
         self.health = health or LustreHealthChecker()
+        self.remediation = remediation
         self.transfers = self._probe_transfers()
         # run state
         self._engine: Engine | None = None
+        self._runner: "PlaybookRunner | None" = None
         #: (sample time, FlowResult, the PathBuilder that produced it)
         self._last: tuple[float, object, PathBuilder] | None = None
         self._timeline: list[tuple[float, float, str]] = []
@@ -224,8 +254,14 @@ class FaultCampaign:
                             detail=f"symptom of {fault.label}")))
         if injector.resolves_flow:
             self._sample(fault.label)
+        if self._runner is not None:
+            self._runner.on_fault(fault, engine.now)
 
     def _repair(self, fault: PlannedFault) -> None:
+        # Scripted repair and remediation share this path; whichever runs
+        # first consumes the token and the other becomes a no-op.
+        if fault not in self._tokens:
+            return
         engine = self._engine
         assert engine is not None
         injector = injector_for(fault)
@@ -247,6 +283,13 @@ class FaultCampaign:
 
             engine.call_after(delay, _finish)
 
+    def _remediate_repair(self, fault: PlannedFault) -> bool:
+        """Actuator entry point: repair ``fault`` unless already repaired."""
+        if fault not in self._tokens:
+            return False
+        self._repair(fault)
+        return True
+
     # -- execution ------------------------------------------------------------
 
     def run(self) -> CampaignResult:
@@ -258,6 +301,24 @@ class FaultCampaign:
         self._spans.clear()
         self._last = None
         self._unroutable = self._n_injected = self._n_repaired = 0
+
+        self._runner = None
+        if self.remediation is not None:
+            # Imported lazily: repro.resilience imports the faults package
+            # at module level, so the campaign must not return the favor.
+            from repro.resilience.actuator import CallbackActuator
+            from repro.resilience.runner import PlaybookRunner
+
+            self._runner = PlaybookRunner(
+                self.remediation,
+                engine=engine,
+                actuator=CallbackActuator(
+                    repair=self._remediate_repair,
+                    pending=lambda f: f in self._tokens,
+                ),
+                n_clients=len(self.system.clients),
+                n_routers=len(self.system.routers),
+            )
 
         self._sample("baseline")
         for fault in self.plan:
@@ -278,11 +339,13 @@ class FaultCampaign:
             if handle is not None:
                 get_tracer().end(handle, repaired=False)
 
-        return self._result()
+        outcome = self._runner.finalize() if self._runner is not None else None
+        return self._result(outcome)
 
     # -- metrics --------------------------------------------------------------
 
-    def _result(self) -> CampaignResult:
+    def _result(self, remediation: "RemediationOutcome | None" = None,
+                ) -> CampaignResult:
         timeline = list(self._timeline)
         baseline = timeline[0][1] if timeline else 0.0
         floor = self.threshold * baseline
@@ -305,6 +368,7 @@ class FaultCampaign:
         # Recovery per fault class: time from injection until bandwidth
         # returns to RECOVERY_FRACTION of its pre-fault level.
         recovery: dict[str, float] = {}
+        stats: dict[str, list[float]] = {}
         for fault in self.plan:
             injected_at = next(
                 (i for i, (t, _bw, label) in enumerate(timeline)
@@ -322,6 +386,7 @@ class FaultCampaign:
             elapsed = recovered_at - fault.time
             key = fault.fault.value
             recovery[key] = max(recovery.get(key, 0.0), elapsed)
+            stats.setdefault(key, []).append(elapsed)
 
         return CampaignResult(
             baseline_bw=baseline,
@@ -337,4 +402,8 @@ class FaultCampaign:
             n_injected=self._n_injected,
             n_repaired=self._n_repaired,
             unroutable_flows=self._unroutable,
+            recovery_stats=tuple(
+                (cls, len(vals), sum(vals) / len(vals))
+                for cls, vals in sorted(stats.items())),
+            remediation=remediation,
         )

@@ -29,28 +29,48 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 
+from repro.obs.trace import get_tracer
 from repro.sim.engine import Engine
 from repro.sim.rng import RngStreams
+from repro.units import MINUTE
 
 __all__ = [
     "RecoverySpec",
+    "DEFAULT_RECOVERY_SPEC",
     "RecoveryOutcome",
     "simulate_recovery",
     "RouterFailureOutcome",
     "simulate_router_failure",
 ]
 
+# The one constant table for recovery timing.  Everything that needs an
+# obd_timeout-scale number — the ``recovery`` CLI subcommand, the
+# resilience playbooks, tests — reads these (directly or through
+# ``DEFAULT_RECOVERY_SPEC``), so the values cannot drift apart.
+#: obd_timeout: the standard-recovery discovery scale (seconds)
+OBD_TIMEOUT = 100.0
+#: hard cap on the reconnect window before stragglers are evicted
+RECOVERY_WINDOW = 5 * MINUTE
+#: imperative recovery: MGS IR notification latency (seconds)
+MGS_NOTIFY_LATENCY = 2.0
+#: connect + lock re-acquisition cost per client (seconds)
+RECONNECT_COST = 1.5
+#: transactions replayed per second (stock journaling)
+REPLAY_RATE = 20_000.0
+#: high-performance journaling replay speedup factor
+JOURNAL_SPEEDUP = 3.0
+
 
 @dataclass(frozen=True)
 class RecoverySpec:
     """Timing parameters of the recovery machinery."""
 
-    rpc_timeout: float = 100.0  # obd_timeout: standard discovery scale
-    recovery_window: float = 300.0  # hard cap before stragglers are evicted
-    mgs_notify_latency: float = 2.0  # imperative: MGS IR notification
-    reconnect_cost: float = 1.5  # connect + lock re-acquisition per client
-    replay_rate: float = 20_000.0  # transactions replayed per second
-    journal_speedup: float = 3.0  # high-performance journaling factor
+    rpc_timeout: float = OBD_TIMEOUT  # standard discovery scale
+    recovery_window: float = RECOVERY_WINDOW  # cap before evicting stragglers
+    mgs_notify_latency: float = MGS_NOTIFY_LATENCY  # imperative MGS IR
+    reconnect_cost: float = RECONNECT_COST  # per-client reconnect
+    replay_rate: float = REPLAY_RATE  # transactions replayed per second
+    journal_speedup: float = JOURNAL_SPEEDUP  # hp journaling factor
 
     def __post_init__(self) -> None:
         for value in (self.rpc_timeout, self.recovery_window,
@@ -58,6 +78,10 @@ class RecoverySpec:
                       self.replay_rate, self.journal_speedup):
             if value <= 0:
                 raise ValueError("all recovery parameters must be positive")
+
+
+#: the shared default spec (the constant table above, as one object)
+DEFAULT_RECOVERY_SPEC = RecoverySpec()
 
 
 @dataclass(frozen=True)
@@ -149,6 +173,20 @@ def simulate_recovery(
     if hp_journaling:
         replay /= spec.journal_speedup
 
+    tracer = get_tracer()
+    if tracer.enabled:
+        # The recovery ran on its own nested engine; re-anchor its spans
+        # at the caller's current sim time so traces compose.
+        t0 = tracer.now()
+        tracer.record(
+            "recovery:reconnect-window", "recovery", t0, t0 + float(window),
+            imperative=imperative, reconnected=state["reconnected"],
+            evicted=n_absent)
+        tracer.record(
+            "recovery:replay", "recovery",
+            t0 + float(window), t0 + float(window) + float(replay),
+            transactions=open_transactions, hp_journaling=hp_journaling)
+
     return RecoveryOutcome(
         imperative=imperative,
         n_clients=n_clients,
@@ -213,6 +251,12 @@ def simulate_router_failure(
     else:
         discovery = spec.rpc_timeout * (1.0 + rng.random(n_affected_clients) * 0.5)
     stalls = discovery + reroute_cost
+    tracer = get_tracer()
+    if tracer.enabled:
+        t0 = tracer.now()
+        tracer.record(
+            "recovery:reroute", "recovery", t0, t0 + float(stalls.max()),
+            arn=arn, affected=n_affected_clients)
     return RouterFailureOutcome(
         arn=arn,
         n_affected_clients=n_affected_clients,

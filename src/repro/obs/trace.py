@@ -193,6 +193,30 @@ class Tracer:
         finally:
             self.end(handle)
 
+    def record(self, name: str, cat: str, t0_sim: float, t1_sim: float,
+               **args: Any) -> Span | None:
+        """Record a completed span at explicit sim times.
+
+        For intervals derived analytically or replayed from a nested
+        simulation (e.g. the reconnect window of a failover recovery run
+        on its own engine) where :meth:`begin`/:meth:`end` cannot observe
+        the endpoints live.  Both wall stamps are taken now, so the span
+        carries zero wall duration.  Args as :meth:`begin`.
+        """
+        if not self.enabled:
+            return None
+        wall = _wall_clock()
+        span = Span(
+            name=name, cat=cat,
+            t0_sim=t0_sim, t1_sim=t1_sim,
+            t0_wall=wall, t1_wall=wall,
+            depth=len(self._stack),
+            parent=self._stack[-1].name if self._stack else None,
+            args=dict(args),
+        )
+        self.spans.append(span)
+        return span
+
     def instant(self, name: str, cat: str = "", **args: Any) -> None:
         """A zero-duration marker (saturation events, failures)."""
         if not self.enabled:

@@ -1,0 +1,73 @@
+"""repro.resilience — closed-loop remediation on the fault campaign.
+
+The paper's operational chapters describe humans closing the loop:
+monitoring surfaces a dying cable or a failed OSS, an operator diagnoses
+it, walks a runbook, and the system recovers minutes to hours later.
+This package automates that loop on the discrete-event engine:
+
+* :mod:`repro.resilience.detector` — the detection-latency model
+  (poll grid, debounce, missed sweeps): MTTD has physics too;
+* :mod:`repro.resilience.playbooks` — the runbook registry mapping every
+  :class:`~repro.faults.events.FaultClass` to declarative steps, plus the
+  retry/escalation and remediation policies;
+* :mod:`repro.resilience.actuator` — the write path applying repairs
+  through the executor's own injector adapters, so the flow network
+  re-solves exactly as for a scripted repair;
+* :mod:`repro.resilience.runner` — :class:`PlaybookRunner` executes
+  detect → decide → act → verify as engine events and aggregates the
+  MTTD/MTTR decomposition;
+* :mod:`repro.resilience.study` — the paired manual-vs-automated
+  experiment with the standard-recovery ablation.
+
+Typical use::
+
+    from repro.core.spider import build_spider2
+    from repro.faults import FaultCampaign, cable_failure_scenario
+    from repro.resilience import RemediationPolicy
+
+    system = build_spider2()
+    plan = cable_failure_scenario(system)
+    result = FaultCampaign(
+        system, plan, remediation=RemediationPolicy(seed=7)).run()
+    print(result.remediation.mean_mttr_seconds)
+"""
+
+from repro.resilience.actuator import Actuator, CallbackActuator
+from repro.resilience.detector import DetectionModel, Detector
+from repro.resilience.playbooks import (
+    PLAYBOOKS,
+    Playbook,
+    PlaybookStep,
+    RemediationPolicy,
+    RetryPolicy,
+    playbook_for,
+)
+from repro.resilience.runner import (
+    PlaybookRunner,
+    RemediationOutcome,
+    RemediationRecord,
+)
+from repro.resilience.study import (
+    PairedStudyResult,
+    StudyArm,
+    run_paired_study,
+)
+
+__all__ = [
+    "DetectionModel",
+    "Detector",
+    "PlaybookStep",
+    "Playbook",
+    "RetryPolicy",
+    "RemediationPolicy",
+    "PLAYBOOKS",
+    "playbook_for",
+    "Actuator",
+    "CallbackActuator",
+    "PlaybookRunner",
+    "RemediationRecord",
+    "RemediationOutcome",
+    "StudyArm",
+    "PairedStudyResult",
+    "run_paired_study",
+]

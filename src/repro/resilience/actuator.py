@@ -1,0 +1,63 @@
+"""The actuator: remediation state changes through the injector adapters.
+
+The closed loop must change the *same* simulated state the fault
+injectors changed, or the flow network would never notice the repair.
+An :class:`Actuator` is the runner's write path into whichever executor
+owns that state — :class:`~repro.faults.campaign.FaultCampaign` or
+:class:`~repro.sched.scheduler.FacilityScheduler` — and both route the
+call through their existing repair machinery (injector ``repair``,
+follow-up rebuilds, telemetry counters, flow re-solve), so a remediated
+repair is indistinguishable from a plan-scripted one except for *when*
+it happens.
+
+``repair`` returns ``False`` when there is nothing left to do (the
+plan-scripted repair fired first); the executor's own repair path holds
+the symmetric guard, so exactly one of the two ever acts per fault.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.faults.events import PlannedFault
+
+__all__ = ["Actuator", "CallbackActuator"]
+
+
+class Actuator:
+    """The runner's write path into a fault executor."""
+
+    def repair(self, fault: PlannedFault) -> bool:
+        """Apply the remediation repair for ``fault``; return ``True``
+        if state changed, ``False`` if the fault was already repaired."""
+        raise NotImplementedError
+
+    def pending(self, fault: PlannedFault) -> bool:
+        """Whether ``fault`` is still injected (repair not yet applied)."""
+        raise NotImplementedError
+
+
+class CallbackActuator(Actuator):
+    """Adapts an executor's repair path via two callables.
+
+    Args:
+        repair: called with the fault; returns whether state changed.
+        pending: called with the fault; returns whether it is still live.
+    """
+
+    def __init__(
+        self,
+        *,
+        repair: Callable[[PlannedFault], bool],
+        pending: Callable[[PlannedFault], bool],
+    ) -> None:
+        self._repair = repair
+        self._pending = pending
+
+    def repair(self, fault: PlannedFault) -> bool:
+        """Apply the remediation repair through the executor callback."""
+        return bool(self._repair(fault))
+
+    def pending(self, fault: PlannedFault) -> bool:
+        """Whether the executor still holds an open token for ``fault``."""
+        return bool(self._pending(fault))

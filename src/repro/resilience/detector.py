@@ -1,0 +1,97 @@
+"""The detection-latency model: polling, debounce, missed sweeps.
+
+The §V lesson behind MELT-style monitoring is that a fault is invisible
+until the monitoring stack *notices* it, and the noticing has its own
+physics: health checkers sweep on a poll interval, alerts are debounced
+so a single flapping sample does not page anyone, and real sweeps
+occasionally miss (a scraper timeout, a stale cache, an agent mid-restart).
+MTTD — the first term of the MTTR decomposition the paired study reports —
+is exactly this pipeline's latency.
+
+:class:`Detector` models it analytically rather than as a periodic engine
+process: at fault onset it computes when the next sweep on the global poll
+grid lands, adds a geometric number of missed sweeps (each sweep misses
+independently with :attr:`DetectionModel.miss_probability`, drawn from a
+named :class:`~repro.sim.rng.RngStreams` substream), then adds the
+debounce.  One draw sequence per fault in injection order — deterministic
+for a given plan and seed, and free of per-sweep engine events.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.monitoring.health import HealthEvent
+
+__all__ = ["DetectionModel", "Detector"]
+
+#: default monitoring sweep period (seconds)
+DEFAULT_POLL_INTERVAL = 30.0
+#: default alert debounce: persistence required before paging (seconds)
+DEFAULT_DEBOUNCE = 10.0
+#: default per-sweep missed-detection probability
+DEFAULT_MISS_PROBABILITY = 0.02
+#: cap on consecutive missed sweeps, so a pathological miss probability
+#: cannot stall detection (or randomness consumption) unboundedly
+MAX_MISSED_SWEEPS = 20
+
+
+@dataclass(frozen=True)
+class DetectionModel:
+    """Configuration of the monitoring-to-alert pipeline.
+
+    All times in seconds.  ``miss_probability`` is the chance any one
+    sweep fails to surface a present fault; misses compound geometrically
+    (capped at :data:`MAX_MISSED_SWEEPS` sweeps).
+    """
+
+    poll_interval: float = DEFAULT_POLL_INTERVAL
+    debounce: float = DEFAULT_DEBOUNCE
+    miss_probability: float = DEFAULT_MISS_PROBABILITY
+
+    def __post_init__(self) -> None:
+        if self.poll_interval <= 0:
+            raise ValueError("poll_interval must be positive")
+        if self.debounce < 0:
+            raise ValueError("debounce must be non-negative")
+        if not (0 <= self.miss_probability < 1):
+            raise ValueError("miss_probability must be in [0, 1)")
+
+
+class Detector:
+    """Turns a fault onset into the sim time its alert fires.
+
+    Args:
+        model: the pipeline configuration.
+        rng: the named substream the missed-sweep draws come from
+            (conventionally ``streams.get("resilience.detect")``).
+    """
+
+    def __init__(self, model: DetectionModel, rng: np.random.Generator) -> None:
+        self.model = model
+        self._rng = rng
+
+    def detection_delay(self, fault_time: float) -> float:
+        """Seconds from fault onset to the alert, for an onset at
+        ``fault_time`` on the global poll grid.
+
+        Exactly one uniform draw is consumed per miss check, starting
+        with the first sweep after onset, so the draw sequence depends
+        only on call order — not on telemetry, tracing, or wall clock.
+        """
+        model = self.model
+        next_sweep = (math.floor(fault_time / model.poll_interval) + 1) \
+            * model.poll_interval
+        delay = next_sweep - fault_time
+        for _sweep in range(MAX_MISSED_SWEEPS):
+            if float(self._rng.random()) >= model.miss_probability:
+                break
+            delay += model.poll_interval
+        return delay + model.debounce
+
+    def observe(self, event: HealthEvent) -> float:
+        """Absolute sim time the alert for ``event`` reaches automation."""
+        return event.time + self.detection_delay(event.time)

@@ -1,0 +1,260 @@
+"""Remediation playbooks: fault class → ordered steps, retries, escalation.
+
+Each :class:`Playbook` is the automation-tier runbook for one
+:class:`~repro.faults.events.FaultClass` — the codified version of what
+the paper's operators did by hand: fail a dying drive out and bring in a
+hot spare, reseat the marginal cable, fail the OSS over (standard or
+imperative recovery, §IV-D), push the dead-router notice into the LNET
+routing tables, shed the ``du`` storm off the MDS, drain a full OST.
+
+Steps are declarative: a duration on success, a timeout when the step
+hangs, and a per-attempt failure probability.  The
+:class:`~repro.resilience.runner.PlaybookRunner` executes them with
+bounded retry (exponential backoff + jitter from a named RNG substream)
+and, when automation exhausts its attempts, escalates to the slower
+"operator" tier — a human gets paged, waits out
+:attr:`RemediationPolicy.operator_delay`, and performs the step reliably.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.faults.events import FaultClass
+from repro.resilience.detector import DetectionModel
+from repro.units import MINUTE
+
+__all__ = [
+    "PlaybookStep",
+    "Playbook",
+    "RetryPolicy",
+    "RemediationPolicy",
+    "PLAYBOOKS",
+    "playbook_for",
+]
+
+# Step timing constants (seconds).  Failover/reroute tails are *not* in
+# this table: they come from ``simulate_recovery``/``simulate_router_failure``
+# under ``DEFAULT_RECOVERY_SPEC`` (the one constant table in
+# :mod:`repro.lustre.recovery`), so the §IV-D numbers cannot drift.
+#: confirm an automated diagnosis against a second telemetry source
+CONFIRM_SECONDS = 30.0
+#: fail a member out of its RAID group / fence a component
+ISOLATE_SECONDS = 10.0
+#: activate a hot spare into the group (starts the rebuild window)
+HOT_SPARE_SECONDS = 45.0
+#: an ibdiagnet-style fabric sweep localizing a bad cable
+CABLE_SWEEP_SECONDS = 60.0
+#: reseat/replace an IB cable at the rack
+CABLE_RESEAT_SECONDS = 2 * MINUTE
+#: restore a failed couplet controller (power-cycle + firmware settle)
+CONTROLLER_RESTORE_SECONDS = 5 * MINUTE
+#: push updated LNET routing tables to the server side
+ROUTE_PUSH_SECONDS = 30.0
+#: identify the client behind a metadata storm from MDS stats
+SHED_IDENTIFY_SECONDS = 60.0
+#: throttle/evict the offending client
+SHED_THROTTLE_SECONDS = 30.0
+#: disable new-object allocation on a filling OST
+MIGRATE_DISABLE_SECONDS = 15.0
+#: migrate objects off the full OST to rebalance
+MIGRATE_DRAIN_SECONDS = 10 * MINUTE
+#: reseat/power-cycle a drive shelf
+SHELF_RESEAT_SECONDS = 5 * MINUTE
+
+#: default per-attempt chance an automated step hangs and times out
+STEP_FAILURE_PROBABILITY = 0.05
+#: default per-step timeout: the give-up point for one attempt
+STEP_TIMEOUT_SECONDS = 3 * MINUTE
+#: default latency of the decide stage (playbook lookup + dispatch)
+DECIDE_LATENCY_SECONDS = 2.0
+#: default latency of the verify stage (probe re-solve + green check)
+VERIFY_LATENCY_SECONDS = 15.0
+#: default escalation delay: paging a human and their response time
+OPERATOR_DELAY_SECONDS = 15 * MINUTE
+
+
+@dataclass(frozen=True)
+class PlaybookStep:
+    """One remediation action on the automation tier.
+
+    ``duration`` is the cost of a successful attempt, ``timeout`` the
+    cost of a hung one (both seconds); ``failure_probability`` is the
+    per-attempt chance of hanging.
+    """
+
+    name: str
+    duration: float
+    timeout: float = STEP_TIMEOUT_SECONDS
+    failure_probability: float = STEP_FAILURE_PROBABILITY
+
+    def __post_init__(self) -> None:
+        if self.duration <= 0 or self.timeout <= 0:
+            raise ValueError("step duration and timeout must be positive")
+        if not (0 <= self.failure_probability < 1):
+            raise ValueError("failure_probability must be in [0, 1)")
+
+
+@dataclass(frozen=True)
+class Playbook:
+    """The ordered remediation steps for one fault class.
+
+    ``failover`` appends an OSS-failover recovery window (via
+    ``simulate_recovery``) to the act phase — clients must reconnect and
+    replay before the repaired component serves I/O again.  ``reroute``
+    appends the router-failure client-stall window (via
+    ``simulate_router_failure`` + LNET liveness).
+    """
+
+    name: str
+    fault_class: FaultClass
+    steps: tuple[PlaybookStep, ...]
+    failover: bool = False
+    reroute: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.steps:
+            raise ValueError("a playbook needs at least one step")
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retry with exponential backoff + jitter.
+
+    A step is attempted up to ``max_attempts`` times; the *k*-th retry
+    waits ``min(backoff_cap, backoff_base * 2**(k-1))`` seconds scaled by
+    a uniform jitter factor in ``[1, 1 + jitter]``.  Exhausting the
+    attempts escalates to the operator tier.
+    """
+
+    max_attempts: int = 3
+    backoff_base: float = 5.0
+    backoff_cap: float = 2 * MINUTE
+    jitter: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be at least 1")
+        if self.backoff_base <= 0 or self.backoff_cap <= 0:
+            raise ValueError("backoff parameters must be positive")
+        if self.jitter < 0:
+            raise ValueError("jitter must be non-negative")
+
+    def backoff_seconds(self, attempt: int, jitter_draw: float) -> float:
+        """Backoff before retrying after failed attempt ``attempt``
+        (1-based), given a uniform ``jitter_draw`` in [0, 1)."""
+        base = min(self.backoff_cap, self.backoff_base * 2.0 ** (attempt - 1))
+        return base * (1.0 + self.jitter * jitter_draw)
+
+
+@dataclass(frozen=True)
+class RemediationPolicy:
+    """Everything the closed loop needs, as pure configuration.
+
+    The policy object holds no runtime state, so one instance can drive
+    any number of campaigns; all randomness flows through named
+    substreams of ``RngStreams(seed)`` inside the runner.  ``imperative``
+    selects imperative recovery + ARN for the failover/reroute tails
+    (the §IV-D ablation knob); ``hp_journaling`` the replay speedup.
+    """
+
+    detection: DetectionModel = DetectionModel()
+    retry: RetryPolicy = RetryPolicy()
+    decide_latency: float = DECIDE_LATENCY_SECONDS
+    verify_latency: float = VERIFY_LATENCY_SECONDS
+    operator_delay: float = OPERATOR_DELAY_SECONDS
+    imperative: bool = True
+    hp_journaling: bool = True
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.decide_latency < 0 or self.verify_latency < 0:
+            raise ValueError("stage latencies must be non-negative")
+        if self.operator_delay < 0:
+            raise ValueError("operator_delay must be non-negative")
+
+
+#: the runbook registry: every fault class maps to exactly one playbook
+PLAYBOOKS: dict[FaultClass, Playbook] = {
+    pb.fault_class: pb
+    for pb in (
+        Playbook(
+            name="hot-spare-rebuild",
+            fault_class=FaultClass.DISK_FAIL,
+            steps=(
+                PlaybookStep("fail-out-member", ISOLATE_SECONDS),
+                PlaybookStep("activate-hot-spare", HOT_SPARE_SECONDS),
+            ),
+        ),
+        Playbook(
+            name="cull-slow-disk",
+            fault_class=FaultClass.DISK_SLOW,
+            steps=(
+                PlaybookStep("confirm-latency-outlier", CONFIRM_SECONDS),
+                PlaybookStep("swap-in-spare", HOT_SPARE_SECONDS),
+            ),
+        ),
+        Playbook(
+            name="reseat-marginal-cable",
+            fault_class=FaultClass.CABLE_DEGRADE,
+            steps=(
+                PlaybookStep("fabric-sweep", CABLE_SWEEP_SECONDS),
+                PlaybookStep("reseat-cable", CABLE_RESEAT_SECONDS),
+            ),
+        ),
+        Playbook(
+            name="replace-cable-failover",
+            fault_class=FaultClass.CABLE_FAIL,
+            steps=(
+                PlaybookStep("reseat-cable", CABLE_RESEAT_SECONDS),
+            ),
+            failover=True,
+        ),
+        Playbook(
+            name="controller-failback",
+            fault_class=FaultClass.CONTROLLER_FAIL,
+            steps=(
+                PlaybookStep("verify-partner-holds", CONFIRM_SECONDS),
+                PlaybookStep("restore-controller", CONTROLLER_RESTORE_SECONDS),
+            ),
+            failover=True,
+        ),
+        Playbook(
+            name="router-reroute",
+            fault_class=FaultClass.ROUTER_FAIL,
+            steps=(
+                PlaybookStep("push-routing-tables", ROUTE_PUSH_SECONDS),
+            ),
+            reroute=True,
+        ),
+        Playbook(
+            name="shed-metadata-storm",
+            fault_class=FaultClass.MDS_OVERLOAD,
+            steps=(
+                PlaybookStep("identify-storm-client", SHED_IDENTIFY_SECONDS),
+                PlaybookStep("throttle-client", SHED_THROTTLE_SECONDS),
+            ),
+        ),
+        Playbook(
+            name="drain-full-ost",
+            fault_class=FaultClass.OST_FILL,
+            steps=(
+                PlaybookStep("disable-allocation", MIGRATE_DISABLE_SECONDS),
+                PlaybookStep("migrate-objects", MIGRATE_DRAIN_SECONDS),
+            ),
+        ),
+        Playbook(
+            name="reseat-shelf",
+            fault_class=FaultClass.ENCLOSURE_OFFLINE,
+            steps=(
+                PlaybookStep("reseat-shelf", SHELF_RESEAT_SECONDS),
+            ),
+            failover=True,
+        ),
+    )
+}
+
+
+def playbook_for(fault_class: FaultClass) -> Playbook:
+    """The registered playbook for one fault class."""
+    return PLAYBOOKS[fault_class]

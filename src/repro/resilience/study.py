@@ -1,0 +1,156 @@
+"""The headline experiment: plan-scripted vs closed-loop remediation.
+
+:func:`run_paired_study` runs the *same* fault plan on the *same* seed
+three times — once with only the plan's scripted repairs (how the §IV-A
+timeline actually played out: operators noticed, diagnosed, and walked to
+the rack), once with the automated closed loop driving imperative
+recovery + ARN, and once with the closed loop downgraded to standard
+recovery (the §IV-D ablation).  Because the injected faults, flow
+re-solves, and sampling grid are identical across arms, every difference
+in availability and blackout seconds is attributable to remediation
+alone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable
+
+from repro.resilience.playbooks import RemediationPolicy
+from repro.resilience.runner import RemediationOutcome
+
+if TYPE_CHECKING:
+    from repro.core.system import SpiderSystem
+    from repro.faults.plan import FaultPlan
+
+__all__ = ["StudyArm", "PairedStudyResult", "run_paired_study"]
+
+
+@dataclass(frozen=True)
+class StudyArm:
+    """One arm of the paired study, reduced to comparable scalars."""
+
+    name: str
+    availability: float
+    blackout_seconds: float
+    worst_bw: float
+    n_injected: int
+    n_repaired: int
+    remediation: RemediationOutcome | None = None
+
+    def rows(self) -> list[tuple[str, str]]:
+        """Key/value rows for the CLI report."""
+        rows = [
+            ("availability", f"{self.availability:.3%}"),
+            ("blackout", f"{self.blackout_seconds:,.0f} s"),
+            ("faults injected / repaired",
+             f"{self.n_injected} / {self.n_repaired}"),
+        ]
+        if self.remediation is not None:
+            rows.append(("mean MTTD",
+                         f"{self.remediation.mean_mttd_seconds:,.1f} s"))
+            rows.append(("mean MTTR",
+                         f"{self.remediation.mean_mttr_seconds:,.1f} s"))
+        return rows
+
+
+@dataclass(frozen=True)
+class PairedStudyResult:
+    """Manual vs automated vs standard-recovery ablation, one seed."""
+
+    seed: int
+    manual: StudyArm
+    automated: StudyArm
+    standard: StudyArm
+
+    @property
+    def blackout_reduction_seconds(self) -> float:
+        """Blackout seconds the closed loop removed vs the scripted plan."""
+        return self.manual.blackout_seconds - self.automated.blackout_seconds
+
+    @property
+    def availability_gain(self) -> float:
+        """Availability delta, automated minus manual."""
+        return self.automated.availability - self.manual.availability
+
+    def rows(self) -> list[tuple[str, str, str, str]]:
+        """Comparison table rows: metric, manual, automated, standard."""
+        arms = (self.manual, self.automated, self.standard)
+        rows = [
+            ("availability", *(f"{a.availability:.3%}" for a in arms)),
+            ("blackout",
+             *(f"{a.blackout_seconds:,.0f} s" for a in arms)),
+            ("mean MTTR", *(
+                "—" if a.remediation is None
+                else f"{a.remediation.mean_mttr_seconds:,.1f} s"
+                for a in arms)),
+        ]
+        return rows
+
+
+def _arm(
+    name: str,
+    system_factory: "Callable[[], SpiderSystem]",
+    plan_factory: "Callable[[SpiderSystem], FaultPlan]",
+    *,
+    duration: float | None,
+    threshold: float,
+    remediation: RemediationPolicy | None,
+) -> StudyArm:
+    from repro.faults.campaign import FaultCampaign
+
+    system = system_factory()
+    plan = plan_factory(system)
+    result = FaultCampaign(
+        system, plan,
+        duration=duration,
+        threshold=threshold,
+        remediation=remediation,
+    ).run()
+    return StudyArm(
+        name=name,
+        availability=result.availability,
+        blackout_seconds=result.total_blackout_seconds(),
+        worst_bw=result.worst_bw,
+        n_injected=result.n_injected,
+        n_repaired=result.n_repaired,
+        remediation=result.remediation,
+    )
+
+
+def run_paired_study(
+    system_factory: "Callable[[], SpiderSystem]",
+    plan_factory: "Callable[[SpiderSystem], FaultPlan]",
+    *,
+    seed: int = 0,
+    duration: float | None = None,
+    threshold: float = 0.5,
+) -> PairedStudyResult:
+    """Run the manual / automated / standard-ablation triple.
+
+    Args:
+        system_factory: builds a *fresh* system per arm (arms mutate
+            hardware state, so they cannot share one instance).
+        plan_factory: builds the fault plan from that system; must be
+            deterministic so all arms face the same faults.
+        seed: seeds the remediation policy (detection misses, step
+            failures, backoff jitter, nested recovery sims).
+        duration: campaign horizon override, as in
+            :class:`~repro.faults.campaign.FaultCampaign`.
+        threshold: degradation threshold for the availability metrics.
+    """
+    manual = _arm(
+        "manual", system_factory, plan_factory,
+        duration=duration, threshold=threshold, remediation=None)
+    automated = _arm(
+        "automated", system_factory, plan_factory,
+        duration=duration, threshold=threshold,
+        remediation=RemediationPolicy(
+            imperative=True, hp_journaling=True, seed=seed))
+    standard = _arm(
+        "standard-recovery", system_factory, plan_factory,
+        duration=duration, threshold=threshold,
+        remediation=RemediationPolicy(
+            imperative=False, hp_journaling=False, seed=seed))
+    return PairedStudyResult(
+        seed=seed, manual=manual, automated=automated, standard=standard)

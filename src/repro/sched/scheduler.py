@@ -23,6 +23,7 @@ from __future__ import annotations
 import math
 from collections import deque
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -46,6 +47,10 @@ from repro.sim.rng import RngStreams
 from repro.units import GB, HOUR, MiB
 from repro.workloads.analytics import AnalyticsApp, analytics_trace
 from repro.workloads.model import RequestTrace
+
+if TYPE_CHECKING:
+    from repro.resilience.playbooks import RemediationPolicy
+    from repro.resilience.runner import PlaybookRunner, RemediationOutcome
 
 __all__ = ["FacilityScheduler"]
 
@@ -162,6 +167,12 @@ class FacilityScheduler:
         fault_plan: optional chaos campaign to execute under load.
         seed: seeds the latency probe's trace substreams only — job
             shapes are fixed by ``jobs``.
+        remediation: optional
+            :class:`~repro.resilience.playbooks.RemediationPolicy`; when
+            given together with a ``fault_plan``, a
+            :class:`~repro.resilience.runner.PlaybookRunner` closes the
+            loop on every injected fault (the outcome lands in
+            :attr:`remediation_outcome` after :meth:`run`).
     """
 
     def __init__(
@@ -173,6 +184,7 @@ class FacilityScheduler:
         horizon: float | None = None,
         fault_plan: FaultPlan | None = None,
         seed: int = 0,
+        remediation: "RemediationPolicy | None" = None,
     ) -> None:
         self.system = system
         self.jobs = tuple(jobs)
@@ -186,6 +198,10 @@ class FacilityScheduler:
         self.horizon = float(horizon)
         self.fault_plan = fault_plan
         self.seed = seed
+        self.remediation = remediation
+        #: the :class:`~repro.resilience.runner.RemediationOutcome` of the
+        #: last :meth:`run`, when a policy was supplied (``None`` otherwise)
+        self.remediation_outcome: "RemediationOutcome | None" = None
         self._arbiter = BandwidthArbiter(self.policy)
         self._baseline_backbone = float(
             system.aggregate_bandwidth(fs_level=True))
@@ -202,6 +218,7 @@ class FacilityScheduler:
         self._submitted: list[_Job] = []
         self._tokens: dict[object, object] = {}
         self._fault_spans: dict[object, object] = {}
+        self._runner: "PlaybookRunner | None" = None
         self._backbone_dirty = True
         self._backbone_bw = self._baseline_backbone
         self._ingest_caps: dict[PlatformClass, float] = {}
@@ -342,8 +359,16 @@ class FacilityScheduler:
             f"fault:{fault.label}", "sched.faults", target=str(fault.target))
         self._backbone_dirty = True
         self._resolve(f"fault:{fault.label}")
+        if self._runner is not None:
+            engine = self._engine
+            assert engine is not None
+            self._runner.on_fault(fault, engine.now)
 
     def _repair_fault(self, fault) -> None:
+        # Scripted repair and remediation share this path; whichever runs
+        # first consumes the token and the other becomes a no-op.
+        if fault not in self._tokens:
+            return
         engine = self._engine
         assert engine is not None
         injector = injector_for(fault)
@@ -363,6 +388,13 @@ class FacilityScheduler:
                 self._resolve(f"recovered:{fault.label}")
 
             engine.call_after(delay, _finish)
+
+    def _remediate_repair(self, fault) -> bool:
+        """Actuator entry point: repair ``fault`` unless already repaired."""
+        if fault not in self._tokens:
+            return False
+        self._repair_fault(fault)
+        return True
 
     # -- the allocation loop -------------------------------------------------
 
@@ -455,6 +487,29 @@ class FacilityScheduler:
         self._fault_spans.clear()
         self._backbone_dirty = True
 
+        self._runner = None
+        self.remediation_outcome = None
+        if self.fault_plan is not None and self.remediation is not None:
+            # Imported lazily: repro.resilience imports the faults package
+            # at module level, so the scheduler must not return the favor.
+            from repro.resilience.actuator import CallbackActuator
+            from repro.resilience.runner import PlaybookRunner
+
+            self._runner = PlaybookRunner(
+                self.remediation,
+                engine=engine,
+                actuator=CallbackActuator(
+                    repair=self._remediate_repair,
+                    pending=lambda f: f in self._tokens,
+                ),
+                # Sched systems are usually built without client objects;
+                # fall back to the compute-partition size for the
+                # reconnect-storm scale.
+                n_clients=(len(self.system.clients)
+                           or self.system.spec.n_compute_nodes),
+                n_routers=len(self.system.routers),
+            )
+
         runtime_jobs = [_Job(spec) for spec in self.jobs]
         for job in runtime_jobs:
             if job.spec.arrival < self.horizon:
@@ -480,6 +535,8 @@ class FacilityScheduler:
         for fault, span in list(self._fault_spans.items()):
             tracer.end(span, repaired=False)
         self._fault_spans.clear()
+        if self._runner is not None:
+            self.remediation_outcome = self._runner.finalize()
         return self._result()
 
     # -- metrics -------------------------------------------------------------

@@ -113,6 +113,49 @@ class TestChaos:
         assert any(e.get("cat") == "faults" for e in data["traceEvents"])
         assert "telemetry" in data
 
+    def test_remediate_closes_the_loop(self, capsys):
+        assert main(["chaos", "--scenario", "cable", "--remediate"]) == 0
+        out = capsys.readouterr().out
+        assert "Closed-loop remediation" in out
+        assert "mean MTTD" in out
+        assert "MTTD/MTTR decomposition per fault class" in out
+        assert "mean recovery" in out  # the upgraded stats table
+
+    def test_remediate_trace_records_pipeline_spans(self, tmp_path, capsys):
+        trace = tmp_path / "remediate.json"
+        assert main(["chaos", "--scenario", "cable", "--remediate",
+                     "--trace", str(trace)]) == 0
+        from repro.obs.trace import read_chrome_trace
+
+        events = read_chrome_trace(trace)["traceEvents"]
+        names = [e.get("name", "") for e in events
+                 if e.get("cat") == "resilience"]
+        for stage in ("detect:", "decide:", "act:", "verify:"):
+            assert any(n.startswith(stage) for n in names)
+
+
+class TestResilienceCommand:
+    def test_cable_paired_study(self, capsys):
+        assert main(["resilience"]) == 0
+        out = capsys.readouterr().out
+        assert "Manual vs closed-loop remediation (cable)" in out
+        assert "blackout reduction" in out
+        assert "availability gain" in out
+        assert "Closed-loop pipeline (automated arm)" in out
+
+    def test_recovery_trace_records_reconnect_replay_spans(
+            self, tmp_path, capsys):
+        trace = tmp_path / "recovery.json"
+        assert main(["recovery", "--imperative",
+                     "--trace", str(trace)]) == 0
+        from repro.obs.trace import read_chrome_trace
+
+        events = read_chrome_trace(trace)["traceEvents"]
+        names = {e.get("name") for e in events
+                 if e.get("cat") == "recovery"}
+        assert {"recovery:reconnect-window", "recovery:replay",
+                "recovery:reroute"} <= names
+
 
 class TestSched:
     def test_paired_run_prints_both_policies(self, capsys):

@@ -81,6 +81,26 @@ def test_sched_subsystem_documented_everywhere():
         "EXPERIMENTS.md ablation table lost the A14 multi-tenant row")
 
 
+def test_resilience_subsystem_documented_everywhere():
+    """The closed-loop remediation engine is documented end to end: every
+    resilience/ module appears in DESIGN.md's inventory, and
+    EXPERIMENTS.md carries the manual-vs-automated MTTR ablation row."""
+    design = (REPO / "DESIGN.md").read_text()
+    modules = sorted(
+        p.name for p in (REPO / "src/repro/resilience").glob("*.py")
+        if p.name != "__init__.py")
+    missing = [m for m in modules if f"resilience/{m}" not in design]
+    assert not missing, (
+        f"DESIGN.md §3 inventory is missing resilience module(s) {missing}")
+
+    experiments = (REPO / "EXPERIMENTS.md").read_text()
+    assert "spider-repro resilience" in experiments, (
+        "EXPERIMENTS.md must describe the manual-vs-automated MTTR "
+        "ablation driven by `spider-repro resilience`")
+    assert "| A15 |" in experiments, (
+        "EXPERIMENTS.md ablation table lost the A15 remediation row")
+
+
 def _registered_lint_rules() -> set[str]:
     import repro.lint
 

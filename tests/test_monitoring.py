@@ -157,6 +157,81 @@ class TestHealthChecker:
             hc.ingest(HealthEvent(5.0, EventKind.LBUG, "x"))
 
 
+class TestHealthCheckerBoundaries:
+    """Merge-window edge cases: the correlation window is inclusive, the
+    host-chain match is per-incident, and same-time ingest order must not
+    change the partition."""
+
+    @staticmethod
+    def _partition(hc: LustreHealthChecker) -> set[frozenset]:
+        return {
+            frozenset((e.time, e.kind, e.host) for e in incident.events)
+            for incident in hc.incidents()
+        }
+
+    def test_events_exactly_window_apart_merge(self):
+        hc = LustreHealthChecker(window=120.0)
+        hc.ingest(HealthEvent(0.0, EventKind.DISK_FAILURE, "oss01"))
+        hc.ingest(HealthEvent(120.0, EventKind.RPC_TIMEOUT, "oss01"))
+        incidents = hc.incidents()
+        assert len(incidents) == 1
+        assert incidents[0].classification == "hardware-rooted"
+
+    def test_events_just_past_window_split(self):
+        hc = LustreHealthChecker(window=120.0)
+        hc.ingest(HealthEvent(0.0, EventKind.DISK_FAILURE, "oss01"))
+        hc.ingest(HealthEvent(120.0 + 1e-9, EventKind.RPC_TIMEOUT, "oss01"))
+        assert len(hc.incidents()) == 2
+
+    def test_window_chains_from_last_event_not_first(self):
+        # 0 → 100 → 200: each gap is inside the window even though the
+        # ends are not, so the chain stays one incident.
+        hc = LustreHealthChecker(window=120.0)
+        for t in (0.0, 100.0, 200.0):
+            hc.ingest(HealthEvent(t, EventKind.RPC_TIMEOUT, "oss01"))
+        assert len(hc.incidents()) == 1
+
+    def test_interleaved_hosts_do_not_cross_extend(self):
+        # A and B alternate within each other's windows; each chain must
+        # coalesce with itself only, and B's events must not keep A's
+        # incident alive past its own window.
+        hc = LustreHealthChecker(window=120.0)
+        hc.ingest(HealthEvent(0.0, EventKind.DISK_FAILURE, "ossA.ctrl"))
+        hc.ingest(HealthEvent(60.0, EventKind.CABLE_ERRORS, "ossB"))
+        hc.ingest(HealthEvent(110.0, EventKind.RPC_TIMEOUT, "ossA"))
+        hc.ingest(HealthEvent(170.0, EventKind.LBUG, "ossB.mgmt"))
+        incidents = hc.incidents()
+        assert len(incidents) == 2
+        by_chain = {next(iter(i.hosts)).split(".")[0]: i for i in incidents}
+        assert {e.time for e in by_chain["ossA"].events} == {0.0, 110.0}
+        assert {e.time for e in by_chain["ossB"].events} == {60.0, 170.0}
+        assert by_chain["ossA"].classification == "hardware-rooted"
+        assert by_chain["ossB"].classification == "hardware-rooted"
+
+    def test_same_time_ingest_order_does_not_change_partition(self):
+        import itertools
+
+        batch = [
+            HealthEvent(100.0, EventKind.DISK_FAILURE, "oss01"),
+            HealthEvent(100.0, EventKind.RPC_TIMEOUT, "oss02"),
+            HealthEvent(100.0, EventKind.CABLE_ERRORS, "oss01.ctrl"),
+        ]
+        partitions = set()
+        for perm in itertools.permutations(batch):
+            hc = LustreHealthChecker(window=120.0)
+            hc.ingest(HealthEvent(0.0, EventKind.JOURNAL_ERROR, "oss02"))
+            for event in perm:
+                hc.ingest(event)
+            partitions.add(frozenset(self._partition(hc)))
+        assert len(partitions) == 1
+
+    def test_equal_time_ingest_accepted(self):
+        hc = LustreHealthChecker()
+        hc.ingest(HealthEvent(5.0, EventKind.LBUG, "x"))
+        hc.ingest(HealthEvent(5.0, EventKind.LBUG, "x"))
+        assert len(hc.events) == 2
+
+
 class TestDdnTool:
     def test_polls_all_couplets(self, mini_system):
         db = MetricsDb()
