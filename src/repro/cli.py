@@ -18,6 +18,8 @@ Subcommands map one-to-one onto the paper's activities::
     spider-repro chaos --faults 12      # a fault-injection campaign
     spider-repro chaos --remediate      # same campaign, closed-loop repairs
     spider-repro resilience             # manual vs automated paired study
+    spider-repro monitor                # in-band monitoring overlay campaign
+    spider-repro monitor --study        # analytic vs observed MTTD (A16)
     spider-repro ior --trace t.json     # same run, Chrome-trace recorded
     spider-repro report t.json          # Lesson-12 layer table from a trace
     spider-repro lint src/repro         # spider-lint invariant checker
@@ -472,6 +474,99 @@ def _cmd_resilience(args) -> int:
     return 0
 
 
+def _cmd_monitor(args) -> int:
+    from repro.analysis.reporting import render_kv, render_table
+    from repro.core.spider import build_spider2
+    from repro.faults import FaultCampaign, FaultPlan, cable_failure_scenario
+    from repro.obs.overlay import (
+        MonitoringOverlay,
+        OverlayConfig,
+        run_mttd_study,
+    )
+    from repro.resilience import RemediationPolicy
+
+    if args.faults < 0:
+        raise CliError("--faults must be non-negative")
+    if args.duration <= 0:
+        raise CliError("--duration must be positive")
+    try:
+        config = OverlayConfig(
+            scrape_interval=args.scrape_interval,
+            hop_latency=args.hop_latency,
+            fan_in=args.fan_in,
+            loss_probability=args.loss,
+            rollup_interval=args.rollup_interval,
+            seed=args.seed)
+    except ValueError as exc:
+        raise CliError(str(exc)) from exc
+
+    seed = args.seed
+    if args.scenario == "cable":
+        plan_factory = cable_failure_scenario
+        duration = None
+    else:
+        duration = args.duration
+
+        def plan_factory(system):
+            return FaultPlan.random(system, duration=args.duration,
+                                    n_faults=args.faults, seed=seed)
+
+    with _tracing(args.trace):
+        if args.study:
+            result = run_mttd_study(
+                lambda: build_spider2(seed=seed),
+                plan_factory,
+                seed=seed,
+                duration=duration,
+                threshold=args.threshold,
+                base=config)
+            print(render_table(
+                ["metric", "analytic", "observed", "tight"],
+                result.rows(),
+                title=f"Analytic vs observed detection ({args.scenario})"))
+            print()
+            print(render_kv([
+                ("monitoring-pipeline MTTD penalty",
+                 f"{result.observed_penalty_seconds:+,.1f} s"),
+                ("cadence/fan-in tightening gain",
+                 f"{result.tightening_gain_seconds:,.1f} s"),
+            ], title="Observed vs analytic deltas"))
+            return 0
+
+        system = build_spider2(seed=seed)
+        plan = plan_factory(system)
+        monitor = MonitoringOverlay(system, config)
+        result = FaultCampaign(
+            system, plan,
+            duration=duration,
+            threshold=args.threshold,
+            remediation=RemediationPolicy(seed=seed),
+            monitor=monitor).run()
+        overlay = result.overlay
+        assert overlay is not None
+        print(render_kv(overlay.rows(),
+                        title="In-band monitoring overlay"))
+        if overlay.alerts:
+            print()
+            print(render_table(
+                ["fired at", "rule", "source", "value"],
+                overlay.alert_rows(),
+                title="Alerts (overlay view, never ground truth)"))
+        if result.remediation is not None:
+            print()
+            print(render_kv(
+                result.remediation.rows(),
+                title="Closed-loop remediation (overlay-backed detector)"))
+        print()
+        print(render_kv([
+            ("faults injected / repaired",
+             f"{result.n_injected} / {result.n_repaired}"),
+            ("availability", f"{result.availability:.2%}"),
+            ("worst-case bandwidth", fmt_bandwidth(result.worst_bw)),
+        ], title="Campaign metrics"))
+    return 0
+
+
 def _cmd_lint(args) -> int:
     import json
 
@@ -639,6 +734,38 @@ def build_parser() -> argparse.ArgumentParser:
                    help="record a Chrome-trace (Perfetto) file with the "
                         "detect/decide/act/verify spans")
     p.set_defaults(fn=_cmd_resilience)
+
+    p = sub.add_parser("monitor",
+                       help="in-band monitoring overlay (MELT-style)")
+    p.add_argument("--scenario", choices=("cable", "random"), default="cable",
+                   help="the §IV-A cable case or a random seeded campaign "
+                        "(default cable)")
+    p.add_argument("--faults", type=int, default=8,
+                   help="fault count for the random scenario (default 8)")
+    p.add_argument("--duration", type=float, default=DAY,
+                   help="campaign window in seconds for the random "
+                        "scenario (default 1 day)")
+    p.add_argument("--threshold", type=float, default=0.5,
+                   help="degradation threshold as a fraction of baseline "
+                        "(default 0.5)")
+    p.add_argument("--scrape-interval", type=float, default=30.0,
+                   help="per-agent scrape cadence in seconds (default 30)")
+    p.add_argument("--rollup-interval", type=float, default=60.0,
+                   help="collector rollup window in seconds (default 60)")
+    p.add_argument("--fan-in", type=int, default=8,
+                   help="aggregation-tree fan-in bound (default 8)")
+    p.add_argument("--hop-latency", type=float, default=1.0,
+                   help="per-hop tree propagation latency in seconds "
+                        "(default 1)")
+    p.add_argument("--loss", type=float, default=0.02,
+                   help="per-batch loss probability (default 0.02)")
+    p.add_argument("--study", action="store_true",
+                   help="run the A16 triple: analytic vs observed vs "
+                        "tightened-overlay MTTD on the same plan")
+    p.add_argument("--trace", metavar="FILE",
+                   help="record a Chrome-trace (Perfetto) file with the "
+                        "overlay-sweep spans")
+    p.set_defaults(fn=_cmd_monitor)
 
     p = sub.add_parser("reliability", help="failure/rebuild exposure")
     p.add_argument("--years", type=float, default=10.0)

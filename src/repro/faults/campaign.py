@@ -54,6 +54,7 @@ from repro.sim.engine import Engine
 from repro.units import HOUR
 
 if TYPE_CHECKING:
+    from repro.obs.overlay.runtime import MonitoringOverlay, OverlayOutcome
     from repro.resilience.playbooks import RemediationPolicy
     from repro.resilience.runner import PlaybookRunner, RemediationOutcome
 
@@ -106,6 +107,8 @@ class CampaignResult:
     recovery_stats: tuple[tuple[str, int, float], ...] = ()
     #: the closed-loop remediation outcome, when a policy was supplied
     remediation: "RemediationOutcome | None" = None
+    #: the monitoring-overlay outcome, when a monitor rode the campaign
+    overlay: "OverlayOutcome | None" = None
 
     def below_threshold_fraction(self) -> float:
         """Fraction of the campaign spent below the degradation threshold."""
@@ -137,6 +140,13 @@ class FaultCampaign:
             :class:`~repro.resilience.playbooks.RemediationPolicy`; when
             given, a :class:`~repro.resilience.runner.PlaybookRunner`
             closes the loop on every injected fault.
+        monitor: optional in-band monitoring overlay
+            (:class:`~repro.obs.overlay.runtime.MonitoringOverlay`, or
+            anything exposing ``attach(engine)`` / ``detector(model)`` /
+            ``outcome()``).  It rides the campaign engine; when a
+            remediation policy is also given, its overlay-backed detector
+            replaces the analytic one, so MTTD emerges from the
+            monitoring pipeline rather than the model.
     """
 
     def __init__(
@@ -149,6 +159,7 @@ class FaultCampaign:
         health: LustreHealthChecker | None = None,
         probe_clients_per_oss: int = 2,
         remediation: "RemediationPolicy | None" = None,
+        monitor: "MonitoringOverlay | None" = None,
     ) -> None:
         if not system.clients:
             raise ValueError("campaign needs a system built with clients")
@@ -167,6 +178,7 @@ class FaultCampaign:
         self.threshold = float(threshold)
         self.health = health or LustreHealthChecker()
         self.remediation = remediation
+        self.monitor = monitor
         self.transfers = self._probe_transfers()
         # run state
         self._engine: Engine | None = None
@@ -302,6 +314,9 @@ class FaultCampaign:
         self._last = None
         self._unroutable = self._n_injected = self._n_repaired = 0
 
+        if self.monitor is not None:
+            self.monitor.attach(engine)
+
         self._runner = None
         if self.remediation is not None:
             # Imported lazily: repro.resilience imports the faults package
@@ -309,6 +324,9 @@ class FaultCampaign:
             from repro.resilience.actuator import CallbackActuator
             from repro.resilience.runner import PlaybookRunner
 
+            detector = None
+            if self.monitor is not None:
+                detector = self.monitor.detector(self.remediation.detection)
             self._runner = PlaybookRunner(
                 self.remediation,
                 engine=engine,
@@ -318,6 +336,7 @@ class FaultCampaign:
                 ),
                 n_clients=len(self.system.clients),
                 n_routers=len(self.system.routers),
+                detector=detector,
             )
 
         self._sample("baseline")
@@ -406,4 +425,6 @@ class FaultCampaign:
                 (cls, len(vals), sum(vals) / len(vals))
                 for cls, vals in sorted(stats.items())),
             remediation=remediation,
+            overlay=self.monitor.outcome() if self.monitor is not None
+            else None,
         )

@@ -1,0 +1,135 @@
+"""The non-omniscient detector: MTTD emerges from the pipeline.
+
+Where the analytic :class:`~repro.resilience.detector.Detector` *models*
+detection latency (poll grid + geometric misses + debounce), the
+:class:`ObservedDetector` *derives* it from the monitoring overlay's own
+physics.  A fault injected at ``t`` on host ``h`` becomes visible at the
+root when the agent watching ``h`` next scrapes (the shared grid
+``k * scrape_interval``, the same grid shape as the analytic model — so
+the paired study compares like with like), plus one tree traversal
+(``depth(agent) * hop_latency``), plus the batches the fabric lost on the
+way up (each lost batch costs one more scrape interval; geometric with
+the overlay's ``loss_probability``, capped at
+:data:`~repro.obs.overlay.config.MAX_LOST_BATCHES`), plus the alert
+debounce.
+
+The loss-free part is an exact closed form — the acceptance criterion's
+"deterministic function of scrape interval + tree depth" — exposed as
+:meth:`expected_delay` so tests can assert strict monotonicity:
+tightening the cadence shrinks the grid wait, widening the fan-in
+shallows the tree, and both strictly reduce MTTD.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable
+
+import numpy as np
+
+from repro.faults.events import PlannedFault
+from repro.faults.injectors import injector_for
+from repro.resilience.detector import DetectionModel
+
+from repro.obs.overlay.config import MAX_LOST_BATCHES, OverlayConfig
+from repro.obs.overlay.tree import AggregationTree
+
+__all__ = ["ObservedDetector", "resolver_for_system"]
+
+
+class ObservedDetector:
+    """Drop-in for the resilience detector, backed by the overlay.
+
+    Args:
+        model: the resilience pipeline's :class:`DetectionModel` — only
+            its ``debounce`` is used here; cadence and loss come from the
+            overlay config, which is the point.
+        config: the overlay's knobs (scrape cadence, hop latency, loss).
+        tree: the aggregation tree the samples climb.
+        host_to_agent: explicit host → agent-name map (OSS → its SSU
+            agent, router → its module agent, …).  Hosts not in the map
+            fall back to their prefix before the first dot (covers
+            ``ssu03.enc2`` → ``ssu03``), then to the deepest agent —
+            conservative: an unmapped host is assumed worst-case far.
+        resolve_host: fault → health-event host (the campaign's injector
+            ``host()``, closed over the live system).
+        rng: the named substream batch-loss retries draw from
+            (conventionally ``streams.get("obs.overlay.detect")``).
+    """
+
+    def __init__(
+        self,
+        model: DetectionModel,
+        *,
+        config: OverlayConfig,
+        tree: AggregationTree,
+        host_to_agent: dict[str, str],
+        resolve_host: Callable[[PlannedFault], str],
+        rng: np.random.Generator,
+    ) -> None:
+        self.model = model
+        self.config = config
+        self.tree = tree
+        self._host_to_agent = dict(host_to_agent)
+        self._resolve_host = resolve_host
+        self._rng = rng
+        agents = tree.agents
+        self._agent_set = frozenset(agents)
+        self._deepest_agent = max(
+            agents, key=lambda name: (tree.depth_of(name), name))
+
+    def agent_for(self, host: str) -> str:
+        """The monitoring agent whose sweeps cover ``host``."""
+        agent = self._host_to_agent.get(host)
+        if agent is not None:
+            return agent
+        prefix = host.split(".", 1)[0]
+        agent = self._host_to_agent.get(prefix)
+        if agent is not None:
+            return agent
+        if prefix in self._agent_set:
+            return prefix
+        return self._deepest_agent
+
+    def expected_delay(self, host: str, at: float) -> float:
+        """The loss-free detection delay for a fault on ``host`` at sim
+        time ``at`` — the exact closed form the acceptance criterion
+        names:
+
+        ``(next scrape grid tick after at) - at
+        + depth(agent) * hop_latency + debounce``
+
+        Strictly decreasing in scrape cadence and in agent depth, hence
+        in fan-in (wider fan-in ⇒ fewer relay levels ⇒ smaller depth).
+        """
+        config = self.config
+        next_sweep = (math.floor(at / config.scrape_interval) + 1) \
+            * config.scrape_interval
+        agent = self.agent_for(host)
+        tree_lag = self.tree.depth_of(agent) * config.hop_latency
+        return (next_sweep - at) + tree_lag + self.model.debounce
+
+    def delay_for(self, fault: PlannedFault, at: float) -> float:
+        """Seconds from injection of ``fault`` at ``at`` to its alert.
+
+        The loss-free :meth:`expected_delay` plus one scrape interval per
+        lost batch — exactly one uniform draw per loss check, in fault
+        call order, so the sequence is independent of telemetry and
+        tracing (the same contract as the analytic detector).
+        """
+        host = self._resolve_host(fault)
+        delay = self.expected_delay(host, at)
+        loss = self.config.loss_probability
+        for _batch in range(MAX_LOST_BATCHES):
+            if float(self._rng.random()) >= loss:
+                break
+            delay += self.config.scrape_interval
+        return delay
+
+
+def resolver_for_system(system) -> Callable[[PlannedFault], str]:
+    """A fault → host resolver closed over a built Spider system, using
+    the campaign injectors' own ``host()`` mapping."""
+    def resolve(fault: PlannedFault) -> str:
+        return injector_for(fault).host(system, fault)
+    return resolve

@@ -1,0 +1,245 @@
+"""Per-node monitoring agents: probes, samples, and the scrapers.
+
+A :class:`Probe` is one ground-truth reader — a closure over live system
+state (a couplet's failover-aware bandwidth cap, a cable's health bit, a
+router module's live count) that the overlay samples on its cadence.
+Probe metrics all carry the ``mon.`` prefix so the canonical rollup set
+is disjoint from mirrored telemetry names by construction.
+
+:func:`probes_for_system` builds the standard agent inventory for a
+:class:`~repro.core.spider.SpiderSystem`: one agent per SSU (couplet
+state, degraded RAID groups, and the IB cables of its OSSes), one agent
+per LNET router module, and one agent per metadata server.  Agent count
+therefore scales with cabinets, not hosts — ~150 agents on the full
+Spider II, ~12 on the test mini — which keeps overlay event cost bounded.
+
+A :class:`Scraper` may also *mirror* the in-process telemetry registry
+(the MELT bridge): when the registry is enabled, the flow solver's
+``flow.layer.*`` gauges ride the same batches up the tree, giving the
+Lesson-12 report an overlay *view* to diff against ground truth.  The
+mirror reads the registry only when enabled and mirrored metrics are
+excluded from rollups, so rollups stay bit-identical with telemetry on or
+off.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.hardware.raid import RaidState
+from repro.obs.instruments import get_telemetry
+
+__all__ = [
+    "Probe",
+    "Sample",
+    "Scraper",
+    "probes_for_system",
+    "scheduler_probes",
+]
+
+#: metric-name prefix of every canonical (rollup-eligible) overlay probe
+PROBE_PREFIX = "mon."
+
+#: telemetry gauge names the MELT bridge mirrors up the tree when the
+#: registry is enabled (the Lesson-12 layer surface)
+MIRRORED_GAUGES = ("flow.layer.load", "flow.layer.capacity")
+
+
+@dataclass(frozen=True)
+class Probe:
+    """One ground-truth reader an agent samples each sweep.
+
+    ``metric`` must carry the ``mon.`` prefix; ``source`` names the
+    entity measured (an SSU, an OSS cable, a router module, an MDS);
+    ``read`` returns the current value (pure: no mutation, no RNG);
+    ``counter`` marks monotonically increasing values so the collector
+    computes a rate for them.
+    """
+
+    metric: str
+    source: str
+    read: Callable[[], float] = field(compare=False)
+    counter: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.metric.startswith(PROBE_PREFIX):
+            raise ValueError(
+                f"probe metric {self.metric!r} must start with "
+                f"{PROBE_PREFIX!r}")
+
+
+@dataclass(frozen=True)
+class Sample:
+    """One sampled value: ``metric``/``source`` read at sim time
+    ``sampled_at``."""
+
+    metric: str
+    source: str
+    value: float
+    sampled_at: float
+
+
+class Scraper:
+    """One monitoring agent: sweeps its probes on the overlay cadence.
+
+    Args:
+        name: the agent's name — also its leaf node in the aggregation
+            tree and the host-resolution target of the observed detector.
+        leaf: the fabric leaf switch the agent hangs off.
+        probes: the ground-truth readers this agent owns.
+        mirror_telemetry: when ``True`` the agent also samples the
+            mirrored telemetry gauges (:data:`MIRRORED_GAUGES`) from the
+            process registry *if it is enabled* — the MELT bridge.  The
+            sweep itself always runs, so the overlay's event and RNG
+            schedule is identical with the registry on or off.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        leaf: int,
+        probes: list[Probe],
+        *,
+        mirror_telemetry: bool = False,
+    ) -> None:
+        self.name = name
+        self.leaf = int(leaf)
+        self.probes = list(probes)
+        self.mirror_telemetry = mirror_telemetry
+
+    def sweep(self, now: float) -> tuple[Sample, ...]:
+        """Read every probe (and the telemetry mirror, when enabled) at
+        sim time ``now``; returns the batch payload."""
+        samples = [
+            Sample(p.metric, p.source, float(p.read()), now)
+            for p in self.probes
+        ]
+        if self.mirror_telemetry:
+            telemetry = get_telemetry()
+            if telemetry.enabled:
+                mirrored = set(MIRRORED_GAUGES)
+                for gauge in telemetry.gauges():
+                    if gauge.name in mirrored:
+                        samples.append(Sample(
+                            gauge.name, gauge.source, gauge.value, now))
+        return tuple(samples)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"Scraper({self.name!r}, leaf={self.leaf}, "
+                f"probes={len(self.probes)})")
+
+
+def _ssu_scraper(system, ssu_index: int) -> Scraper:
+    """The agent watching one SSU: couplet, RAID groups, OSS cables."""
+    ssu = system.ssus[ssu_index]
+    # Nominal is the couplet cap at overlay construction (both
+    # controllers online), so the fraction reads 1.0 healthy and ~0.5
+    # after a failover regardless of controller generation.
+    nominal = float(ssu.couplet.bw_cap(fs_level=True)) or 1.0
+    probes = [
+        Probe(
+            "mon.couplet_bw_frac", ssu.name,
+            lambda s=ssu, n=nominal: s.couplet.bw_cap(fs_level=True) / n),
+        # Counted directly (not via group_state_factors) — this runs on
+        # every sweep and must not build a numpy array per read.
+        Probe(
+            "mon.groups_degraded", ssu.name,
+            lambda s=ssu: float(sum(1 for g in s.groups
+                                    if g.state is not RaidState.CLEAN))),
+    ]
+    fabric = system.fabric
+    for oss in system.osses:
+        if oss.ssu_index != ssu_index:
+            continue
+        probes.append(Probe(
+            "mon.cable_ok", oss.name,
+            lambda f=fabric, h=oss.name: 1.0 if f.cable_of(h).healthy
+            else 0.0))
+        probes.append(Probe(
+            "mon.cable_errors", oss.name,
+            lambda f=fabric, h=oss.name: float(f.cable_of(h).symbol_errors),
+            counter=True))
+    leaf = min((oss.leaf for oss in system.osses
+                if oss.ssu_index == ssu_index),
+               default=ssu_index % system.fabric.spec.n_leaf_switches)
+    return Scraper(ssu.name, leaf, probes)
+
+
+def _router_module_scrapers(system) -> list[Scraper]:
+    """One agent per LNET router module (``rtrNNN``), counting live
+    routers against the module's slot count."""
+    modules: dict[str, list] = {}
+    for router in system.routers:
+        modules.setdefault(router.name.split(".")[0], []).append(router)
+    scrapers = []
+    lnet = system.lnet
+    for module in sorted(modules):
+        routers = modules[module]
+
+        def _frac(rs=tuple(routers), cfg=lnet) -> float:
+            live = sum(1 for r in rs if cfg.router_online(r.name))
+            return live / len(rs)
+
+        scrapers.append(Scraper(
+            module, routers[0].leaf,
+            [Probe("mon.routers_online_frac", module, _frac)]))
+    return scrapers
+
+
+def _mds_scrapers(system) -> list[Scraper]:
+    """One agent per namespace MDS, reading its served-op and busy-time
+    ground-truth counters."""
+    scrapers = []
+    for fs_name in sorted(system.filesystems):
+        mds = system.filesystems[fs_name].mds
+        scrapers.append(Scraper(mds.name, 0, [
+            Probe("mon.mds_busy_seconds", mds.name,
+                  lambda m=mds: float(m.busy_seconds), counter=True),
+            Probe("mon.mds_ops", mds.name,
+                  lambda m=mds: float(m.ops_served), counter=True),
+        ]))
+    return scrapers
+
+
+def probes_for_system(system, *, extra_probes: list[Probe] | None = None,
+                      ) -> list[Scraper]:
+    """The standard agent inventory for a built Spider system.
+
+    Args:
+        system: a :class:`~repro.core.spider.SpiderSystem`.
+        extra_probes: optional additional probes (e.g. the scheduler-class
+            surface from :func:`scheduler_probes`), attached to a
+            dedicated ``aux`` agent on leaf 0.
+
+    Returns:
+        One :class:`Scraper` per SSU, per router module, and per MDS,
+        plus the telemetry-mirroring ``flowstats`` agent, sorted by name.
+    """
+    scrapers = [_ssu_scraper(system, i) for i in range(len(system.ssus))]
+    scrapers.extend(_router_module_scrapers(system))
+    scrapers.extend(_mds_scrapers(system))
+    scrapers.append(Scraper("flowstats", 0, [], mirror_telemetry=True))
+    if extra_probes:
+        scrapers.append(Scraper("aux", 0, list(extra_probes)))
+    scrapers.sort(key=lambda s: s.name)
+    return scrapers
+
+
+def scheduler_probes(scheduler) -> list[Probe]:
+    """Scheduler-class probes: live per-class ingest caps as gauges.
+
+    ``scheduler`` is duck-typed on
+    :meth:`repro.sched.scheduler.FacilityScheduler.ingest_capacities`;
+    each platform class becomes one ``mon.sched_ingest_cap`` gauge
+    (bytes/s) so the overlay's view of scheduler capacity degrades with
+    router faults exactly as the arbiter's does.
+    """
+    probes = []
+    for cls_value, _cap in scheduler.ingest_capacities():
+        def _read(sched=scheduler, cls=cls_value) -> float:
+            caps = dict(sched.ingest_capacities())
+            return float(caps[cls])
+
+        probes.append(Probe("mon.sched_ingest_cap", cls_value, _read))
+    return probes

@@ -1,0 +1,142 @@
+"""The aggregation tree: agents → leaf switches → cores → root collector.
+
+MELT's architecture (arXiv:1504.06836) aggregates per-node samples up a
+tree laid over the machine's own interconnect.  Here the tree spans the
+SION fabric the simulated Spider systems already model: every monitoring
+agent hangs off the leaf switch of the hardware it watches, leaf switches
+hang off core switches, and the cores feed the root collector.  A bounded
+fan-in caps the children of every node; where a level exceeds it,
+intermediate *relay* nodes are inserted (k-ary packing), which is exactly
+how fan-in buys shallowness — and why the observed detector's MTTD is a
+function of fan-in: each extra relay level is one more ``hop_latency`` on
+every sample from that subtree.
+
+The tree is pure structure (a parent map + depth arithmetic); the runtime
+schedules no per-hop events.  A batch created at an agent of depth ``d``
+arrives at the root ``d * hop_latency`` seconds later in one engine event,
+so overlay cost scales with agent count, not tree size.
+"""
+
+from __future__ import annotations
+
+__all__ = ["AggregationTree"]
+
+#: the root node's name in the parent map
+ROOT = "collector"
+
+
+class AggregationTree:
+    """Parent map + depths of the overlay's aggregation topology.
+
+    Args:
+        agents: ``(agent name, leaf switch index)`` pairs — the tree's
+            leaves.  Order does not matter; construction sorts by name.
+        n_leaves: leaf-switch count of the fabric the tree spans.
+        n_cores: core-switch count of the fabric.
+        fan_in: maximum children per node (>= 2); levels wider than this
+            get relay nodes inserted.
+    """
+
+    def __init__(
+        self,
+        agents: list[tuple[str, int]],
+        *,
+        n_leaves: int,
+        n_cores: int,
+        fan_in: int,
+    ) -> None:
+        if not agents:
+            raise ValueError("tree needs at least one agent")
+        if n_leaves < 1 or n_cores < 1:
+            raise ValueError("n_leaves and n_cores must be positive")
+        if fan_in < 2:
+            raise ValueError("fan_in must be at least 2")
+        self.fan_in = int(fan_in)
+        #: child name -> parent name; the root maps to ``None``
+        self.parent: dict[str, str | None] = {ROOT: None}
+        self.n_relays = 0
+
+        by_leaf: dict[int, list[str]] = {}
+        for name, leaf in sorted(agents):
+            if not 0 <= leaf < n_leaves:
+                raise ValueError(f"agent {name!r} on out-of-range leaf {leaf}")
+            if name in self.parent:
+                raise ValueError(f"duplicate agent name {name!r}")
+            self.parent[name] = None  # reserve; assigned by _pack below
+            by_leaf.setdefault(leaf, []).append(name)
+
+        used_cores: dict[int, list[str]] = {}
+        for leaf in sorted(by_leaf):
+            leaf_node = f"leaf{leaf}"
+            self.parent[leaf_node] = None
+            self._pack(leaf_node, by_leaf[leaf])
+            used_cores.setdefault(leaf % n_cores, []).append(leaf_node)
+        core_nodes = []
+        for core in sorted(used_cores):
+            core_node = f"core{core}"
+            self.parent[core_node] = None
+            self._pack(core_node, used_cores[core])
+            core_nodes.append(core_node)
+        self._pack(ROOT, core_nodes)
+
+        self._depths = {name: self._walk_depth(name) for name in self.parent}
+        self._agents = sorted(name for name, _leaf in agents)
+
+    def _pack(self, parent: str, children: list[str]) -> None:
+        """Attach ``children`` under ``parent``, inserting relay levels
+        whenever a level exceeds the fan-in bound."""
+        level = list(children)
+        serial = 0
+        while len(level) > self.fan_in:
+            packed = []
+            for i in range(0, len(level), self.fan_in):
+                relay = f"{parent}.r{serial}"
+                serial += 1
+                self.n_relays += 1
+                self.parent[relay] = None
+                for child in level[i:i + self.fan_in]:
+                    self.parent[child] = relay
+                packed.append(relay)
+            level = packed
+        for child in level:
+            self.parent[child] = parent
+
+    def _walk_depth(self, name: str) -> int:
+        depth = 0
+        node: str | None = name
+        while node is not None and node != ROOT:
+            node = self.parent[node]
+            depth += 1
+            if depth > len(self.parent):  # pragma: no cover - defensive
+                raise RuntimeError(f"parent cycle at {name!r}")
+        return depth
+
+    # -- queries --------------------------------------------------------------
+
+    def depth_of(self, name: str) -> int:
+        """Hops from node ``name`` to the root collector."""
+        return self._depths[name]
+
+    @property
+    def agents(self) -> list[str]:
+        """Agent (leaf-of-tree) names, sorted."""
+        return list(self._agents)
+
+    @property
+    def max_depth(self) -> int:
+        """Hops of the deepest agent — the worst-case tree lag in hops."""
+        return max(self._depths[name] for name in self._agents)
+
+    @property
+    def n_nodes(self) -> int:
+        """Total node count: agents + relays + switches + root."""
+        return len(self.parent)
+
+    def children_of(self, name: str) -> list[str]:
+        """Direct children of ``name``, sorted (empty for agents)."""
+        return sorted(c for c, p in self.parent.items() if p == name)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"AggregationTree({len(self._agents)} agents, "
+                f"fan_in={self.fan_in}, max_depth={self.max_depth}, "
+                f"relays={self.n_relays})")

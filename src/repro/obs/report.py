@@ -71,6 +71,11 @@ class LayerUsage:
     capacity: float  # aggregate finite capacity of the layer
     max_util: float  # utilization of the layer's hottest component
     saturated: int  # number of saturated components
+    #: the monitoring overlay's (delayed) view of the layer load, when an
+    #: overlay mirrored the flow gauges up its tree; None without one
+    overlay_load: float | None = None
+    #: age of that overlay view at its last rollup (seconds)
+    overlay_age: float | None = None
 
     @property
     def label(self) -> str:
@@ -79,6 +84,15 @@ class LayerUsage:
     @property
     def utilization(self) -> float:
         return self.load / self.capacity if self.capacity > 0 else 0.0
+
+    @property
+    def overlay_lag(self) -> float | None:
+        """Ground-truth minus overlay-view load (bytes/s) — what the
+        monitoring pipeline has not caught up to; None without an
+        overlay view."""
+        if self.overlay_load is None:
+            return None
+        return self.load - self.overlay_load
 
 
 def layer_usage_from_snapshot(snapshot: dict) -> list[LayerUsage]:
@@ -94,12 +108,15 @@ def layer_usage_from_snapshot(snapshot: dict) -> list[LayerUsage]:
     prefixes = sorted({src for (name, src) in gauges if name == "flow.layer.load"})
     usages = []
     for prefix in prefixes:
+        overlay_key = ("overlay.view.load", prefix)
         usages.append(LayerUsage(
             prefix=prefix,
             load=gauges.get(("flow.layer.load", prefix), 0.0),
             capacity=gauges.get(("flow.layer.capacity", prefix), 0.0),
             max_util=gauges.get(("flow.layer.max_util", prefix), 0.0),
             saturated=int(gauges.get(("flow.layer.saturated", prefix), 0.0)),
+            overlay_load=gauges.get(overlay_key),
+            overlay_age=gauges.get(("overlay.view.age_seconds", prefix)),
         ))
     usages.sort(key=lambda u: (_PATH_ORDER.index(u.prefix)
                                if u.prefix in _PATH_ORDER else len(_PATH_ORDER),
@@ -146,19 +163,31 @@ def render_layer_report(snapshot: dict) -> str:
     if not usages:
         return ("no flow-solver telemetry recorded "
                 "(re-run with --trace on a data-moving subcommand)")
+    # The monitoring-lag column only appears when an overlay mirrored the
+    # flow gauges: ground-truth-only snapshots keep the pre-overlay shape.
+    with_lag = any(u.overlay_load is not None for u in usages)
     rows = []
     for u in usages:
-        rows.append((
+        row = [
             u.label,
             fmt_bandwidth(u.load),
             fmt_bandwidth(u.capacity),
             f"{u.utilization:.1%}",
             f"{u.max_util:.1%}",
             str(u.saturated) if u.saturated else "-",
-        ))
+        ]
+        if with_lag:
+            if u.overlay_lag is None:
+                row.append("-")
+            else:
+                age = f" @{u.overlay_age:,.0f}s" if u.overlay_age else ""
+                row.append(f"{fmt_bandwidth(u.overlay_lag)}{age}")
+        rows.append(tuple(row))
+    headers = ["layer", "load", "capacity", "util", "hottest", "saturated"]
+    if with_lag:
+        headers.append("monitoring lag")
     table = render_table(
-        ["layer", "load", "capacity", "util", "hottest", "saturated"],
-        rows, title="Layer utilization from telemetry (Lesson 12)")
+        headers, rows, title="Layer utilization from telemetry (Lesson 12)")
     bn = bottleneck_layer(usages)
     lines = [table, ""]
     if bn is not None:

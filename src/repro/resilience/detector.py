@@ -92,6 +92,16 @@ class Detector:
             delay += model.poll_interval
         return delay + model.debounce
 
+    def delay_for(self, fault, at: float) -> float:
+        """Detection delay for one planned fault — the pipeline hook the
+        runner calls.  The analytic model is omniscient about *where*
+        (every host shares the global poll grid), so the fault's identity
+        is ignored; the overlay-backed
+        :class:`~repro.obs.overlay.observed.ObservedDetector` overrides
+        this with host-dependent tree lag."""
+        del fault
+        return self.detection_delay(at)
+
     def observe(self, event: HealthEvent) -> float:
         """Absolute sim time the alert for ``event`` reaches automation."""
         return event.time + self.detection_delay(event.time)

@@ -216,6 +216,11 @@ class PlaybookRunner:
             :class:`~repro.faults.events.FaultClass` to
             :class:`~repro.resilience.playbooks.Playbook` (tests inject
             crafted books; production uses the default registry).
+        detector: optional detector override exposing
+            ``delay_for(fault, at)`` — the monitoring overlay injects its
+            :class:`~repro.obs.overlay.observed.ObservedDetector` here so
+            MTTD emerges from scrape cadence and tree lag instead of the
+            analytic model (the default).
     """
 
     def __init__(
@@ -227,6 +232,7 @@ class PlaybookRunner:
         n_clients: int,
         n_routers: int = 0,
         playbooks: dict | None = None,
+        detector=None,
     ) -> None:
         if n_clients <= 0:
             raise ValueError("n_clients must be positive")
@@ -237,8 +243,10 @@ class PlaybookRunner:
         self._n_routers = int(n_routers)
         self._playbooks = playbooks
         streams = RngStreams(policy.seed)
-        self._detector = Detector(policy.detection,
-                                  streams.get("resilience.detect"))
+        if detector is None:
+            detector = Detector(policy.detection,
+                                streams.get("resilience.detect"))
+        self._detector = detector
         self._rng = streams.get("resilience.act")
         self._pipelines: list[_Remediation] = []
 
@@ -252,7 +260,7 @@ class PlaybookRunner:
             playbook = playbook_for(fault.fault)
         ctx = _Remediation(fault, playbook, at)
         self._pipelines.append(ctx)
-        delay = self._detector.detection_delay(at)
+        delay = self._detector.delay_for(fault, at)
         ctx.detect_span = get_tracer().open(
             f"detect:{fault.label}", "resilience", fault=fault.fault.value)
         self._engine.call_after(delay, lambda: self._detected(ctx))

@@ -101,6 +101,32 @@ def test_resilience_subsystem_documented_everywhere():
         "EXPERIMENTS.md ablation table lost the A15 remediation row")
 
 
+def test_overlay_subsystem_documented_everywhere():
+    """The in-band monitoring overlay is documented end to end: every
+    obs/overlay/ module appears in DESIGN.md's inventory, and
+    EXPERIMENTS.md carries the observed-detection ablation row."""
+    design = (REPO / "DESIGN.md").read_text()
+    modules = sorted(
+        p.name for p in (REPO / "src/repro/obs/overlay").glob("*.py")
+        if p.name != "__init__.py")
+    missing = [m for m in modules if f"obs/overlay/{m}" not in design]
+    assert not missing, (
+        f"DESIGN.md §3 inventory is missing overlay module(s) {missing}")
+
+    experiments = (REPO / "EXPERIMENTS.md").read_text()
+    assert "spider-repro monitor" in experiments, (
+        "EXPERIMENTS.md must describe the observed-detection ablation "
+        "driven by `spider-repro monitor`")
+    assert "| A16 |" in experiments, (
+        "EXPERIMENTS.md ablation table lost the A16 overlay row")
+
+    readme = (REPO / "README.md").read_text()
+    assert "spider-repro monitor" in readme, (
+        "README.md CLI synopsis lost the monitor subcommand")
+    assert "obs/overlay/" in readme, (
+        "README.md package tree lost the obs/overlay entry")
+
+
 def _registered_lint_rules() -> set[str]:
     import repro.lint
 
