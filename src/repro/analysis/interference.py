@@ -42,7 +42,8 @@ def isolated_and_shared(
     n_servers: int = 4,
     positioning_time: float = 0.004,
     label: str = "mixed",
-) -> tuple[list[ReplayResult], ReplayResult, RequestTrace]:
+    alone_sources: tuple[int, ...] | None = None,
+) -> tuple[list[ReplayResult | None], ReplayResult, RequestTrace]:
     """Replay each trace alone, then all of them merged on one station.
 
     The isolated-vs-shared harness behind :func:`measure_interference`,
@@ -52,13 +53,16 @@ def isolated_and_shared(
     ``alone_results[i]`` aligns with ``traces[i]`` (an empty trace yields
     an empty result), while :func:`~repro.workloads.model.merge_traces`
     *drops* empty traces, so source ids in the shared result follow the
-    order of the **non-empty** inputs only.
+    order of the **non-empty** inputs only.  ``alone_sources`` restricts
+    the isolated replays to the listed trace indices (the scheduler's
+    latency probe only reads the primary's); skipped entries are ``None``.
     """
     if not traces:
         raise ValueError("need at least one trace")
     alone = [replay_trace(t, bandwidth=bandwidth, n_servers=n_servers,
                           positioning_time=positioning_time)
-             for t in traces]
+             if alone_sources is None or i in alone_sources else None
+             for i, t in enumerate(traces)]
     merged = merge_traces(traces, label=label)
     shared = replay_trace(merged, bandwidth=bandwidth, n_servers=n_servers,
                           positioning_time=positioning_time)

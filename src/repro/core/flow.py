@@ -15,16 +15,41 @@ of 18,688 clients.
 
 Algorithm
 ---------
-Progressive filling (the textbook max-min construction), vectorized:
+Progressive filling (the textbook max-min construction):
 
 1. every unfrozen flow's rate grows uniformly (scaled by its weight);
 2. the first component to saturate freezes the flows crossing it at their
    current rate (flows with finite *demand* freeze when they reach it);
 3. repeat on the residual network until all flows are frozen.
 
-The implementation works on a CSR-style incidence structure (component ->
-member flows) so each filling round is O(nnz) in numpy, and the number of
-rounds is bounded by the number of distinct bottlenecks.
+Two kernels implement the same filling: a vectorized one over a CSR-style
+incidence structure (component -> member flows, O(nnz) numpy per round) for
+large problems, and a plain-scalar one whose python-loop constants beat
+numpy call overhead on subproblems under :data:`_SCALAR_NNZ_MAX`
+incidences.
+
+Incremental re-solves
+---------------------
+The network is a persistent solver state: delta operations
+(:meth:`FlowNetwork.add_flow` / :meth:`~FlowNetwork.remove_flow` /
+:meth:`~FlowNetwork.set_capacity` / :meth:`~FlowNetwork.set_demand`) mark
+only the touched components dirty, and :meth:`FlowNetwork.solve` re-solves
+only the *connected dirty region*: the closure of the dirty components
+under the comp<->flow incidence relation.  By construction no flow outside
+the closure crosses a component inside it, so the closure is an independent
+subproblem of the global max-min allocation (which is unique and decomposes
+over disconnected regions) — frozen rates elsewhere are reused verbatim.
+When no component in the closure can saturate (every finite demand sum sits
+strictly under capacity and no unbounded-demand flow crosses it), the
+analytic short-circuit applies: rates follow directly from demands, no
+filling at all.  The four resolve paths are counted in
+:attr:`FlowNetwork.solve_counts` and, when telemetry is enabled, in the
+:data:`RESOLVE_COUNTERS` telemetry counters.  The cost model for each path
+is documented in ``docs/PERFORMANCE.md``.
+
+Same-tick change batching is provided by :class:`Epoch`: executors route
+their re-solve triggers through ``epoch.request(label)`` and a burst of
+simultaneous changes costs one flush (one solve) at the end of the tick.
 
 Properties (enforced by the property-based tests):
 
@@ -32,53 +57,133 @@ Properties (enforced by the property-based tests):
 * demand-boundedness: rate ≤ demand for every flow;
 * max-min/Pareto: every flow is limited by a *saturated* component on its
   path or by its own demand — no rate can be raised without lowering a
-  smaller (weighted) rate.
+  smaller (weighted) rate;
+* delta/scratch equivalence: any sequence of delta operations followed by a
+  solve yields the same rates (within 1e-9 relative) as a from-scratch
+  solve of the final network.
 """
 
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from bisect import bisect_right
+from collections.abc import Callable
 
 import numpy as np
 
-__all__ = ["FlowNetwork", "FlowResult"]
+from repro.obs.instruments import get_telemetry
+from repro.obs.trace import get_tracer
+
+__all__ = ["FlowNetwork", "FlowResult", "Epoch", "RESOLVE_COUNTERS"]
 
 _EPS = 1e-9
 
+#: relative headroom a closure component must keep for the analytic
+#: short-circuit — strict, so a demand sum sitting exactly at capacity
+#: still goes through progressive filling like a scratch solve would
+_SHORTCIRCUIT_MARGIN = 1e-9
 
-@dataclass
+#: subproblems with at most this many (flow, component) incidences run on
+#: the scalar kernel, whose python-loop constants beat numpy call overhead
+#: by roughly an order of magnitude at this size
+_SCALAR_NNZ_MAX = 1024
+
+#: telemetry counter emitted per solve, keyed by the resolve path taken
+#: (``full`` = from-scratch fill, ``delta`` = dirty-closure re-fill,
+#: ``shortcircuit`` = analytic uncongested path, ``cached`` = no dirty
+#: state, the previous result is returned)
+RESOLVE_COUNTERS = (
+    "flow.resolve.full",
+    "flow.resolve.delta",
+    "flow.resolve.shortcircuit",
+    "flow.resolve.cached",
+)
+
+
 class FlowResult:
-    """Outcome of a :meth:`FlowNetwork.solve` call."""
+    """Outcome of a :meth:`FlowNetwork.solve` call.
 
-    rates: np.ndarray  # per-flow allocated rate (bytes/s)
-    flow_names: list[str]
-    component_load: dict[str, float]
-    component_capacity: dict[str, float]
-    bottlenecks: dict[str, float] = field(default_factory=dict)
-    #: number of progressive-filling rounds the solve took
-    rounds: int = 0
-    #: saturated components in the order they saturated (first = the
-    #: binding bottleneck the filling hit first)
-    saturation_order: tuple[str, ...] = ()
+    ``rates`` is a per-flow allocated rate array (bytes/s) aligned with
+    ``flow_names``.  The per-component views (``component_load``,
+    ``component_capacity``) are snapshots taken at solve time but
+    materialized into dicts lazily — large networks solved in a loop never
+    pay for dicts nobody reads.  ``bottlenecks`` maps each saturated
+    component to its capacity; on an incremental solve it carries the
+    merged view (components saturated by earlier solves and still binding,
+    plus the ones the re-filled region saturated), and ``rounds`` /
+    ``saturation_order`` describe the *last* fill only (a short-circuited
+    or cached solve reports its inherited order and ``rounds=0``).
+    """
+
+    __slots__ = (
+        "rates", "flow_names", "bottlenecks", "rounds", "saturation_order",
+        "_comp_names", "_n_comp", "_load_arr", "_cap_arr",
+        "_load_dict", "_cap_dict",
+    )
+
+    def __init__(
+        self,
+        rates: np.ndarray,
+        flow_names: list[str],
+        comp_names: list[str],
+        load_arr: np.ndarray,
+        cap_arr: np.ndarray,
+        bottlenecks: dict[str, float],
+        rounds: int,
+        saturation_order: tuple[str, ...],
+    ) -> None:
+        self.rates = rates
+        self.flow_names = flow_names
+        self.bottlenecks = bottlenecks
+        #: number of progressive-filling rounds the solve took
+        self.rounds = rounds
+        #: saturated components in the order they saturated (first = the
+        #: binding bottleneck the filling hit first)
+        self.saturation_order = saturation_order
+        self._comp_names = comp_names
+        self._n_comp = len(comp_names)
+        self._load_arr = load_arr
+        self._cap_arr = cap_arr
+        self._load_dict: dict[str, float] | None = None
+        self._cap_dict: dict[str, float] | None = None
+
+    @property
+    def component_load(self) -> dict[str, float]:
+        """Per-component load (bytes/s), materialized on first access."""
+        if self._load_dict is None:
+            self._load_dict = dict(
+                zip(self._comp_names[:self._n_comp],
+                    self._load_arr.tolist()))
+        return self._load_dict
+
+    @property
+    def component_capacity(self) -> dict[str, float]:
+        """Per-component capacity (bytes/s), materialized on first access."""
+        if self._cap_dict is None:
+            self._cap_dict = dict(
+                zip(self._comp_names[:self._n_comp],
+                    self._cap_arr.tolist()))
+        return self._cap_dict
 
     @property
     def total(self) -> float:
+        """Aggregate allocated rate over all flows."""
         return float(self.rates.sum())
 
     def rate_of(self, name: str) -> float:
+        """The allocated rate of flow ``name``."""
         return float(self.rates[self.flow_names.index(name)])
 
     def saturated_components(self, tol: float = 1e-6) -> list[str]:
         """Components whose load is within ``tol`` (relative) of capacity."""
-        out = []
-        for comp, load in self.component_load.items():
-            cap = self.component_capacity[comp]
-            if cap < math.inf and load >= cap * (1 - tol) - _EPS:
-                out.append(comp)
-        return out
+        cap = self._cap_arr
+        load = self._load_arr
+        hit = np.isfinite(cap) & (load >= cap * (1 - tol) - _EPS)
+        names = self._comp_names
+        return [names[i] for i in np.flatnonzero(hit).tolist()]
 
     def utilization(self, component: str) -> float:
+        """Load / capacity of ``component`` (0.0 for infinite capacity)."""
         cap = self.component_capacity[component]
         if cap == 0:
             return 1.0 if self.component_load[component] > 0 else 0.0
@@ -87,8 +192,307 @@ class FlowResult:
         return self.component_load[component] / cap
 
 
+class _FlowRec:
+    """Per-flow bookkeeping (slot index + unique component path)."""
+
+    __slots__ = ("idx", "path")
+
+    def __init__(self, idx: int, path: tuple[int, ...]) -> None:
+        self.idx = idx
+        self.path = path
+
+
+def _grown(buf: np.ndarray, n: int) -> np.ndarray:
+    """Return ``buf`` or an amortized-doubled copy with room for slot ``n``."""
+    if n < buf.shape[0]:
+        return buf
+    out = np.empty(max(16, 2 * buf.shape[0]))
+    out[:buf.shape[0]] = buf
+    return out
+
+
+def _fill_scalar(
+    caps: list[float],
+    paths: list[tuple[int, ...]],
+    demands: list[float],
+    weights: list[float],
+    pre: tuple[list[float], list[float], list[float]] | None = None,
+    comp_n: list[int] | None = None,
+    order: list[int] | None = None,
+    prefix_ok: bool = False,
+) -> tuple[list[float], list[int], int]:
+    """Progressive filling on plain scalars (small subproblems).
+
+    Semantically identical to :func:`_fill_vector` — same freeze
+    tolerances, same round structure — with python-loop constants that
+    beat numpy call overhead below :data:`_SCALAR_NNZ_MAX` incidences.
+    ``pre`` optionally carries the persistent solver's precomputed
+    ``(comp_w, step_level, edge_level)`` setup — valid only when every
+    flow has a non-empty path and demand above :data:`_EPS`; ``comp_w``
+    is copied before mutation, the level lists are read-only.  ``comp_n``
+    optionally carries per-component member counts; a saturating
+    component crossed by *every* flow (a shared backbone) then freezes
+    all remaining active flows directly, skipping the member walk.
+    ``order`` optionally carries the flow indices sorted ascending by
+    ``demand / weight`` (any order among ties), which turns the
+    per-round demand-fill minimum into one pointer read.  ``prefix_ok``
+    (only meaningful with ``pre``; derived locally otherwise) asserts
+    that every demand exceeds 1.0, making the freeze levels monotone in
+    the sort order so demand freezes form an exact prefix — the
+    per-round freeze walk then stops at its first miss.
+    Returns ``(rates, saturation order as local comp ids, rounds)``;
+    per-component load is left to the caller (computable from the rates,
+    and skipped entirely on un-observed hot-loop solves).
+    """
+    inf = math.inf
+    n = len(demands)
+    m = len(caps)
+    rates = [0.0] * n
+    frozen = [False] * n
+    residual = list(caps)
+
+    # Every flow starts filling at level 0, so an active flow always sits
+    # at ``rate = weight * level`` where ``level`` is the cumulative fill.
+    # That collapses the per-round work: per-flow demand fills become
+    # precomputed levels, component residuals drain by ``step * comp_w``
+    # (no inner path loop), and rates materialize only at freeze time.
+    if pre is not None:
+        comp_w0, step_level, edge_level = pre
+        comp_w = list(comp_w0)
+        n_active = n
+    else:
+        comp_w = [0.0] * m
+        for i, path in enumerate(paths):
+            w = weights[i]
+            for c in path:
+                comp_w[c] += w
+        step_level = [inf] * n  # level where the flow reaches its demand
+        edge_level = [inf] * n  # eps-slackened level at which it freezes
+        n_active = n
+        prefix_ok = True
+        for i in range(n):
+            d = demands[i]
+            if d <= _EPS:
+                frozen[i] = True
+                n_active -= 1
+                w = weights[i]
+                for c in paths[i]:
+                    comp_w[c] -= w
+            elif not paths[i]:
+                rates[i] = d
+                frozen[i] = True
+                n_active -= 1
+            elif d < inf:
+                if d <= 1.0:
+                    prefix_ok = False
+                w = weights[i]
+                step_level[i] = d / w
+                edge_level[i] = (d - _EPS * (d if d > 1.0 else 1.0)) / w
+    if order is None:
+        order = sorted(range(n), key=step_level.__getitem__)
+    sat_order: list[int] = []
+    sat_seen = [False] * m
+    rounds = 0
+    max_rounds = m + n + 2
+    level = 0.0
+    head = 0
+    while n_active:
+        rounds += 1
+        if rounds > max_rounds:  # pragma: no cover - defensive
+            raise RuntimeError("progressive filling failed to converge")
+        # Fill level at which the first component saturates or the first
+        # active flow reaches its demand (the head of the sorted order).
+        step = inf
+        for c in range(m):
+            w = comp_w[c]
+            if w > _EPS:
+                r = residual[c]
+                fill = r / w if r > _EPS else 0.0
+                if fill < step:
+                    step = fill
+        while head < n and frozen[order[head]]:
+            head += 1
+        if head < n:
+            fill = step_level[order[head]] - level
+            if fill < step:
+                step = fill
+        if step == inf:
+            # Active flows cross only infinite-capacity components and
+            # have infinite demand: leave them unbounded (inf rates).
+            for k in range(head, n):
+                i = order[k]
+                if not frozen[i]:
+                    rates[i] = inf
+            break
+        if step < 0.0:
+            step = 0.0
+        level += step
+        # Advance: each component drains by the summed weight of its
+        # active members; detect saturation in the same pass.
+        newly_sat = []
+        for c in range(m):
+            w = comp_w[c]
+            if w > _EPS:
+                r = residual[c] - step * w
+                residual[c] = r
+                cap = caps[c]
+                if cap < inf and r <= _EPS + 1e-12 * cap:
+                    newly_sat.append(c)
+        if newly_sat:
+            for c in newly_sat:
+                if not sat_seen[c]:
+                    sat_seen[c] = True
+                    sat_order.append(c)
+            if comp_n is not None and any(comp_n[c] == n for c in newly_sat):
+                # A saturated component crossed by every flow: all
+                # remaining active flows freeze at this level.
+                for k in range(head, n):
+                    i = order[k]
+                    if not frozen[i]:
+                        frozen[i] = True
+                        rates[i] = weights[i] * level
+                break
+        # Snapshot semantics: demand-satisfied flows and the members of
+        # newly saturated components freeze together in one walk, judged
+        # against the round-start component weights (``comp_w``
+        # decrements land after saturation was detected, so order inside
+        # the batch is free).  With monotone freeze levels
+        # (``prefix_ok``) and no saturation to match, the eligible flows
+        # are a prefix of the active tail and the walk stops at its
+        # first miss instead of scanning every remaining flow.
+        for k in range(head, n):
+            i = order[k]
+            if frozen[i]:
+                continue
+            path = paths[i]
+            if edge_level[i] <= level:
+                freeze = True
+            else:
+                freeze = False
+                for c in newly_sat:
+                    if c in path:
+                        freeze = True
+                        break
+            if freeze:
+                frozen[i] = True
+                n_active -= 1
+                w = weights[i]
+                rates[i] = w * level
+                for c in path:
+                    comp_w[c] -= w
+            elif prefix_ok and not newly_sat:
+                break
+    return rates, sat_order, rounds
+
+
+def _fill_vector(
+    capacity: np.ndarray,
+    demand: np.ndarray,
+    weight: np.ndarray,
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    flow_of_entry: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray, list[int], int]:
+    """Vectorized progressive filling over a CSR incidence structure.
+
+    Each round is O(nnz) in numpy; the number of rounds is bounded by the
+    number of distinct bottlenecks.  Returns ``(rates, load, saturation
+    order as local comp ids, rounds)``.
+    """
+    n_flows = demand.shape[0]
+    n_comp = capacity.shape[0]
+    rates = np.zeros(n_flows)
+    frozen = np.zeros(n_flows, dtype=bool)
+    residual = capacity.astype(float, copy=True)
+    sat_order: list[int] = []
+    sat_seen = np.zeros(n_comp, dtype=bool)
+
+    # Flows with zero demand (or empty paths and zero demand) freeze at 0.
+    frozen |= demand <= _EPS
+    # Flows with no components are limited only by their demand.
+    empty_path = np.diff(indptr) == 0
+    sel = empty_path & ~frozen
+    rates[sel] = demand[sel]
+    frozen |= empty_path
+
+    finite_demand = np.isfinite(demand)
+    demand_edge = np.where(
+        finite_demand,
+        demand - _EPS * np.maximum(np.where(finite_demand, demand, 0.0), 1.0),
+        np.inf,
+    )
+    finite_cap = np.isfinite(capacity)
+    sat_slack = _EPS + 1e-12 * np.where(finite_cap, capacity, 0.0)
+
+    max_rounds = n_comp + n_flows + 2
+    rounds_used = 0
+    for _round in range(max_rounds):
+        if frozen.all():
+            break
+        rounds_used += 1
+        active_entry = ~frozen[flow_of_entry]
+        # Weighted active flow count per component.
+        comp_weight = np.zeros(n_comp)
+        np.add.at(comp_weight, indices[active_entry],
+                  weight[flow_of_entry[active_entry]])
+        # Fill level at which each component saturates.
+        with np.errstate(divide="ignore", invalid="ignore"):
+            comp_fill = np.where(comp_weight > _EPS,
+                                 residual / comp_weight, np.inf)
+        comp_fill = np.where(
+            residual <= _EPS,
+            np.where(comp_weight > _EPS, 0.0, np.inf), comp_fill)
+        # Fill level at which each active flow reaches its demand.
+        active = ~frozen
+        with np.errstate(divide="ignore", invalid="ignore"):
+            demand_fill = np.where(active, (demand - rates) / weight, np.inf)
+        min_comp_fill = comp_fill.min() if n_comp else math.inf
+        min_demand_fill = demand_fill.min() if n_flows else math.inf
+        step = min(min_comp_fill, min_demand_fill)
+        if not math.isfinite(step):
+            # Active flows cross only infinite-capacity components and
+            # have infinite demand: leave them unbounded (inf rates).
+            rates[active] = math.inf
+            break
+        step = max(step, 0.0)
+
+        # Advance all active flows by step * weight.
+        delta = step * weight * active
+        rates += delta
+        np.subtract.at(residual, indices[active_entry],
+                       delta[flow_of_entry[active_entry]])
+        residual = np.maximum(residual, 0.0)
+
+        # Freeze demand-satisfied flows (infinite demand never satisfies).
+        frozen |= active & (rates >= demand_edge)
+
+        # Freeze flows crossing saturated components (only components
+        # with finite capacity can saturate).
+        saturated = finite_cap & (residual <= sat_slack) & (comp_weight > _EPS)
+        if saturated.any():
+            new_ids = np.flatnonzero(saturated & ~sat_seen)
+            sat_seen[new_ids] = True
+            sat_order.extend(new_ids.tolist())
+            sat_entry = saturated[indices] & active_entry
+            frozen[flow_of_entry[sat_entry]] = True
+    else:  # pragma: no cover - defensive
+        raise RuntimeError("progressive filling failed to converge")
+
+    load = np.zeros(n_comp)
+    finite = np.isfinite(rates)
+    fin_entry = finite[flow_of_entry]
+    np.add.at(load, indices[fin_entry], rates[flow_of_entry[fin_entry]])
+    return rates, load, sat_order, rounds_used
+
+
 class FlowNetwork:
-    """A set of capacitated components plus flows crossing them.
+    """A persistent set of capacitated components plus flows crossing them.
+
+    The network doubles as the solver state: :meth:`solve` reuses the
+    previous allocation and re-fills only the connected dirty region the
+    delta operations touched (see the module docstring for the cost
+    model).  Solves are deterministic — the same operation sequence always
+    yields the same result, bit for bit.
 
     >>> net = FlowNetwork()
     >>> net.add_component("link", 10.0)
@@ -100,24 +504,120 @@ class FlowNetwork:
     """
 
     def __init__(self) -> None:
-        self._capacity: dict[str, float] = {}
-        self._flows: list[tuple[str, list[str], float, float]] = []
-        self._flow_names: set[str] = set()
+        # components (append-only; capacities mutable)
+        self._comp_id: dict[str, int] = {}
+        self._comp_names: list[str] = []
+        self._caps = np.empty(16)
+        self._caps_list: list[float] = []
+        self._load = np.empty(16)
+        self._comp_flows: list[set[str]] = []
+        #: per-component sum of finite member demands / count of
+        #: infinite-demand members, maintained incrementally for the
+        #: short-circuit feasibility check
+        self._demand_load: list[float] = []
+        self._inf_count: list[int] = []
+        # flows (dict order == slot order of the parallel buffers).  The
+        # python-list mirrors of demands/weights/paths feed the scalar
+        # kernel without per-solve tolist conversions; the numpy buffers
+        # feed the vector kernel and the result snapshots.
+        self._flows: dict[str, _FlowRec] = {}
+        self._demands = np.empty(16)
+        self._weights = np.empty(16)
+        self._rates = np.empty(16)
+        self._demands_list: list[float] = []
+        self._weights_list: list[float] = []
+        self._paths_list: list[tuple[int, ...]] = []
+        self._nnz = 0
+        # precomputed scalar-kernel setup, maintained by the delta
+        # operations: per-component active weight sums and per-flow
+        # demand fill levels (valid whenever ``_n_irregular`` is 0)
+        self._comp_w: list[float] = []
+        self._step_lvl: list[float] = []
+        self._edge_lvl: list[float] = []
+        #: flows the precomputed setup cannot describe (zero demand or
+        #: an empty path) — their presence falls back to the generic
+        #: kernel setup
+        self._n_irregular = 0
+        #: finite-demand flows with demand ≤ 1.0 — while zero, demand
+        #: freeze levels are monotone in the demand/weight sort and the
+        #: scalar kernel's freeze walk can stop at its first miss
+        self._n_small = 0
+        # flow slots sorted ascending by demand/weight (parallel key
+        # list), maintained by the delta operations so entire solves
+        # skip the per-solve argsort; ties order by operation history,
+        # which the filling is insensitive to beyond float round-off
+        self._order: list[int] = []
+        self._order_keys: list[float] = []
+        #: per-component member count (mirrors ``len(_comp_flows[c])``
+        #: without per-solve list building)
+        self._comp_nf: list[int] = []
+        #: whether ``_load`` currently reflects ``_rates`` — scalar-kernel
+        #: solves defer the per-component load sum to result-build time
+        self._load_valid = True
+        # solver state
+        self._dirty: set[int] = set()
+        self._has_solution = False
+        self._bottlenecks: dict[str, float] = {}
+        self._last_rounds = 0
+        self._csr: tuple[np.ndarray, np.ndarray, np.ndarray] | None = None
+        self._result_cache: FlowResult | None = None
+        #: cumulative count of solves by resolve path (``full`` /
+        #: ``delta`` / ``shortcircuit`` / ``cached``), independent of
+        #: telemetry — the benchmark regression gate reads this
+        self.solve_counts: dict[str, int] = {
+            "full": 0, "delta": 0, "shortcircuit": 0, "cached": 0}
 
-    # -- construction -----------------------------------------------------------
+    # -- construction and delta operations ----------------------------------------
 
     def add_component(self, name: str, capacity: float) -> None:
-        """Register a component; re-adding overwrites the capacity (used by
-        what-if analyses such as controller upgrades)."""
+        """Register a component; re-adding is a :meth:`set_capacity` (used
+        by what-if analyses such as controller upgrades), which dirties
+        the dependent solver state instead of silently keeping stale
+        bookkeeping."""
         if capacity < 0:
             raise ValueError(f"negative capacity for {name!r}")
-        self._capacity[name] = float(capacity)
+        i = self._comp_id.get(name)
+        if i is not None:
+            self.set_capacity(name, capacity)
+            return
+        i = len(self._comp_names)
+        self._comp_id[name] = i
+        self._comp_names.append(name)
+        self._caps = _grown(self._caps, i)
+        self._load = _grown(self._load, i)
+        self._caps[i] = float(capacity)
+        self._caps_list.append(float(capacity))
+        self._load[i] = 0.0
+        self._comp_flows.append(set())
+        self._demand_load.append(0.0)
+        self._inf_count.append(0)
+        self._comp_w.append(0.0)
+        self._comp_nf.append(0)
+        self._result_cache = None
+
+    def set_capacity(self, name: str, capacity: float) -> None:
+        """Change a component's capacity, dirtying the flows crossing it.
+
+        A no-op (nothing dirtied) when the capacity is unchanged.
+        """
+        if capacity < 0:
+            raise ValueError(f"negative capacity for {name!r}")
+        i = self._comp_id[name]
+        capacity = float(capacity)
+        if self._caps_list[i] == capacity:
+            return
+        self._caps[i] = capacity
+        self._caps_list[i] = capacity
+        self._dirty.add(i)
+        self._result_cache = None
 
     def has_component(self, name: str) -> bool:
-        return name in self._capacity
+        """Whether ``name`` is a registered component."""
+        return name in self._comp_id
 
     def capacity_of(self, name: str) -> float:
-        return self._capacity[name]
+        """The capacity of component ``name``."""
+        return float(self._caps[self._comp_id[name]])
 
     def add_flow(
         self,
@@ -129,175 +629,502 @@ class FlowNetwork:
         """Add a flow crossing ``path`` (component names, any order/repeats
         collapse to unique membership), wanting at most ``demand`` bytes/s.
         """
-        if name in self._flow_names:
+        if name in self._flows:
             raise ValueError(f"duplicate flow name {name!r}")
         if weight <= 0:
             raise ValueError("weight must be positive")
         if demand < 0:
             raise ValueError("demand must be non-negative")
-        unique_path: list[str] = []
-        seen = set()
+        comp_id = self._comp_id
+        # Paths are a handful of components, so a list membership test
+        # beats building a set for the dedup.
+        path_ids: list[int] = []
         for comp in path:
-            if comp not in self._capacity:
+            c = comp_id.get(comp)
+            if c is None:
                 raise KeyError(f"unknown component {comp!r} in flow {name!r}")
-            if comp not in seen:
-                seen.add(comp)
-                unique_path.append(comp)
-        if not unique_path and math.isinf(demand):
+            if c not in path_ids:
+                path_ids.append(c)
+        if not path_ids and math.isinf(demand):
             raise ValueError(
                 f"flow {name!r} has no components and unbounded demand"
             )
-        self._flow_names.add(name)
-        self._flows.append((name, unique_path, float(demand), float(weight)))
+        i = len(self._flows)
+        self._demands = _grown(self._demands, i)
+        self._weights = _grown(self._weights, i)
+        self._rates = _grown(self._rates, i)
+        demand = float(demand)
+        weight = float(weight)
+        self._demands[i] = demand
+        self._weights[i] = weight
+        # An empty-path flow is limited only by its demand; flows with
+        # components get their rate from the next solve.
+        self._rates[i] = demand if not path_ids else 0.0
+        path_tuple = tuple(path_ids)
+        self._flows[name] = _FlowRec(i, path_tuple)
+        self._demands_list.append(demand)
+        self._weights_list.append(weight)
+        self._paths_list.append(path_tuple)
+        # Precomputed kernel setup (matches _fill_scalar's generic setup
+        # arithmetic operation for operation).
+        if demand <= _EPS or not path_ids:
+            self._n_irregular += 1
+            self._step_lvl.append(math.inf)
+            self._edge_lvl.append(math.inf)
+        else:
+            if math.isfinite(demand):
+                if demand <= 1.0:
+                    self._n_small += 1
+                self._step_lvl.append(demand / weight)
+                self._edge_lvl.append(
+                    (demand - _EPS * (demand if demand > 1.0 else 1.0))
+                    / weight)
+            else:
+                self._step_lvl.append(math.inf)
+                self._edge_lvl.append(math.inf)
+            comp_w = self._comp_w
+            for c in path_ids:
+                comp_w[c] += weight
+        key = demand / weight
+        pos = bisect_right(self._order_keys, key)
+        self._order_keys.insert(pos, key)
+        self._order.insert(pos, i)
+        self._nnz += len(path_ids)
+        finite = math.isfinite(demand)
+        dirty = self._dirty
+        comp_nf = self._comp_nf
+        for c in path_ids:
+            self._comp_flows[c].add(name)
+            comp_nf[c] += 1
+            if finite:
+                self._demand_load[c] += demand
+            else:
+                self._inf_count[c] += 1
+            dirty.add(c)
+        self._csr = None
+        self._result_cache = None
+
+    def has_flow(self, name: str) -> bool:
+        """Whether a flow named ``name`` is present."""
+        return name in self._flows
+
+    def remove_flow(self, name: str) -> None:
+        """Remove a flow, dirtying the components it crossed."""
+        rec = self._flows.pop(name)
+        i = rec.idx
+        n = len(self._flows)
+        demand = self._demands_list[i]
+        weight = self._weights_list[i]
+        # Compact the parallel slot buffers and renumber the survivors.
+        self._demands[i:n] = self._demands[i + 1:n + 1]
+        self._weights[i:n] = self._weights[i + 1:n + 1]
+        self._rates[i:n] = self._rates[i + 1:n + 1]
+        for other in self._flows.values():
+            if other.idx > i:
+                other.idx -= 1
+        del self._demands_list[i]
+        del self._weights_list[i]
+        del self._paths_list[i]
+        del self._step_lvl[i]
+        del self._edge_lvl[i]
+        # Retract the flow's precomputed-setup contribution (symmetric to
+        # add_flow's).
+        if demand <= _EPS or not rec.path:
+            self._n_irregular -= 1
+        else:
+            if demand <= 1.0:
+                self._n_small -= 1
+            comp_w = self._comp_w
+            for c in rec.path:
+                comp_w[c] -= weight
+        order = self._order
+        pos = order.index(i)
+        del order[pos]
+        del self._order_keys[pos]
+        for k, v in enumerate(order):
+            if v > i:
+                order[k] = v - 1
+        self._nnz -= len(rec.path)
+        finite = math.isfinite(demand)
+        dirty = self._dirty
+        comp_nf = self._comp_nf
+        for c in rec.path:
+            self._comp_flows[c].discard(name)
+            comp_nf[c] -= 1
+            if finite:
+                self._demand_load[c] -= demand
+            else:
+                self._inf_count[c] -= 1
+            dirty.add(c)
+        self._csr = None
+        self._result_cache = None
+
+    def set_demand(self, name: str, demand: float) -> None:
+        """Change a flow's demand, dirtying the components it crosses.
+
+        A no-op (nothing dirtied) when the demand is unchanged.
+        """
+        if demand < 0:
+            raise ValueError("demand must be non-negative")
+        rec = self._flows[name]
+        if not rec.path and math.isinf(demand):
+            raise ValueError(
+                f"flow {name!r} has no components and unbounded demand"
+            )
+        i = rec.idx
+        old = self._demands_list[i]
+        demand = float(demand)
+        if old == demand:
+            return
+        self._demands[i] = demand
+        self._demands_list[i] = demand
+        # Refresh the precomputed kernel setup: the demand may cross the
+        # regular/irregular boundary (changing the flow's ``comp_w``
+        # contribution) and its fill levels change either way.
+        weight = self._weights_list[i]
+        old_regular = old > _EPS and bool(rec.path)
+        new_regular = demand > _EPS and bool(rec.path)
+        self._n_small += ((new_regular and demand <= 1.0)
+                          - (old_regular and old <= 1.0))
+        if old_regular != new_regular:
+            comp_w = self._comp_w
+            if new_regular:
+                self._n_irregular -= 1
+                for c in rec.path:
+                    comp_w[c] += weight
+            else:
+                self._n_irregular += 1
+                for c in rec.path:
+                    comp_w[c] -= weight
+        if new_regular and math.isfinite(demand):
+            self._step_lvl[i] = demand / weight
+            self._edge_lvl[i] = (
+                (demand - _EPS * (demand if demand > 1.0 else 1.0)) / weight)
+        else:
+            self._step_lvl[i] = math.inf
+            self._edge_lvl[i] = math.inf
+        # Reposition the flow in the maintained demand/weight sort.
+        order = self._order
+        keys = self._order_keys
+        pos = order.index(i)
+        del order[pos]
+        del keys[pos]
+        key = demand / weight
+        pos = bisect_right(keys, key)
+        keys.insert(pos, key)
+        order.insert(pos, i)
+        old_finite = math.isfinite(old)
+        new_finite = math.isfinite(demand)
+        dirty = self._dirty
+        for c in rec.path:
+            if old_finite:
+                self._demand_load[c] -= old
+            else:
+                self._inf_count[c] -= 1
+            if new_finite:
+                self._demand_load[c] += demand
+            else:
+                self._inf_count[c] += 1
+            dirty.add(c)
+        if not rec.path:
+            self._rates[rec.idx] = demand
+        self._result_cache = None
+
+    def demand_of(self, name: str) -> float:
+        """The offered demand of flow ``name``."""
+        return float(self._demands[self._flows[name].idx])
+
+    def component_names(self) -> list[str]:
+        """Registered component names, in registration order."""
+        return list(self._comp_names)
+
+    def flow_names(self) -> list[str]:
+        """Current flow names, in insertion order (minus removals)."""
+        return list(self._flows)
+
+    def flow_spec(self, name: str) -> tuple[list[str], float, float]:
+        """The ``(path, demand, weight)`` flow ``name`` was added with.
+
+        The path comes back as component names in the flow's (deduped)
+        traversal order — enough to recreate the flow in another network,
+        which is how the equivalence tests rebuild scratch references.
+        """
+        rec = self._flows[name]
+        i = rec.idx
+        names = self._comp_names
+        return ([names[c] for c in rec.path],
+                self._demands_list[i], self._weights_list[i])
 
     @property
     def n_flows(self) -> int:
+        """Number of flows currently in the network."""
         return len(self._flows)
 
     @property
     def n_components(self) -> int:
-        return len(self._capacity)
+        """Number of registered components."""
+        return len(self._comp_names)
 
     # -- solving ----------------------------------------------------------------
 
     def solve(self) -> FlowResult:
-        """Weighted max-min allocation by vectorized progressive filling."""
-        comp_names = list(self._capacity.keys())
-        comp_index = {c: i for i, c in enumerate(comp_names)}
-        n_comp = len(comp_names)
-        n_flows = len(self._flows)
+        """Weighted max-min allocation by (incremental) progressive filling.
 
-        capacity = np.array([self._capacity[c] for c in comp_names])
-        demand = np.array([f[2] for f in self._flows]) if n_flows else np.empty(0)
-        weight = np.array([f[3] for f in self._flows]) if n_flows else np.empty(0)
-        names = [f[0] for f in self._flows]
-
-        # CSR incidence: flow -> component indices.
-        indptr = np.zeros(n_flows + 1, dtype=np.int64)
-        indices_list: list[int] = []
-        for i, (_n, path, _d, _w) in enumerate(self._flows):
-            indices_list.extend(comp_index[c] for c in path)
-            indptr[i + 1] = len(indices_list)
-        indices = np.array(indices_list, dtype=np.int64)
-        # Per-incidence flow id (for scatter-adds).
-        flow_of_entry = np.repeat(np.arange(n_flows), np.diff(indptr))
-
-        rates = np.zeros(n_flows)
-        frozen = np.zeros(n_flows, dtype=bool)
-        residual = capacity.astype(float).copy()
-        bottleneck_of: dict[str, float] = {}
-
-        # Flows with zero demand (or empty paths and zero demand) freeze at 0.
-        frozen |= demand <= _EPS
-        # Flows with no components are limited only by their demand.
-        empty_path = np.diff(indptr) == 0
-        rates[empty_path & ~frozen] = demand[empty_path & ~frozen]
-        frozen |= empty_path
-
-        max_rounds = n_comp + n_flows + 2
-        rounds_used = 0
-        for _round in range(max_rounds):
-            if frozen.all():
-                break
-            rounds_used += 1
-            active_entry = ~frozen[flow_of_entry]
-            # Weighted active flow count per component.
-            comp_weight = np.zeros(n_comp)
-            np.add.at(comp_weight, indices[active_entry],
-                      weight[flow_of_entry[active_entry]])
-            # Fill level at which each component saturates.
-            with np.errstate(divide="ignore", invalid="ignore"):
-                comp_fill = np.where(comp_weight > _EPS, residual / comp_weight, np.inf)
-            comp_fill = np.where(residual <= _EPS, np.where(comp_weight > _EPS, 0.0, np.inf), comp_fill)
-            # Fill level at which each active flow reaches its demand.
-            active = ~frozen
-            with np.errstate(divide="ignore", invalid="ignore"):
-                demand_fill = np.where(active, (demand - rates) / weight, np.inf)
-            min_comp_fill = comp_fill.min() if n_comp else math.inf
-            min_demand_fill = demand_fill.min() if n_flows else math.inf
-            step = min(min_comp_fill, min_demand_fill)
-            if not math.isfinite(step):
-                # Active flows cross only infinite-capacity components and
-                # have infinite demand: leave them unbounded (inf rates).
-                rates[active] = math.inf
-                break
-            step = max(step, 0.0)
-
-            # Advance all active flows by step * weight.
-            delta = step * weight * active
-            rates += delta
-            # Consume residual capacity.
-            np.subtract.at(residual, indices[active_entry],
-                           delta[flow_of_entry[active_entry]])
-            residual = np.maximum(residual, 0.0)
-
-            # Freeze demand-satisfied flows (infinite demand never satisfies).
-            finite_demand = np.isfinite(demand)
-            demand_edge = np.where(
-                finite_demand, demand - _EPS * np.maximum(np.where(finite_demand, demand, 0.0), 1.0), np.inf
-            )
-            frozen |= active & (rates >= demand_edge)
-
-            # Freeze flows crossing saturated components (only components
-            # with finite capacity can saturate).
-            finite_cap = np.isfinite(capacity)
-            saturated = finite_cap & (residual <= _EPS + 1e-12 * np.where(finite_cap, capacity, 0.0))
-            saturated &= comp_weight > _EPS  # only components with active flows
-            if saturated.any():
-                sat_set = np.flatnonzero(saturated)
-                for ci in sat_set:
-                    bottleneck_of.setdefault(comp_names[ci], float(capacity[ci]))
-                sat_entry = np.isin(indices, sat_set) & active_entry
-                frozen_flows = np.unique(flow_of_entry[sat_entry])
-                frozen[frozen_flows] = True
-        else:  # pragma: no cover - defensive
-            raise RuntimeError("progressive filling failed to converge")
-
-        load = np.zeros(n_comp)
-        finite = np.isfinite(rates)
-        fin_entry = finite[flow_of_entry]
-        np.add.at(load, indices[fin_entry], rates[flow_of_entry[fin_entry]])
-
-        result = FlowResult(
-            rates=rates,
-            flow_names=names,
-            component_load={c: float(load[i]) for i, c in enumerate(comp_names)},
-            component_capacity={c: float(capacity[i]) for i, c in enumerate(comp_names)},
-            bottlenecks=bottleneck_of,
-            rounds=rounds_used,
-            saturation_order=tuple(bottleneck_of),
-        )
-        self._record_telemetry(result, comp_names, capacity, load)
+        Dispatches on the solver state: ``full`` when no previous solution
+        exists, ``cached`` when nothing changed since the last solve,
+        ``shortcircuit`` when no dirty-closure component can saturate, and
+        ``delta`` (a re-fill restricted to the closure) otherwise.
+        """
+        if not self._has_solution:
+            self._last_rounds = self._solve_entire()
+            path = "full"
+        elif self._dirty:
+            path, self._last_rounds = self._solve_delta()
+        else:
+            path = "cached"
+        self._dirty.clear()
+        self._has_solution = True
+        self.solve_counts[path] += 1
+        result = self._result_cache
+        if result is None:
+            result = self._result_cache = self._build_result()
+        self._record_telemetry(result, path)
         return result
+
+    def solve_rates(self) -> np.ndarray:
+        """Re-solve and return only the per-flow rate array.
+
+        The rates are aligned with flow insertion order (the order
+        :meth:`add_flow` calls happened, minus removals) — identical to
+        :attr:`FlowResult.rates` from :meth:`solve`, with the same
+        dispatch, determinism, and :attr:`solve_counts` accounting.  With
+        telemetry disabled this skips building the :class:`FlowResult`
+        snapshot entirely (the hot-loop path for per-tick re-solvers such
+        as the bandwidth arbiter); with telemetry enabled it delegates to
+        :meth:`solve` so the observability record stays complete.
+        """
+        if get_telemetry().enabled:
+            return self.solve().rates
+        if not self._has_solution:
+            self._last_rounds = self._solve_entire()
+            path = "full"
+        elif self._dirty:
+            path, self._last_rounds = self._solve_delta()
+        else:
+            path = "cached"
+        self._dirty.clear()
+        self._has_solution = True
+        self.solve_counts[path] += 1
+        return self._rates[:len(self._flows)].copy()
+
+    def _solve_entire(self) -> int:
+        """From-scratch fill over every component and flow; returns rounds."""
+        n = len(self._flows)
+        m = len(self._comp_names)
+        if n == 0:
+            self._load[:m] = 0.0
+            self._load_valid = True
+            self._bottlenecks = {}
+            return 0
+        if self._nnz <= _SCALAR_NNZ_MAX:
+            pre = ((self._comp_w, self._step_lvl, self._edge_lvl)
+                   if self._n_irregular == 0 else None)
+            rates, sat, rounds = _fill_scalar(
+                self._caps_list, self._paths_list,
+                self._demands_list, self._weights_list, pre,
+                self._comp_nf, self._order, self._n_small == 0)
+            self._rates[:n] = rates
+            self._load_valid = False
+        else:
+            indptr, indices, flow_of_entry = self._csr_incidence()
+            rates, load, sat, rounds = _fill_vector(
+                self._caps[:m], self._demands[:n], self._weights[:n],
+                indptr, indices, flow_of_entry)
+            self._rates[:n] = rates
+            self._load[:m] = load
+            self._load_valid = True
+        names = self._comp_names
+        caps = self._caps
+        self._bottlenecks = {names[c]: float(caps[c]) for c in sat}
+        return rounds
+
+    def _csr_incidence(
+        self,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """CSR incidence (flow -> component ids), cached across solves."""
+        if self._csr is None:
+            n = len(self._flows)
+            indptr = np.zeros(n + 1, dtype=np.int64)
+            indices_list: list[int] = []
+            for i, path in enumerate(self._paths_list):
+                indices_list.extend(path)
+                indptr[i + 1] = len(indices_list)
+            indices = np.array(indices_list, dtype=np.int64)
+            flow_of_entry = np.repeat(np.arange(n), np.diff(indptr))
+            self._csr = (indptr, indices, flow_of_entry)
+        return self._csr
+
+    def _closure(self) -> tuple[set[int], set[str], bool]:
+        """The connected dirty region: the closure of the dirty components
+        under the comp<->flow incidence relation.
+
+        Returns ``(components, flow names, entire)``; ``entire`` short-cuts
+        the common case where the closure swallows every flow (a shared
+        backbone component went dirty), in which case the component set is
+        left incomplete and the caller re-fills the whole network.
+        """
+        n_flows = len(self._flows)
+        comps = set(self._dirty)
+        flows: set[str] = set()
+        flow_recs = self._flows
+        comp_flows = self._comp_flows
+        stack = list(self._dirty)
+        while stack:
+            c = stack.pop()
+            for fname in comp_flows[c]:
+                if fname not in flows:
+                    flows.add(fname)
+                    if len(flows) == n_flows:
+                        return comps, flows, True
+                    for fc in flow_recs[fname].path:
+                        if fc not in comps:
+                            comps.add(fc)
+                            stack.append(fc)
+        return comps, flows, False
+
+    def _solve_delta(self) -> tuple[str, int]:
+        """Re-solve only the connected dirty region; returns (path, rounds).
+
+        Correctness: by closure construction no flow outside the region
+        crosses a component inside it, so the region is an independent
+        subproblem of the (unique) global max-min allocation — re-filling
+        it from scratch and keeping every other rate frozen reproduces the
+        global solution.
+        """
+        # A dirty component crossed by every flow (a shared backbone)
+        # makes the closure the whole network — skip the BFS outright.
+        n_flows = len(self._flows)
+        comp_nf = self._comp_nf
+        for c in self._dirty:
+            if comp_nf[c] == n_flows:
+                return "delta", self._solve_entire()
+        comps, flow_names, entire = self._closure()
+        if entire:
+            return "delta", self._solve_entire()
+        # Analytic short-circuit: if no closure component can saturate
+        # (finite demands strictly under capacity, no unbounded flows),
+        # rates follow directly from demands.
+        caps = self._caps
+        demand_load = self._demand_load
+        inf_count = self._inf_count
+        if all(inf_count[c] == 0
+               and demand_load[c] < caps[c] * (1.0 - _SHORTCIRCUIT_MARGIN)
+               for c in comps):
+            flows = self._flows
+            demands = self._demands
+            rates = self._rates
+            for fname in flow_names:
+                i = flows[fname].idx
+                rates[i] = demands[i]
+            for c in comps:
+                self._load[c] = demand_load[c]
+                self._bottlenecks.pop(self._comp_names[c], None)
+            return "shortcircuit", 0
+        # Restricted re-fill over the closure, at full capacities (no flow
+        # outside the closure consumes them).
+        flows = self._flows
+        order = sorted(flow_names, key=lambda fname: flows[fname].idx)
+        comp_list = sorted(comps)
+        local = {c: k for k, c in enumerate(comp_list)}
+        idx = np.array([flows[fname].idx for fname in order], dtype=np.int64)
+        paths = [tuple(local[c] for c in flows[fname].path)
+                 for fname in order]
+        nnz = sum(len(p) for p in paths)
+        caps_local = self._caps[np.array(comp_list, dtype=np.int64)]
+        if nnz <= _SCALAR_NNZ_MAX:
+            sub_demands = self._demands[idx]
+            sub_weights = self._weights[idx]
+            sub_order = np.argsort(sub_demands / sub_weights,
+                                   kind="stable").tolist()
+            rates, sat, rounds = _fill_scalar(
+                caps_local.tolist(), paths,
+                sub_demands.tolist(), sub_weights.tolist(),
+                order=sub_order)
+            self._rates[idx] = rates
+            self._load_valid = False
+        else:
+            n_sub = len(order)
+            indptr = np.zeros(n_sub + 1, dtype=np.int64)
+            indices_list: list[int] = []
+            for i, p in enumerate(paths):
+                indices_list.extend(p)
+                indptr[i + 1] = len(indices_list)
+            indices = np.array(indices_list, dtype=np.int64)
+            flow_of_entry = np.repeat(np.arange(n_sub), np.diff(indptr))
+            rates, load, sat, rounds = _fill_vector(
+                caps_local, self._demands[idx], self._weights[idx],
+                indptr, indices, flow_of_entry)
+            self._rates[idx] = rates
+            for k, c in enumerate(comp_list):
+                self._load[c] = load[k]
+        names = self._comp_names
+        for c in comp_list:
+            self._bottlenecks.pop(names[c], None)
+        for k in sat:
+            c = comp_list[k]
+            self._bottlenecks[names[c]] = float(caps[c])
+        return "delta", rounds
+
+    def _build_result(self) -> FlowResult:
+        """Snapshot the solver state into an immutable :class:`FlowResult`."""
+        n = len(self._flows)
+        m = len(self._comp_names)
+        if not self._load_valid:
+            # Scalar-kernel solves defer the per-component load sum;
+            # recompute it from the authoritative rates (same summation
+            # order as the vectorized kernel: flow index, then path).
+            load = [0.0] * m
+            rates = self._rates[:n].tolist()
+            for i, path in enumerate(self._paths_list):
+                r = rates[i]
+                if r < math.inf:
+                    for c in path:
+                        load[c] += r
+            self._load[:m] = load
+            self._load_valid = True
+        return FlowResult(
+            rates=self._rates[:n].copy(),
+            flow_names=list(self._flows),
+            comp_names=self._comp_names,
+            load_arr=self._load[:m].copy(),
+            cap_arr=self._caps[:m].copy(),
+            bottlenecks=dict(self._bottlenecks),
+            rounds=self._last_rounds,
+            saturation_order=tuple(self._bottlenecks),
+        )
 
     # -- observability -----------------------------------------------------------
 
-    def _record_telemetry(
-        self,
-        result: FlowResult,
-        comp_names: list[str],
-        capacity: np.ndarray,
-        load: np.ndarray,
-    ) -> None:
+    def _record_telemetry(self, result: FlowResult, path: str) -> None:
         """Record the solve into the telemetry registry (Lesson 12 data).
 
-        Per solve: a filling-round histogram, the saturation order, and
-        per-*layer* load/capacity/utilization where a layer is a
-        component-name prefix (``client``, ``router``, ``oss``,
-        ``couplet``, ``ost``, ...).  Guarded on the registry's enabled
-        flag so un-traced solves pay one attribute check; the aggregation
-        runs on the solver's own arrays so an instrumented solve stays a
-        few vector ops, not a per-component Python walk.
+        Per solve: the resolve-path counter (:data:`RESOLVE_COUNTERS`), a
+        filling-round histogram, the saturation order, and per-*layer*
+        load/capacity/utilization where a layer is a component-name prefix
+        (``client``, ``router``, ``oss``, ``couplet``, ``ost``, ...).
+        Guarded on the registry's enabled flag so un-traced solves pay one
+        attribute check; the aggregation runs on the solver's own arrays
+        so an instrumented solve stays a few vector ops, not a
+        per-component Python walk.
         """
-        from repro.obs.instruments import get_telemetry
-        from repro.obs.trace import get_tracer
-
         telemetry = get_telemetry()
         if not telemetry.enabled:
             return
+        telemetry.counter(f"flow.resolve.{path}").add(1.0)
         telemetry.counter("flow.solves").add(1.0)
         telemetry.counter("flow.flows").add(float(len(result.flow_names)))
-        telemetry.histogram("flow.rounds", floor=1.0).observe(float(result.rounds))
+        telemetry.histogram("flow.rounds", floor=1.0).observe(
+            float(result.rounds))
         telemetry.counter("flow.saturated_components").add(
             float(len(result.saturation_order)))
 
@@ -305,6 +1132,9 @@ class FlowNetwork:
         for order, comp in enumerate(result.saturation_order):
             tracer.instant(f"saturated:{comp}", "flow", order=order)
 
+        capacity = result._cap_arr
+        load = result._load_arr
+        comp_names = self._comp_names
         finite = np.flatnonzero(np.isfinite(capacity))
         if finite.size == 0:
             return
@@ -341,3 +1171,86 @@ class FlowNetwork:
             telemetry.gauge("flow.layer.max_util", prefix).set(float(layer_util[j]))
             telemetry.gauge("flow.layer.saturated", prefix).set(
                 saturated_count.get(prefix, 0))
+
+
+class Epoch:
+    """Batches same-tick re-solve requests into one flush.
+
+    Executors that own an incrementally-solved network (the bandwidth
+    arbiter, the fault campaign, the remediation runner) route their
+    re-solve triggers through :meth:`request` instead of solving inline.
+    With an ``engine``, the flush is scheduled at the current sim time at
+    ``priority`` (default 1 — after every ordinary same-tick event), so a
+    burst of simultaneous changes — a fault cascade, a batch of repairs,
+    several job transitions at one instant — costs one solve.  The flush
+    callback receives the batched labels joined with ``"+"`` (first
+    occurrence order, deduplicated).
+
+    Used as a context manager, requests made inside the ``with`` block are
+    held and flushed on exit (deferred to end-of-tick when an engine is
+    attached, immediately otherwise) — the explicit-batch form for code
+    running off the engine.
+    """
+
+    def __init__(
+        self,
+        flush: Callable[[str], None],
+        *,
+        engine=None,
+        priority: int = 1,
+    ) -> None:
+        self._flush = flush
+        self._engine = engine
+        self._priority = priority
+        self._labels: list[str] = []
+        self._armed = False
+        self._held = 0
+        #: number of flushes fired (diagnostic; each flush = one solve)
+        self.flushes = 0
+
+    def request(self, label: str) -> None:
+        """Ask for a flush, carrying ``label`` into the batched flush label."""
+        self._labels.append(label)
+        if self._held > 0 or self._armed:
+            return
+        if self._engine is not None:
+            self._armed = True
+            self._engine.call_at(self._engine.now, self._fire,
+                                 priority=self._priority)
+        else:
+            self._fire()
+
+    def __enter__(self) -> "Epoch":
+        self._held += 1
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self._held -= 1
+        if self._held == 0 and self._labels and not self._armed:
+            if self._engine is not None:
+                self._armed = True
+                self._engine.call_at(self._engine.now, self._fire,
+                                     priority=self._priority)
+            else:
+                self._fire()
+
+    def _fire(self) -> None:
+        """Run the flush with the batched label (engine event target)."""
+        self._armed = False
+        if not self._labels:
+            return
+        labels, self._labels = self._labels, []
+        if len(labels) == 1:
+            label = labels[0]
+        else:
+            label = "+".join(dict.fromkeys(labels))
+        self.flushes += 1
+        tracer = get_tracer()
+        if not tracer.enabled:
+            self._flush(label)
+            return
+        span = tracer.open(f"epoch:{label}", "flow", merged=len(labels))
+        try:
+            self._flush(label)
+        finally:
+            tracer.end(span)

@@ -11,7 +11,13 @@ rest of the model):
   campaign re-solves a constant probe workload (each OSS offered exactly
   its couplet fair share) through :class:`~repro.core.path.PathBuilder`,
   sampling the delivered aggregate bandwidth.  The samples form a
-  step-function bandwidth-degradation timeline.
+  step-function bandwidth-degradation timeline.  Re-solve requests ride
+  an :class:`~repro.core.flow.Epoch`, so a same-tick fault cascade costs
+  one solve (labels joined with ``"+"``), and the builder is persistent:
+  capacity-only faults re-solve incrementally over the built network,
+  while routing changes rebuild it (see
+  :meth:`~repro.core.path.PathBuilder.resolve` and
+  ``docs/PERFORMANCE.md``).
 
 Every injection/repair also feeds the operational surfaces: a
 :class:`~repro.monitoring.health.HealthEvent` per fault (plus the
@@ -42,6 +48,7 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
+from repro.core.flow import Epoch
 from repro.core.path import PathBuilder, Transfer
 from repro.core.spider import SpiderSystem
 from repro.faults.events import PlannedFault
@@ -180,11 +187,15 @@ class FaultCampaign:
         self.remediation = remediation
         self.monitor = monitor
         self.transfers = self._probe_transfers()
+        #: the persistent probe builder: its network survives across
+        #: samples and re-solves incrementally (see PathBuilder.resolve)
+        self._builder = PathBuilder(self.system, fs_level=True)
         # run state
         self._engine: Engine | None = None
+        self._epoch: Epoch | None = None
         self._runner: "PlaybookRunner | None" = None
-        #: (sample time, FlowResult, the PathBuilder that produced it)
-        self._last: tuple[float, object, PathBuilder] | None = None
+        #: (sample time, FlowResult matching the builder's route table)
+        self._last: tuple[float, object] | None = None
         self._timeline: list[tuple[float, float, str]] = []
         self._tokens: dict[PlannedFault, object] = {}
         self._spans: dict[PlannedFault, object] = {}
@@ -225,22 +236,36 @@ class FaultCampaign:
     # -- engine callbacks -----------------------------------------------------
 
     def _sample(self, label: str) -> None:
+        """Request a probe re-solve for the current tick.
+
+        Routed through the campaign :class:`Epoch`: a same-tick burst of
+        state changes (a fault cascade, a repair plus its followup)
+        collapses into one :meth:`_flush_sample` carrying the batched
+        labels joined with ``"+"``.
+        """
+        epoch = self._epoch
+        assert epoch is not None
+        epoch.request(label)
+
+    def _flush_sample(self, label: str) -> None:
         """Re-solve the probe workload and append a timeline sample."""
         engine = self._engine
         assert engine is not None
         # Attribute the interval just ended to the per-layer byte counters
-        # (telemetry-gated inside) via the builder whose route table matches
-        # the previous solve.
+        # (telemetry-gated inside) before resolve() can replace the route
+        # table the previous solve was made under.
         if self._last is not None:
-            last_t, last_result, last_builder = self._last
-            last_builder.record_flow_telemetry(last_result, engine.now - last_t)
-        # A fresh builder per sample: routing-policy load state must not
-        # carry between solves, or the timeline drifts for reasons
-        # unrelated to the injected faults.
-        builder = PathBuilder(self.system, fs_level=True)
-        result = builder.solve(self.transfers)
-        self._unroutable += builder.unroutable_flows
-        self._last = (engine.now, result, builder)
+            last_t, last_result = self._last
+            self._builder.record_flow_telemetry(last_result,
+                                                engine.now - last_t)
+        # Incremental re-solve: capacity-only faults ride the delta path;
+        # routing changes (router death/repair) rebuild with the policy's
+        # balancing state reset, so the routes match what a fresh builder
+        # would pick and the timeline cannot drift for reasons unrelated
+        # to the injected faults.
+        result = self._builder.resolve(self.transfers)
+        self._unroutable += self._builder.unroutable_flows
+        self._last = (engine.now, result)
         self._timeline.append((engine.now, float(np.sum(result.rates)), label))
 
     def _inject(self, fault: PlannedFault) -> None:
@@ -308,6 +333,7 @@ class FaultCampaign:
         """Execute the plan and return the measured :class:`CampaignResult`."""
         engine = self._engine = Engine()
         instrument_engine(engine, get_telemetry(), get_tracer())
+        self._epoch = Epoch(self._flush_sample, engine=engine)
         self._timeline.clear()
         self._tokens.clear()
         self._spans.clear()
@@ -339,7 +365,10 @@ class FaultCampaign:
                 detector=detector,
             )
 
-        self._sample("baseline")
+        # Sampled synchronously, not through the epoch: the baseline must
+        # be the first timeline entry even when the plan's first fault
+        # lands at t=0 (an epoch-routed baseline would batch with it).
+        self._flush_sample("baseline")
         for fault in self.plan:
             engine.call_at(fault.time, lambda f=fault: self._inject(f))
             if math.isfinite(fault.repair_time):
@@ -348,8 +377,8 @@ class FaultCampaign:
 
         # Attribute the tail interval (last state change → horizon).
         if self._last is not None:
-            last_t, last_result, last_builder = self._last
-            last_builder.record_flow_telemetry(
+            last_t, last_result = self._last
+            self._builder.record_flow_telemetry(
                 last_result, max(0.0, self.duration - last_t))
 
         # Faults still open at the horizon: close their spans, censored.
@@ -389,9 +418,11 @@ class FaultCampaign:
         recovery: dict[str, float] = {}
         stats: dict[str, list[float]] = {}
         for fault in self.plan:
+            # Epoch batching joins same-tick sample labels with "+", so
+            # match the fault's label as a member, not the whole string.
             injected_at = next(
                 (i for i, (t, _bw, label) in enumerate(timeline)
-                 if t >= fault.time and label == fault.label),
+                 if t >= fault.time and fault.label in label.split("+")),
                 None,
             )
             if injected_at is None or injected_at == 0:

@@ -148,6 +148,20 @@ class InfinibandFabric:
         for k in range(self.spec.n_core_switches):
             net.add_component(f"ibcore:{k}", self.spec.core_crossbar_bw)
 
+    def refresh_components(self, net) -> None:
+        """Push current capacities into an already-registered network.
+
+        The delta counterpart of :meth:`register_components` for
+        incremental re-solves: only cable capacities move under faults
+        (degrade/fail/repair set ``degradation``), so only cables are
+        pushed — switch crossbars and uplinks are spec constants.  An
+        unchanged capacity is a no-op inside the network, dirtying
+        nothing.
+        """
+        port_bw = self.spec.port_bw
+        for cable in self._cables.values():
+            net.set_capacity(cable.component, port_bw * cable.degradation)
+
     # -- fault injection -------------------------------------------------------------
 
     def degrade_cable(self, host: str, factor: float, symbol_errors: int = 1000) -> None:

@@ -93,6 +93,16 @@ class LnetConfig:
     def router_online(self, name: str) -> bool:
         return bool(self._online[self._index_of[name]])
 
+    def online_fingerprint(self) -> bytes:
+        """The router-online bits as an opaque comparable value.
+
+        Incremental consumers (:meth:`repro.core.path.PathBuilder.resolve`)
+        compare fingerprints across solves: an unchanged fingerprint means
+        every previously chosen route is still live, so the built network
+        can be reused; a changed one forces a rebuild.
+        """
+        return self._online.tobytes()
+
     def online_indices(self, candidates: list[int]) -> list[int]:
         """Filter a candidate index list down to live routers."""
         return [i for i in candidates if self._online[i]]
@@ -108,6 +118,15 @@ class RoutingPolicy:
 
     def select_router(self, client: Coord, dst_leaf: int) -> RouterInfo:
         raise NotImplementedError
+
+    def reset(self) -> None:
+        """Clear accumulated balancing state (load counts, cycle position).
+
+        Incremental solvers call this before rebuilding a network so the
+        fresh route selection matches what a brand-new policy would pick —
+        stale balancing state would otherwise skew the rebuilt routes.
+        The base policy is stateless, so this is a no-op.
+        """
 
     def describe(self) -> str:
         return self.name
@@ -148,6 +167,10 @@ class FineGrainedRouting(RoutingPolicy):
         self._load[pick] += 1
         return self.config.routers[pick]
 
+    def reset(self) -> None:
+        """Zero the per-router load counts (see :meth:`RoutingPolicy.reset`)."""
+        self._load[:] = 0
+
 
 class RoundRobinRouting(RoutingPolicy):
     """Naive baseline: cycle through all routers, ignoring locality.
@@ -168,3 +191,7 @@ class RoundRobinRouting(RoutingPolicy):
             if self.config._online[i]:
                 return self.config.routers[i]
         raise LookupError("no router online")
+
+    def reset(self) -> None:
+        """Restart the cycle (see :meth:`RoutingPolicy.reset`)."""
+        self._cycle = itertools.cycle(range(len(self.config.routers)))

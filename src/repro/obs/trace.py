@@ -382,7 +382,9 @@ def instrument_engine(
 ) -> None:
     """Wire an :class:`~repro.sim.engine.Engine` into the telemetry spine.
 
-    * every processed event increments the ``engine.events`` counter;
+    * every processed event increments the ``engine.events`` counter
+      (skipped when the registry is disabled at wiring time — the hook
+      would be a per-event no-op call otherwise);
     * process starts/ends become spans in the ``engine`` category;
     * the tracer's sim clock is attached to ``engine.now``.
 
@@ -390,8 +392,9 @@ def instrument_engine(
     ordering is untouched, so instrumented runs stay bit-identical.
     """
     registry = telemetry or get_telemetry()
-    event_counter = registry.counter("engine.events")
-    engine.on_event = lambda _time_: event_counter.add(1.0)
+    if registry.enabled:
+        event_counter = registry.counter("engine.events")
+        engine.on_event = lambda _time_: event_counter.add(1.0)
 
     if tracer is not None:
         tracer.attach_engine(engine)

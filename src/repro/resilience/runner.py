@@ -233,12 +233,17 @@ class PlaybookRunner:
         n_routers: int = 0,
         playbooks: dict | None = None,
         detector=None,
+        epoch=None,
     ) -> None:
         if n_clients <= 0:
             raise ValueError("n_clients must be positive")
         self.policy = policy
         self._engine = engine
         self._actuator = actuator
+        #: optional :class:`~repro.core.flow.Epoch` — repair actuations
+        #: are applied inside it so the re-solves a repair triggers batch
+        #: with everything else landing at the same instant
+        self._epoch = epoch
         self._n_clients = int(n_clients)
         self._n_routers = int(n_routers)
         self._playbooks = playbooks
@@ -361,7 +366,11 @@ class PlaybookRunner:
 
     def _act_complete(self, ctx: _Remediation) -> None:
         ctx.acted_at = self._engine.now
-        ctx.applied = self._actuator.repair(ctx.fault)
+        if self._epoch is not None:
+            with self._epoch:
+                ctx.applied = self._actuator.repair(ctx.fault)
+        else:
+            ctx.applied = self._actuator.repair(ctx.fault)
         tracer = get_tracer()
         tracer.end(ctx.act_span, applied=ctx.applied,
                    escalated=ctx.escalated, attempts=ctx.attempts)

@@ -1,10 +1,13 @@
 """QoS policy and the per-resolve bandwidth arbiter.
 
-The arbiter is the time-varying extension of the interference study: at
-every job start/finish/phase change the scheduler hands it the currently
-running I/O phases and it re-solves a fresh
-:class:`~repro.core.flow.FlowNetwork`.  Each running phase is one flow
-crossing three components:
+The arbiter is the time-varying extension of the interference study: it
+owns one persistent :class:`~repro.core.flow.FlowNetwork` whose solver
+state survives across allocation rounds.  The scheduler applies delta
+operations as jobs come and go (:meth:`BandwidthArbiter.add` /
+:meth:`~BandwidthArbiter.remove`) and each
+:meth:`~BandwidthArbiter.reallocate` is an incremental re-solve — the
+cost model is documented in ``docs/PERFORMANCE.md``.  Each running phase
+is one flow crossing three components:
 
 * ``ingest:<class>`` — the platform's injection capacity (Titan's LNET
   router aggregate for simulations, the analysis-cluster and DTN uplinks
@@ -111,10 +114,104 @@ class QosPolicy:
 
 
 class BandwidthArbiter:
-    """Solves one allocation round over the currently running I/O phases."""
+    """Arbitrates bandwidth over the currently running I/O phases.
+
+    The arbiter keeps one persistent :class:`FlowNetwork` across
+    allocation rounds: phases join and leave via :meth:`add` /
+    :meth:`remove` (delta operations) and :meth:`reallocate` refreshes
+    the capacity components and re-solves incrementally.  The one-shot
+    :meth:`allocate` wrapper rebuilds from scratch for callers outside
+    the scheduler loop.
+    """
 
     def __init__(self, policy: QosPolicy) -> None:
         self.policy = policy
+        self._net = FlowNetwork()
+        self._net.add_component(BACKBONE_COMPONENT, math.inf)
+        # platform -> component path, registered lazily on first flow;
+        # capacities are placeholders until the next reallocate().
+        self._class_paths: dict[PlatformClass, list[str]] = {}
+        # capacity-refresh memo: the capacities pushed into the network
+        # by the last reallocate — a repeat round (the common quiet case)
+        # skips the per-component set_capacity walk entirely
+        self._caps_memo: tuple | None = None
+
+    @property
+    def solve_counts(self) -> dict[str, int]:
+        """Cumulative solve counts by resolve path (see ``FlowNetwork``)."""
+        return self._net.solve_counts
+
+    @property
+    def n_flows(self) -> int:
+        """Number of I/O phases currently held by the arbiter."""
+        return self._net.n_flows
+
+    def reset(self) -> None:
+        """Drop all flows and solver state (a fresh scheduler run)."""
+        self._net = FlowNetwork()
+        self._net.add_component(BACKBONE_COMPONENT, math.inf)
+        self._class_paths = {}
+        self._caps_memo = None
+
+    def _path_of(self, platform: PlatformClass) -> list[str]:
+        """The component path for ``platform``, registering it lazily."""
+        path = self._class_paths.get(platform)
+        if path is None:
+            ingest = f"ingest:{platform.value}"
+            self._net.add_component(ingest, math.inf)
+            path = [ingest]
+            cap = self.policy.cap_of(platform)
+            if self.policy.enabled and cap < 1.0:
+                qos = f"qos:{platform.value}"
+                self._net.add_component(qos, math.inf)
+                path.append(qos)
+            path.append(BACKBONE_COMPONENT)
+            self._class_paths[platform] = path
+        return path
+
+    def add(self, name: str, platform: PlatformClass,
+            demand: float) -> None:
+        """Register a running I/O phase as a flow (delta operation)."""
+        self._net.add_flow(name, self._path_of(platform), demand=demand,
+                           weight=self.policy.weight_of(platform))
+
+    def remove(self, name: str) -> None:
+        """Drop a finished I/O phase's flow (delta operation)."""
+        self._net.remove_flow(name)
+
+    def reallocate(
+        self,
+        *,
+        backbone_capacity: float,
+        ingest_caps: Mapping[PlatformClass, float],
+    ) -> np.ndarray:
+        """Refresh capacities and re-solve over the held flows.
+
+        Returns a rate array aligned with the arrival order of the held
+        flows (the order :meth:`add` calls happened, minus removals) —
+        the same order the scheduler walks its active-phase table in.
+        Unchanged capacities are no-ops, so a quiet round costs only the
+        delta induced by phase churn.
+        """
+        net = self._net
+        if net.n_flows == 0:
+            return np.empty(0)
+        # Memo on the capacity values actually pushed (per registered
+        # class, in registration order): quiet rounds between faults
+        # repeat them verbatim.
+        memo = (backbone_capacity,
+                tuple(ingest_caps.get(platform, math.inf)
+                      for platform in self._class_paths))
+        if memo != self._caps_memo:
+            net.set_capacity(BACKBONE_COMPONENT, float(backbone_capacity))
+            for platform, path in self._class_paths.items():
+                net.set_capacity(path[0],
+                                 float(ingest_caps.get(platform, math.inf)))
+                if len(path) == 3:
+                    cap = self.policy.cap_of(platform)
+                    net.set_capacity(path[1], cap * backbone_capacity)
+            self._caps_memo = memo
+        return net.solve_rates()
 
     def allocate(
         self,
@@ -123,32 +220,16 @@ class BandwidthArbiter:
         backbone_capacity: float,
         ingest_caps: Mapping[PlatformClass, float],
     ) -> np.ndarray:
-        """Allocate rates for ``(name, platform, demand)`` requests.
+        """One-shot allocation for ``(name, platform, demand)`` requests.
 
-        Returns a rate array aligned with ``requests``.  Every flow
-        crosses its platform ingest link, its QoS class cap (when the
-        policy is enabled and the class is capped), and the backbone.
+        Rebuilds the solver state from scratch and returns a rate array
+        aligned with ``requests``.  Analysis-style callers that price a
+        single scenario use this; the scheduler loop uses the delta API.
         """
         if not requests:
             return np.empty(0)
-        net = FlowNetwork()
-        net.add_component(BACKBONE_COMPONENT, backbone_capacity)
-        class_paths: dict[PlatformClass, list[str]] = {}
-        for _name, platform, _demand in requests:
-            if platform in class_paths:
-                continue
-            ingest = f"ingest:{platform.value}"
-            net.add_component(
-                ingest, float(ingest_caps.get(platform, math.inf)))
-            path = [ingest]
-            cap = self.policy.cap_of(platform)
-            if self.policy.enabled and cap < 1.0:
-                qos = f"qos:{platform.value}"
-                net.add_component(qos, cap * backbone_capacity)
-                path.append(qos)
-            path.append(BACKBONE_COMPONENT)
-            class_paths[platform] = path
+        self.reset()
         for name, platform, demand in requests:
-            net.add_flow(name, class_paths[platform], demand=demand,
-                         weight=self.policy.weight_of(platform))
-        return net.solve().rates
+            self.add(name, platform, demand)
+        return self.reallocate(backbone_capacity=backbone_capacity,
+                               ingest_caps=ingest_caps)

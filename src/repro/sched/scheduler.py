@@ -5,11 +5,15 @@ arrival stream from :mod:`repro.sched.arrivals` and, at every state
 change that touches the data path — job submission, admission, phase
 change, completion, fault injection or repair — asks the
 :class:`~repro.sched.qos.BandwidthArbiter` for a fresh allocation.
-Between re-solves every running I/O phase drains fluidly at its
-allocated rate, so job progress is exact given piecewise-constant
-rates: the next phase completion is scheduled as an engine event and
-invalidated (via an epoch guard — the engine has no cancellation) when
-an earlier state change re-solves first.
+Re-solve requests route through an :class:`~repro.core.flow.Epoch`, so
+a burst of simultaneous state changes (a fault cascade, several jobs
+finishing at one instant) is batched into a single end-of-tick
+allocation round over the arbiter's persistent solver state.  Between
+re-solves every running I/O phase drains fluidly at its allocated
+rate, so job progress is exact given piecewise-constant rates: the
+next phase completion is scheduled as an engine event and invalidated
+(via an epoch guard — the engine has no cancellation) when an earlier
+state change re-solves first.
 
 Composition with :mod:`repro.faults` runs a chaos campaign *under
 load*: injectors mutate the live system, the backbone capacity is
@@ -28,6 +32,7 @@ from typing import TYPE_CHECKING
 import numpy as np
 
 from repro.analysis.interference import isolated_and_shared
+from repro.core.flow import Epoch
 from repro.core.spider import SpiderSystem
 from repro.faults.injectors import injector_for
 from repro.faults.plan import FaultPlan
@@ -70,6 +75,13 @@ DEFAULT_HORIZON_TAIL = 12 * HOUR
 _DONE_EPS_BYTES = 1e-3
 _DONE_EPS_S = 1e-6
 
+#: shared empty float vector for idle settle-vector state
+_EMPTY_F = np.empty(0)
+
+#: rate floor used when projecting the next phase-completion time — far
+#: below any physical rate, far above the underflow range (see _flush)
+_RATE_FLOOR = 1e-200
+
 # -- latency probe calibration ------------------------------------------------
 #: probe session length (seconds)
 PROBE_DURATION = 300.0
@@ -83,9 +95,11 @@ PROBE_POSITIONING_S = 0.004
 PROBE_UTILIZATION = 0.2
 #: mean analytics request size under the default bimodal mix
 PROBE_MEAN_REQUEST_BYTES = 1.8 * MiB
-#: background stream request size and trace-size ceiling
+#: background stream request size and trace-size ceiling (coarsening
+#: past the ceiling preserves the offered utilization by re-deriving the
+#: rate from the enlarged request — see _latency_probe)
 PROBE_BG_REQUEST_BYTES = 8 * MiB
-PROBE_BG_MAX_REQUESTS = 120_000
+PROBE_BG_MAX_REQUESTS = 30_000
 #: the background replays at this time-weighted percentile of the
 #: non-analytics rate (the peak pressure QoS caps shave — the mean is
 #: work-conserving and nearly policy-independent)
@@ -110,7 +124,7 @@ def _weighted_percentile(samples: list[tuple[float, float]],
     return float(ordered[-1][1])
 
 
-@dataclass
+@dataclass(slots=True)
 class _Job:
     """Runtime state of one job (private to the scheduler)."""
 
@@ -118,14 +132,19 @@ class _Job:
     phase_index: int = 0
     start: float | None = None
     finish: float | None = None
-    #: remaining bytes of the current I/O phase
+    #: remaining bytes of the current I/O phase — authoritative only
+    #: until the phase joins the settle vectors at the next flush;
+    #: afterwards the scheduler's remaining vector carries the drained
+    #: value (jobs never leave the vectors except by completing)
     remaining: float = 0.0
-    #: allocated rate of the current I/O phase (bytes/s)
-    rate: float = 0.0
     #: start time of the current phase
     phase_start: float = 0.0
     #: total time spent in I/O phases
     io_time: float = 0.0
+    #: the settle point from which the current I/O phase accrues io_time
+    io_enter: float = 0.0
+    #: small-int platform code (index into ``list(PlatformClass)``)
+    code: int = 0
     #: worst per-phase drain time over its isolated drain
     worst_overrun: float | None = None
     span: object = None
@@ -149,7 +168,6 @@ class _RunState:
     #: which at least one analytics I/O phase was active
     bg_samples: list[tuple[float, float]] = field(default_factory=list)
     timeline: list[tuple[float, float, str]] = field(default_factory=list)
-    delivered: dict[PlatformClass, float] = field(default_factory=dict)
 
 
 class FacilityScheduler:
@@ -219,6 +237,24 @@ class FacilityScheduler:
         self._tokens: dict[object, object] = {}
         self._fault_spans: dict[object, object] = {}
         self._runner: "PlaybookRunner | None" = None
+        self._epoch: Epoch | None = None
+        # settle vectors: the active I/O phases as of the last flush, in
+        # _active_io insertion order (jobs added since are appended to
+        # _active_io with rate 0 and join the vectors at the next flush)
+        self._io_jobs: list[_Job] = []
+        self._io_rates = _EMPTY_F
+        self._io_remaining = _EMPTY_F
+        self._io_codes = np.empty(0, dtype=np.intp)
+        self._io_drain_eps = _EMPTY_F
+        self._bg_rate_sum = 0.0
+        self._ana_count = 0
+        self._classes = list(PlatformClass)
+        # cumulative delivered bytes per class code — credited per phase
+        # at completion (a drained phase delivered its volume) plus a
+        # partial-progress credit for phases still active at the horizon
+        self._delivered = [0.0] * len(self._classes)
+        self._class_code = {cls: i for i, cls in enumerate(self._classes)}
+        self._ana_code = self._class_code[PlatformClass.ANALYTICS]
         self._backbone_dirty = True
         self._backbone_bw = self._baseline_backbone
         self._ingest_caps: dict[PlatformClass, float] = {}
@@ -310,8 +346,17 @@ class FacilityScheduler:
                               lambda j=job: self._compute_done(j))
         else:
             job.remaining = float(phase.volume)
-            job.rate = 0.0
+            # io_time accrues from the settle point active when the phase
+            # joined (the settles partition time, so the accrued span is
+            # completion minus this mark).
+            job.io_enter = self._state.last_settle
             self._active_io[job.spec.name] = job
+            if job.code == self._ana_code:
+                self._ana_count += 1
+            # The arbiter's flow table mirrors _active_io add-for-add and
+            # remove-for-remove, so its rate array stays aligned with
+            # this dict's insertion order.
+            self._arbiter.add(job.spec.name, job.platform, phase.demand)
 
     def _compute_done(self, job: _Job) -> None:
         self._advance(job)
@@ -330,6 +375,11 @@ class FacilityScheduler:
         assert engine is not None
         phase = job.spec.phases[job.phase_index]
         del self._active_io[job.spec.name]
+        self._arbiter.remove(job.spec.name)
+        self._delivered[job.code] += phase.volume
+        job.io_time += engine.now - job.io_enter
+        if job.code == self._ana_code:
+            self._ana_count -= 1
         drain = engine.now - job.phase_start
         isolated = phase.volume / min(
             phase.demand, self._isolated_caps[job.platform])
@@ -415,29 +465,38 @@ class FacilityScheduler:
     # -- the allocation loop -------------------------------------------------
 
     def _settle(self, now: float) -> None:
-        """Account fluid progress since the previous settle point."""
+        """Account fluid progress since the previous settle point.
+
+        Pure vector work over the settle vectors: rates are constant
+        between flushes, so the drained volume is one ``minimum`` over
+        the active phases.  Per-job io_time is not touched here — it
+        accrues at phase completion from the ``io_enter`` mark, which
+        sums the same settle intervals.
+        """
         state = self._state
         dt = now - state.last_settle
         state.last_settle = now
         if dt <= 0 or not self._active_io:
             return
-        ana_active = any(job.platform is PlatformClass.ANALYTICS
-                         for job in self._active_io.values())
-        bg_rate = 0.0
-        for job in self._active_io.values():
-            delivered = min(job.rate * dt, job.remaining)
-            job.remaining -= delivered
-            job.io_time += dt
-            cls = job.platform
-            state.delivered[cls] = state.delivered.get(cls, 0.0) + delivered
-            if cls is not PlatformClass.ANALYTICS:
-                bg_rate += job.rate
-        if ana_active:
-            state.bg_samples.append((dt, bg_rate))
+        if self._io_jobs:
+            remaining = self._io_remaining
+            remaining -= np.minimum(self._io_rates * dt, remaining)
+        if self._ana_count:
+            state.bg_samples.append((dt, self._bg_rate_sum))
 
     def _resolve(self, label: str) -> None:
+        """Request an allocation round for the current tick.
+
+        Routed through the epoch: a burst of same-tick state changes
+        collapses into one :meth:`_flush` at end of tick.
+        """
+        epoch = self._epoch
+        assert epoch is not None
+        epoch.request(label)
+
+    def _flush(self, label: str) -> None:
         """Settle progress, complete drained phases, re-allocate, and
-        schedule the next projected completion."""
+        schedule the next projected completion (the epoch flush)."""
         engine = self._engine
         assert engine is not None
         state = self._state
@@ -446,35 +505,83 @@ class FacilityScheduler:
         # Completing a phase can cascade: finish the job, admit a queued
         # one, begin its first I/O phase — all at the current instant,
         # all folded into this one allocation round.
-        drained = [job for job in self._active_io.values()
-                   if job.remaining <= _DONE_EPS_BYTES
-                   or (job.rate > 0
-                       and job.remaining <= job.rate * _DONE_EPS_S)]
+        drained: list[_Job] = []
+        io_jobs = self._io_jobs
+        keep: np.ndarray | None = None
+        if io_jobs:
+            # _io_drain_eps = max(byte eps, rate * time eps), precomputed
+            # at the last rebuild (rates are constant between flushes).
+            mask = self._io_remaining <= self._io_drain_eps
+            if mask.any():
+                drained = [io_jobs[i]
+                           for i in np.flatnonzero(mask).tolist()]
+                keep = ~mask
+        # Phases that joined after the last flush have rate 0 and drain
+        # only if born trivially small.
+        if len(self._active_io) > len(io_jobs):
+            for job in list(self._active_io.values())[len(io_jobs):]:
+                if job.remaining <= _DONE_EPS_BYTES:
+                    drained.append(job)
         for job in drained:
             self._complete_io_phase(job)
         if self._backbone_dirty:
             self._refresh_capacity()
-        active = list(self._active_io.values())
-        requests = []
-        for job in active:
-            phase = job.spec.phases[job.phase_index]
-            requests.append((job.spec.name, job.platform, phase.demand))
-        rates = self._arbiter.allocate(
-            requests, backbone_capacity=self._backbone_bw,
+        rates = self._arbiter.reallocate(
+            backbone_capacity=self._backbone_bw,
             ingest_caps=self._ingest_caps)
-        for job, rate in zip(active, rates):
-            job.rate = float(rate)
+        # Rebuild the settle vectors: rates from the solve; remaining and
+        # codes carried over from the settled vectors (drained slots
+        # dropped) with phases joining now appended.  The surviving old
+        # vector entries are exactly the leading entries of _active_io,
+        # in order: completions happen only in the drain pass above, and
+        # every later add appends behind them.
+        active = list(self._active_io.values())
+        n_active = len(active)
+        assert n_active == len(rates)
+        old_remaining = (self._io_remaining if keep is None
+                         else self._io_remaining[keep])
+        n_surviving = len(old_remaining)
+        if n_active > n_surviving:
+            tail = active[n_surviving:]
+            new_remaining = np.concatenate(
+                (old_remaining, [job.remaining for job in tail]))
+            codes = np.concatenate(
+                (self._io_codes[keep] if keep is not None
+                 else self._io_codes,
+                 np.asarray([job.code for job in tail], dtype=np.intp)))
+        else:
+            new_remaining = old_remaining
+            codes = self._io_codes[keep] if keep is not None else self._io_codes
+        class_rates = np.bincount(codes, weights=rates,
+                                  minlength=len(self._classes))
+        total = float(class_rates.sum())
+        bg_sum = total - float(class_rates[self._ana_code])
+        if n_active:
+            self._io_drain_eps = np.maximum(_DONE_EPS_BYTES,
+                                            rates * _DONE_EPS_S)
+            if total > 0.0:
+                # Flooring the rates keeps stalled phases (rate 0) out of
+                # the minimum without building an inf-filled out array —
+                # their quotients land around 1e212, never the min of a
+                # mix that contains at least one flowing phase.
+                next_dt = float(
+                    (new_remaining / np.maximum(rates, _RATE_FLOOR)).min())
+            else:
+                next_dt = math.inf
+        else:
+            next_dt = math.inf
+            self._io_drain_eps = _EMPTY_F
+        self._io_jobs = active
+        self._io_rates = rates
+        self._io_remaining = new_remaining
+        self._io_codes = codes
+        self._bg_rate_sum = bg_sum
         telemetry = get_telemetry()
         if telemetry.enabled:
             telemetry.counter("sched.resolves").add(1.0)
-        total = float(sum(job.rate for job in active))
         state.timeline.append((engine.now, total, label))
         # One wakeup for the earliest projected completion; the epoch
         # guard voids it if any state change re-solves first.
-        next_dt = math.inf
-        for job in active:
-            if job.rate > 0:
-                next_dt = min(next_dt, job.remaining / job.rate)
         if math.isfinite(next_dt):
             epoch = state.epoch
             engine.call_at(engine.now + max(_DONE_EPS_S, next_dt),
@@ -487,14 +594,34 @@ class FacilityScheduler:
 
     # -- execution -----------------------------------------------------------
 
+    @property
+    def solve_counts(self) -> dict[str, int]:
+        """Cumulative arbiter re-solve counts by resolve path.
+
+        Keys are the :data:`~repro.core.flow.RESOLVE_COUNTERS` suffixes
+        (``full`` / ``delta`` / ``shortcircuit`` / ``cached``); the
+        benchmark regression gate asserts a ceiling on ``full`` — see
+        ``docs/PERFORMANCE.md``.
+        """
+        return self._arbiter.solve_counts
+
     def run(self) -> SchedResult:
         """Execute the population to the horizon and return the
         :class:`~repro.sched.metrics.SchedResult`."""
         engine = self._engine = Engine()
         instrument_engine(engine, get_telemetry(), get_tracer())
-        self._state = _RunState(
-            delivered={cls: 0.0 for cls in PlatformClass})
+        self._epoch = Epoch(self._flush, engine=engine)
+        self._arbiter.reset()
+        self._state = _RunState()
+        self._delivered = [0.0] * len(self._classes)
         self._active_io.clear()
+        self._io_jobs = []
+        self._io_rates = _EMPTY_F
+        self._io_remaining = _EMPTY_F
+        self._io_codes = np.empty(0, dtype=np.intp)
+        self._io_drain_eps = _EMPTY_F
+        self._bg_rate_sum = 0.0
+        self._ana_count = 0
         self._running = {cls: 0 for cls in PlatformClass}
         self._queues = {cls: deque() for cls in PlatformClass}
         self._finished.clear()
@@ -524,9 +651,11 @@ class FacilityScheduler:
                 n_clients=(len(self.system.clients)
                            or self.system.spec.n_compute_nodes),
                 n_routers=len(self.system.routers),
+                epoch=self._epoch,
             )
 
-        runtime_jobs = [_Job(spec) for spec in self.jobs]
+        runtime_jobs = [_Job(spec, code=self._class_code[spec.platform])
+                        for spec in self.jobs]
         for job in runtime_jobs:
             if job.spec.arrival < self.horizon:
                 engine.call_at(job.spec.arrival,
@@ -543,6 +672,13 @@ class FacilityScheduler:
         engine.run(until=self.horizon)
         # Account the tail interval and close censored spans.
         self._settle(self.horizon)
+        # Partial delivery credit for phases censored mid-drain (the
+        # settle vectors carry their drained state; phases that joined
+        # after the last flush never flowed).
+        remaining = self._io_remaining.tolist()
+        for k, job in enumerate(self._io_jobs):
+            phase = job.spec.phases[job.phase_index]
+            self._delivered[job.code] += phase.volume - remaining[k]
         tracer = get_tracer()
         for job in runtime_jobs:
             if job.span is not None:
@@ -629,15 +765,19 @@ class FacilityScheduler:
         alone_results, shared, _merged = isolated_and_shared(
             [primary, background], bandwidth=station_bw,
             n_servers=PROBE_N_SERVERS,
-            positioning_time=PROBE_POSITIONING_S)
+            positioning_time=PROBE_POSITIONING_S,
+            alone_sources=(0,))
         alone = alone_results[0]
+        alone_p50, alone_p99 = alone.percentiles([50, 99], reads_only=True)
+        shared_p50, shared_p99 = shared.percentiles([50, 99],
+                                                    reads_only=True, source=0)
         return LatencyProbe(
             station_bandwidth=float(station_bw),
             background_bandwidth=float(bg_rate * req_bytes),
-            alone_p50=alone.percentile(50, reads_only=True),
-            alone_p99=alone.percentile(99, reads_only=True),
-            shared_p50=shared.percentile(50, reads_only=True, source=0),
-            shared_p99=shared.percentile(99, reads_only=True, source=0),
+            alone_p50=alone_p50,
+            alone_p99=alone_p99,
+            shared_p50=shared_p50,
+            shared_p99=shared_p99,
         )
 
     def _result(self) -> SchedResult:
@@ -664,9 +804,9 @@ class FacilityScheduler:
             class_summaries=summaries,
             outcomes=tuple(outcomes),
             timeline=tuple(state.timeline),
-            delivered_by_class=tuple(
-                (cls.value, state.delivered.get(cls, 0.0))
-                for cls in sorted(PlatformClass, key=lambda c: c.value)),
+            delivered_by_class=tuple(sorted(
+                (cls.value, self._delivered[code])
+                for cls, code in self._class_code.items())),
             overall_fairness=jains_index(satisfactions),
             latency=self._latency_probe(),
         )

@@ -24,6 +24,11 @@ from typing import Any
 
 __all__ = ["Engine", "Event", "Process", "SimulationError"]
 
+#: sentinel argument marking a no-arg callback scheduled via ``call_at`` —
+#: the run loop calls ``fn()`` directly instead of paying a lambda frame
+#: per event
+_NO_ARG = object()
+
 
 class SimulationError(RuntimeError):
     """Raised for illegal simulation operations (e.g. scheduling in the past)."""
@@ -161,9 +166,16 @@ class Engine:
             raise SimulationError(f"cannot schedule at {time} (now={self.now})")
         heapq.heappush(self._heap, (time, priority, next(self._seq), fn, arg))
 
-    def call_at(self, time: float, fn: Callable[[], None]) -> None:
-        """Run ``fn()`` at absolute simulated ``time``."""
-        self._schedule(time, 0, lambda _arg: fn(), None)
+    def call_at(self, time: float, fn: Callable[[], None], *,
+                priority: int = 0) -> None:
+        """Run ``fn()`` at absolute simulated ``time``.
+
+        Among events at the same instant, lower ``priority`` runs first
+        (FIFO within a priority).  The non-default use is end-of-tick
+        work: an :class:`~repro.core.flow.Epoch` flush schedules itself at
+        ``priority=1`` so it observes every ordinary event of the tick.
+        """
+        self._schedule(time, priority, fn, _NO_ARG)
 
     def call_after(self, delay: float, fn: Callable[[], None]) -> None:
         """Run ``fn()`` after ``delay`` simulated seconds."""
@@ -249,13 +261,21 @@ class Engine:
         guard; hitting it raises rather than spinning silently.
         """
         processed = 0
-        while self._heap:
-            time, priority, seq, fn, arg = self._heap[0]
+        heap = self._heap
+        pop = heapq.heappop
+        while heap:
+            entry = pop(heap)
+            time = entry[0]
             if time > until:
+                heapq.heappush(heap, entry)
                 break
-            heapq.heappop(self._heap)
             self.now = time
-            fn(arg)
+            fn = entry[3]
+            arg = entry[4]
+            if arg is _NO_ARG:
+                fn()
+            else:
+                fn(arg)
             processed += 1
             self.events_processed += 1
             if self.on_event is not None:

@@ -110,3 +110,66 @@ class TestSaturation:
         budget = sum(mini_system.ssus[s].couplet.bw_cap(fs_level=True)
                      for s in ns_ssus)
         assert res.total == pytest.approx(budget, rel=0.01)
+
+
+class TestIncrementalResolve:
+    """PathBuilder.resolve: delta re-solves must match a fresh builder."""
+
+    def _transfers(self, system):
+        fs = list(system.filesystems.values())[0]
+        return [
+            Transfer(f"p{i}", system.clients[(i * 7) % len(system.clients)],
+                     (fs.osts[i % len(fs.osts)].index,), demand=1 * GB)
+            for i in range(8)
+        ]
+
+    @staticmethod
+    def _rates_by_name(result):
+        return dict(zip(result.flow_names, result.rates))
+
+    def _assert_matches_fresh(self, system, builder, transfers):
+        incremental = builder.resolve(transfers)
+        fresh = PathBuilder(system, fs_level=True).solve(transfers)
+        got = self._rates_by_name(incremental)
+        want = self._rates_by_name(fresh)
+        assert set(got) == set(want)
+        for name, rate in want.items():
+            assert got[name] == pytest.approx(rate, rel=1e-9), name
+
+    def test_capacity_faults_ride_the_delta_path(self, mini_system):
+        transfers = self._transfers(mini_system)
+        builder = PathBuilder(mini_system, fs_level=True)
+        self._assert_matches_fresh(mini_system, builder, transfers)
+        solves_before = builder._net.solve_counts["full"]
+        # Capacity-only faults: cable degradation and controller failover
+        # must not rebuild the network.
+        mini_system.fabric.degrade_cable(mini_system.osses[0].name, 0.3)
+        self._assert_matches_fresh(mini_system, builder, transfers)
+        mini_system.ssus[0].couplet.fail_controller(0)
+        self._assert_matches_fresh(mini_system, builder, transfers)
+        mini_system.ssus[0].couplet.restore_controller(0)
+        mini_system.fabric.repair_cable(mini_system.osses[0].name)
+        self._assert_matches_fresh(mini_system, builder, transfers)
+        assert builder._net.solve_counts["full"] == solves_before
+
+    def test_router_change_rebuilds_and_matches(self, mini_system):
+        transfers = self._transfers(mini_system)
+        builder = PathBuilder(mini_system, fs_level=True)
+        self._assert_matches_fresh(mini_system, builder, transfers)
+        first_net = builder._net
+        name = mini_system.routers[0].name
+        mini_system.lnet.set_router_online(name, False)
+        mini_system.fabric.fail_cable(name)
+        self._assert_matches_fresh(mini_system, builder, transfers)
+        assert builder._net is not first_net  # fingerprint forced a rebuild
+        mini_system.lnet.set_router_online(name, True)
+        mini_system.fabric.repair_cable(name)
+        self._assert_matches_fresh(mini_system, builder, transfers)
+
+    def test_different_transfer_list_rebuilds(self, mini_system):
+        transfers = self._transfers(mini_system)
+        builder = PathBuilder(mini_system, fs_level=True)
+        builder.resolve(transfers)
+        first_net = builder._net
+        builder.resolve(list(transfers))  # equal content, different object
+        assert builder._net is not first_net

@@ -127,6 +127,40 @@ def test_overlay_subsystem_documented_everywhere():
         "README.md package tree lost the obs/overlay entry")
 
 
+def test_incremental_solver_documented_everywhere():
+    """The incremental flow solver's performance contract is documented
+    end to end: docs/PERFORMANCE.md names every resolve-path counter and
+    every checked-in BENCH_*.json record, README links the doc, DESIGN.md
+    carries the §9 correctness argument, and EXPERIMENTS.md carries the
+    before/after throughput ablation row."""
+    from repro.core.flow import RESOLVE_COUNTERS
+
+    performance = (REPO / "docs" / "PERFORMANCE.md").read_text()
+    missing = [c for c in RESOLVE_COUNTERS if c not in performance]
+    assert not missing, (
+        f"docs/PERFORMANCE.md is missing resolve counter(s) {missing}; "
+        f"keep the cost-model table in step with RESOLVE_COUNTERS")
+
+    bench_files = sorted(p.name for p in REPO.glob("BENCH_*.json"))
+    assert bench_files, "no BENCH_*.json regression records at repo root"
+    undocumented = [b for b in bench_files if b not in performance]
+    assert not undocumented, (
+        f"docs/PERFORMANCE.md does not describe benchmark record(s) "
+        f"{undocumented}; extend the BENCH_*.json table")
+
+    readme = (REPO / "README.md").read_text()
+    assert "docs/PERFORMANCE.md" in readme, (
+        "README.md lost the link to docs/PERFORMANCE.md")
+
+    design = (REPO / "DESIGN.md").read_text()
+    assert "## 9. Incremental flow solving" in design, (
+        "DESIGN.md lost the §9 incremental-solving correctness argument")
+
+    experiments = (REPO / "EXPERIMENTS.md").read_text()
+    assert "| A17 |" in experiments, (
+        "EXPERIMENTS.md ablation table lost the A17 incremental-solver row")
+
+
 def _registered_lint_rules() -> set[str]:
     import repro.lint
 

@@ -1,0 +1,206 @@
+"""Incremental-solver equivalence: delta re-solves must match scratch.
+
+The contract under test (DESIGN.md §9, docs/PERFORMANCE.md): a
+:class:`FlowNetwork` driven through any sequence of delta operations
+(``add_flow`` / ``remove_flow`` / ``set_capacity`` / ``set_demand``)
+allocates the same rates as a network built from scratch in the current
+state — within 1e-9 relative, the float-associativity slack between the
+two fill orders.  Plus the :class:`Epoch` batching contract: permuting
+the changes inside one batch cannot change the solved rates.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.flow import Epoch, FlowNetwork
+
+#: relative tolerance between delta and scratch rates: the two solvers
+#: may freeze flows in different orders, so sums associate differently
+_RTOL = 1e-9
+
+
+def _scratch_clone(net: FlowNetwork) -> FlowNetwork:
+    """A from-scratch network in ``net``'s current state, via public API."""
+    clone = FlowNetwork()
+    for name in net.component_names():
+        clone.add_component(name, net.capacity_of(name))
+    for name in net.flow_names():
+        path, demand, weight = net.flow_spec(name)
+        clone.add_flow(name, path, demand=demand, weight=weight)
+    return clone
+
+
+def _assert_rates_match(result, scratch_result) -> None:
+    got = dict(zip(result.flow_names, result.rates))
+    want = dict(zip(scratch_result.flow_names, scratch_result.rates))
+    assert set(got) == set(want)
+    for name, rate in want.items():
+        if math.isinf(rate):
+            assert math.isinf(got[name]), name
+        else:
+            assert got[name] == pytest.approx(rate, rel=_RTOL, abs=1e-6), name
+
+
+def _random_path(rng, comps):
+    k = int(rng.integers(1, min(4, len(comps)) + 1))
+    return list(rng.choice(comps, size=k, replace=False))
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2, 3, 4, 5, 6, 7])
+def test_random_delta_sequence_matches_scratch(seed):
+    """Property test: random op sequences, delta rates == scratch rates."""
+    rng = np.random.default_rng(seed)
+    comps = [f"c{i}" for i in range(6)]
+    net = FlowNetwork()
+    for name in comps:
+        cap = math.inf if rng.random() < 0.2 else float(rng.uniform(0.5, 50.0))
+        net.add_component(name, cap)
+
+    counter = 0
+    for step in range(40):
+        op = rng.random()
+        flows = net.flow_names()
+        if op < 0.4 or not flows:
+            counter += 1
+            demand = (math.inf if rng.random() < 0.2
+                      else float(rng.uniform(0.01, 30.0)))
+            net.add_flow(f"f{counter}", _random_path(rng, comps),
+                         demand=demand,
+                         weight=float(rng.uniform(0.5, 2.0)))
+        elif op < 0.6:
+            net.remove_flow(flows[int(rng.integers(len(flows)))])
+        elif op < 0.8:
+            cap = (math.inf if rng.random() < 0.2
+                   else float(rng.uniform(0.5, 50.0)))
+            net.set_capacity(comps[int(rng.integers(len(comps)))], cap)
+        else:
+            name = flows[int(rng.integers(len(flows)))]
+            path, _demand, _weight = net.flow_spec(name)
+            demand = (float(rng.uniform(0.01, 30.0)) if path
+                      else float(rng.uniform(0.01, 30.0)))
+            net.set_demand(name, demand)
+        _assert_rates_match(net.solve(), _scratch_clone(net).solve())
+
+    counts = net.solve_counts
+    assert counts["full"] >= 1
+    assert counts["delta"] + counts["shortcircuit"] + counts["cached"] > 0
+
+
+@pytest.mark.parametrize("seed", [10, 11, 12])
+def test_batched_deltas_match_scratch(seed):
+    """Several ops between solves (the epoch-batched shape) still match."""
+    rng = np.random.default_rng(seed)
+    comps = [f"c{i}" for i in range(5)]
+    net = FlowNetwork()
+    for name in comps:
+        net.add_component(name, float(rng.uniform(1.0, 20.0)))
+    for i in range(6):
+        net.add_flow(f"f{i}", _random_path(rng, comps),
+                     demand=float(rng.uniform(0.1, 10.0)))
+    _assert_rates_match(net.solve(), _scratch_clone(net).solve())
+    for _round in range(10):
+        for _ in range(int(rng.integers(2, 5))):  # a same-tick burst
+            if rng.random() < 0.5:
+                net.set_capacity(comps[int(rng.integers(len(comps)))],
+                                 float(rng.uniform(1.0, 20.0)))
+            else:
+                flows = net.flow_names()
+                net.set_demand(flows[int(rng.integers(len(flows)))],
+                               float(rng.uniform(0.1, 10.0)))
+        _assert_rates_match(net.solve(), _scratch_clone(net).solve())
+
+
+def test_epoch_permutation_determinism():
+    """Permuting one batch's same-tick changes yields identical rates.
+
+    The changes commute as state mutations (distinct targets), so the
+    epoch contract says the one flush after the batch must solve the same
+    allocation regardless of application order — bit-identical rates
+    (demands are tie-free, making the fill order unique).
+    """
+    changes = [
+        ("cap", "a", 7.0),
+        ("cap", "c", 3.0),
+        ("dem", "f0", 2.5),
+        ("dem", "f2", 0.75),
+    ]
+
+    def run(order):
+        net = FlowNetwork()
+        for name, cap in [("a", 10.0), ("b", 6.0), ("c", 9.0)]:
+            net.add_component(name, cap)
+        specs = [("f0", ["a", "b"], 4.0), ("f1", ["b", "c"], 3.0),
+                 ("f2", ["a", "c"], 1.5), ("f3", ["c"], 5.0)]
+        for name, path, demand in specs:
+            net.add_flow(name, path, demand=demand)
+        net.solve()
+        solved: list[np.ndarray] = []
+        epoch = Epoch(lambda _label: solved.append(net.solve().rates.copy()))
+        with epoch:
+            for kind, target, value in order:
+                if kind == "cap":
+                    net.set_capacity(target, value)
+                else:
+                    net.set_demand(target, value)
+                epoch.request(f"{kind}:{target}")
+        assert epoch.flushes == 1  # the whole burst cost one solve
+        return solved[0]
+
+    baseline = run(changes)
+    for perm in ([changes[1], changes[3], changes[0], changes[2]],
+                 list(reversed(changes))):
+        assert np.array_equal(run(perm), baseline)
+
+
+def test_epoch_batches_labels_and_defers_to_end_of_tick():
+    flushed: list[str] = []
+    epoch = Epoch(flushed.append)
+    with epoch:
+        epoch.request("a")
+        epoch.request("b")
+        epoch.request("a")  # duplicates collapse
+        assert flushed == []  # held until the batch closes
+    assert flushed == ["a+b"]
+    assert epoch.flushes == 1
+    epoch.request("solo")  # outside a batch, no engine: immediate
+    assert flushed == ["a+b", "solo"]
+
+
+def test_add_component_readd_with_new_capacity_invalidates():
+    """Regression: re-adding a component must act as a capacity change.
+
+    The old behaviour silently kept the stale capacity bookkeeping, so a
+    caller re-registering a component with a new capacity (the idiom of
+    rebuild-style callers) solved against the old value.
+    """
+    net = FlowNetwork()
+    net.add_component("link", 10.0)
+    net.add_flow("f", ["link"], demand=math.inf)
+    assert net.solve().rates[0] == pytest.approx(10.0)
+    net.add_component("link", 4.0)  # re-add: must dirty, not no-op
+    result = net.solve()
+    assert result.rates[0] == pytest.approx(4.0)
+    assert result.bottlenecks["link"] == pytest.approx(4.0)
+
+
+def test_solve_counts_classify_the_resolve_paths():
+    net = FlowNetwork()
+    net.add_component("shared", 10.0)
+    net.add_component("spare", 100.0)
+    net.add_flow("f0", ["shared"], demand=8.0)
+    net.add_flow("f1", ["spare"], demand=2.0)
+    net.solve()
+    assert net.solve_counts["full"] == 1
+    net.solve()  # nothing dirty
+    assert net.solve_counts["cached"] == 1
+    net.set_capacity("spare", 90.0)  # slack region: analytic short-circuit
+    net.solve()
+    assert net.solve_counts["shortcircuit"] == 1
+    net.set_capacity("shared", 6.0)  # contended region: restricted re-fill
+    net.solve()
+    assert net.solve_counts["delta"] == 1
+    _assert_rates_match(net.solve(), _scratch_clone(net).solve())
