@@ -570,7 +570,12 @@ def _cmd_monitor(args) -> int:
 def _cmd_lint(args) -> int:
     import json
 
-    from repro.lint import LintUsageError, lint_paths
+    from repro.lint import (
+        LintUsageError,
+        resolve_rules,
+        run_lint,
+        sarif_report,
+    )
 
     def _ids(raw: str | None) -> list[str] | None:
         if raw is None:
@@ -578,12 +583,26 @@ def _cmd_lint(args) -> int:
         return [s.strip() for s in raw.split(",") if s.strip()]
 
     try:
-        findings = lint_paths(args.paths, select=_ids(args.select),
-                              ignore=_ids(args.ignore))
+        report = run_lint(args.paths, select=_ids(args.select),
+                          ignore=_ids(args.ignore), deep=args.deep)
+        rules = resolve_rules(_ids(args.select), _ids(args.ignore))
     except LintUsageError as exc:
         raise CliError(str(exc)) from exc
+    findings = report.findings
     if args.format == "json":
-        print(json.dumps([f.to_dict() for f in findings], indent=2))
+        # The plain-array schema is frozen for the fast pass; --deep
+        # wraps it in an object carrying the run's cache accounting.
+        if report.deep:
+            print(json.dumps({
+                "findings": [f.to_dict() for f in findings],
+                "files": report.files,
+                "cache": {"hits": report.cache_hits,
+                          "misses": report.cache_misses},
+            }, indent=2))
+        else:
+            print(json.dumps([f.to_dict() for f in findings], indent=2))
+    elif args.format == "sarif":
+        print(json.dumps(sarif_report(findings, rules), indent=2))
     else:
         for finding in findings:
             print(finding.render())
@@ -775,12 +794,18 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("lint", help="spider-lint invariant checker")
     p.add_argument("paths", nargs="*", default=["src/repro"],
                    help="files or directories to lint (default src/repro)")
-    p.add_argument("--format", choices=("text", "json"), default="text",
-                   help="findings as file:line:col lines or a JSON array")
+    p.add_argument("--format", choices=("text", "json", "sarif"),
+                   default="text",
+                   help="findings as file:line:col lines, a JSON array, "
+                        "or a SARIF 2.1.0 log for code scanning")
     p.add_argument("--select", metavar="IDS",
                    help="comma-separated rule ids to run (default: all)")
     p.add_argument("--ignore", metavar="IDS",
                    help="comma-separated rule ids to skip")
+    p.add_argument("--deep", action="store_true",
+                   help="run the whole-program dataflow pass "
+                        "(epoch-safety, telemetry-taint, dirty-state, "
+                        "cross-iter-order)")
     p.set_defaults(fn=_cmd_lint)
 
     return parser

@@ -23,15 +23,29 @@ pragma: ``# spider-lint: ignore[rule-id] -- why``.
 from __future__ import annotations
 
 from repro.lint.findings import Finding, Severity
-from repro.lint.registry import LintUsageError, Rule, all_rules, register, resolve_rules
+from repro.lint.registry import (
+    DeepRule,
+    LintUsageError,
+    Rule,
+    all_rules,
+    register,
+    resolve_rules,
+)
 from repro.lint.runner import (
     FileContext,
+    LintReport,
     Pragma,
+    cached_context,
+    clear_parse_cache,
     iter_python_files,
     lint_paths,
     lint_source,
+    parse_cache_stats,
     parse_pragmas,
+    run_lint,
 )
+from repro.lint.project import ProjectContext, build_project
+from repro.lint.sarif import sarif_report
 
 # Importing the rule modules registers every rule (side effect by design).
 from repro.lint import rules_determinism as _rules_determinism  # noqa: F401
@@ -39,19 +53,29 @@ from repro.lint import rules_units as _rules_units  # noqa: F401
 from repro.lint import rules_simtime as _rules_simtime  # noqa: F401
 from repro.lint import rules_obs as _rules_obs  # noqa: F401
 from repro.lint import rules_docs as _rules_docs  # noqa: F401
+from repro.lint import rules_deep as _rules_deep  # noqa: F401
 
 __all__ = [
     "Finding",
     "Severity",
     "Rule",
+    "DeepRule",
     "register",
     "all_rules",
     "resolve_rules",
     "LintUsageError",
     "FileContext",
+    "LintReport",
+    "ProjectContext",
+    "build_project",
     "Pragma",
     "parse_pragmas",
     "lint_source",
     "lint_paths",
+    "run_lint",
     "iter_python_files",
+    "cached_context",
+    "clear_parse_cache",
+    "parse_cache_stats",
+    "sarif_report",
 ]

@@ -1,0 +1,426 @@
+"""Whole-program index for ``spider-repro lint --deep``.
+
+:class:`ProjectContext` parses every file under analysis once (through
+the runner's shared parse cache) and builds the three structures the
+deep rules query:
+
+* a **module–class–attribute index**: every class with its methods, the
+  static types of its ``self.*`` attributes (from ``self.x = Class(...)``
+  constructor assignments and ``self.x: Type`` annotations), and which
+  attributes are statically set-typed;
+* a **call graph** with one-level call-site resolution: ``self.m()``,
+  ``helper()`` (module-local or imported), ``self.attr.m()`` /
+  ``var.m()`` where the receiver's class is statically known, and calls
+  through return-type annotations (``self.build(...).solve()``).
+  Resolution is one level deep — no full type inference — but effect
+  facts propagate over the resolved edges to a fixpoint, so a rule can
+  ask "does anything reachable from this callback mutate the network?";
+* **reference resolution** for callables passed by value (the functions
+  a ``engine.call_at(t, fn)`` registration will eventually invoke,
+  including one level through ``lambda f=x: self.handler(f)`` trampolines).
+
+Everything is stdlib ``ast`` over :class:`repro.lint.runner.FileContext`;
+the analyzed code is never imported.  Types are represented as dotted
+name strings (``repro.core.flow.FlowNetwork``); :func:`type_is` compares
+by terminal segment so fixtures that import a class the project cannot
+see still resolve nominally.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+from repro.lint.runner import FileContext
+
+__all__ = [
+    "ProjectContext",
+    "FunctionInfo",
+    "ClassInfo",
+    "build_project",
+    "type_is",
+]
+
+
+def type_is(type_str: str | None, *names: str) -> bool:
+    """True when ``type_str``'s terminal segment is one of ``names``.
+
+    Comparing nominally (``...flow.FlowNetwork`` ≡ ``FlowNetwork``)
+    lets rules match classes imported from modules outside the analyzed
+    set — a single-file fixture importing FlowNetwork resolves the same
+    way the real package does.
+    """
+    if not type_str:
+        return False
+    return type_str.rpartition(".")[2] in names
+
+
+@dataclass
+class FunctionInfo:
+    """One function or method, with its resolution context."""
+
+    qualname: str  # "module.Class.method" / "module.func" / "…method.nested"
+    name: str
+    node: ast.FunctionDef | ast.AsyncFunctionDef
+    ctx: FileContext
+    module: str
+    class_qualname: str | None = None  # nearest enclosing class
+    parent_qualname: str | None = None  # enclosing function, for nested defs
+    nested: dict[str, str] = field(default_factory=dict)  # name -> qualname
+    param_types: dict[str, str] = field(default_factory=dict)
+    local_types: dict[str, str] = field(default_factory=dict)
+
+    def own_nodes(self) -> Iterator[ast.AST]:
+        """Walk this function's body, excluding nested function scopes."""
+        stack: list[ast.AST] = list(ast.iter_child_nodes(self.node))
+        while stack:
+            node = stack.pop()
+            yield node
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.Lambda, ast.ClassDef)):
+                continue
+            stack.extend(ast.iter_child_nodes(node))
+
+    def calls(self) -> Iterator[ast.Call]:
+        for node in self.own_nodes():
+            if isinstance(node, ast.Call):
+                yield node
+
+
+@dataclass
+class ClassInfo:
+    """One class: its methods and statically-known attribute types."""
+
+    qualname: str  # "module.ClassName"
+    name: str
+    node: ast.ClassDef
+    ctx: FileContext
+    module: str
+    methods: dict[str, str] = field(default_factory=dict)  # name -> qualname
+    attr_types: dict[str, str] = field(default_factory=dict)
+    set_attrs: set[str] = field(default_factory=set)  # statically set-typed
+    elem_set_attrs: set[str] = field(default_factory=set)  # list/dict of sets
+    dirty_attrs: list[str] = field(default_factory=list)  # *_dirty attributes
+
+
+class ProjectContext:
+    """The cross-file index deep rules run against."""
+
+    def __init__(self, contexts: Iterable[FileContext]) -> None:
+        self.files: list[FileContext] = sorted(contexts, key=lambda c: c.path)
+        self.modules: dict[str, FileContext] = {}
+        self.classes: dict[str, ClassInfo] = {}
+        self.functions: dict[str, FunctionInfo] = {}
+        self._by_path: dict[str, FileContext] = {}
+        self._class_by_name: dict[str, list[str]] = {}
+        self._edges: dict[str, tuple[str, ...]] = {}
+        for ctx in self.files:
+            self._index_file(ctx)
+        for info in self.functions.values():
+            self._infer_local_types(info)
+        for qualname in sorted(self.functions):
+            self._edges[qualname] = tuple(
+                t for t in (self.resolve_call(self.functions[qualname], c)
+                            for c in self.functions[qualname].calls())
+                if t is not None)
+
+    # -- construction ----------------------------------------------------------
+
+    @staticmethod
+    def module_name(ctx: FileContext) -> str:
+        if ctx.rel:
+            dotted = ctx.rel[:-3].replace("/", ".")  # strip ".py"
+            return dotted[:-9] if dotted.endswith(".__init__") else dotted
+        stem = ctx.path.rsplit("/", 1)[-1]
+        return stem[:-3] if stem.endswith(".py") else stem
+
+    def _index_file(self, ctx: FileContext) -> None:
+        module = self.module_name(ctx)
+        self.modules[module] = ctx
+        self._by_path[ctx.path] = ctx
+        for stmt in ctx.tree.body:
+            if isinstance(stmt, ast.ClassDef):
+                self._index_class(ctx, module, stmt)
+            elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._index_function(ctx, module, stmt, f"{module}.{stmt.name}",
+                                     class_qualname=None, parent=None)
+
+    def _index_class(self, ctx: FileContext, module: str,
+                     node: ast.ClassDef) -> None:
+        qualname = f"{module}.{node.name}"
+        info = ClassInfo(qualname=qualname, name=node.name, node=node,
+                         ctx=ctx, module=module)
+        self.classes[qualname] = info
+        self._class_by_name.setdefault(node.name, []).append(qualname)
+        for stmt in node.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                method_qual = f"{qualname}.{stmt.name}"
+                info.methods[stmt.name] = method_qual
+                self._index_function(ctx, module, stmt, method_qual,
+                                     class_qualname=qualname, parent=None)
+                self._collect_attrs(ctx, info, stmt)
+            elif isinstance(stmt, ast.AnnAssign) and isinstance(
+                    stmt.target, ast.Name):
+                self._record_attr(ctx, info, stmt.target.id, stmt.annotation)
+
+    def _index_function(self, ctx: FileContext, module: str,
+                        node: ast.FunctionDef | ast.AsyncFunctionDef,
+                        qualname: str, *, class_qualname: str | None,
+                        parent: FunctionInfo | None) -> None:
+        info = FunctionInfo(qualname=qualname, name=node.name, node=node,
+                            ctx=ctx, module=module,
+                            class_qualname=class_qualname,
+                            parent_qualname=parent.qualname if parent else None)
+        self.functions[qualname] = info
+        args = node.args
+        for arg in (*args.posonlyargs, *args.args, *args.kwonlyargs):
+            ann_type = self._annotation_type(ctx, arg.annotation)
+            if ann_type:
+                info.param_types[arg.arg] = ann_type
+        for child in info.own_nodes():
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                nested_qual = f"{qualname}.{child.name}"
+                info.nested[child.name] = nested_qual
+                self._index_function(ctx, module, child, nested_qual,
+                                     class_qualname=class_qualname,
+                                     parent=info)
+
+    def _collect_attrs(self, ctx: FileContext, info: ClassInfo,
+                       method: ast.FunctionDef | ast.AsyncFunctionDef) -> None:
+        for node in ast.walk(method):
+            if isinstance(node, ast.AnnAssign) and _is_self_attr(node.target):
+                self._record_attr(ctx, info, node.target.attr, node.annotation)
+            elif isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if not _is_self_attr(target):
+                        continue
+                    attr = target.attr
+                    if attr.endswith("_dirty") and attr not in info.dirty_attrs:
+                        info.dirty_attrs.append(attr)
+                    if isinstance(node.value, (ast.Set, ast.SetComp)):
+                        info.set_attrs.add(attr)
+                    elif isinstance(node.value, ast.Call):
+                        dotted = ctx.dotted_name(node.value.func)
+                        if dotted in ("set", "frozenset"):
+                            info.set_attrs.add(attr)
+                        elif dotted and _looks_like_class(dotted):
+                            info.attr_types.setdefault(attr, dotted)
+
+    def _record_attr(self, ctx: FileContext, info: ClassInfo, attr: str,
+                     annotation: ast.expr | None) -> None:
+        if attr.endswith("_dirty") and attr not in info.dirty_attrs:
+            info.dirty_attrs.append(attr)
+        if annotation is None:
+            return
+        if _annotation_is_set(ctx, annotation):
+            info.set_attrs.add(attr)
+        elif _annotation_elem_is_set(ctx, annotation):
+            info.elem_set_attrs.add(attr)
+        else:
+            ann_type = self._annotation_type(ctx, annotation)
+            if ann_type:
+                info.attr_types.setdefault(attr, ann_type)
+
+    def _infer_local_types(self, info: FunctionInfo) -> None:
+        # Two passes so `net = self._net; n = net` resolves both names.
+        for _ in (0, 1):
+            for node in info.own_nodes():
+                if isinstance(node, ast.AnnAssign) and isinstance(
+                        node.target, ast.Name):
+                    ann = self._annotation_type(info.ctx, node.annotation)
+                    if ann:
+                        info.local_types.setdefault(node.target.id, ann)
+                elif (isinstance(node, ast.Assign) and len(node.targets) == 1
+                        and isinstance(node.targets[0], ast.Name)):
+                    inferred = self.expr_type(info, node.value)
+                    if inferred:
+                        info.local_types.setdefault(node.targets[0].id, inferred)
+
+    # -- lookup ----------------------------------------------------------------
+
+    def context_for_path(self, path: str) -> FileContext | None:
+        return self._by_path.get(path)
+
+    def class_info(self, type_str: str | None) -> ClassInfo | None:
+        """The indexed class for a dotted type string, if the project
+        holds it — by exact qualname, else by unique terminal name."""
+        if not type_str:
+            return None
+        if type_str in self.classes:
+            return self.classes[type_str]
+        candidates = self._class_by_name.get(type_str.rpartition(".")[2], [])
+        return self.classes[candidates[0]] if len(candidates) == 1 else None
+
+    def expr_type(self, fn: FunctionInfo, expr: ast.expr) -> str | None:
+        """Dotted type of ``expr``, or None when statically unknown."""
+        if isinstance(expr, ast.Name):
+            if expr.id in ("self", "cls") and fn.class_qualname:
+                return fn.class_qualname
+            return fn.local_types.get(expr.id) or fn.param_types.get(expr.id)
+        if isinstance(expr, ast.Attribute):
+            base = self.expr_type(fn, expr.value)
+            cls = self.class_info(base)
+            return cls.attr_types.get(expr.attr) if cls else None
+        if isinstance(expr, ast.Call):
+            dotted = fn.ctx.dotted_name(expr.func)
+            if dotted and _looks_like_class(dotted):
+                return dotted
+            target = self.resolve_call(fn, expr)
+            if target and target in self.functions:
+                callee = self.functions[target]
+                return self._annotation_type(callee.ctx, callee.node.returns)
+            return None
+        if isinstance(expr, ast.NamedExpr):
+            return self.expr_type(fn, expr.value)
+        return None
+
+    def resolve_call(self, fn: FunctionInfo, call: ast.Call) -> str | None:
+        """Qualname of the function a call statically targets, if known."""
+        return self.resolve_callable(fn, call.func)
+
+    def resolve_callable(self, fn: FunctionInfo, func: ast.expr) -> str | None:
+        if isinstance(func, ast.Name):
+            scope: FunctionInfo | None = fn
+            while scope is not None:  # nested defs shadow outward
+                if func.id in scope.nested:
+                    return scope.nested[func.id]
+                scope = (self.functions.get(scope.parent_qualname)
+                         if scope.parent_qualname else None)
+            dotted = fn.ctx.dotted_name(func)
+            if dotted and dotted in self.functions:
+                return dotted
+            if f"{fn.module}.{func.id}" in self.functions:
+                return f"{fn.module}.{func.id}"
+            return None
+        if isinstance(func, ast.Attribute):
+            recv_type = self.expr_type(fn, func.value)
+            cls = self.class_info(recv_type)
+            if cls:
+                return cls.methods.get(func.attr)
+            return None
+        return None
+
+    def resolve_func_refs(self, fn: FunctionInfo,
+                          expr: ast.expr) -> list[str]:
+        """Functions a callable-valued expression designates.
+
+        Covers the three ways this repo passes callbacks: a bare name
+        (nested def or module function), a bound method (``self._m`` /
+        ``obj._m``), and a lambda trampoline, resolved one level into
+        the call(s) its body makes.
+        """
+        if isinstance(expr, (ast.Name, ast.Attribute)):
+            target = self.resolve_callable(fn, expr)
+            return [target] if target else []
+        if isinstance(expr, ast.Lambda):
+            out: list[str] = []
+            for node in ast.walk(expr.body):
+                if isinstance(node, ast.Call):
+                    target = self.resolve_callable(fn, node.func)
+                    if target:
+                        out.append(target)
+            return out
+        return []
+
+    # -- call graph ------------------------------------------------------------
+
+    def callees(self, qualname: str) -> tuple[str, ...]:
+        return self._edges.get(qualname, ())
+
+    def reachable(self, seeds: Iterable[str]) -> set[str]:
+        """Transitive closure over resolved call edges, seeds included."""
+        seen: set[str] = set()
+        stack = [s for s in seeds if s in self.functions]
+        while stack:
+            cur = stack.pop()
+            if cur in seen:
+                continue
+            seen.add(cur)
+            stack.extend(t for t in self.callees(cur) if t not in seen)
+        return seen
+
+    # -- annotations -----------------------------------------------------------
+
+    def _annotation_type(self, ctx: FileContext,
+                         annotation: ast.expr | None) -> str | None:
+        return _annotation_type(ctx, annotation)
+
+
+def _is_self_attr(node: ast.AST) -> bool:
+    return (isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id in ("self", "cls"))
+
+
+def _looks_like_class(dotted: str) -> bool:
+    """Constructor heuristic: the terminal segment is CapWords."""
+    tail = dotted.rpartition(".")[2]
+    return bool(tail) and tail[0].isupper()
+
+
+def _annotation_type(ctx: FileContext,
+                     annotation: ast.expr | None) -> str | None:
+    """Dotted type named by an annotation, unwrapping Optional forms.
+
+    ``FlowNetwork`` / ``"FlowNetwork"`` / ``FlowNetwork | None`` /
+    ``Optional[FlowNetwork]`` all yield the FlowNetwork dotted name;
+    container annotations yield None (no single class to resolve).
+    """
+    if annotation is None:
+        return None
+    if isinstance(annotation, ast.Constant) and isinstance(annotation.value, str):
+        try:
+            annotation = ast.parse(annotation.value, mode="eval").body
+        except SyntaxError:
+            return None
+    if isinstance(annotation, (ast.Name, ast.Attribute)):
+        dotted = ctx.dotted_name(annotation)
+        if dotted and _looks_like_class(dotted):
+            return dotted
+        return None
+    if isinstance(annotation, ast.BinOp) and isinstance(annotation.op, ast.BitOr):
+        return (_annotation_type(ctx, annotation.left)
+                or _annotation_type(ctx, annotation.right))
+    if isinstance(annotation, ast.Subscript):
+        head = ctx.dotted_name(annotation.value) or ""
+        if head.rpartition(".")[2] == "Optional":
+            return _annotation_type(ctx, annotation.slice)
+        return None
+    return None
+
+
+def _annotation_is_set(ctx: FileContext, annotation: ast.expr) -> bool:
+    """``set[...]`` / ``frozenset[...]`` / ``Set[...]`` annotations."""
+    if isinstance(annotation, ast.Constant) and isinstance(annotation.value, str):
+        try:
+            annotation = ast.parse(annotation.value, mode="eval").body
+        except SyntaxError:
+            return False
+    if isinstance(annotation, ast.Subscript):
+        annotation = annotation.value
+    dotted = (ctx.dotted_name(annotation) or "") if isinstance(
+        annotation, (ast.Name, ast.Attribute)) else ""
+    return dotted.rpartition(".")[2] in (
+        "set", "frozenset", "Set", "FrozenSet", "AbstractSet", "MutableSet")
+
+
+def _annotation_elem_is_set(ctx: FileContext, annotation: ast.expr) -> bool:
+    """Container-of-sets annotations: ``list[set[str]]``,
+    ``dict[int, set[str]]`` — indexing such an attribute yields a set."""
+    if isinstance(annotation, ast.Constant) and isinstance(annotation.value, str):
+        try:
+            annotation = ast.parse(annotation.value, mode="eval").body
+        except SyntaxError:
+            return False
+    if not isinstance(annotation, ast.Subscript):
+        return False
+    args = (annotation.slice.elts if isinstance(annotation.slice, ast.Tuple)
+            else [annotation.slice])
+    return any(_annotation_is_set(ctx, a) for a in args
+               if isinstance(a, ast.expr))
+
+
+def build_project(contexts: Iterable[FileContext]) -> ProjectContext:
+    """Build the deep-rule index over already-parsed file contexts."""
+    return ProjectContext(contexts)

@@ -15,9 +15,11 @@ from typing import TYPE_CHECKING, Iterable, Iterator
 from repro.lint.findings import Finding, Severity
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for annotations
+    from repro.lint.project import ProjectContext
     from repro.lint.runner import FileContext
 
-__all__ = ["Rule", "LintUsageError", "register", "all_rules", "resolve_rules"]
+__all__ = ["Rule", "DeepRule", "LintUsageError", "register", "all_rules",
+           "resolve_rules"]
 
 
 class LintUsageError(Exception):
@@ -39,6 +41,10 @@ class Rule:
     summary: str = ""
     invariant: str = ""
     severity: Severity = Severity.ERROR
+    #: deep rules additionally implement :meth:`DeepRule.check_project`
+    #: and only produce findings when the runner builds a ProjectContext
+    #: (``spider-repro lint --deep``, or the rule is named in --select)
+    deep: bool = False
 
     def check(self, ctx: "FileContext") -> Iterator[Finding]:
         raise NotImplementedError
@@ -53,6 +59,26 @@ class Rule:
             message=message,
             severity=self.severity,
         )
+
+
+class DeepRule(Rule):
+    """Base class for whole-program rules.
+
+    A deep rule checks cross-file properties — reachability from event
+    callbacks, taint that crosses function boundaries — so it gets one
+    :class:`repro.lint.project.ProjectContext` covering every analyzed
+    file instead of a per-file callback.  Its :meth:`check` is a no-op:
+    running a deep rule in the fast per-file pass is harmless and yields
+    nothing, which keeps ``resolve_rules`` uniform.
+    """
+
+    deep: bool = True
+
+    def check(self, ctx: "FileContext") -> Iterator[Finding]:
+        return iter(())
+
+    def check_project(self, project: "ProjectContext") -> Iterator[Finding]:
+        raise NotImplementedError
 
 
 _REGISTRY: dict[str, Rule] = {}

@@ -30,11 +30,16 @@ from repro.lint.registry import LintUsageError, Rule, resolve_rules
 
 __all__ = [
     "FileContext",
+    "LintReport",
     "Pragma",
     "parse_pragmas",
     "lint_source",
     "lint_paths",
+    "run_lint",
     "iter_python_files",
+    "cached_context",
+    "clear_parse_cache",
+    "parse_cache_stats",
 ]
 
 _PRAGMA_RE = re.compile(
@@ -170,6 +175,54 @@ def _collect_import_aliases(tree: ast.Module) -> dict[str, str]:
     return aliases
 
 
+# -- parse cache ---------------------------------------------------------------
+#
+# One process may lint the same tree repeatedly (the fast pass and the
+# deep pass in one CLI run, or a test suite exercising both); parsing
+# dominates the wall clock, so contexts are cached keyed by
+# (mtime_ns, size).  A file edited between runs misses and reparses.
+
+_PARSE_CACHE: dict[str, tuple[int, int, FileContext]] = {}
+_CACHE_STATS = {"hits": 0, "misses": 0}
+
+
+def cached_context(path: Path) -> FileContext:
+    """The parsed :class:`FileContext` for ``path``, from the cache when
+    the file is unchanged (same mtime and size) since it was parsed."""
+    key = str(path)
+    try:
+        stat = path.stat()
+    except OSError as exc:
+        raise LintUsageError(f"cannot read {path}: {exc}") from exc
+    entry = _PARSE_CACHE.get(key)
+    if entry is not None and entry[0] == stat.st_mtime_ns and entry[1] == stat.st_size:
+        _CACHE_STATS["hits"] += 1
+        return entry[2]
+    _CACHE_STATS["misses"] += 1
+    try:
+        source = path.read_text(encoding="utf-8")
+    except OSError as exc:
+        raise LintUsageError(f"cannot read {path}: {exc}") from exc
+    try:
+        ctx = FileContext.parse(source, key)
+    except SyntaxError as exc:
+        raise LintUsageError(f"cannot parse {path}: {exc}") from exc
+    _PARSE_CACHE[key] = (stat.st_mtime_ns, stat.st_size, ctx)
+    return ctx
+
+
+def clear_parse_cache() -> None:
+    """Drop every cached context and zero the hit/miss counters."""
+    _PARSE_CACHE.clear()
+    _CACHE_STATS["hits"] = 0
+    _CACHE_STATS["misses"] = 0
+
+
+def parse_cache_stats() -> dict[str, int]:
+    """Process-lifetime cache counters (``{"hits": ..., "misses": ...}``)."""
+    return dict(_CACHE_STATS)
+
+
 def lint_source(source: str, path: str = "<string>",
                 rules: Iterable[Rule] | None = None) -> list[Finding]:
     """Lint one source string; the unit every test fixture goes through."""
@@ -199,19 +252,68 @@ def iter_python_files(paths: Iterable[str]) -> list[Path]:
     return sorted(set(out))
 
 
+@dataclass(frozen=True)
+class LintReport:
+    """One lint run: findings plus the run's accounting.
+
+    ``cache_hits``/``cache_misses`` count parse-cache activity during
+    this run only (surfaced in ``--format json`` under ``--deep``);
+    ``deep`` records whether the whole-program pass ran.
+    """
+
+    findings: list[Finding]
+    files: int
+    cache_hits: int
+    cache_misses: int
+    deep: bool
+
+
+def run_lint(paths: Iterable[str], *,
+             select: Iterable[str] | None = None,
+             ignore: Iterable[str] | None = None,
+             deep: bool = False) -> LintReport:
+    """Lint files and directories; the engine behind ``spider-repro lint``.
+
+    The per-file rules always run.  Deep rules run when ``deep`` is true
+    or when ``--select`` names one explicitly (selecting ``epoch-safety``
+    and silently checking nothing would be a trap); they see one
+    :class:`~repro.lint.project.ProjectContext` spanning every file of
+    the run, and their findings honor the same per-line pragmas.
+    """
+    rules = resolve_rules(select, ignore)
+    deep_rules = [r for r in rules if r.deep]
+    run_deep = bool(deep_rules) and (
+        deep or any(r.rule_id in set(select or ()) for r in deep_rules))
+    before = parse_cache_stats()
+    contexts = [cached_context(p) for p in iter_python_files(paths)]
+    after = parse_cache_stats()
+
+    findings: list[Finding] = []
+    per_file = [r for r in rules if not r.deep]
+    for ctx in contexts:
+        findings.extend(f for rule in per_file for f in rule.check(ctx)
+                        if not ctx.suppressed(f))
+    if run_deep:
+        from repro.lint.project import build_project
+
+        project = build_project(contexts)
+        for rule in deep_rules:
+            for f in rule.check_project(project):
+                ctx = project.context_for_path(f.path)
+                if ctx is None or not ctx.suppressed(f):
+                    findings.append(f)
+    return LintReport(
+        findings=sorted(findings),
+        files=len(contexts),
+        cache_hits=after["hits"] - before["hits"],
+        cache_misses=after["misses"] - before["misses"],
+        deep=run_deep,
+    )
+
+
 def lint_paths(paths: Iterable[str], *,
                select: Iterable[str] | None = None,
-               ignore: Iterable[str] | None = None) -> list[Finding]:
-    """Lint files and directories; the engine behind ``spider-repro lint``."""
-    rules = resolve_rules(select, ignore)
-    findings: list[Finding] = []
-    for path in iter_python_files(paths):
-        try:
-            source = path.read_text(encoding="utf-8")
-        except OSError as exc:
-            raise LintUsageError(f"cannot read {path}: {exc}") from exc
-        try:
-            findings.extend(lint_source(source, str(path), rules))
-        except SyntaxError as exc:
-            raise LintUsageError(f"cannot parse {path}: {exc}") from exc
-    return sorted(findings)
+               ignore: Iterable[str] | None = None,
+               deep: bool = False) -> list[Finding]:
+    """The findings of :func:`run_lint` (compatibility surface)."""
+    return run_lint(paths, select=select, ignore=ignore, deep=deep).findings

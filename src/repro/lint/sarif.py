@@ -1,0 +1,67 @@
+"""SARIF 2.1.0 output for CI code-scanning annotations.
+
+GitHub's code-scanning upload accepts a minimal SARIF run: a tool
+driver with rule metadata and one result per finding.  The emitter maps
+the registry's ``summary``/``invariant`` onto the rule descriptions so
+an annotation shows the repo-level property being guarded, not just the
+message text.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.lint.findings import Finding, Severity
+from repro.lint.registry import Rule
+
+__all__ = ["sarif_report"]
+
+_SCHEMA = ("https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+           "master/Schemata/sarif-schema-2.1.0.json")
+
+
+def _level(severity: Severity) -> str:
+    return "error" if severity == Severity.ERROR else "warning"
+
+
+def sarif_report(findings: Iterable[Finding],
+                 rules: Iterable[Rule]) -> dict:
+    """A SARIF 2.1.0 log dict for ``findings`` under the given rules.
+
+    Rules are listed (sorted by id) even when they produced no findings,
+    so the code-scanning UI can show the full checked surface; columns
+    are converted from 0-based ``ast`` offsets to SARIF's 1-based.
+    """
+    rule_list = sorted(rules, key=lambda r: r.rule_id)
+    return {
+        "$schema": _SCHEMA,
+        "version": "2.1.0",
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": "spider-lint",
+                    "rules": [{
+                        "id": rule.rule_id,
+                        "shortDescription": {"text": rule.summary},
+                        "fullDescription": {"text": rule.invariant},
+                        "defaultConfiguration": {
+                            "level": _level(rule.severity)},
+                    } for rule in rule_list],
+                },
+            },
+            "results": [{
+                "ruleId": f.rule_id,
+                "level": _level(f.severity),
+                "message": {"text": f.message},
+                "locations": [{
+                    "physicalLocation": {
+                        "artifactLocation": {"uri": f.path},
+                        "region": {
+                            "startLine": f.line,
+                            "startColumn": f.col + 1,
+                        },
+                    },
+                }],
+            } for f in sorted(findings)],
+        }],
+    }

@@ -24,9 +24,12 @@ Component naming (for the flow solver):
 from __future__ import annotations
 
 from dataclasses import dataclass
-
+from typing import TYPE_CHECKING
 
 from repro.units import GB
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.core.flow import FlowNetwork
 
 __all__ = ["FabricSpec", "Cable", "InfinibandFabric"]
 
@@ -138,7 +141,7 @@ class InfinibandFabric:
 
     # -- capacities for the flow solver --------------------------------------------
 
-    def register_components(self, net) -> None:
+    def register_components(self, net: "FlowNetwork") -> None:
         """Add every fabric component to a :class:`FlowNetwork`."""
         for cable in self._cables.values():
             net.add_component(cable.component, self.spec.port_bw * cable.degradation)
@@ -148,7 +151,7 @@ class InfinibandFabric:
         for k in range(self.spec.n_core_switches):
             net.add_component(f"ibcore:{k}", self.spec.core_crossbar_bw)
 
-    def refresh_components(self, net) -> None:
+    def refresh_components(self, net: "FlowNetwork") -> None:
         """Push current capacities into an already-registered network.
 
         The delta counterpart of :meth:`register_components` for

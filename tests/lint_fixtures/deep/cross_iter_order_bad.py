@@ -1,0 +1,20 @@
+"""Bad: a boundary-crossing set feeds flow mutations in hash order."""
+from repro.core.flow import FlowNetwork
+
+
+class GroupPlanner:
+    """Tracks member groups as sets."""
+
+    def __init__(self) -> None:
+        """Start with no members."""
+        self._members: set[str] = set()
+        self._net = FlowNetwork()
+
+    def active(self) -> set[str]:
+        """The current member set."""
+        return self._members
+
+    def apply(self) -> None:
+        """Push per-member capacities in set order (nondeterministic)."""
+        for name in self.active():
+            self._net.set_capacity(name, 1.0)

@@ -1,0 +1,26 @@
+"""Bad: a public mutator skips the dirty mark."""
+
+
+class SolverState:
+    """Caches a solution over capacity state."""
+
+    def __init__(self) -> None:
+        """Start clean."""
+        self._dirty = set()
+        self._caps = {}
+        self._result = None
+
+    def set_capacity(self, name: str, cap: float) -> None:
+        """Record a capacity and mark it dirty."""
+        self._caps[name] = cap
+        self._dirty.add(name)
+
+    def set_weight(self, name: str, weight: float) -> None:
+        """Record a weight without marking dirty (stale-solve hazard)."""
+        self._caps[name] = weight
+
+    def solve(self) -> dict:
+        """Serve a result after consuming the dirty set."""
+        self._dirty.clear()
+        self._result = dict(self._caps)
+        return self._result

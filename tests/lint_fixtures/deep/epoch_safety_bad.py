@@ -1,0 +1,21 @@
+"""Bad: event callbacks mutate and solve the network without an Epoch."""
+from repro.core.flow import FlowNetwork
+
+
+class TickExecutor:
+    """Per-tick executor that bypasses Epoch batching."""
+
+    def __init__(self, engine) -> None:
+        """Wire the per-tick callbacks onto the engine."""
+        self._engine = engine
+        self._net = FlowNetwork()
+        self._engine.every(1.0, self._on_tick)
+        self._engine.call_after(2.0, self._on_fault)
+
+    def _on_tick(self) -> None:
+        """Mutates the network with no Epoch on the path."""
+        self._net.set_capacity("link", 5.0)
+
+    def _on_fault(self) -> None:
+        """Solves directly instead of routing through Epoch.request."""
+        self._net.solve()

@@ -1,0 +1,22 @@
+"""Good: event callbacks batch network work through one Epoch."""
+from repro.core.flow import Epoch, FlowNetwork
+
+
+class TickExecutor:
+    """Per-tick executor that batches re-solves through one Epoch."""
+
+    def __init__(self, engine) -> None:
+        """Wire the per-tick callback and the Epoch flush."""
+        self._engine = engine
+        self._net = FlowNetwork()
+        self._epoch = Epoch(self._flush, engine=engine)
+        self._engine.every(1.0, self._on_tick)
+
+    def _on_tick(self) -> None:
+        """Mutates the network, then requests a batched re-solve."""
+        self._net.set_capacity("link", 5.0)
+        self._epoch.request("tick")
+
+    def _flush(self, label: str) -> None:
+        """The Epoch flush: the one place per-tick solves happen."""
+        self._net.solve()

@@ -1,0 +1,24 @@
+"""Bad: telemetry reads steer RNG draws and simulation state."""
+from repro.core.flow import FlowNetwork
+from repro.monitoring.metricsdb import MetricsDb
+from repro.obs.instruments import get_telemetry
+
+
+class AdaptiveController:
+    """Feeds observed metrics back into simulation decisions."""
+
+    def __init__(self, rng) -> None:
+        """Hold an RNG, a metrics store, and the network."""
+        self._rng = rng
+        self._db = MetricsDb()
+        self._net = FlowNetwork()
+
+    def jitter(self) -> float:
+        """Scale an RNG draw by an observed counter value."""
+        observed = get_telemetry().counter("io.bytes").value
+        return self._rng.normal(observed, 1.0)
+
+    def throttle(self) -> None:
+        """Write an observed rate back into the network."""
+        rate = self._db.rate("oss1", "bw")
+        self._net.set_capacity("link", rate)

@@ -1,0 +1,17 @@
+"""Good: telemetry reads stay on the reporting plane."""
+from repro.monitoring.metricsdb import MetricsDb
+from repro.obs.instruments import get_telemetry
+
+
+class UsageReporter:
+    """Renders observed metrics without feeding them back."""
+
+    def __init__(self) -> None:
+        """Hold a metrics store."""
+        self._db = MetricsDb()
+
+    def report_line(self) -> str:
+        """Render an observed counter value as text."""
+        observed = get_telemetry().counter("io.bytes").value
+        rate = self._db.rate("oss1", "bw")
+        return f"bytes={observed} rate={rate}"

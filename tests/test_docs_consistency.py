@@ -161,6 +161,38 @@ def test_incremental_solver_documented_everywhere():
         "EXPERIMENTS.md ablation table lost the A17 incremental-solver row")
 
 
+def test_deep_lint_documented_everywhere():
+    """Deep mode is documented end to end: README and DESIGN.md describe
+    the --deep pass, and the 60 s wall-clock budget is the same number in
+    the test suite, the CI job, and docs/PERFORMANCE.md."""
+    import re
+
+    deep_tests = (REPO / "tests" / "test_lint_deep.py").read_text()
+    match = re.search(r"^DEEP_BUDGET_SECONDS = (\d+(?:\.\d+)?)$",
+                      deep_tests, re.M)
+    assert match, "tests/test_lint_deep.py lost DEEP_BUDGET_SECONDS"
+    budget = int(float(match.group(1)))
+
+    readme = (REPO / "README.md").read_text()
+    assert "spider-repro lint --deep" in readme, (
+        "README.md CLI synopsis lost the `lint --deep` line")
+
+    design = (REPO / "DESIGN.md").read_text()
+    assert "--deep" in design, (
+        "DESIGN.md §8 lost the deep-mode description")
+
+    ci = (REPO / ".github" / "workflows" / "ci.yml").read_text()
+    assert "lint-deep:" in ci, "ci.yml lost the blocking lint-deep job"
+    assert f"timeout {budget} " in ci, (
+        f"ci.yml lint-deep job must enforce the documented {budget} s "
+        f"budget with `timeout {budget}`")
+
+    performance = (REPO / "docs" / "PERFORMANCE.md").read_text()
+    assert f"**{budget} seconds**" in performance, (
+        f"docs/PERFORMANCE.md §6 must document the {budget} s deep-lint "
+        f"budget; keep it in step with DEEP_BUDGET_SECONDS and ci.yml")
+
+
 def _registered_lint_rules() -> set[str]:
     import repro.lint
 

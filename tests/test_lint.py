@@ -36,14 +36,23 @@ RULE_IDS = sorted(rule.rule_id for rule in all_rules())
 
 
 def _fixture(rule_id: str, kind: str) -> Path:
-    return FIXTURES / f"{rule_id.replace('-', '_')}_{kind}.py"
+    name = f"{rule_id.replace('-', '_')}_{kind}.py"
+    deep = FIXTURES / "deep" / name
+    return deep if deep.exists() else FIXTURES / name
 
 
 class TestRegistry:
     def test_expected_rules_registered(self):
-        assert RULE_IDS == ["api-docstring", "determinism", "iter-order",
-                            "magic-unit", "obs-guard", "obs-internals",
-                            "simtime-purity", "unit-suffix"]
+        assert RULE_IDS == ["api-docstring", "cross-iter-order",
+                            "determinism", "dirty-state", "epoch-safety",
+                            "iter-order", "magic-unit", "obs-guard",
+                            "obs-internals", "simtime-purity",
+                            "telemetry-taint", "unit-suffix"]
+
+    def test_deep_rules_marked_deep(self):
+        deep = {r.rule_id for r in all_rules() if r.deep}
+        assert deep == {"cross-iter-order", "dirty-state", "epoch-safety",
+                        "telemetry-taint"}
 
     def test_every_rule_documents_itself(self):
         for rule in all_rules():
@@ -75,7 +84,7 @@ class TestFixtures:
 
     @pytest.mark.parametrize("rule_id", RULE_IDS)
     def test_good_fixture_is_clean_under_every_rule(self, rule_id):
-        assert lint_paths([str(_fixture(rule_id, "good"))]) == []
+        assert lint_paths([str(_fixture(rule_id, "good"))], deep=True) == []
 
     def test_determinism_counts_each_entropy_source(self):
         findings = lint_paths([str(_fixture("determinism", "bad"))],
@@ -193,6 +202,12 @@ class TestCli:
 class TestRatchet:
     def test_src_repro_is_finding_free(self):
         assert lint_paths([str(SRC)]) == []
+
+    def test_src_repro_is_deep_finding_free(self):
+        # The whole-program pass is ratcheted exactly like the fast one:
+        # epoch-safety, telemetry-taint, dirty-state, and cross-iter-order
+        # hold over src/repro with zero unsuppressed findings.
+        assert lint_paths([str(SRC)], deep=True) == []
 
     def test_pragma_budget_and_justifications(self):
         # The escape hatch stays small and every use says why: at most

@@ -1,0 +1,369 @@
+"""The deep-mode machinery behaves: the ProjectContext resolves calls
+and aliases the way the rules assume, the taint engine propagates and
+launders labels correctly, repeated runs are byte-identical, the parse
+cache actually caches, SARIF output is well-formed, and the whole-program
+pass over src/repro stays inside its wall-clock budget.
+
+The fixture pairs in tests/lint_fixtures/deep/ are exercised from
+tests/test_lint.py alongside the per-file fixtures; this module covers
+the analysis infrastructure those rules stand on.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import time
+from pathlib import Path
+
+from repro.cli import main
+from repro.lint import (
+    FileContext,
+    build_project,
+    clear_parse_cache,
+    lint_paths,
+    parse_cache_stats,
+    run_lint,
+)
+from repro.lint.dataflow import SET_LABEL, DataflowAnalysis
+from repro.lint.project import type_is
+
+REPO = Path(__file__).resolve().parent.parent
+FIXTURES = Path(__file__).resolve().parent / "lint_fixtures"
+SRC = REPO / "src" / "repro"
+
+#: documented wall-clock budget for one cold deep pass over src/repro;
+#: CI enforces the same bound on the lint-deep job (ci.yml wraps the run
+#: in `timeout`), so keep this constant and the workflow in step
+DEEP_BUDGET_SECONDS = 60.0
+
+
+def _ctx(source: str, path: str = "mod_a.py") -> FileContext:
+    return FileContext.parse(source, path)
+
+
+class TestProjectResolution:
+    def test_module_name_from_repro_rel(self):
+        ctx = _ctx("x = 1\n", "src/repro/core/flow.py")
+        project = build_project([ctx])
+        assert "repro.core.flow" in project.modules
+
+    def test_module_name_for_fixture_files(self):
+        project = build_project([_ctx("x = 1\n", "/tmp/fix_a.py")])
+        assert "fix_a" in project.modules
+
+    def test_ctor_assignment_types_the_attribute(self):
+        src = (
+            "from repro.core.flow import FlowNetwork\n\n\n"
+            "class Holder:\n"
+            "    def __init__(self):\n"
+            "        self._net = FlowNetwork()\n"
+        )
+        project = build_project([_ctx(src)])
+        cls = project.classes["mod_a.Holder"]
+        assert type_is(cls.attr_types["_net"], "FlowNetwork")
+
+    def test_optional_annotation_types_the_attribute(self):
+        src = (
+            "from repro.core.flow import Epoch\n\n\n"
+            "class Holder:\n"
+            "    def __init__(self):\n"
+            "        self._epoch: Epoch | None = None\n"
+        )
+        project = build_project([_ctx(src)])
+        cls = project.classes["mod_a.Holder"]
+        assert type_is(cls.attr_types["_epoch"], "Epoch")
+
+    def test_self_method_call_resolves(self):
+        src = (
+            "class C:\n"
+            "    def a(self):\n"
+            "        self.b()\n\n"
+            "    def b(self):\n"
+            "        pass\n"
+        )
+        project = build_project([_ctx(src)])
+        assert project.callees("mod_a.C.a") == ("mod_a.C.b",)
+
+    def test_attr_typed_receiver_method_resolves(self):
+        src = (
+            "class Worker:\n"
+            "    def run(self):\n"
+            "        pass\n\n\n"
+            "class Boss:\n"
+            "    def __init__(self):\n"
+            "        self._w = Worker()\n\n"
+            "    def go(self):\n"
+            "        self._w.run()\n"
+        )
+        project = build_project([_ctx(src)])
+        assert project.callees("mod_a.Boss.go") == ("mod_a.Worker.run",)
+
+    def test_imported_function_resolves_across_modules(self):
+        mod_a = _ctx("def helper():\n    pass\n", "mod_a.py")
+        mod_b = _ctx(
+            "from mod_a import helper\n\n\n"
+            "def caller():\n"
+            "    helper()\n",
+            "mod_b.py")
+        project = build_project([mod_a, mod_b])
+        assert project.callees("mod_b.caller") == ("mod_a.helper",)
+
+    def test_import_alias_resolves(self):
+        mod_a = _ctx("def helper():\n    pass\n", "mod_a.py")
+        mod_b = _ctx(
+            "from mod_a import helper as h\n\n\n"
+            "def caller():\n"
+            "    h()\n",
+            "mod_b.py")
+        project = build_project([mod_a, mod_b])
+        assert project.callees("mod_b.caller") == ("mod_a.helper",)
+
+    def test_nested_function_resolves_by_name(self):
+        src = (
+            "def outer():\n"
+            "    def inner():\n"
+            "        pass\n"
+            "    inner()\n"
+        )
+        project = build_project([_ctx(src)])
+        assert project.callees("mod_a.outer") == ("mod_a.outer.inner",)
+
+    def test_lambda_trampoline_resolves_func_refs(self):
+        src = (
+            "class C:\n"
+            "    def handler(self, x):\n"
+            "        pass\n\n"
+            "    def arm(self, engine):\n"
+            "        engine.call_after(1.0, lambda v=3: self.handler(v))\n"
+        )
+        project = build_project([_ctx(src)])
+        fn = project.functions["mod_a.C.arm"]
+        call = next(fn.calls())
+        refs = project.resolve_func_refs(fn, call.args[1])
+        assert refs == ["mod_a.C.handler"]
+
+    def test_return_annotation_types_the_call_result(self):
+        src = (
+            "from repro.core.flow import FlowNetwork\n\n\n"
+            "class Builder:\n"
+            "    def build(self) -> FlowNetwork:\n"
+            "        return FlowNetwork()\n\n"
+            "    def solve(self):\n"
+            "        return self.build().solve()\n"
+        )
+        project = build_project([_ctx(src)])
+        fn = project.functions["mod_a.Builder.solve"]
+        outer = next(c for c in fn.calls()
+                     if isinstance(c.func, ast.Attribute)
+                     and c.func.attr == "solve")
+        assert type_is(project.expr_type(fn, outer.func.value), "FlowNetwork")
+
+    def test_reachability_is_transitive(self):
+        src = (
+            "def a():\n    b()\n\n"
+            "def b():\n    c()\n\n"
+            "def c():\n    pass\n"
+        )
+        project = build_project([_ctx(src)])
+        assert project.reachable(["mod_a.a"]) == {
+            "mod_a.a", "mod_a.b", "mod_a.c"}
+
+    def test_set_typed_attributes_indexed(self):
+        src = (
+            "class C:\n"
+            "    def __init__(self):\n"
+            "        self._members: set[str] = set()\n"
+            "        self._groups: list[set[str]] = []\n"
+            "        self._seen = {1.0}\n"
+        )
+        project = build_project([_ctx(src)])
+        cls = project.classes["mod_a.C"]
+        assert "_members" in cls.set_attrs
+        assert "_seen" in cls.set_attrs
+        assert "_groups" in cls.elem_set_attrs
+
+    def test_dirty_attrs_indexed(self):
+        src = (
+            "class C:\n"
+            "    def __init__(self):\n"
+            "        self._dirty = set()\n"
+            "        self._backbone_dirty = False\n"
+        )
+        project = build_project([_ctx(src)])
+        cls = project.classes["mod_a.C"]
+        assert cls.dirty_attrs == ["_dirty", "_backbone_dirty"]
+
+
+class TestDataflow:
+    @staticmethod
+    def _analyze(body: str, classify=lambda node: frozenset()):
+        fn = ast.parse(f"def f(p):\n{body}").body[0]
+        return fn, DataflowAnalysis(fn, classify)
+
+    def test_taint_propagates_through_assignment_and_arithmetic(self):
+        def classify(node):
+            if isinstance(node, ast.Name) and node.id == "p":
+                return {"taint"}
+            return frozenset()
+
+        fn, analysis = self._analyze(
+            "    x = p\n"
+            "    y = x * 2.0\n"
+            "    return y\n", classify)
+        ret = fn.body[-1]
+        assert "taint" in analysis.labels_of(ret.value)
+
+    def test_loop_carried_labels_reach_the_body_top(self):
+        def classify(node):
+            if isinstance(node, ast.Call) and isinstance(
+                    node.func, ast.Name) and node.func.id == "src":
+                return {"taint"}
+            return frozenset()
+
+        fn, analysis = self._analyze(
+            "    x = 0.0\n"
+            "    for i in range(3):\n"
+            "        use(x)\n"
+            "        x = src()\n", classify)
+        use = fn.body[1].body[0].value
+        assert "taint" in analysis.labels_of(use.args[0])
+
+    def test_set_literal_labeled_and_sorted_launders(self):
+        fn, analysis = self._analyze(
+            "    s = {1.0, 2.0}\n"
+            "    t = sorted(s)\n"
+            "    return (s, t)\n")
+        ret = fn.body[-1].value
+        s_expr, t_expr = ret.elts
+        assert SET_LABEL in analysis.labels_of(s_expr)
+        assert SET_LABEL not in analysis.labels_of(t_expr)
+
+    def test_list_conversion_does_not_launder_setness(self):
+        fn, analysis = self._analyze(
+            "    s = list({1.0, 2.0})\n"
+            "    return s\n")
+        assert SET_LABEL in analysis.labels_of(fn.body[-1].value)
+
+
+class TestDeepRunSemantics:
+    def test_selecting_a_deep_rule_enables_the_deep_pass(self):
+        bad = FIXTURES / "deep" / "epoch_safety_bad.py"
+        findings = lint_paths([str(bad)], select=["epoch-safety"])
+        assert findings and all(f.rule_id == "epoch-safety" for f in findings)
+
+    def test_without_deep_the_fast_pass_stays_silent(self):
+        bad = FIXTURES / "deep" / "epoch_safety_bad.py"
+        assert lint_paths([str(bad)]) == []
+
+    def test_pragma_suppresses_a_deep_finding(self, tmp_path):
+        bad = (FIXTURES / "deep" / "dirty_state_bad.py").read_text()
+        patched = bad.replace(
+            "    def set_weight(self, name: str, weight: float) -> None:",
+            "    # spider-lint: ignore[dirty-state] -- fixture justification\n"
+            "    def set_weight(self, name: str, weight: float) -> None:")
+        target = tmp_path / "dirty_state_suppressed.py"
+        target.write_text(patched)
+        assert lint_paths([str(target)], deep=True) == []
+
+    def test_bad_fixture_fails_the_cli_gate(self):
+        # The lint-deep CI job runs exactly this: a seeded violation must
+        # exit nonzero.
+        bad = FIXTURES / "deep" / "epoch_safety_bad.py"
+        assert main(["lint", "--deep", str(bad)]) == 1
+
+    def test_deep_findings_from_directory_run(self, tmp_path):
+        for name in ("epoch_safety_bad.py", "telemetry_taint_bad.py"):
+            (tmp_path / name).write_text(
+                (FIXTURES / "deep" / name).read_text())
+        findings = lint_paths([str(tmp_path)], deep=True)
+        assert {f.rule_id for f in findings} == {"epoch-safety",
+                                                 "telemetry-taint"}
+
+
+class TestParseCache:
+    def test_second_run_hits_for_every_file(self):
+        clear_parse_cache()
+        first = run_lint([str(FIXTURES / "deep")], deep=True)
+        assert first.cache_misses == first.files and first.cache_hits == 0
+        second = run_lint([str(FIXTURES / "deep")], deep=True)
+        assert second.cache_hits == second.files and second.cache_misses == 0
+
+    def test_edited_file_misses_and_reparses(self, tmp_path):
+        target = tmp_path / "mod.py"
+        target.write_text("x = 1\n")
+        clear_parse_cache()
+        run_lint([str(target)])
+        stats = parse_cache_stats()
+        assert stats == {"hits": 0, "misses": 1}
+        # Rewrite with a different size so the (mtime, size) key moves
+        # even on filesystems with coarse mtime granularity.
+        target.write_text("x = 12\n")
+        run_lint([str(target)])
+        assert parse_cache_stats()["misses"] == 2
+
+    def test_cache_counters_surface_in_deep_json(self, capsys):
+        clear_parse_cache()
+        good = FIXTURES / "deep" / "epoch_safety_good.py"
+        assert main(["lint", "--deep", str(good), "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["findings"] == []
+        assert payload["files"] == 1
+        assert payload["cache"] == {"hits": 0, "misses": 1}
+
+    def test_fast_json_schema_is_unchanged_by_deep_mode(self, capsys):
+        # Without --deep the payload stays a bare array (frozen schema).
+        good = FIXTURES / "deep" / "epoch_safety_good.py"
+        assert main(["lint", str(good), "--format", "json"]) == 0
+        assert json.loads(capsys.readouterr().out) == []
+
+
+class TestDeterminism:
+    def test_two_deep_runs_are_byte_identical(self, capsys):
+        # Byte-identical JSON across runs: same findings, same order,
+        # same accounting.  The cache is cleared between runs so both
+        # take the cold path.
+        outs = []
+        for _ in range(2):
+            clear_parse_cache()
+            main(["lint", "--deep", str(SRC), "--format", "json"])
+            outs.append(capsys.readouterr().out)
+        assert outs[0] == outs[1]
+
+
+class TestSarif:
+    def test_sarif_log_structure(self, capsys):
+        bad = FIXTURES / "deep" / "telemetry_taint_bad.py"
+        assert main(["lint", "--deep", str(bad), "--format", "sarif"]) == 1
+        log = json.loads(capsys.readouterr().out)
+        assert log["version"] == "2.1.0"
+        (run,) = log["runs"]
+        driver = run["tool"]["driver"]
+        assert driver["name"] == "spider-lint"
+        rule_ids = [r["id"] for r in driver["rules"]]
+        assert rule_ids == sorted(rule_ids)
+        assert "telemetry-taint" in rule_ids
+        assert all(r["shortDescription"]["text"] for r in driver["rules"])
+        for result in run["results"]:
+            assert result["ruleId"] == "telemetry-taint"
+            assert result["level"] == "error"
+            region = result["locations"][0]["physicalLocation"]["region"]
+            assert region["startLine"] > 0 and region["startColumn"] > 0
+
+    def test_sarif_clean_run_has_rules_but_no_results(self, capsys):
+        good = FIXTURES / "deep" / "telemetry_taint_good.py"
+        assert main(["lint", str(good), "--format", "sarif"]) == 0
+        (run,) = json.loads(capsys.readouterr().out)["runs"]
+        assert run["results"] == []
+        assert run["tool"]["driver"]["rules"]
+
+
+class TestWallClock:
+    def test_cold_deep_pass_within_budget(self):
+        clear_parse_cache()
+        t0 = time.perf_counter()  # spider-lint: ignore[determinism] -- wall-clock budget test
+        report = run_lint([str(SRC)], deep=True)
+        elapsed = time.perf_counter() - t0
+        assert report.findings == []
+        assert elapsed < DEEP_BUDGET_SECONDS, (
+            f"deep pass took {elapsed:.1f}s, budget {DEEP_BUDGET_SECONDS}s")
