@@ -20,6 +20,7 @@ Subcommands map one-to-one onto the paper's activities::
     spider-repro resilience             # manual vs automated paired study
     spider-repro monitor                # in-band monitoring overlay campaign
     spider-repro monitor --study        # analytic vs observed MTTD (A16)
+    spider-repro meta --files 1000000   # small-file tier paired study (A18)
     spider-repro ior --trace t.json     # same run, Chrome-trace recorded
     spider-repro report t.json          # Lesson-12 layer table from a trace
     spider-repro lint src/repro         # spider-lint invariant checker
@@ -45,6 +46,9 @@ from repro.units import (
 )
 
 __all__ = ["main", "build_parser", "CliError"]
+
+#: acceptance scale for `spider-repro meta`: the 10^6-file untar storm
+_META_DEFAULT_FILES = 1_000_000
 
 
 class CliError(Exception):
@@ -567,6 +571,51 @@ def _cmd_monitor(args) -> int:
     return 0
 
 
+def _cmd_meta(args) -> int:
+    from repro.analysis.reporting import render_kv, render_table
+    from repro.metatier import MetaStudySpec, run_meta_study, tradeoff_rows
+
+    if args.files < 1:
+        raise CliError("--files must be positive")
+    if args.shards < 1:
+        raise CliError("--shards must be positive")
+    if not (0.0 <= args.cache_hit <= 1.0):
+        raise CliError("--cache-hit must be in [0, 1]")
+    spec = MetaStudySpec(
+        n_files=args.files,
+        seed=args.seed,
+        n_shards=args.shards,
+        n_stores=args.stores,
+        cache_hit_rate=args.cache_hit,
+        with_faults=not args.no_faults,
+    )
+    with _tracing(args.trace):
+        result = run_meta_study(spec)
+        print(render_table(
+            ["metric", "per-file (1 MDS)", f"aggregated ({spec.n_shards} MDT)"],
+            result.rows(),
+            title=f"Small-file metadata tier, {spec.n_files:,} files (A18)"))
+        print()
+        print(render_kv(result.baseline.rows(),
+                        title="Per-file baseline"))
+        print()
+        print(render_kv(result.aggregated.rows(),
+                        title="Aggregated tier (needles + DNE shards)"))
+        print()
+        print(render_table(
+            ["scheme", "raw capacity", "read bw", "rebuild"],
+            tradeoff_rows(),
+            title="Warm-tier encoding tradeoff (f4 vs RAID-6+replica)"))
+        print()
+        print(render_kv([
+            ("metadata throughput gain",
+             f"{result.throughput_gain:,.1f}x"),
+            ("MDS makespan removed",
+             f"{result.mds_seconds_removed:,.1f} s"),
+        ], title="Headline"))
+    return 0
+
+
 def _cmd_lint(args) -> int:
     import json
 
@@ -785,6 +834,24 @@ def build_parser() -> argparse.ArgumentParser:
                    help="record a Chrome-trace (Perfetto) file with the "
                         "overlay-sweep spans")
     p.set_defaults(fn=_cmd_monitor)
+
+    p = sub.add_parser("meta",
+                       help="small-file/metadata tier paired study (A18)")
+    p.add_argument("--files", type=int, default=_META_DEFAULT_FILES,
+                   help="tiny files in the untar storm (default 1,000,000)")
+    p.add_argument("--shards", type=int, default=4,
+                   help="MDT shards in the aggregated arm (default 4)")
+    p.add_argument("--stores", type=int, default=2,
+                   help="segment stores in the aggregated arm (default 2)")
+    p.add_argument("--cache-hit", type=float, default=0.8,
+                   help="needle-cache hit rate (default 0.8, the Haystack "
+                        "number)")
+    p.add_argument("--no-faults", action="store_true",
+                   help="skip the scripted MDS-overload / OST-fill faults")
+    p.add_argument("--trace", metavar="FILE",
+                   help="record a Chrome-trace (Perfetto) file with the "
+                        "untar/training/arm spans")
+    p.set_defaults(fn=_cmd_meta)
 
     p = sub.add_parser("reliability", help="failure/rebuild exposure")
     p.add_argument("--years", type=float, default=10.0)

@@ -179,3 +179,14 @@ class LustreFilesystem:
             self.mds.service_time(OpMix(stats=1, mean_stripe_count=stripes))
             total += entry.size
         return total
+
+    def scan_cost(self, n_entries: int, server_scan_speedup: float) -> float:
+        """Server-side sweep cost (LustreDU): one readdir-rate pass over
+        ``n_entries``, charged to the single MDS.
+
+        Part of the sweep protocol shared with
+        :class:`repro.metatier.shards.ShardedFilesystem`, where the same
+        scan fans out over the MDT shards and returns the makespan.
+        """
+        return self.mds.service_time(
+            OpMix(readdir_entries=max(1, int(n_entries / server_scan_speedup))))

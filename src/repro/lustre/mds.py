@@ -37,13 +37,20 @@ class MdsSpec:
     unlink_rate: float = 12_000.0
     mkdir_rate: float = 10_000.0
     readdir_entry_rate: float = 200_000.0  # directory entries scanned per sec
+    #: a same-MDT rename is a two-dentry transaction; hard links update one
+    #: dentry plus the inode's link count — both land between create and
+    #: unlink in cost.  Cross-MDT versions of these ops pay an additional
+    #: multiplier (see :class:`repro.metatier.shards.ShardedNamespace`).
+    rename_rate: float = 9_000.0
+    link_rate: float = 13_000.0
     #: additional per-stat OST RPC cost, as a fraction of one stat, charged
     #: once per stripe the file spans
     stat_ost_rpc_cost: float = 0.4
 
     def __post_init__(self) -> None:
         rates = (self.create_rate, self.stat_rate, self.unlink_rate,
-                 self.mkdir_rate, self.readdir_entry_rate)
+                 self.mkdir_rate, self.readdir_entry_rate,
+                 self.rename_rate, self.link_rate)
         if any(r <= 0 for r in rates):
             raise ValueError("all rates must be positive")
         if self.stat_ost_rpc_cost < 0:
@@ -59,6 +66,8 @@ class OpMix:
     unlinks: int = 0
     mkdirs: int = 0
     readdir_entries: int = 0
+    renames: int = 0
+    links: int = 0
     #: mean stripe count of statted files (drives OST RPC amplification)
     mean_stripe_count: float = 1.0
 
@@ -69,13 +78,15 @@ class OpMix:
             unlinks=int(self.unlinks * factor),
             mkdirs=int(self.mkdirs * factor),
             readdir_entries=int(self.readdir_entries * factor),
+            renames=int(self.renames * factor),
+            links=int(self.links * factor),
             mean_stripe_count=self.mean_stripe_count,
         )
 
     @property
     def total_ops(self) -> int:
         return (self.creates + self.stats + self.unlinks + self.mkdirs
-                + self.readdir_entries)
+                + self.readdir_entries + self.renames + self.links)
 
 
 class MetadataServer:
@@ -86,6 +97,10 @@ class MetadataServer:
         self.name = name
         self.ops_served = 0
         self.busy_seconds = 0.0
+        # (registry, ops counter, latency histogram) — instruments are
+        # stable per (name, source) key, so the hot path caches them and
+        # revalidates only on registry swap (use_telemetry in tests).
+        self._instruments = None
 
     def service_time(self, mix: OpMix) -> float:
         """Seconds of MDS time to serve ``mix`` (an M/D/1-style demand)."""
@@ -97,19 +112,27 @@ class MetadataServer:
             + mix.unlinks / s.unlink_rate
             + mix.mkdirs / s.mkdir_rate
             + mix.readdir_entries / s.readdir_entry_rate
+            + mix.renames / s.rename_rate
+            + mix.links / s.link_rate
         )
         self.ops_served += mix.total_ops
         self.busy_seconds += t
         telemetry = get_telemetry()
         if telemetry.enabled:
-            telemetry.counter("mds.ops", self.name).add(float(mix.total_ops))
+            cached = self._instruments
+            if cached is None or cached[0] is not telemetry:
+                cached = self._instruments = (
+                    telemetry,
+                    telemetry.counter("mds.ops", self.name),
+                    telemetry.histogram("mds.service_seconds", self.name,
+                                        floor=1e-6),
+                )
+            cached[1].add(float(mix.total_ops))
             # Service latency distribution: one sample per request batch,
             # normalized to the mean per-op service time so the histogram
             # reads as request latency, not batch size.
             if mix.total_ops:
-                telemetry.histogram(
-                    "mds.service_seconds", self.name, floor=1e-6,
-                ).observe(t / mix.total_ops)
+                cached[2].observe(t / mix.total_ops)
         return t
 
     def sustainable_rate(self, mix: OpMix) -> float:

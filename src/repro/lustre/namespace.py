@@ -210,6 +210,29 @@ class Namespace:
         entry.atime = now
         return entry
 
+    def rename(self, old: str, new: str, now: float) -> FileEntry:
+        """Move a *file* to a new absolute path (two-dentry transaction).
+
+        Directory renames are out of scope: Lustre's DNE1 restriction —
+        and the subtree partitioning built on it — pins a directory to
+        its MDT, so the simulated tools never move one.
+        """
+        old = _normalize(old)
+        new = _normalize(new)
+        entry = self.get(old)
+        if entry.is_dir:
+            raise NamespaceError(f"cannot rename a directory: {old}")
+        if new in self._entries:
+            raise NamespaceError(f"file exists: {new}")
+        self._attach(new)
+        parent = posixpath.dirname(old) or "/"
+        self._children[parent].discard(old)
+        del self._entries[old]
+        entry.path = new
+        entry.ctime = now
+        self._entries[new] = entry
+        return entry
+
     def unlink(self, path: str) -> FileEntry:
         path = _normalize(path)
         entry = self.get(path)

@@ -92,6 +92,19 @@ class Ost:
         self.n_objects = 0
         self.read_bytes_total = 0
         self.written_bytes_total = 0
+        # (registry, write counter, read counter) — cached instruments,
+        # revalidated on registry swap (instruments are stable per key).
+        self._instruments = None
+
+    def _tel_counters(self, telemetry):
+        cached = self._instruments
+        if cached is None or cached[0] is not telemetry:
+            cached = self._instruments = (
+                telemetry,
+                telemetry.counter("ost.write_bytes", self.component),
+                telemetry.counter("ost.read_bytes", self.component),
+            )
+        return cached
 
     # -- capacity -----------------------------------------------------------------
 
@@ -114,7 +127,7 @@ class Ost:
         self.written_bytes_total += nbytes
         telemetry = get_telemetry()
         if telemetry.enabled:
-            telemetry.counter("ost.write_bytes", self.component).add(float(nbytes))
+            self._tel_counters(telemetry)[1].add(float(nbytes))
 
     def release(self, nbytes: int) -> None:
         if nbytes < 0:
@@ -126,7 +139,7 @@ class Ost:
         self.read_bytes_total += nbytes
         telemetry = get_telemetry()
         if telemetry.enabled:
-            telemetry.counter("ost.read_bytes", self.component).add(float(nbytes))
+            self._tel_counters(telemetry)[2].add(float(nbytes))
 
     # -- performance ----------------------------------------------------------------
 

@@ -1,0 +1,217 @@
+"""f4-style warm tier: erasure-coded cold(er) segments vs replication.
+
+f4 (OSDI'14) made one observation pay for 65 PB of hardware: BLOBs cool
+fast, and warm data does not need hot-tier redundancy.  The same argument
+applies to the simulated scratch tier — checkpoint shards and untarred
+source trees stop being read within days — so the aggregated tier gains
+an age-based migration: sealed segments whose newest needle is older
+than a threshold move from the hot (RAID-6, replicated) tier to a warm
+erasure-coded tier at a 2.1x effective storage multiplier, releasing hot
+OST capacity.
+
+The tradeoff is quantified, not assumed: :func:`tradeoff_rows` compares
+effective bytes, read bandwidth, and rebuild exposure per scheme, and the
+migration report carries the raw-byte savings of each sweep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.metatier.needles import SegmentStore
+from repro.units import GB, HOUR, TB
+
+__all__ = [
+    "EncodingScheme",
+    "RAID6_REPLICATED",
+    "F4_EC",
+    "WarmTier",
+    "AgeMigrationPolicy",
+    "MigrationReport",
+    "tradeoff_rows",
+]
+
+
+@dataclass(frozen=True)
+class EncodingScheme:
+    """One redundancy scheme's cost/bandwidth/rebuild profile.
+
+    ``storage_multiplier`` is raw bytes per logical byte.  ``read_factor``
+    scales delivered single-stream read bandwidth against a plain
+    replicated read (erasure-coded reads may touch several fragment
+    holders).  ``rebuild_read_factor`` is bytes read per byte rebuilt
+    after a device loss — the number that turns a cheap-at-rest scheme
+    into an expensive-in-crisis one.
+    """
+
+    name: str
+    storage_multiplier: float
+    read_factor: float
+    rebuild_read_factor: float
+
+    def __post_init__(self) -> None:
+        if self.storage_multiplier < 1.0:
+            raise ValueError("storage_multiplier must be >= 1")
+        if not (0 < self.read_factor <= 1.0):
+            raise ValueError("read_factor must be in (0, 1]")
+        if self.rebuild_read_factor < 1.0:
+            raise ValueError("rebuild_read_factor must be >= 1")
+
+    def raw_bytes(self, logical_bytes: int) -> int:
+        """Raw capacity consumed by ``logical_bytes`` of data."""
+        return int(logical_bytes * self.storage_multiplier)
+
+    def rebuild_seconds(self, lost_bytes: int, rebuild_bandwidth: float) -> float:
+        """Time to re-derive ``lost_bytes`` at ``rebuild_bandwidth``."""
+        if rebuild_bandwidth <= 0:
+            raise ValueError("rebuild_bandwidth must be positive")
+        return lost_bytes * self.rebuild_read_factor / rebuild_bandwidth
+
+
+#: the hot-tier redundancy the segments start on: RAID-6 (8+2) plus a
+#: second full copy for availability during controller failover — 2.5x
+#: raw per logical byte, full-rate reads, and a parity-pair rebuild that
+#: reads 8 surviving members per rebuilt stripe.
+RAID6_REPLICATED = EncodingScheme(
+    name="raid6+replica", storage_multiplier=2.5,
+    read_factor=1.0, rebuild_read_factor=8.0)
+
+#: f4's warm encoding: (10, 4) Reed-Solomon within a site times an XOR
+#: across sites — the published 2.1x effective multiplier; reads touch a
+#: fragment holder (slightly below full rate), rebuilds read 10 of 14.
+F4_EC = EncodingScheme(
+    name="f4-ec(10,4)", storage_multiplier=2.1,
+    read_factor=0.8, rebuild_read_factor=10.0)
+
+
+@dataclass(frozen=True)
+class MigrationReport:
+    """Outcome of one age-based migration sweep."""
+
+    swept_at: float
+    segments_migrated: int
+    needles_migrated: int
+    logical_bytes: int
+    hot_raw_bytes_released: int
+    warm_raw_bytes_added: int
+
+    @property
+    def raw_bytes_saved(self) -> int:
+        """Net raw capacity the sweep freed (hot released − warm added)."""
+        return self.hot_raw_bytes_released - self.warm_raw_bytes_added
+
+
+@dataclass
+class WarmTier:
+    """The warm pool: migrated segments accounted under one scheme."""
+
+    scheme: EncodingScheme = F4_EC
+    capacity_bytes: int = 10 * TB
+    logical_bytes: int = 0
+    n_segments: int = 0
+    n_needles: int = 0
+    reads_served: int = 0
+    bytes_read: int = 0
+    #: single-stream read bandwidth of the warm pool's disks
+    read_bandwidth: float = 1.0 * GB
+
+    @property
+    def raw_bytes(self) -> int:
+        """Raw capacity currently consumed."""
+        return self.scheme.raw_bytes(self.logical_bytes)
+
+    @property
+    def fill_fraction(self) -> float:
+        """Raw fill level of the warm pool."""
+        return self.raw_bytes / self.capacity_bytes
+
+    def admit(self, logical_bytes: int, n_needles: int) -> int:
+        """Account one migrated segment; returns raw bytes added."""
+        before = self.raw_bytes
+        self.logical_bytes += logical_bytes
+        self.n_segments += 1
+        self.n_needles += n_needles
+        return self.raw_bytes - before
+
+    def read_seconds(self, nbytes: int) -> float:
+        """Service time of one warm read (EC read-factor applied)."""
+        self.reads_served += 1
+        self.bytes_read += nbytes
+        return nbytes / (self.read_bandwidth * self.scheme.read_factor)
+
+    def rebuild_seconds(self, lost_bytes: int) -> float:
+        """Rebuild exposure after losing ``lost_bytes`` of raw capacity."""
+        return self.scheme.rebuild_seconds(lost_bytes, self.read_bandwidth)
+
+
+@dataclass
+class AgeMigrationPolicy:
+    """Move sealed segments whose newest needle has gone cold.
+
+    ``age_threshold`` plays the role of f4's one-month boundary; the
+    sweep is driven by sim time (the purge engine's idiom), typically
+    from an :class:`~repro.sim.engine.Engine.every` tick.
+    """
+
+    age_threshold: float
+    reports: list[MigrationReport] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.age_threshold <= 0:
+            raise ValueError("age_threshold must be positive")
+
+    def eligible(self, store: SegmentStore, now: float) -> list:
+        """Sealed, live, unmigrated segments cold for the threshold."""
+        return [s for s in store.segments
+                if s.sealed and not (s.migrated or s.retired)
+                and s.n_live > 0
+                and (now - s.last_write_at) > self.age_threshold]
+
+    def sweep(self, store: SegmentStore, warm: WarmTier,
+              now: float) -> MigrationReport:
+        """One migration pass: unlink eligible segments from the hot
+        tier, account them in the warm pool."""
+        segments = self.eligible(store, now)
+        logical = 0
+        needles = 0
+        hot_released = 0
+        warm_added = 0
+        for segment in segments:
+            logical += segment.live_bytes
+            needles += segment.n_live
+            # The hot tier held the segment file's written extent under
+            # RAID6_REPLICATED redundancy; unlink releases the extent,
+            # and the replica accounting rides the multiplier.
+            hot_released += RAID6_REPLICATED.raw_bytes(segment.write_offset)
+            warm_added += warm.admit(segment.live_bytes, segment.n_live)
+            store.fs.unlink(segment.path)
+            segment.migrated = True
+        report = MigrationReport(
+            swept_at=now,
+            segments_migrated=len(segments),
+            needles_migrated=needles,
+            logical_bytes=logical,
+            hot_raw_bytes_released=hot_released,
+            warm_raw_bytes_added=warm_added,
+        )
+        self.reports.append(report)
+        return report
+
+
+def tradeoff_rows(logical_bytes: int = 100 * TB,
+                  rebuild_bandwidth: float = 1.0 * GB,
+                  lost_bytes: int = 4 * TB) -> list[tuple[str, str, str, str]]:
+    """The A18 cost/bandwidth/rebuild comparison table.
+
+    One row per scheme: raw bytes for ``logical_bytes`` of data, relative
+    read bandwidth, and rebuild time after losing ``lost_bytes``.
+    """
+    rows = []
+    for scheme in (RAID6_REPLICATED, F4_EC):
+        rows.append((
+            scheme.name,
+            f"{scheme.raw_bytes(logical_bytes) / TB:,.0f} TB raw",
+            f"{scheme.read_factor:.0%} read bw",
+            f"{scheme.rebuild_seconds(lost_bytes, rebuild_bandwidth) / HOUR:,.1f} h rebuild",
+        ))
+    return rows

@@ -92,7 +92,8 @@ class Histogram:
     """
 
     __slots__ = ("name", "source", "count", "sum", "min", "max",
-                 "floor", "growth", "_buckets", "_registry")
+                 "floor", "growth", "_log_growth", "_pow2", "_buckets",
+                 "_registry")
 
     def __init__(
         self,
@@ -112,6 +113,8 @@ class Histogram:
         self.source = source
         self.floor = floor
         self.growth = growth
+        self._log_growth = math.log(growth)
+        self._pow2 = growth == 2.0
         self.count = 0
         self.sum = 0.0
         self.min = math.inf
@@ -121,7 +124,15 @@ class Histogram:
     def _bucket_index(self, value: float) -> int:
         if value <= self.floor:
             return 0
-        return max(1, math.ceil(math.log(value / self.floor, self.growth) - 1e-12))
+        if self._pow2:
+            # growth=2 (the default): ceil(log2(value/floor)) is the binary
+            # exponent from frexp — exact, no transcendental call.
+            mantissa, exponent = math.frexp(value / self.floor)
+            idx = exponent - 1 if mantissa == 0.5 else exponent
+        else:
+            idx = math.ceil(math.log(value / self.floor) / self._log_growth
+                            - 1e-12)
+        return idx if idx > 1 else 1
 
     def bucket_upper_bound(self, index: int) -> float:
         return self.floor * self.growth ** index
@@ -129,14 +140,17 @@ class Histogram:
     def observe(self, value: float) -> None:
         if not self._registry.enabled:
             return
-        if value < 0 or math.isnan(value):
+        if value < 0 or value != value:  # negative or NaN
             raise ValueError(f"histogram {self.name!r} observed {value!r}")
         self.count += 1
         self.sum += value
-        self.min = min(self.min, value)
-        self.max = max(self.max, value)
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
         idx = self._bucket_index(value)
-        self._buckets[idx] = self._buckets.get(idx, 0) + 1
+        buckets = self._buckets
+        buckets[idx] = buckets.get(idx, 0) + 1
 
     @property
     def mean(self) -> float:

@@ -21,7 +21,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.lustre.filesystem import LustreFilesystem
-from repro.lustre.mds import OpMix
 from repro.units import DAY
 
 __all__ = ["DuSnapshot", "LustreDu"]
@@ -80,8 +79,7 @@ class LustreDu:
             parts = entry.path.split("/")
             top = "/" + parts[1] if len(parts) > 1 and parts[1] else "/"
             by_top[top] = by_top.get(top, 0) + entry.size
-        cost = self.fs.mds.service_time(
-            OpMix(readdir_entries=max(1, int(n_files / self.server_scan_speedup))))
+        cost = self.fs.scan_cost(n_files, self.server_scan_speedup)
         self.snapshot = DuSnapshot(
             taken_at=now,
             bytes_by_project=by_project,

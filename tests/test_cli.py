@@ -182,6 +182,39 @@ class TestSched:
         assert "--faults" in capsys.readouterr().err
 
 
+class TestMeta:
+    def test_paired_study_prints_both_arms(self, capsys):
+        assert main(["--seed", "7", "meta", "--files", "4000"]) == 0
+        out = capsys.readouterr().out
+        assert "Small-file metadata tier" in out
+        assert "Per-file baseline" in out
+        assert "Aggregated tier" in out
+        assert "f4-ec" in out
+        assert "metadata throughput gain" in out
+
+    def test_no_faults_flag(self, capsys):
+        assert main(["meta", "--files", "2000", "--no-faults"]) == 0
+        assert "Headline" in capsys.readouterr().out
+
+    def test_trace_records_arm_spans(self, tmp_path, capsys):
+        import json
+        trace = tmp_path / "meta.json"
+        assert main(["meta", "--files", "2000", "--no-faults",
+                     "--trace", str(trace)]) == 0
+        events = json.loads(trace.read_text())["traceEvents"]
+        names = {e["name"] for e in events if e.get("cat") == "metatier"}
+        assert {"meta:arm:per-file", "meta:arm:aggregated",
+                "meta:untar", "meta:training"} <= names
+
+    def test_bad_arguments_are_clean_failures(self, capsys):
+        assert main(["meta", "--files", "0"]) == 1
+        assert "--files" in capsys.readouterr().err
+        assert main(["meta", "--shards", "0"]) == 1
+        assert "--shards" in capsys.readouterr().err
+        assert main(["meta", "--cache-hit", "1.5"]) == 1
+        assert "--cache-hit" in capsys.readouterr().err
+
+
 class TestErrorPaths:
     def test_report_missing_file_is_clean_failure(self, capsys):
         assert main(["report", "/no/such/trace.json"]) == 1

@@ -127,6 +127,38 @@ def test_overlay_subsystem_documented_everywhere():
         "README.md package tree lost the obs/overlay entry")
 
 
+def test_metatier_subsystem_documented_everywhere():
+    """The small-file metadata tier is documented end to end: every
+    metatier/ module appears in DESIGN.md's inventory, EXPERIMENTS.md
+    carries the A18 paired-study ablation row, README documents the
+    subcommand and package, and docs/PERFORMANCE.md describes the
+    BENCH_meta.json gate."""
+    design = (REPO / "DESIGN.md").read_text()
+    modules = sorted(
+        p.name for p in (REPO / "src/repro/metatier").glob("*.py")
+        if p.name != "__init__.py")
+    missing = [m for m in modules if f"metatier/{m}" not in design]
+    assert not missing, (
+        f"DESIGN.md §3 inventory is missing metatier module(s) {missing}")
+
+    experiments = (REPO / "EXPERIMENTS.md").read_text()
+    assert "spider-repro meta" in experiments, (
+        "EXPERIMENTS.md must describe the small-file tier paired study "
+        "driven by `spider-repro meta`")
+    assert "| A18 |" in experiments, (
+        "EXPERIMENTS.md ablation table lost the A18 metadata-tier row")
+
+    readme = (REPO / "README.md").read_text()
+    assert "spider-repro meta" in readme, (
+        "README.md CLI synopsis lost the meta subcommand")
+    assert "metatier/" in readme, (
+        "README.md package tree lost the metatier entry")
+
+    performance = (REPO / "docs" / "PERFORMANCE.md").read_text()
+    assert "BENCH_meta.json" in performance, (
+        "docs/PERFORMANCE.md must describe the BENCH_meta.json gate")
+
+
 def test_incremental_solver_documented_everywhere():
     """The incremental flow solver's performance contract is documented
     end to end: docs/PERFORMANCE.md names every resolve-path counter and

@@ -19,6 +19,9 @@ EXAMPLES = {
                        ("cable diagnosis", "purge")),
     "procure_a_filesystem": ("examples/procure_a_filesystem.py",
                              ("Winner", "Acceptance")),
+    "tiny_files_day": ("examples/tiny_files_day.py",
+                       ("Small-file metadata tier", "throughput gain",
+                        "f4-ec")),
 }
 
 #: the libPIO example builds the full client set and solves large flow

@@ -83,3 +83,38 @@ class TestMetadataCluster:
             MetadataCluster(2, balance=0.0)
         with pytest.raises(ValueError):
             MetadataCluster(2, dne_overhead=-0.1)
+
+
+class TestEdgeCases:
+    """Degenerate inputs pinned so refactors cannot drift them: the metatier
+    sharding layer leans on these exact behaviours."""
+
+    MIX = OpMix(creates=600, stats=300, unlinks=100, renames=20, links=10)
+
+    def test_speedup_over_single_is_exactly_one_at_one_server(self):
+        for mode in ("namespaces", "dne"):
+            cluster = MetadataCluster(1, mode=mode)
+            # Exact equality, not approx: with one server no balance or
+            # DNE tax may apply, so the ratio must be bit-identical 1.0.
+            assert cluster.speedup_over_single(self.MIX) == 1.0
+
+    def test_scaled_zero_is_the_empty_mix(self):
+        scaled = self.MIX.scaled(0)
+        assert scaled.total_ops == 0
+        assert scaled == OpMix(mean_stripe_count=self.MIX.mean_stripe_count)
+        # Stripe geometry is a property of the files, not the volume of
+        # ops, so scaling must preserve it.
+        wide = OpMix(stats=10, mean_stripe_count=16.0).scaled(0)
+        assert wide.mean_stripe_count == 16.0
+
+    def test_scaled_zero_costs_nothing(self):
+        mds = MetadataServer()
+        assert mds.service_time(self.MIX.scaled(0)) == 0.0
+        assert mds.ops_served == 0
+        assert mds.busy_seconds == 0.0
+
+    def test_empty_mix_sustainable_rate_is_infinite_everywhere(self):
+        empty = OpMix()
+        assert MetadataServer().sustainable_rate(empty) == float("inf")
+        for n in (1, 4):
+            assert MetadataCluster(n).sustainable_rate(empty) == float("inf")

@@ -143,3 +143,30 @@ class TestNamespace:
         ns.mkdir("/a")
         ns.create("/a//f", StripeLayout(osts=(0,)))
         assert "/a/f" in ns
+
+
+class TestOrderingDeterminism:
+    """Insertion order must be invisible: listdir and walk sort children,
+    so any permutation of creates yields identical views.  The metatier
+    sharded namespace inherits this contract shard by shard."""
+
+    NAMES = ["zeta", "alpha", "mid", "b", "a0", "A9"]
+
+    def _build(self, order):
+        ns = Namespace("perm")
+        ns.mkdir("/d", now=0.0, parents=True)
+        for name in order:
+            ns.create(f"/d/{name}", None, now=1.0)
+        return ns
+
+    def test_listdir_identical_across_insertion_permutations(self):
+        import itertools
+        ref = self._build(self.NAMES).listdir("/d")
+        assert ref == sorted(f"/d/{n}" for n in self.NAMES)
+        for perm in itertools.permutations(self.NAMES, len(self.NAMES)):
+            assert self._build(perm).listdir("/d") == ref
+
+    def test_walk_order_identical_across_insertion_permutations(self):
+        ref = [e.path for e in self._build(self.NAMES).walk()]
+        reversed_ns = self._build(list(reversed(self.NAMES)))
+        assert [e.path for e in reversed_ns.walk()] == ref

@@ -115,3 +115,34 @@ class TestParallelTools:
     def test_validation(self, fs):
         with pytest.raises(ValueError):
             ParallelTool(fs, n_workers=0)
+
+
+class TestSweepOrderingDeterminism:
+    """DuSnapshot must not depend on file-creation order: the sweep walks
+    the namespace in sorted order, so even the *iteration order* of the
+    aggregation dicts is pinned (same first-seen sequence)."""
+
+    def _build(self, order):
+        osts = [Ost(i, OstSpec(capacity_bytes=16 * TB)) for i in range(4)]
+        fs = LustreFilesystem("perm", osts)
+        for proj in ("projA", "projB", "projC"):
+            fs.mkdir(f"/{proj}", now=0.0)
+        for i in order:
+            proj = f"proj{'ABC'[i % 3]}"
+            fs.create_file(f"/{proj}/f{i:03d}", now=float(i),
+                           size=(i + 1) * MiB, owner=f"user{i % 2}",
+                           project=proj)
+        return fs
+
+    def test_snapshot_identical_across_insertion_permutations(self):
+        base = list(range(30))
+        ref = LustreDu(self._build(base)).sweep(now=DAY)
+        for order in (list(reversed(base)),
+                      base[1::2] + base[0::2],
+                      base[15:] + base[:15]):
+            snap = LustreDu(self._build(order)).sweep(now=DAY)
+            assert snap == ref
+            # Insertion-order-sensitive surface: dict iteration order.
+            assert list(snap.bytes_by_top_dir) == list(ref.bytes_by_top_dir)
+            assert list(snap.bytes_by_owner) == list(ref.bytes_by_owner)
+            assert list(snap.bytes_by_project) == list(ref.bytes_by_project)

@@ -89,3 +89,61 @@ class TestSweep:
     def test_validation(self, fs):
         with pytest.raises(ValueError):
             Purger(fs, age_limit=0)
+        with pytest.raises(ValueError):
+            Purger(fs, batch_size=0)
+
+
+class TestStreamingSweep:
+    """The batched sweep must be invisible in the reports: any batch size
+    (including mid-walk drains) yields the identical PurgeReport and final
+    namespace as the collect-everything-first behaviour."""
+
+    def _populate(self, fs, n=137):
+        # Mix of eligible (old), protected (fresh), and exempt-by-test files
+        # spread over several directories so drains happen mid-directory
+        # and across directory boundaries.
+        for d in range(7):
+            fs.mkdir(f"/u/d{d}", now=0.0)
+        for i in range(n):
+            d = f"/u/d{i % 7}"
+            age = 0.0 if i % 3 else 20 * DAY
+            fs.create_file(f"{d}/f{i:03d}", now=age, size=(i + 1) * MiB)
+
+    def _make(self, batch_size):
+        osts = [Ost(i, OstSpec(capacity_bytes=1 * TB)) for i in range(4)]
+        fs = LustreFilesystem("scratch", osts)
+        fs.mkdir("/u", now=0.0)
+        self._populate(fs)
+        return fs, Purger(fs, batch_size=batch_size)
+
+    def test_batch_size_does_not_change_report_or_namespace(self):
+        fs_ref, ref_purger = self._make(batch_size=10**9)  # one giant batch
+        ref = ref_purger.sweep(now=21 * DAY)
+        for batch_size in (1, 3, 10, 137):
+            fs, purger = self._make(batch_size=batch_size)
+            report = purger.sweep(now=21 * DAY)
+            assert report == ref
+            assert sorted(e.path for e in fs.namespace.files()) == sorted(
+                e.path for e in fs_ref.namespace.files())
+            assert fs.used_bytes == fs_ref.used_bytes
+
+    def test_dry_run_report_matches_real_run(self):
+        """Dry run must predict exactly what a real run would do."""
+        fs_dry, purger_dry = self._make(batch_size=5)
+        dry = purger_dry.sweep(now=21 * DAY, dry_run=True)
+        fs_real, purger_real = self._make(batch_size=5)
+        real = purger_real.sweep(now=21 * DAY)
+        assert dry.files_examined == real.files_examined
+        assert dry.files_purged == real.files_purged
+        assert dry.bytes_purged == real.bytes_purged
+        assert dry.fill_before == real.fill_before
+        # Dry run must not touch the namespace or capacity.
+        assert dry.fill_after == dry.fill_before
+        assert len(list(fs_dry.namespace.files())) == dry.files_examined
+
+    def test_mid_walk_drain_preserves_safety_invariant(self):
+        fs, purger = self._make(batch_size=2)
+        now = 21 * DAY
+        purger.sweep(now=now)
+        for entry in fs.namespace.files():
+            assert now - entry.last_touched() <= purger.age_limit
