@@ -21,6 +21,7 @@ Subcommands map one-to-one onto the paper's activities::
     spider-repro monitor                # in-band monitoring overlay campaign
     spider-repro monitor --study        # analytic vs observed MTTD (A16)
     spider-repro meta --files 1000000   # small-file tier paired study (A18)
+    spider-repro storm                  # hot-spot storm, static vs flowlet (A19)
     spider-repro ior --trace t.json     # same run, Chrome-trace recorded
     spider-repro report t.json          # Lesson-12 layer table from a trace
     spider-repro lint src/repro         # spider-lint invariant checker
@@ -616,6 +617,51 @@ def _cmd_meta(args) -> int:
     return 0
 
 
+def _cmd_storm(args) -> int:
+    from dataclasses import replace
+
+    from repro.analysis.reporting import render_kv, render_table
+    from repro.core.spider import SPIDER2, build_spider2
+    from repro.network.storm import run_storm_study
+
+    if args.clients < 1 or args.stripe < 1:
+        raise CliError("--clients and --stripe must be positive")
+    if args.link_bw <= 0:
+        raise CliError("--link-bw must be positive")
+    if not 0 < args.shed <= 1:
+        raise CliError("--shed must be in (0, 1]")
+    # The storm regime is scarce row bandwidth: the default --link-bw
+    # models the per-node share of a Gemini row under contention, which
+    # is what makes an all-to-one burst a *network* problem rather than
+    # a storage one.
+    spec = replace(SPIDER2, torus=replace(SPIDER2.torus,
+                                          link_bw=args.link_bw * GB))
+    seed = args.seed
+    with _tracing(args.trace):
+        result = run_storm_study(
+            lambda: build_spider2(seed=seed, build_clients=False, spec=spec),
+            seed=seed,
+            n_storm_clients=args.clients,
+            stripe=args.stripe,
+            duration=args.duration,
+            shed_fraction=args.shed,
+        )
+    print(render_table(
+        ["metric", "static", "flowlet"],
+        result.rows(),
+        title="Hot-spot storm survival, static vs flowlet routing (A19)"))
+    print()
+    print(render_kv([
+        ("storm window",
+         f"{result.storm_start:,.0f}-{result.storm_end:,.0f} s of "
+         f"{result.duration:,.0f} s"),
+        ("storm clients on the row", str(result.n_storm_clients)),
+        ("torus link bandwidth", fmt_bandwidth(args.link_bw * GB)),
+        ("probe p99 recovery", f"{result.recovery_factor:,.1f}x"),
+    ], title="A19 headline"))
+    return 0
+
+
 def _cmd_lint(args) -> int:
     import json
 
@@ -852,6 +898,28 @@ def build_parser() -> argparse.ArgumentParser:
                    help="record a Chrome-trace (Perfetto) file with the "
                         "untar/training/arm spans")
     p.set_defaults(fn=_cmd_meta)
+
+    p = sub.add_parser("storm",
+                       help="hot-spot storm survival paired study (A19)")
+    p.add_argument("--clients", type=int, default=24,
+                   help="storm readers clustered on one torus row "
+                        "(default 24)")
+    p.add_argument("--stripe", type=int, default=12,
+                   help="OSTs the shared dataset is striped over "
+                        "(default 12)")
+    p.add_argument("--duration", type=float, default=2 * HOUR,
+                   help="timeline length in seconds (default 2 hours)")
+    p.add_argument("--link-bw", type=float, default=0.5,
+                   help="torus link bandwidth in GB/s — the scarce-row "
+                        "regime that makes the storm a network problem "
+                        "(default 0.5)")
+    p.add_argument("--shed", type=float, default=0.05,
+                   help="degraded-mode cap on the storm class as a "
+                        "fraction of aggregate bandwidth (default 0.05)")
+    p.add_argument("--trace", metavar="FILE",
+                   help="record a Chrome-trace (Perfetto) file with the "
+                        "overlay-sweep spans")
+    p.set_defaults(fn=_cmd_storm)
 
     p = sub.add_parser("reliability", help="failure/rebuild exposure")
     p.add_argument("--years", type=float, default=10.0)

@@ -44,6 +44,11 @@ class Transfer:
     ost_indices: tuple[int, ...]
     demand: float = math.inf
     write: bool = True
+    #: QoS class label; flows of a labelled transfer additionally cross a
+    #: shared ``qos:<class>`` component whose capacity
+    #: :meth:`PathBuilder.set_class_cap` can move (the degraded-mode shed
+    #: path for backpressure).  ``None`` (the default) adds nothing.
+    qos_class: str | None = None
 
     def __post_init__(self) -> None:
         if not self.ost_indices:
@@ -74,12 +79,21 @@ class PathBuilder:
         #: flows dropped by the most recent build because no live router
         #: served their destination leaf (router failures, §IV-D)
         self.unroutable_flows = 0
+        #: per-class capacity of the shared ``qos:<class>`` components
+        #: (see :meth:`set_class_cap`); unlisted classes are uncapped
+        self._class_caps: dict[str, float] = {}
         # incremental-resolve state (see resolve()): the built network,
-        # the transfer list it was built for, and the router-online
+        # the transfer list it was built for, and the routing-policy
         # fingerprint the routes were chosen under
         self._net: FlowNetwork | None = None
         self._resolved_transfers: list[Transfer] | None = None
         self._routing_fp: bytes | None = None
+        self._last_result: FlowResult | None = None
+        # solve counts of networks this builder has retired; rebuilds swap
+        # in a fresh FlowNetwork, so the property below folds these in to
+        # stay cumulative across the builder's lifetime
+        self._solve_counts_base = {
+            "full": 0, "delta": 0, "shortcircuit": 0, "cached": 0}
 
     # -- component registration ---------------------------------------------------
 
@@ -110,8 +124,9 @@ class PathBuilder:
         return comps
 
     def _torus_components(self, net: FlowNetwork, src, dst) -> list[str]:
+        order = self.policy.axis_order(src, dst)
         comps = []
-        for link in self.system.torus.route_links(src, dst):
+        for link in self.system.torus.route_links_ordered(src, dst, order):
             comp = self.system.torus.link_component(link)
             if not net.has_component(comp):
                 net.add_component(comp, self.system.spec.torus.link_bw)
@@ -135,7 +150,11 @@ class PathBuilder:
         self._flow_routes.clear()
         self.unroutable_flows = 0
         # A build replaces the route tables, so any network resolve()
-        # may be holding no longer matches them.
+        # may be holding no longer matches them.  Fold its solve counts
+        # into the base first so solve_counts stays cumulative.
+        if self._net is not None:
+            for kind, count in self._net.solve_counts.items():
+                self._solve_counts_base[kind] += count
         self._net = None
 
         for t in transfers:
@@ -172,6 +191,12 @@ class PathBuilder:
                 path.append(oss.component)
                 path.append(f"couplet:{ost.ssu_index}")
                 path.append(ost.component)
+                if t.qos_class is not None:
+                    qos_comp = f"qos:{t.qos_class}"
+                    if not net.has_component(qos_comp):
+                        net.add_component(
+                            qos_comp, self._class_caps.get(t.qos_class, math.inf))
+                    path.append(qos_comp)
                 flow_name = f"{t.name}->ost{ost_index}"
                 self._flow_routes.append(
                     (router_name, oss.name, ost_index, t.write)
@@ -192,16 +217,18 @@ class PathBuilder:
         re-fills only the connected dirty region (or short-circuits —
         see ``docs/PERFORMANCE.md``).
 
-        Routing is fingerprinted on the router-online bits
-        (:meth:`~repro.network.lnet.LnetConfig.online_fingerprint`).
-        When the fingerprint changes — a router died or came back, so
-        previously chosen routes are stale — the policy's balancing
-        state is reset and the network rebuilt, exactly what a fresh
-        builder would produce.  Callers must pass the *same list
-        object* between calls to stay on the fast path; a different
-        list forces a rebuild.
+        Routing is fingerprinted on the *policy*
+        (:meth:`~repro.network.lnet.RoutingPolicy.fingerprint`) — by
+        default the router-online bits, but adaptive policies fold in
+        their own routing state and may dampen flaps.  When the
+        fingerprint changes — routes the policy would pick no longer
+        match the built network — the policy's balancing state is reset
+        and the network rebuilt, exactly what a fresh builder would
+        produce.  Callers must pass the *same list object* between
+        calls to stay on the fast path; a different list forces a
+        rebuild.
         """
-        fp = self.policy.config.online_fingerprint()
+        fp = self.policy.fingerprint()
         if (self._net is None or transfers is not self._resolved_transfers
                 or fp != self._routing_fp):
             self.policy.reset()
@@ -210,7 +237,9 @@ class PathBuilder:
             self._routing_fp = fp
         else:
             self._refresh_capacities(self._net)
-        return self._net.solve()
+        result = self._net.solve()
+        self._last_result = result
+        return result
 
     def _refresh_capacities(self, net: FlowNetwork) -> None:
         """Push the current fault-movable capacities as delta operations.
@@ -234,6 +263,55 @@ class PathBuilder:
     def router_usage(self) -> dict[str, int]:
         """Flows per router from the most recent :meth:`build`."""
         return dict(self._router_usage)
+
+    @property
+    def solve_counts(self) -> dict[str, int]:
+        """Cumulative solve counts across every network this builder made.
+
+        Each rebuild swaps in a fresh :class:`FlowNetwork` whose counters
+        start at zero; retired networks' counts are folded into a running
+        base, so ``solve_counts["full"]`` is the builder-lifetime number
+        of from-scratch solves — the quantity the flap-dampening
+        regression bounds.
+        """
+        counts = dict(self._solve_counts_base)
+        if self._net is not None:
+            for kind, count in self._net.solve_counts.items():
+                counts[kind] += count
+        return counts
+
+    # -- degraded-mode class caps -------------------------------------------------
+
+    def set_class_cap(self, qos_class: str, capacity: float) -> None:
+        """Cap the shared ``qos:<class>`` component (bytes/s).
+
+        The backpressure degraded mode: capping a class sheds its load at
+        one shared choke point without touching any route.  On a live
+        resolved network this is a pure delta operation — the incremental
+        solver re-fills only the region the cap dirties; the stored value
+        also seeds any later rebuild.  ``math.inf`` removes the cap.
+        """
+        if capacity <= 0:
+            raise ValueError("class cap must be positive")
+        self._class_caps[qos_class] = float(capacity)
+        comp = f"qos:{qos_class}"
+        if self._net is not None and self._net.has_component(comp):
+            self._net.set_capacity(comp, float(capacity))
+
+    def class_cap(self, qos_class: str) -> float:
+        return self._class_caps.get(qos_class, math.inf)
+
+    def link_utilization(self, component: str) -> float:
+        """Utilization of ``component`` in the most recent resolve, 0.0 if
+        unknown — the surface the overlay's routing probes sample, so the
+        adaptive policy observes solver outcomes only through the
+        monitoring path (windowed, delayed, lossy), never directly."""
+        if self._last_result is None:
+            return 0.0
+        try:
+            return float(self._last_result.utilization(component))
+        except KeyError:
+            return 0.0
 
     def record_flow_telemetry(self, result: FlowResult, duration: float) -> None:
         """Attribute a solved allocation back to the layers it crossed.

@@ -34,6 +34,8 @@ from repro.faults.injectors import INJECTORS, Injector, injector_for
 from repro.faults.plan import (
     FaultPlan,
     cable_failure_scenario,
+    flapping_router_scenario,
+    hotspot_storm_scenario,
     incident_2010_scenario,
 )
 
@@ -46,6 +48,8 @@ __all__ = [
     "FaultPlan",
     "cable_failure_scenario",
     "incident_2010_scenario",
+    "flapping_router_scenario",
+    "hotspot_storm_scenario",
     "FaultCampaign",
     "CampaignResult",
 ]

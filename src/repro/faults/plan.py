@@ -31,7 +31,8 @@ from repro.faults.events import FaultClass, PlannedFault
 from repro.sim.rng import RngStreams
 from repro.units import HOUR
 
-__all__ = ["FaultPlan", "cable_failure_scenario", "incident_2010_scenario"]
+__all__ = ["FaultPlan", "cable_failure_scenario", "incident_2010_scenario",
+           "flapping_router_scenario", "hotspot_storm_scenario"]
 
 
 class FaultPlan:
@@ -191,4 +192,60 @@ def incident_2010_scenario(system: SpiderSystem) -> FaultPlan:
         PlannedFault(0.0, FaultClass.DISK_FAIL, failed_disk, duration=HOUR),
         PlannedFault(600.0, FaultClass.CONTROLLER_FAIL, 0),
         PlannedFault(18 * HOUR, FaultClass.ENCLOSURE_OFFLINE, (0, 0)),
+    ])
+
+
+def flapping_router_scenario(
+    system: SpiderSystem,
+    *,
+    router_name: str | None = None,
+    cycles: int = 6,
+    period: float = 120.0,
+    start: float = 600.0,
+) -> FaultPlan:
+    """One LNET router cycling down and up faster than repair crews move.
+
+    ``cycles`` ROUTER_FAIL events at ``period`` spacing, each repaired
+    half a period later — the marginal-Gemini-mezzanine pattern of §IV-D
+    where a router's heartbeat bounces for an hour before it either dies
+    for good or settles.  This is the adversarial input for the routing
+    layer's flap dampening: a policy that rebuilds its path tables on
+    every transition does ``2 x cycles`` full re-solves; a dampened one
+    stays bounded (see ``tests/test_routing_faults.py``).
+    """
+    if cycles < 1:
+        raise ValueError("need at least one flap cycle")
+    if period <= 0 or start < 0:
+        raise ValueError("period must be positive and start non-negative")
+    router = router_name or system.routers[0].name
+    return FaultPlan([
+        PlannedFault(start + k * period, FaultClass.ROUTER_FAIL, router,
+                     duration=period / 2)
+        for k in range(cycles)
+    ])
+
+
+def hotspot_storm_scenario(
+    system: SpiderSystem,
+    *,
+    router_name: str | None = None,
+    storm_start: float = HOUR,
+    fail_after: float = 600.0,
+    outage: float = 1200.0,
+) -> FaultPlan:
+    """A router failure landing mid-storm on the already-hot victim zone.
+
+    The compound case the storm study injects: while an all-to-one read
+    storm (see :func:`repro.sched.arrivals.storm_jobs`) is collapsing the
+    victim links, one of the routers serving the victim leaf drops out
+    ``fail_after`` seconds into the storm and returns ``outage`` seconds
+    later — so the routing layer must re-spread around congestion *and*
+    absorb a topology change at once.
+    """
+    if storm_start < 0 or fail_after < 0 or outage <= 0:
+        raise ValueError("times must be non-negative and outage positive")
+    router = router_name or system.routers[0].name
+    return FaultPlan([
+        PlannedFault(storm_start + fail_after, FaultClass.ROUTER_FAIL,
+                     router, duration=outage),
     ])

@@ -1,19 +1,32 @@
 """Interconnect substrate: the Gemini-like 3D torus carrying Titan's
-clients, the SION-like InfiniBand SAN carrying the storage traffic, and the
-LNET routing layer (including fine-grained routing, FGR) that bridges them.
+clients, the SION-like InfiniBand SAN carrying the storage traffic, the
+LNET routing layer (including fine-grained routing, FGR) that bridges
+them, and the congestion-aware flowlet routing riding the monitoring
+overlay's link gauges.
 """
 
-from repro.network.torus import Torus3D, TorusSpec
+from repro.network.torus import AXIS_ORDERS, Torus3D, TorusSpec
 from repro.network.infiniband import InfinibandFabric, FabricSpec
 from repro.network.lnet import LnetConfig, RoutingPolicy, FineGrainedRouting, RoundRobinRouting
+from repro.network.routing import (
+    BackpressureController,
+    FlowletRouting,
+    FlowletSpec,
+    LinkStatsFeed,
+)
 
 __all__ = [
     "Torus3D",
     "TorusSpec",
+    "AXIS_ORDERS",
     "InfinibandFabric",
     "FabricSpec",
     "LnetConfig",
     "RoutingPolicy",
     "FineGrainedRouting",
     "RoundRobinRouting",
+    "FlowletRouting",
+    "FlowletSpec",
+    "LinkStatsFeed",
+    "BackpressureController",
 ]

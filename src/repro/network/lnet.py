@@ -128,6 +128,26 @@ class RoutingPolicy:
         The base policy is stateless, so this is a no-op.
         """
 
+    def fingerprint(self) -> bytes:
+        """Opaque token for "would this policy route differently now?".
+
+        :meth:`repro.core.path.PathBuilder.resolve` compares fingerprints
+        across solves and rebuilds its network only on a change.  The base
+        value is the substrate's router-online bits
+        (:meth:`LnetConfig.online_fingerprint`); adaptive policies extend
+        it with their own routing state (and may *dampen* the online bits
+        so a flapping router does not thrash rebuilds).
+        """
+        return self.config.online_fingerprint()
+
+    def axis_order(self, client: Coord, router: Coord) -> tuple[int, int, int]:
+        """The torus dimension-traversal order for this (client, router)
+        pair.  Static policies route X-then-Y-then-Z (how Gemini routes in
+        practice); congestion-aware policies pick among the equal-cost
+        :data:`~repro.network.torus.AXIS_ORDERS` per flowlet."""
+        del client, router
+        return (0, 1, 2)
+
     def describe(self) -> str:
         return self.name
 
@@ -141,7 +161,10 @@ class FineGrainedRouting(RoutingPolicy):
     zones in the production FGR configuration are sized so client
     assignments balance across a leaf's routers rather than piling onto
     the single geometrically nearest one.  Ties break by distance, then
-    router index, keeping the policy deterministic.
+    router *name* — an explicit identity key, so the selection is
+    invariant under the insertion order of the router list (tie-breaking
+    by list position would silently re-route whenever inventory
+    enumeration order changed).
     """
 
     name = "fgr"
@@ -161,11 +184,13 @@ class FineGrainedRouting(RoutingPolicy):
         coords = self.config._coords[candidates]
         dists = self.config.torus.distances_from(client, coords)
         near_mask = dists <= dists.min() + self.slack
-        near = [(self._load[candidates[i]], int(dists[i]), candidates[i])
+        routers = self.config.routers
+        near = [(int(self._load[candidates[i]]), int(dists[i]),
+                 routers[candidates[i]].name, candidates[i])
                 for i in np.flatnonzero(near_mask)]
-        _load, _dist, pick = min(near)
+        _load, _dist, _name, pick = min(near)
         self._load[pick] += 1
-        return self.config.routers[pick]
+        return routers[pick]
 
     def reset(self) -> None:
         """Zero the per-router load counts (see :meth:`RoutingPolicy.reset`)."""

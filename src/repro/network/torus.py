@@ -30,10 +30,20 @@ import numpy as np
 
 from repro.units import GB
 
-__all__ = ["TorusSpec", "Torus3D", "TITAN_TORUS"]
+__all__ = ["TorusSpec", "Torus3D", "TITAN_TORUS", "AXIS_ORDERS"]
 
 Coord = tuple[int, int, int]
 LinkId = tuple[str, int, int, int, int, int]
+AxisOrder = tuple[int, int, int]
+
+#: the equal-cost dimension-order family: every permutation of the axis
+#: traversal order yields a minimal path (per-axis shortest-wrap deltas
+#: are independent, so the hop count is identical), but the *links* the
+#: permutations cross are largely disjoint — the spread a congestion-aware
+#: policy re-hashes over
+AXIS_ORDERS: tuple[AxisOrder, ...] = (
+    (0, 1, 2), (0, 2, 1), (1, 0, 2), (1, 2, 0), (2, 0, 1), (2, 1, 0),
+)
 
 
 @dataclass(frozen=True)
@@ -153,11 +163,25 @@ class Torus3D:
 
     def route_links(self, src: Coord, dst: Coord) -> list[LinkId]:
         """Directed link ids traversed by the dimension-ordered route."""
+        return self.route_links_ordered(src, dst, (0, 1, 2))
+
+    def route_links_ordered(
+        self, src: Coord, dst: Coord, order: AxisOrder,
+    ) -> list[LinkId]:
+        """Directed link ids of the minimal path traversing axes in
+        ``order`` (a permutation of ``(0, 1, 2)``; see :data:`AXIS_ORDERS`).
+
+        All orders cross the same number of links (the per-axis deltas are
+        order-independent), so the family is equal-cost; which links they
+        cross differs, which is what flowlet re-hashing exploits.
+        """
+        if sorted(order) != [0, 1, 2]:
+            raise ValueError(f"axis order {order!r} is not a permutation")
         links: list[LinkId] = []
         cur = list(src)
         self._check(src)
         self._check(dst)
-        for axis in range(3):
+        for axis in order:
             delta = self.axis_delta(cur[axis], dst[axis], axis)
             step = 1 if delta > 0 else -1
             for _ in range(abs(delta)):

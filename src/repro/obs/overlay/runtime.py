@@ -101,6 +101,10 @@ class MonitoringOverlay:
         config: the overlay knobs (default :class:`OverlayConfig`).
         scheduler: optional facility scheduler whose per-class ingest
             caps ride along as ``mon.sched_ingest_cap`` probes.
+        extra_probes: optional additional probes for the ``aux`` agent
+            (e.g. the per-link ``mon.link_util`` gauges from
+            :func:`~repro.obs.overlay.scraper.routing_probes`), appended
+            after any scheduler probes.
         db: optional :class:`~repro.monitoring.metricsdb.MetricsDb` sink;
             by default the overlay owns a retention-capped one
             (:data:`DEFAULT_MAX_POINTS` points, compaction at
@@ -113,13 +117,16 @@ class MonitoringOverlay:
         config: OverlayConfig | None = None,
         *,
         scheduler=None,
+        extra_probes=None,
         db: MetricsDb | None = None,
     ) -> None:
         self.system = system
         self.config = config if config is not None else OverlayConfig()
-        extra = scheduler_probes(scheduler) if scheduler is not None else None
+        extra = scheduler_probes(scheduler) if scheduler is not None else []
+        if extra_probes:
+            extra = extra + list(extra_probes)
         self.scrapers: list[Scraper] = probes_for_system(
-            system, extra_probes=extra)
+            system, extra_probes=extra or None)
         self.tree = AggregationTree(
             [(s.name, s.leaf) for s in self.scrapers],
             n_leaves=system.spec.fabric.n_leaf_switches,

@@ -36,6 +36,7 @@ __all__ = [
     "Scraper",
     "probes_for_system",
     "scheduler_probes",
+    "routing_probes",
 ]
 
 #: metric-name prefix of every canonical (rollup-eligible) overlay probe
@@ -243,3 +244,23 @@ def scheduler_probes(scheduler) -> list[Probe]:
 
         probes.append(Probe("mon.sched_ingest_cap", cls_value, _read))
     return probes
+
+
+def routing_probes(builder, components: list[str]) -> list[Probe]:
+    """Per-link utilization probes for the routing layer's feed.
+
+    ``builder`` is duck-typed on
+    :meth:`repro.core.path.PathBuilder.link_utilization`; each watched
+    component becomes one ``mon.link_util`` gauge.  This is the only
+    channel through which the adaptive policy sees solver outcomes: the
+    values ride the overlay's sweep/window cadence, so routing reacts to
+    what a monitoring system would have shown minutes ago, not to
+    in-process truth — and the reads are plain method calls, never the
+    telemetry registry, so decisions stay bit-identical with telemetry
+    on or off.
+    """
+    return [
+        Probe("mon.link_util", comp,
+              lambda b=builder, c=comp: float(b.link_utilization(c)))
+        for comp in components
+    ]

@@ -53,6 +53,18 @@ def _default_caps() -> dict[PlatformClass, float]:
     }
 
 
+def _default_degraded_caps() -> dict[PlatformClass, float]:
+    # Degraded mode halves the bulk classes' shares: checkpoint and DTN
+    # traffic shed into their queues so the storm-hit links drain, while
+    # analytics (the latency victim backpressure exists to protect)
+    # stays uncapped.
+    return {
+        PlatformClass.SIMULATION: 0.25,
+        PlatformClass.ANALYTICS: 1.0,
+        PlatformClass.DATA_TRANSFER: 0.10,
+    }
+
+
 def _default_weights() -> dict[PlatformClass, float]:
     return {cls: 1.0 for cls in PlatformClass}
 
@@ -82,11 +94,21 @@ class QosPolicy:
         default_factory=_default_weights)
     max_concurrent: Mapping[PlatformClass, int] = field(
         default_factory=_default_limits)
+    #: tighter caps applied while backpressure holds the arbiter in
+    #: degraded mode (see :meth:`BandwidthArbiter.set_degraded`): bulk
+    #: classes shed harder so the hot links drain; unset classes fall
+    #: back to their normal cap
+    degraded_cap_fraction: Mapping[PlatformClass, float] = field(
+        default_factory=_default_degraded_caps)
 
     def __post_init__(self) -> None:
         for cls, frac in self.cap_fraction.items():
             if not (0 < frac <= 1):
                 raise ValueError(f"cap fraction for {cls.value} must be in (0, 1]")
+        for cls, frac in self.degraded_cap_fraction.items():
+            if not (0 < frac <= 1):
+                raise ValueError(
+                    f"degraded cap for {cls.value} must be in (0, 1]")
         for cls, w in self.weight.items():
             if w <= 0:
                 raise ValueError(f"weight for {cls.value} must be positive")
@@ -103,6 +125,12 @@ class QosPolicy:
     def cap_of(self, platform: PlatformClass) -> float:
         """The class's cap fraction (1.0 when unset)."""
         return float(self.cap_fraction.get(platform, 1.0))
+
+    def degraded_cap_of(self, platform: PlatformClass) -> float:
+        """The class's cap while degraded: the tighter of its degraded
+        and normal fractions (degraded mode never *loosens* a cap)."""
+        return min(float(self.degraded_cap_fraction.get(platform, 1.0)),
+                   self.cap_of(platform))
 
     def weight_of(self, platform: PlatformClass) -> float:
         """The class's arbitration weight (1.0 when unset)."""
@@ -135,6 +163,9 @@ class BandwidthArbiter:
         # by the last reallocate — a repeat round (the common quiet case)
         # skips the per-component set_capacity walk entirely
         self._caps_memo: tuple | None = None
+        #: backpressure degraded mode: while set, per-class caps come
+        #: from the policy's degraded fractions (see :meth:`set_degraded`)
+        self.degraded = False
 
     @property
     def solve_counts(self) -> dict[str, int]:
@@ -153,15 +184,41 @@ class BandwidthArbiter:
         self._class_paths = {}
         self._caps_memo = None
 
+    def set_degraded(self, active: bool) -> None:
+        """Flip backpressure degraded mode (idempotent).
+
+        While degraded, :meth:`reallocate` prices each class's ``qos``
+        cap from :meth:`QosPolicy.degraded_cap_of` instead of its normal
+        fraction — the shed path the
+        :class:`~repro.network.routing.BackpressureController` drives.
+        A transition invalidates the capacity memo so the next round
+        pushes the new caps even if nothing else moved.
+        """
+        active = bool(active)
+        if active != self.degraded:
+            self.degraded = active
+            self._caps_memo = None
+
+    def _effective_cap(self, platform: PlatformClass) -> float:
+        if self.degraded:
+            return self.policy.degraded_cap_of(platform)
+        return self.policy.cap_of(platform)
+
     def _path_of(self, platform: PlatformClass) -> list[str]:
-        """The component path for ``platform``, registering it lazily."""
+        """The component path for ``platform``, registering it lazily.
+
+        The ``qos`` element is registered whenever *either* the normal or
+        the degraded cap can bind, so entering degraded mode later is a
+        pure capacity delta — never a topology change.
+        """
         path = self._class_paths.get(platform)
         if path is None:
             ingest = f"ingest:{platform.value}"
             self._net.add_component(ingest, math.inf)
             path = [ingest]
-            cap = self.policy.cap_of(platform)
-            if self.policy.enabled and cap < 1.0:
+            can_bind = (self.policy.cap_of(platform) < 1.0
+                        or self.policy.degraded_cap_of(platform) < 1.0)
+            if self.policy.enabled and can_bind:
                 qos = f"qos:{platform.value}"
                 self._net.add_component(qos, math.inf)
                 path.append(qos)
@@ -199,7 +256,7 @@ class BandwidthArbiter:
         # Memo on the capacity values actually pushed (per registered
         # class, in registration order): quiet rounds between faults
         # repeat them verbatim.
-        memo = (backbone_capacity,
+        memo = (backbone_capacity, self.degraded,
                 tuple(ingest_caps.get(platform, math.inf)
                       for platform in self._class_paths))
         if memo != self._caps_memo:
@@ -208,7 +265,7 @@ class BandwidthArbiter:
                 net.set_capacity(path[0],
                                  float(ingest_caps.get(platform, math.inf)))
                 if len(path) == 3:
-                    cap = self.policy.cap_of(platform)
+                    cap = self._effective_cap(platform)
                     net.set_capacity(path[1], cap * backbone_capacity)
             self._caps_memo = memo
         return net.solve_rates()

@@ -46,7 +46,7 @@ from repro.sched.metrics import (
     SchedResult,
     jains_index,
 )
-from repro.sched.qos import BandwidthArbiter, QosPolicy
+from repro.sched.qos import BACKBONE_COMPONENT, BandwidthArbiter, QosPolicy
 from repro.sim.engine import Engine
 from repro.sim.rng import RngStreams
 from repro.units import GB, HOUR, MiB
@@ -54,6 +54,7 @@ from repro.workloads.analytics import AnalyticsApp, analytics_trace
 from repro.workloads.model import RequestTrace
 
 if TYPE_CHECKING:
+    from repro.network.routing import BackpressureController
     from repro.resilience.playbooks import RemediationPolicy
     from repro.resilience.runner import PlaybookRunner, RemediationOutcome
 
@@ -191,6 +192,12 @@ class FacilityScheduler:
             :class:`~repro.resilience.runner.PlaybookRunner` closes the
             loop on every injected fault (the outcome lands in
             :attr:`remediation_outcome` after :meth:`run`).
+        backpressure: optional
+            :class:`~repro.network.routing.BackpressureController`; each
+            allocation round feeds it the backbone utilization the round
+            delivered and lets it flip the arbiter's degraded-mode caps
+            (wired automatically when the controller has no arbiter of
+            its own).  ``None`` — the default — changes nothing.
     """
 
     def __init__(
@@ -203,6 +210,7 @@ class FacilityScheduler:
         fault_plan: FaultPlan | None = None,
         seed: int = 0,
         remediation: "RemediationPolicy | None" = None,
+        backpressure: "BackpressureController | None" = None,
     ) -> None:
         self.system = system
         self.jobs = tuple(jobs)
@@ -221,6 +229,9 @@ class FacilityScheduler:
         #: last :meth:`run`, when a policy was supplied (``None`` otherwise)
         self.remediation_outcome: "RemediationOutcome | None" = None
         self._arbiter = BandwidthArbiter(self.policy)
+        self._backpressure = backpressure
+        if backpressure is not None and backpressure.arbiter is None:
+            backpressure.arbiter = self._arbiter
         self._baseline_backbone = float(
             system.aggregate_bandwidth(fs_level=True))
         if self._baseline_backbone <= 0:
@@ -556,6 +567,15 @@ class FacilityScheduler:
                                   minlength=len(self._classes))
         total = float(class_rates.sum())
         bg_sum = total - float(class_rates[self._ana_code])
+        if self._backpressure is not None:
+            # Feed the round's backbone utilization to the controller and
+            # let it debounce; a degraded-mode flip lands as new caps at
+            # the *next* round (the one-round control lag a real shed
+            # path would have).
+            controller = self._backpressure
+            util = total / self._backbone_bw if self._backbone_bw > 0 else 0.0
+            controller.feed.observe(BACKBONE_COMPONENT, util, engine.now)
+            controller.update(engine.now)
         if n_active:
             self._io_drain_eps = np.maximum(_DONE_EPS_BYTES,
                                             rates * _DONE_EPS_S)

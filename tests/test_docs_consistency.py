@@ -159,6 +159,38 @@ def test_metatier_subsystem_documented_everywhere():
         "docs/PERFORMANCE.md must describe the BENCH_meta.json gate")
 
 
+def test_routing_subsystem_documented_everywhere():
+    """Congestion-aware routing is documented end to end: every
+    network/ module appears in DESIGN.md's inventory, EXPERIMENTS.md
+    carries the A19 storm-study ablation row, README documents the
+    subcommand and the routing section, and docs/PERFORMANCE.md
+    describes the BENCH_routing.json gate."""
+    design = (REPO / "DESIGN.md").read_text()
+    modules = sorted(
+        p.name for p in (REPO / "src/repro/network").glob("*.py")
+        if p.name != "__init__.py")
+    missing = [m for m in modules if f"network/{m}" not in design]
+    assert not missing, (
+        f"DESIGN.md §3 inventory is missing network module(s) {missing}")
+
+    experiments = (REPO / "EXPERIMENTS.md").read_text()
+    assert "spider-repro storm" in experiments, (
+        "EXPERIMENTS.md must describe the hot-spot storm study "
+        "driven by `spider-repro storm`")
+    assert "| A19 |" in experiments, (
+        "EXPERIMENTS.md ablation table lost the A19 storm row")
+
+    readme = (REPO / "README.md").read_text()
+    assert "spider-repro storm" in readme, (
+        "README.md CLI synopsis lost the storm subcommand")
+    assert "flowlet" in readme, (
+        "README.md lost the congestion-aware routing section")
+
+    performance = (REPO / "docs" / "PERFORMANCE.md").read_text()
+    assert "BENCH_routing.json" in performance, (
+        "docs/PERFORMANCE.md must describe the BENCH_routing.json gate")
+
+
 def test_incremental_solver_documented_everywhere():
     """The incremental flow solver's performance contract is documented
     end to end: docs/PERFORMANCE.md names every resolve-path counter and

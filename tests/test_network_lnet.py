@@ -105,3 +105,38 @@ class TestPolicyComparison:
             for _ in range(8)
         ]
         assert all(c == 1 for c in fgr_crossings)  # r2/r3 share leaf 1
+
+
+class TestTieBreakOrderInvariance:
+    """FGR ties break by explicit (load, distance, name) key, so selection
+    is invariant under the insertion order of the router inventory —
+    list-position tie-breaking would silently re-route whole client
+    populations whenever enumeration order changed."""
+
+    def make_config(self, order):
+        torus = Torus3D(TorusSpec(dims=(8, 8, 8)))
+        fabric = InfinibandFabric(FabricSpec(n_leaf_switches=2))
+        # Two exact ties on leaf 0: equidistant from the client below and
+        # always equally loaded when selections alternate.
+        routers = {
+            "ra": RouterInfo("ra", (2, 0, 0), leaf=0),
+            "rb": RouterInfo("rb", (0, 2, 0), leaf=0),
+            "rc": RouterInfo("rc", (4, 4, 4), leaf=1),
+        }
+        ordered = [routers[name] for name in order]
+        for r in ordered:
+            fabric.attach_host(r.name, r.leaf)
+        return LnetConfig(torus, fabric, ordered)
+
+    @pytest.mark.parametrize("order", [
+        ("ra", "rb", "rc"),
+        ("rb", "ra", "rc"),
+        ("rc", "rb", "ra"),
+    ])
+    def test_selection_sequence_is_order_invariant(self, order):
+        fgr = FineGrainedRouting(self.make_config(order), slack=4)
+        picks = [fgr.select_router((0, 0, 0), dst_leaf=0).name
+                 for _ in range(6)]
+        # Pure tie at every step: the name key alternates a-b-a-b...,
+        # never whichever happened to be inserted first.
+        assert picks == ["ra", "rb"] * 3

@@ -1,0 +1,300 @@
+"""Flowlet routing unit tests: spec validation, the feed, re-hash
+hysteresis, fingerprint dampening, and the backpressure debounce."""
+
+import math
+
+import pytest
+
+from repro.network.infiniband import FabricSpec, InfinibandFabric
+from repro.network.lnet import LnetConfig, RouterInfo
+from repro.network.routing import (
+    BackpressureController,
+    FlowletRouting,
+    FlowletSpec,
+    LinkStatsFeed,
+    LINK_UTIL_METRIC,
+)
+from repro.network.torus import AXIS_ORDERS, Torus3D, TorusSpec
+
+
+@pytest.fixture
+def config():
+    torus = Torus3D(TorusSpec(dims=(8, 8, 8)))
+    fabric = InfinibandFabric(FabricSpec(n_leaf_switches=2))
+    routers = [
+        RouterInfo("r0", (0, 0, 0), leaf=0),
+        RouterInfo("r1", (4, 4, 4), leaf=0),
+        RouterInfo("r2", (0, 4, 0), leaf=1),
+        RouterInfo("r3", (4, 0, 4), leaf=1),
+    ]
+    for r in routers:
+        fabric.attach_host(r.name, r.leaf)
+    return LnetConfig(torus, fabric, routers)
+
+
+def path_comps(policy, client, router_name, axis):
+    cfg = policy.config
+    idx = [r.name for r in cfg.routers].index(router_name)
+    return policy._path_components(client, idx, axis)
+
+
+class TestFlowletSpec:
+    def test_defaults_valid(self):
+        spec = FlowletSpec()
+        assert 0 < spec.low_water < spec.threshold
+
+    @pytest.mark.parametrize("kw", [
+        dict(threshold=0.5, low_water=0.6),   # inverted band
+        dict(threshold=2.0),                  # above the 1.5 ceiling
+        dict(low_water=0.0),
+        dict(min_dwell_s=-1.0),
+        dict(stale_after_s=-0.1),
+        dict(reroute_dwell_s=-5.0),
+        dict(slack=-1),
+        dict(engage_windows=0),
+        dict(release_windows=0),
+    ])
+    def test_rejects_bad_knobs(self, kw):
+        with pytest.raises(ValueError):
+            FlowletSpec(**kw)
+
+
+class TestLinkStatsFeed:
+    def test_unobserved_reads_idle_and_infinitely_old(self):
+        feed = LinkStatsFeed()
+        value, age = feed.read("gl:0,0,0:0+", now=100.0)
+        assert value == 0.0 and age == math.inf
+
+    def test_observe_then_read_ages(self):
+        feed = LinkStatsFeed()
+        feed.observe("router:r0", 0.7, sampled_at=40.0)
+        assert feed.read("router:r0", now=100.0) == (0.7, 60.0)
+
+    def test_ingest_takes_only_link_util_rows(self):
+        feed = LinkStatsFeed()
+        view = {
+            (LINK_UTIL_METRIC, "gl:0,0,0:0+"): (0.9, 30.0),
+            (LINK_UTIL_METRIC, "router:r0"): (0.2, 30.0),
+            ("mon.cable_ok", "oss0"): (1.0, 30.0),
+        }
+        assert feed.ingest(view) == 2
+        assert feed.read("gl:0,0,0:0+", now=30.0) == (0.9, 0.0)
+        assert len(feed) == 2
+
+    def test_last_known_good_overwrites(self):
+        feed = LinkStatsFeed()
+        feed.observe("router:r0", 0.9, sampled_at=10.0)
+        feed.observe("router:r0", 0.1, sampled_at=20.0)
+        assert feed.read("router:r0", now=20.0) == (0.1, 0.0)
+
+
+class TestFlowletAssignment:
+    def test_select_router_is_sticky(self, config):
+        policy = FlowletRouting(config)
+        first = policy.select_router((1, 1, 1), dst_leaf=0)
+        for _ in range(5):
+            assert policy.select_router((1, 1, 1), dst_leaf=0) is first
+
+    def test_new_flowlets_start_on_plain_dimension_order(self, config):
+        policy = FlowletRouting(config)
+        router = policy.select_router((1, 1, 1), dst_leaf=0)
+        assert policy.axis_order((1, 1, 1), router.coord) == (0, 1, 2)
+
+    def test_same_seed_same_assignments(self, config):
+        keys = [((x, y, 0), leaf) for x in range(4) for y in range(4)
+                for leaf in (0, 1)]
+        picks = []
+        for _ in range(2):
+            policy = FlowletRouting(config, spec=FlowletSpec(seed=9))
+            picks.append([policy.select_router(c, leaf).name
+                          for c, leaf in keys])
+        assert picks[0] == picks[1]
+
+    def test_offline_assignment_forces_reassign(self, config):
+        policy = FlowletRouting(config, spec=FlowletSpec(slack=100))
+        name = policy.select_router((0, 0, 1), dst_leaf=0).name
+        config.set_router_online(name, False)
+        moved = policy.select_router((0, 0, 1), dst_leaf=0)
+        assert moved.name != name
+        assert moved.leaf == 0
+
+    def test_reset_keeps_decided_tables(self, config):
+        policy = FlowletRouting(config)
+        before = policy.select_router((1, 1, 1), dst_leaf=0).name
+        policy.reset()
+        assert policy.select_router((1, 1, 1), dst_leaf=0).name == before
+
+
+class TestRehash:
+    def hot_feed(self, policy, client, router_name, axis, now, value=1.0):
+        for comp in path_comps(policy, client, router_name, axis):
+            policy.feed.observe(comp, value, sampled_at=now)
+
+    def test_cool_path_never_moves(self, config):
+        policy = FlowletRouting(config)
+        client = (1, 1, 1)
+        policy.select_router(client, dst_leaf=0)
+        assert policy.refresh(100.0) == 0
+        assert policy.rehashes == 0
+
+    def test_hot_path_rehashes_and_bumps_epoch(self, config):
+        policy = FlowletRouting(config, spec=FlowletSpec(slack=100, seed=3))
+        client = (1, 1, 1)
+        name = policy.select_router(client, dst_leaf=0).name
+        fp = policy.fingerprint()
+        self.hot_feed(policy, client, name, 0, now=100.0)
+        assert policy.refresh(100.0) == 1
+        assert policy.rehashes == 1
+        assert policy.fingerprint() != fp  # epoch rode into the fingerprint
+        moved = policy.select_router(client, dst_leaf=0)
+        axis = policy.axis_order(client, moved.coord)
+        assert (moved.name, axis) != (name, (0, 1, 2))
+
+    def test_min_dwell_pins_a_moved_flowlet(self, config):
+        spec = FlowletSpec(slack=100, min_dwell_s=90.0, seed=3)
+        policy = FlowletRouting(config, spec=spec)
+        client = (1, 1, 1)
+        name = policy.select_router(client, dst_leaf=0).name
+        self.hot_feed(policy, client, name, 0, now=100.0)
+        assert policy.refresh(100.0) == 1
+        # Heat the *new* path too: still pinned until the dwell expires.
+        moved = policy.select_router(client, dst_leaf=0)
+        axis_idx = AXIS_ORDERS.index(policy.axis_order(client, moved.coord))
+        self.hot_feed(policy, client, moved.name, axis_idx, now=150.0)
+        assert policy.refresh(150.0) == 0
+        assert policy.refresh(191.0) == 1
+
+    def test_desperation_widening_escapes_a_saturated_near_zone(self, config):
+        # slack 0 collapses the leaf-0 zone to r0 alone; every axis order
+        # to r0 shares its saturated single-hop link, so only the widened
+        # rescore (distance cap lifted) can reach the cool r1.
+        policy = FlowletRouting(config, spec=FlowletSpec(slack=0, seed=1))
+        client = (0, 0, 1)
+        assert policy.select_router(client, dst_leaf=0).name == "r0"
+        for axis in range(len(AXIS_ORDERS)):
+            self.hot_feed(policy, client, "r0", axis, now=100.0)
+        assert policy.refresh(100.0) == 1
+        assert policy.select_router(client, dst_leaf=0).name == "r1"
+
+    def test_stale_reads_are_tolerated_but_counted(self, config):
+        policy = FlowletRouting(config, spec=FlowletSpec(stale_after_s=240.0))
+        client = (1, 1, 1)
+        name = policy.select_router(client, dst_leaf=0).name
+        comps = path_comps(policy, client, name, 0)
+        policy.feed.observe(comps[0], 0.2, sampled_at=0.0)
+        policy.refresh(1000.0)  # age 1000 > stale_after
+        assert policy.stale_reads >= 1
+        # Unobserved components read as idle, not stale.
+        assert policy.stale_reads <= len(comps)
+
+
+class TestFlapDampening:
+    def test_fingerprint_commits_only_after_dwell(self, config):
+        spec = FlowletSpec(reroute_dwell_s=180.0)
+        policy = FlowletRouting(config, spec=spec)
+        fp0 = policy.fingerprint()
+        config.set_router_online("r0", False)
+        policy.refresh(10.0)   # change noticed, pending
+        assert policy.fingerprint() == fp0
+        policy.refresh(100.0)  # held 90 s < dwell: still pending
+        assert policy.fingerprint() == fp0
+        policy.refresh(200.0)  # held 190 s >= dwell: committed
+        assert policy.fingerprint() != fp0
+        assert policy.reroute_commits == 1
+
+    def test_bounce_within_dwell_never_commits(self, config):
+        spec = FlowletSpec(reroute_dwell_s=180.0)
+        policy = FlowletRouting(config, spec=spec)
+        fp0 = policy.fingerprint()
+        for k in range(8):  # down/up every 30 s, far faster than dwell
+            config.set_router_online("r0", k % 2 == 1)
+            policy.refresh(10.0 + 30.0 * k)
+        assert policy.fingerprint() == fp0
+        assert policy.reroute_commits == 0
+
+    def test_commit_purges_assignments_through_dead_routers(self, config):
+        spec = FlowletSpec(reroute_dwell_s=0.0, slack=100)
+        policy = FlowletRouting(config, spec=spec)
+        victim = policy.select_router((0, 0, 1), dst_leaf=0).name
+        config.set_router_online(victim, False)
+        policy.refresh(10.0)   # change noticed (pending)
+        policy.refresh(10.0)   # zero dwell: committed, purged
+        assert all(policy.config.routers[idx].name != victim
+                   for idx in policy._assigned.values())
+
+
+class FakeArbiter:
+    def __init__(self):
+        self.calls = []
+
+    def set_degraded(self, active):
+        self.calls.append(bool(active))
+
+
+class TestBackpressureController:
+    def make(self, **kw):
+        feed = LinkStatsFeed()
+        spec = FlowletSpec(engage_windows=2, release_windows=3)
+        return feed, BackpressureController(
+            feed, ["gl:a", "gl:b"], spec=spec, **kw)
+
+    def test_empty_watch_list_rejected(self):
+        with pytest.raises(ValueError):
+            BackpressureController(LinkStatsFeed(), [])
+
+    def test_engage_needs_consecutive_hot_windows(self):
+        feed, ctl = self.make()
+        feed.observe("gl:a", 0.95, 0.0)
+        assert ctl.update(0.0) is False        # hot streak 1 of 2
+        assert ctl.update(60.0) is True        # hot streak 2: engage
+        assert ctl.engagements == 1
+
+    def test_hot_streak_resets_on_a_cool_window(self):
+        feed, ctl = self.make()
+        feed.observe("gl:a", 0.95, 0.0)
+        ctl.update(0.0)
+        feed.observe("gl:a", 0.10, 60.0)
+        ctl.update(60.0)                       # streak broken
+        feed.observe("gl:a", 0.95, 120.0)
+        assert ctl.update(120.0) is False      # needs two hot again
+
+    def test_release_needs_consecutive_cool_windows(self):
+        feed, ctl = self.make()
+        feed.observe("gl:a", 0.95, 0.0)
+        ctl.update(0.0)
+        ctl.update(60.0)
+        assert ctl.engaged
+        feed.observe("gl:a", 0.10, 120.0)
+        for t in (120.0, 180.0):
+            assert ctl.update(t) is True       # cool 1, 2 of 3
+        assert ctl.update(240.0) is False      # cool 3: release
+        assert ctl.releases == 1
+
+    def test_deadband_holds_engagement(self):
+        # Between low_water and threshold: not hot, not cool — stay put.
+        feed, ctl = self.make()
+        feed.observe("gl:a", 0.95, 0.0)
+        ctl.update(0.0)
+        ctl.update(60.0)
+        feed.observe("gl:a", 0.70, 120.0)
+        for t in (120.0, 180.0, 240.0, 300.0):
+            assert ctl.update(t) is True
+
+    def test_arbiter_is_driven_on_transitions(self):
+        arb = FakeArbiter()
+        feed, ctl = self.make(arbiter=arb)
+        feed.observe("gl:a", 0.95, 0.0)
+        ctl.update(0.0)
+        ctl.update(60.0)
+        feed.observe("gl:a", 0.10, 120.0)
+        ctl.update(120.0)
+        ctl.update(180.0)
+        ctl.update(240.0)
+        assert arb.calls == [True, False]
+
+    def test_peak_reads_the_watched_set(self):
+        feed, ctl = self.make()
+        feed.observe("gl:a", 0.3, 0.0)
+        feed.observe("gl:b", 0.8, 0.0)
+        feed.observe("gl:unwatched", 1.0, 0.0)
+        assert ctl.peak(0.0) == 0.8

@@ -1,0 +1,118 @@
+"""The A19 storm study: static collapse, flowlet recovery, determinism.
+
+The mini system runs the study in the scarce-row-bandwidth regime (torus
+links at 0.5 GB/s — the same ``--link-bw`` dial the CLI exposes), which
+is what makes a clustered all-to-one read burst a *network* problem: the
+probe's delivered rate is then bounded by its share of saturated row
+links, not by its private OST.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from tests.conftest import mini_spec
+from repro.core.spider import SpiderSystem
+from repro.network.storm import (
+    StormStudyResult,
+    _probe_coord,
+    run_storm_study,
+)
+from repro.obs.instruments import Telemetry, use_telemetry
+from repro.units import GB
+
+
+def storm_factory(seed=7):
+    base = mini_spec()
+    spec = replace(base, torus=replace(base.torus, link_bw=0.5 * GB))
+    return lambda: SpiderSystem(spec, seed=seed)
+
+
+def quick_study(**kw):
+    defaults = dict(seed=11, duration=3600.0, storm_start=600.0,
+                    storm_end=3000.0)
+    defaults.update(kw)
+    return run_storm_study(storm_factory(), **defaults)
+
+
+class TestProbePlacement:
+    def test_probe_never_sits_on_a_router_node(self, mini_system):
+        coord = _probe_coord(mini_system)
+        assert coord not in {r.coord for r in mini_system.routers}
+
+    def test_probe_rides_the_storm_row(self, mini_system):
+        dims = mini_system.torus.dims
+        _x, y, z = _probe_coord(mini_system)
+        assert (y, z) == (dims[1] // 2, dims[2] // 2)
+
+
+class TestStormHeadline:
+    @pytest.fixture(scope="class")
+    def study(self):
+        return run_storm_study(storm_factory(), seed=11)
+
+    def test_static_arm_collapses(self, study):
+        # The probe's tail latency under static routing is an order of
+        # magnitude past its median: the row links saturated and max-min
+        # sharing squeezed the probe to a sliver.
+        assert study.static.latency_p99 > 10 * study.static.latency_p50
+        assert study.static.peak_victim_util == pytest.approx(1.0)
+
+    def test_flowlet_recovers_at_least_10x(self, study):
+        assert study.recovery_factor >= 10.0
+
+    def test_adaptive_machinery_actually_ran(self, study):
+        assert study.flowlet.rehashes > 0
+        assert study.flowlet.backpressure_engagements >= 1
+        assert study.static.rehashes == 0
+        assert study.static.backpressure_engagements == 0
+
+    def test_flowlet_pays_rebuilds_static_does_not(self, study):
+        # Each committed re-hash batch is one rebuild; static resolves
+        # on the fast path all storm long.
+        assert study.static.full_solves <= 3
+        assert study.flowlet.full_solves > study.static.full_solves
+
+    def test_rows_are_renderable(self, study):
+        rows = study.rows()
+        assert all(len(r) == 3 for r in rows)
+        for arm in (study.static, study.flowlet):
+            assert all(len(r) == 2 for r in arm.rows())
+
+
+class TestDeterminism:
+    def test_same_seed_results_compare_equal(self):
+        assert quick_study() == quick_study()
+
+    def test_different_seed_differs(self):
+        a = quick_study(seed=1)
+        b = quick_study(seed=2)
+        assert a != b
+
+    def test_bit_identical_with_telemetry_on_or_off(self):
+        with use_telemetry(Telemetry(enabled=True)):
+            on = quick_study()
+        with use_telemetry(Telemetry(enabled=False)):
+            off = quick_study()
+        assert on == off
+
+    def test_result_is_a_plain_value(self):
+        study = quick_study()
+        assert isinstance(study, StormStudyResult)
+        assert study.flowlet.samples[0].time >= 0.0
+
+
+class TestValidation:
+    def test_bad_storm_window_rejected(self):
+        with pytest.raises(ValueError):
+            quick_study(storm_start=3000.0, storm_end=600.0)
+        with pytest.raises(ValueError):
+            quick_study(storm_end=4000.0)  # past the duration
+
+    def test_bad_knobs_rejected(self):
+        with pytest.raises(ValueError):
+            quick_study(sample_interval=0.0)
+        with pytest.raises(ValueError):
+            quick_study(request_bytes=0.0)
+        with pytest.raises(ValueError):
+            quick_study(shed_fraction=0.0)
